@@ -1,0 +1,369 @@
+//! Synchronous gossip dynamics on the complete graph.
+//!
+//! These are the baselines the paper's related-work section measures
+//! against (experiment E12):
+//!
+//! * **Pull voting** [HP01, NIY99] — adopt one uniform sample; `Ω(n)`
+//!   expected convergence, preserves the plurality only in expectation.
+//! * **Two-choices voting** [CER14] — adopt when two uniform samples agree;
+//!   `O(log n)` for two opinions with sufficient bias.
+//! * **3-majority** [BCN+14] — adopt the majority of three samples, random
+//!   tie-break; `Θ(k log n)` with sufficient absolute bias.
+//! * **Undecided-state dynamics** [AAE08, BCN+15] — one sample, disagreeing
+//!   nodes pass through an *undecided* state before flipping.
+//!
+//! All four run in simultaneous rounds against the previous round's state,
+//! exactly like the paper's synchronous protocol, so round counts are
+//! directly comparable.
+
+use plurality_core::{ConvergenceTracker, InitialAssignment, OpinionCounts, RunOutcome};
+use plurality_dist::rng::Xoshiro256PlusPlus;
+use rand::Rng;
+
+/// Sentinel color index for the undecided state (only used internally by
+/// [`Dynamics::Undecided`]).
+const UNDECIDED: u32 = u32::MAX;
+
+/// A synchronous baseline dynamic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dynamics {
+    /// Pull voting: adopt one uniform sample.
+    PullVoting,
+    /// Two-choices: adopt if two uniform samples agree.
+    TwoChoices,
+    /// 3-majority: adopt the majority among three samples (random
+    /// tie-break).
+    ThreeMajority,
+    /// Undecided-state dynamics: one sample; disagreement makes a node
+    /// undecided, undecided nodes adopt the next decided sample.
+    Undecided,
+}
+
+impl Dynamics {
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::PullVoting => "pull-voting",
+            Self::TwoChoices => "two-choices",
+            Self::ThreeMajority => "3-majority",
+            Self::Undecided => "undecided-state",
+        }
+    }
+
+    /// All baseline dynamics, for sweeps.
+    pub fn all() -> [Dynamics; 4] {
+        [
+            Self::PullVoting,
+            Self::TwoChoices,
+            Self::ThreeMajority,
+            Self::Undecided,
+        ]
+    }
+}
+
+/// Configuration for a baseline run.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_baselines::{Dynamics, DynamicsConfig};
+/// use plurality_core::InitialAssignment;
+/// let assignment = InitialAssignment::with_bias(2_000, 3, 3.0).unwrap();
+/// let result = DynamicsConfig::new(Dynamics::ThreeMajority, assignment)
+///     .with_seed(1)
+///     .run();
+/// assert!(result.outcome.consensus_time.is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsConfig {
+    dynamics: Dynamics,
+    assignment: InitialAssignment,
+    epsilon: f64,
+    seed: u64,
+    max_rounds: u64,
+}
+
+impl DynamicsConfig {
+    /// Creates a configuration with `ε = 0.05`, seed 0, and a round cap of
+    /// `200·log₂n + 200` (pull voting needs `Ω(n)` and will usually hit the
+    /// cap — that is part of the measurement).
+    pub fn new(dynamics: Dynamics, assignment: InitialAssignment) -> Self {
+        let n = assignment.n().max(2);
+        Self {
+            dynamics,
+            assignment,
+            epsilon: 0.05,
+            seed: 0,
+            max_rounds: (200.0 * (n as f64).log2()).ceil() as u64 + 200,
+        }
+    }
+
+    /// Sets ε for ε-convergence reporting.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ [0, 1]`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must lie in [0, 1]");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the round cap.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// Runs the dynamic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment materializes fewer than 2 nodes.
+    pub fn run(&self) -> DynamicsResult {
+        run_dynamics(self)
+    }
+}
+
+/// Result of a baseline run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynamicsResult {
+    /// Which dynamic ran.
+    pub dynamics: Dynamics,
+    /// Common outcome report (no generation telemetry — these dynamics have
+    /// no generations).
+    pub outcome: RunOutcome,
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// Peak fraction of undecided nodes (always 0 except for
+    /// [`Dynamics::Undecided`]).
+    pub peak_undecided: f64,
+}
+
+fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
+    let mut rng = Xoshiro256PlusPlus::from_u64(cfg.seed);
+    let opinions = cfg.assignment.materialize(&mut rng);
+    let n = opinions.len();
+    assert!(n >= 2, "baseline run needs at least 2 nodes");
+    let k = cfg.assignment.k() as usize;
+
+    let mut col: Vec<u32> = opinions.iter().map(|o| o.index()).collect();
+    let mut counts = OpinionCounts::tally(&opinions, k);
+    let initial_winner = counts.winner().expect("non-empty population");
+    let initial_bias = counts.bias().unwrap_or(f64::INFINITY);
+
+    let mut tracker = ConvergenceTracker::new(n as u64, initial_winner, cfg.epsilon);
+    let mut undecided_count: u64 = 0;
+    let mut peak_undecided = 0.0f64;
+    tracker.observe(
+        0.0,
+        counts.support(initial_winner),
+        counts.as_slice().iter().copied().max().unwrap_or(0),
+    );
+
+    let mut new_col = col.clone();
+    let mut rounds = 0u64;
+
+    // Consensus for the undecided dynamic additionally requires that no
+    // node is undecided.
+    let mono = |counts: &OpinionCounts, undecided: u64| {
+        undecided == 0 && counts.is_monochromatic()
+    };
+
+    if !mono(&counts, undecided_count) {
+        for round in 1..=cfg.max_rounds {
+            rounds = round;
+            for v in 0..n {
+                let own = col[v];
+                new_col[v] = match cfg.dynamics {
+                    Dynamics::PullVoting => col[rng.gen_range(0..n)],
+                    Dynamics::TwoChoices => {
+                        let a = col[rng.gen_range(0..n)];
+                        let b = col[rng.gen_range(0..n)];
+                        if a == b {
+                            a
+                        } else {
+                            own
+                        }
+                    }
+                    Dynamics::ThreeMajority => {
+                        let a = col[rng.gen_range(0..n)];
+                        let b = col[rng.gen_range(0..n)];
+                        let c = col[rng.gen_range(0..n)];
+                        if a == b || a == c {
+                            a
+                        } else if b == c {
+                            b
+                        } else {
+                            // All distinct: uniform tie-break among them.
+                            [a, b, c][rng.gen_range(0..3)]
+                        }
+                    }
+                    Dynamics::Undecided => {
+                        let s = col[rng.gen_range(0..n)];
+                        if own == UNDECIDED {
+                            s // adopt whatever the sample holds (or stay
+                              // undecided if the sample is undecided too)
+                        } else if s == UNDECIDED || s == own {
+                            own
+                        } else {
+                            UNDECIDED
+                        }
+                    }
+                };
+            }
+            // Re-tally (cheaper than incremental transfer bookkeeping here).
+            undecided_count = 0;
+            let mut tally = vec![0u64; k];
+            for &c in &new_col {
+                if c == UNDECIDED {
+                    undecided_count += 1;
+                } else {
+                    tally[c as usize] += 1;
+                }
+            }
+            counts = OpinionCounts::from_counts(tally);
+            std::mem::swap(&mut col, &mut new_col);
+
+            peak_undecided = peak_undecided.max(undecided_count as f64 / n as f64);
+            let max_support = counts.as_slice().iter().copied().max().unwrap_or(0);
+            tracker.observe(
+                round as f64,
+                counts.support(initial_winner),
+                if undecided_count == 0 { max_support } else { 0 },
+            );
+            if mono(&counts, undecided_count) {
+                break;
+            }
+        }
+    }
+
+    let outcome = RunOutcome {
+        n: n as u64,
+        k: k as u32,
+        initial_winner,
+        initial_bias,
+        final_counts: counts,
+        epsilon_time: tracker.epsilon_time(),
+        consensus_time: tracker.consensus_time(),
+        duration: rounds as f64,
+        generations: Vec::new(),
+    };
+    DynamicsResult {
+        dynamics: cfg.dynamics,
+        outcome,
+        rounds,
+        peak_undecided,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_core::Opinion;
+
+    fn biased(n: u64, k: u32, alpha: f64) -> InitialAssignment {
+        InitialAssignment::with_bias(n, k, alpha).unwrap()
+    }
+
+    #[test]
+    fn two_choices_preserves_large_bias() {
+        let r = DynamicsConfig::new(Dynamics::TwoChoices, biased(2_000, 2, 3.0))
+            .with_seed(1)
+            .run();
+        assert!(r.outcome.plurality_preserved());
+        assert_eq!(r.outcome.winner(), Some(Opinion::new(0)));
+    }
+
+    #[test]
+    fn three_majority_preserves_large_bias_multi_opinion() {
+        let r = DynamicsConfig::new(Dynamics::ThreeMajority, biased(3_000, 5, 3.0))
+            .with_seed(2)
+            .run();
+        assert!(r.outcome.plurality_preserved());
+    }
+
+    #[test]
+    fn undecided_dynamics_converges_and_uses_undecided_state() {
+        let r = DynamicsConfig::new(Dynamics::Undecided, biased(3_000, 2, 3.0))
+            .with_seed(3)
+            .run();
+        assert!(r.outcome.consensus_time.is_some(), "did not converge");
+        assert!(r.peak_undecided > 0.0, "never used the undecided state");
+        assert!(r.outcome.plurality_preserved());
+    }
+
+    #[test]
+    fn pull_voting_converges_with_overwhelming_majority() {
+        // 95% initial majority: pull voting wins this whp.
+        let assignment = InitialAssignment::Exact(vec![950, 50]);
+        let r = DynamicsConfig::new(Dynamics::PullVoting, assignment)
+            .with_seed(4)
+            .run();
+        assert!(r.outcome.consensus_time.is_some(), "no consensus");
+        assert!(r.outcome.plurality_preserved());
+    }
+
+    #[test]
+    fn pull_voting_is_slower_than_two_choices() {
+        let a = biased(2_000, 2, 3.0);
+        let pull = DynamicsConfig::new(Dynamics::PullVoting, a.clone())
+            .with_seed(5)
+            .run();
+        let two = DynamicsConfig::new(Dynamics::TwoChoices, a)
+            .with_seed(5)
+            .run();
+        let two_time = two.outcome.consensus_time.expect("two-choices converges");
+        // Pull voting either did not converge at all or took longer.
+        match pull.outcome.consensus_time {
+            None => {}
+            Some(t) => assert!(t > two_time, "pull {t} ≤ two-choices {two_time}"),
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = biased(800, 3, 2.0);
+        let r1 = DynamicsConfig::new(Dynamics::ThreeMajority, a.clone())
+            .with_seed(9)
+            .run();
+        let r2 = DynamicsConfig::new(Dynamics::ThreeMajority, a)
+            .with_seed(9)
+            .run();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn monochromatic_start_is_instant() {
+        let a = InitialAssignment::Exact(vec![100, 0]);
+        for d in Dynamics::all() {
+            let r = DynamicsConfig::new(d, a.clone()).run();
+            assert_eq!(r.outcome.consensus_time, Some(0.0), "{}", d.name());
+            assert_eq!(r.rounds, 0);
+        }
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Dynamics::PullVoting.name(), "pull-voting");
+        assert_eq!(Dynamics::all().len(), 4);
+    }
+
+    #[test]
+    fn respects_round_cap() {
+        // Bias 1.0 with two huge camps: pull voting will not finish in 3
+        // rounds; the cap must hold.
+        let a = InitialAssignment::Uniform { n: 1_000, k: 2 };
+        let r = DynamicsConfig::new(Dynamics::PullVoting, a)
+            .with_seed(6)
+            .with_max_rounds(3)
+            .run();
+        assert!(r.rounds <= 3);
+    }
+}

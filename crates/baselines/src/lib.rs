@@ -1,0 +1,36 @@
+//! # plurality-baselines
+//!
+//! Baseline consensus dynamics for comparison against the paper's
+//! generation-based protocols (experiment E12 and the related-work
+//! discussion of Section 1.1):
+//!
+//! * [`Dynamics`] — synchronous gossip dynamics on the clique: pull voting,
+//!   two-choices, 3-majority, undecided-state dynamics.
+//! * [`PopulationProtocol`] — sequential pairwise population protocols:
+//!   3-state approximate majority and 4-state exact majority.
+//!
+//! All runners report the shared
+//! [`RunOutcome`](plurality_core::RunOutcome), so experiment harnesses can
+//! compare convergence times and plurality preservation uniformly.
+//!
+//! ## Example
+//!
+//! ```
+//! use plurality_baselines::{Dynamics, DynamicsConfig};
+//! use plurality_core::InitialAssignment;
+//!
+//! let assignment = InitialAssignment::with_bias(2_000, 3, 3.0).unwrap();
+//! let result = DynamicsConfig::new(Dynamics::TwoChoices, assignment)
+//!     .with_seed(7)
+//!     .run();
+//! assert!(result.outcome.plurality_preserved());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dynamics;
+mod population;
+
+pub use dynamics::{Dynamics, DynamicsConfig, DynamicsResult};
+pub use population::{PopulationConfig, PopulationProtocol, PopulationResult};

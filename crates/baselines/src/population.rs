@@ -1,0 +1,404 @@
+//! Population protocols for (approximate and exact) majority.
+//!
+//! The paper positions its asynchronous model against the population
+//! protocol literature (Section 1.1): discrete steps, one ordered pair of
+//! agents interacting per step, run time divided by `n` to obtain *parallel
+//! time*. Two classic two-opinion protocols are implemented:
+//!
+//! * the **3-state approximate majority** protocol of Angluin, Aspnes and
+//!   Eisenstat [AAE08] — `O(n log n)` interactions given bias
+//!   `ω(√(n log n))`, but may err for tiny bias;
+//! * the **4-state exact majority** protocol of Draief–Vojnović [DV10] and
+//!   Mertzios et al. [MNRS14] — always outputs the true majority
+//!   (differences are conserved), at the price of `O(n² log n)`
+//!   interactions in the worst case.
+
+use plurality_core::{InitialAssignment, Opinion, OpinionCounts, RunOutcome};
+use plurality_dist::rng::Xoshiro256PlusPlus;
+use rand::Rng;
+
+/// A two-opinion population protocol for majority.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PopulationProtocol {
+    /// AAE08 3-state protocol: states {A, B, blank}.
+    ApproximateMajority,
+    /// DV10/MNRS14 4-state protocol: states {A, B, a, b}; |A|−|B| is
+    /// conserved, so the output is always the true initial majority.
+    ExactMajority,
+}
+
+impl PopulationProtocol {
+    /// A short stable name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::ApproximateMajority => "3-state-approximate-majority",
+            Self::ExactMajority => "4-state-exact-majority",
+        }
+    }
+}
+
+/// Agent states shared by both protocols. `StrongA/StrongB` double as the
+/// plain A/B states of the 3-state protocol; `Blank` is its third state;
+/// `WeakA/WeakB` only occur in the 4-state protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    StrongA,
+    StrongB,
+    WeakA,
+    WeakB,
+    Blank,
+}
+
+impl State {
+    /// The opinion an agent currently outputs, if any.
+    #[cfg(test)]
+    fn output(self) -> Option<Opinion> {
+        match self {
+            State::StrongA | State::WeakA => Some(Opinion::new(0)),
+            State::StrongB | State::WeakB => Some(Opinion::new(1)),
+            State::Blank => None,
+        }
+    }
+}
+
+/// Configuration for a population-protocol run.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_baselines::{PopulationConfig, PopulationProtocol};
+/// let result = PopulationConfig::new(PopulationProtocol::ExactMajority, 120, 70)
+///     .with_seed(1)
+///     .run();
+/// assert_eq!(result.outcome.winner(), Some(plurality_core::Opinion::new(0)));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationConfig {
+    protocol: PopulationProtocol,
+    n: u64,
+    initial_a: u64,
+    seed: u64,
+    max_interactions: Option<u64>,
+}
+
+impl PopulationConfig {
+    /// Creates a configuration for `n` agents of which `initial_a` start
+    /// with opinion A (index 0) and the rest with B (index 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2` or `initial_a > n`.
+    pub fn new(protocol: PopulationProtocol, n: u64, initial_a: u64) -> Self {
+        assert!(n >= 2, "population needs at least 2 agents");
+        assert!(initial_a <= n, "initial_a cannot exceed n");
+        Self {
+            protocol,
+            n,
+            initial_a,
+            seed: 0,
+            max_interactions: None,
+        }
+    }
+
+    /// Builds from an [`InitialAssignment`] with `k = 2`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment has `k != 2`.
+    pub fn from_assignment(
+        protocol: PopulationProtocol,
+        assignment: &InitialAssignment,
+        seed: u64,
+    ) -> Self {
+        assert_eq!(assignment.k(), 2, "population protocols here are binary");
+        let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+        let ops = assignment.materialize(&mut rng);
+        let counts = OpinionCounts::tally(&ops, 2);
+        Self::new(protocol, counts.n(), counts.support(Opinion::new(0))).with_seed(seed)
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of interactions (default: `500·n·ln n` for the
+    /// 3-state protocol, `50·n² ln n / max(1, bias gap)` for the 4-state).
+    pub fn with_max_interactions(mut self, max: u64) -> Self {
+        self.max_interactions = Some(max);
+        self
+    }
+
+    /// Runs the protocol.
+    pub fn run(&self) -> PopulationResult {
+        run_population(self)
+    }
+}
+
+/// Result of a population-protocol run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationResult {
+    /// Which protocol ran.
+    pub protocol: PopulationProtocol,
+    /// Common outcome report; times are in *parallel time* (interactions
+    /// divided by `n`).
+    pub outcome: RunOutcome,
+    /// Total pairwise interactions executed.
+    pub interactions: u64,
+    /// Whether the run converged (all agents output the same opinion and no
+    /// strong opponents remain).
+    pub converged: bool,
+}
+
+fn run_population(cfg: &PopulationConfig) -> PopulationResult {
+    let n = cfg.n as usize;
+    let mut rng = Xoshiro256PlusPlus::from_u64(cfg.seed);
+    let mut states: Vec<State> = (0..n)
+        .map(|i| {
+            if (i as u64) < cfg.initial_a {
+                State::StrongA
+            } else {
+                State::StrongB
+            }
+        })
+        .collect();
+    // Shuffle so agent index is independent of opinion.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..=i);
+        states.swap(i, j);
+    }
+
+    let initial_a = cfg.initial_a;
+    let initial_b = cfg.n - cfg.initial_a;
+    let initial_winner = if initial_a >= initial_b {
+        Opinion::new(0)
+    } else {
+        Opinion::new(1)
+    };
+    let initial_bias = if initial_a >= initial_b {
+        initial_a as f64 / initial_b.max(1) as f64
+    } else {
+        initial_b as f64 / initial_a.max(1) as f64
+    };
+
+    let nf = cfg.n as f64;
+    let max_interactions = cfg.max_interactions.unwrap_or_else(|| match cfg.protocol {
+        PopulationProtocol::ApproximateMajority => (500.0 * nf * nf.ln()).ceil() as u64,
+        PopulationProtocol::ExactMajority => {
+            let gap = initial_a.abs_diff(initial_b).max(1) as f64;
+            ((50.0 * nf * nf * nf.ln()) / gap).ceil() as u64
+        }
+    });
+
+    // Incremental count of outputs per opinion, and of "unstable" agents
+    // (blank, or weak opposing a remaining strong side).
+    let count = |states: &[State]| -> (u64, u64, u64, u64, u64) {
+        let (mut sa, mut sb, mut wa, mut wb, mut blank) = (0, 0, 0, 0, 0);
+        for &s in states {
+            match s {
+                State::StrongA => sa += 1,
+                State::StrongB => sb += 1,
+                State::WeakA => wa += 1,
+                State::WeakB => wb += 1,
+                State::Blank => blank += 1,
+            }
+        }
+        (sa, sb, wa, wb, blank)
+    };
+
+    let converged_now = |sa: u64, sb: u64, wa: u64, wb: u64, blank: u64| -> bool {
+        let all_a = sb == 0 && wb == 0 && blank == 0;
+        let all_b = sa == 0 && wa == 0 && blank == 0;
+        all_a || all_b
+    };
+
+    let (mut sa, mut sb, mut wa, mut wb, mut blank) = count(&states);
+    let mut interactions = 0u64;
+
+    while !converged_now(sa, sb, wa, wb, blank) && interactions < max_interactions {
+        interactions += 1;
+        // Ordered pair of distinct agents (initiator, responder).
+        let i = rng.gen_range(0..n);
+        let j = {
+            let r = rng.gen_range(0..n - 1);
+            if r >= i {
+                r + 1
+            } else {
+                r
+            }
+        };
+        let (x, y) = (states[i], states[j]);
+        let (nx, ny) = match cfg.protocol {
+            PopulationProtocol::ApproximateMajority => match (x, y) {
+                (State::StrongA, State::StrongB) => (x, State::Blank),
+                (State::StrongB, State::StrongA) => (x, State::Blank),
+                (State::StrongA, State::Blank) => (x, State::StrongA),
+                (State::StrongB, State::Blank) => (x, State::StrongB),
+                _ => (x, y),
+            },
+            PopulationProtocol::ExactMajority => match (x, y) {
+                // Strong tokens annihilate pairwise into weak ones; the
+                // difference |A| − |B| is conserved.
+                (State::StrongA, State::StrongB) => (State::WeakA, State::WeakB),
+                (State::StrongB, State::StrongA) => (State::WeakB, State::WeakA),
+                // A surviving strong side converts opposing weak tokens.
+                (State::StrongA, State::WeakB) => (x, State::WeakA),
+                (State::StrongB, State::WeakA) => (x, State::WeakB),
+                _ => (x, y),
+            },
+        };
+        if nx != x || ny != y {
+            for (old, new) in [(x, nx), (y, ny)] {
+                if old == new {
+                    continue;
+                }
+                match old {
+                    State::StrongA => sa -= 1,
+                    State::StrongB => sb -= 1,
+                    State::WeakA => wa -= 1,
+                    State::WeakB => wb -= 1,
+                    State::Blank => blank -= 1,
+                }
+                match new {
+                    State::StrongA => sa += 1,
+                    State::StrongB => sb += 1,
+                    State::WeakA => wa += 1,
+                    State::WeakB => wb += 1,
+                    State::Blank => blank += 1,
+                }
+            }
+            states[i] = nx;
+            states[j] = ny;
+        }
+    }
+
+    let converged = converged_now(sa, sb, wa, wb, blank);
+    let final_counts = OpinionCounts::from_counts(vec![sa + wa, sb + wb]);
+    let parallel_time = interactions as f64 / nf;
+    let consensus_time = converged.then_some(parallel_time);
+
+    let outcome = RunOutcome {
+        n: cfg.n,
+        k: 2,
+        initial_winner,
+        initial_bias,
+        final_counts,
+        epsilon_time: consensus_time,
+        consensus_time,
+        duration: parallel_time,
+        generations: Vec::new(),
+    };
+    PopulationResult {
+        protocol: cfg.protocol,
+        outcome,
+        interactions,
+        converged,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn state_output_mapping() {
+        assert_eq!(State::StrongA.output(), Some(Opinion::new(0)));
+        assert_eq!(State::WeakA.output(), Some(Opinion::new(0)));
+        assert_eq!(State::StrongB.output(), Some(Opinion::new(1)));
+        assert_eq!(State::WeakB.output(), Some(Opinion::new(1)));
+        assert_eq!(State::Blank.output(), None);
+    }
+
+    #[test]
+    fn approximate_majority_converges_with_clear_bias() {
+        let r = PopulationConfig::new(PopulationProtocol::ApproximateMajority, 1_000, 700)
+            .with_seed(1)
+            .run();
+        assert!(r.converged, "did not converge");
+        assert!(r.outcome.plurality_preserved());
+        // O(n log n) interactions ⇒ parallel time O(log n); be generous.
+        assert!(r.outcome.duration < 200.0, "parallel time {}", r.outcome.duration);
+    }
+
+    #[test]
+    fn exact_majority_is_exact_even_with_minimal_bias() {
+        // 51 vs 49: the 3-state protocol may err here; the 4-state never.
+        for seed in 0..5 {
+            let r = PopulationConfig::new(PopulationProtocol::ExactMajority, 100, 51)
+                .with_seed(seed)
+                .run();
+            assert!(r.converged, "seed {seed} did not converge");
+            assert_eq!(
+                r.outcome.winner(),
+                Some(Opinion::new(0)),
+                "seed {seed} output the minority"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_majority_favors_b_when_b_larger() {
+        let r = PopulationConfig::new(PopulationProtocol::ExactMajority, 100, 40)
+            .with_seed(3)
+            .run();
+        assert!(r.converged);
+        assert_eq!(r.outcome.winner(), Some(Opinion::new(1)));
+    }
+
+    #[test]
+    fn exact_majority_slower_than_approximate_on_small_bias() {
+        let approx = PopulationConfig::new(PopulationProtocol::ApproximateMajority, 500, 300)
+            .with_seed(4)
+            .run();
+        let exact = PopulationConfig::new(PopulationProtocol::ExactMajority, 500, 260)
+            .with_seed(4)
+            .run();
+        assert!(approx.converged && exact.converged);
+        assert!(
+            exact.interactions > approx.interactions,
+            "exact {} ≤ approx {}",
+            exact.interactions,
+            approx.interactions
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let r1 = PopulationConfig::new(PopulationProtocol::ApproximateMajority, 300, 200)
+            .with_seed(7)
+            .run();
+        let r2 = PopulationConfig::new(PopulationProtocol::ApproximateMajority, 300, 200)
+            .with_seed(7)
+            .run();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn from_assignment_maps_counts() {
+        let a = InitialAssignment::Exact(vec![60, 40]);
+        let cfg =
+            PopulationConfig::from_assignment(PopulationProtocol::ExactMajority, &a, 1);
+        let r = cfg.run();
+        assert_eq!(r.outcome.n, 100);
+        assert_eq!(r.outcome.winner(), Some(Opinion::new(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "binary")]
+    fn from_assignment_rejects_k3() {
+        let a = InitialAssignment::Uniform { n: 30, k: 3 };
+        let _ = PopulationConfig::from_assignment(PopulationProtocol::ExactMajority, &a, 1);
+    }
+
+    #[test]
+    fn interaction_cap_is_respected() {
+        let r = PopulationConfig::new(PopulationProtocol::ExactMajority, 100, 50)
+            .with_seed(5)
+            .with_max_interactions(1_000)
+            .run();
+        assert!(r.interactions <= 1_000);
+        // A perfect tie cannot converge to a single opinion.
+        assert!(!r.converged);
+    }
+}

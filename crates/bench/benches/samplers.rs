@@ -1,0 +1,68 @@
+//! B2: throughput of the probability substrate's samplers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use plurality_dist::rng::Xoshiro256PlusPlus;
+use plurality_dist::{
+    sample_binomial, sample_poisson, AliasTable, ChannelPattern, Exponential, Gamma, Latency,
+    WaitingTime, Weibull,
+};
+use rand::RngCore;
+
+fn bench_samplers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("samplers");
+    group.sample_size(20);
+
+    group.bench_function("xoshiro_u64", |b| {
+        let mut rng = Xoshiro256PlusPlus::from_u64(1);
+        b.iter(|| black_box(rng.next_u64()));
+    });
+
+    group.bench_function("exponential", |b| {
+        let d = Exponential::new(1.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(2);
+        b.iter(|| black_box(d.sample(&mut rng)));
+    });
+
+    group.bench_function("gamma_shape7", |b| {
+        let d = Gamma::new(7.0, 1.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(3);
+        b.iter(|| black_box(d.sample(&mut rng)));
+    });
+
+    group.bench_function("weibull", |b| {
+        let d = Weibull::new(1.5, 1.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(4);
+        b.iter(|| black_box(d.sample(&mut rng)));
+    });
+
+    group.bench_function("binomial_n1e6", |b| {
+        let mut rng = Xoshiro256PlusPlus::from_u64(5);
+        b.iter(|| black_box(sample_binomial(1_000_000, 0.3, &mut rng)));
+    });
+
+    group.bench_function("poisson_1000", |b| {
+        let mut rng = Xoshiro256PlusPlus::from_u64(6);
+        b.iter(|| black_box(sample_poisson(1000.0, &mut rng)));
+    });
+
+    group.bench_function("alias_table_k64", |b| {
+        let weights: Vec<f64> = (1..=64).map(|i| 1.0 / i as f64).collect();
+        let table = AliasTable::new(&weights).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(7);
+        b.iter(|| black_box(table.sample(&mut rng)));
+    });
+
+    group.bench_function("waiting_time_t3", |b| {
+        let wt = WaitingTime::new(
+            Latency::exponential(1.0).unwrap(),
+            ChannelPattern::SingleLeader,
+        );
+        let mut rng = Xoshiro256PlusPlus::from_u64(8);
+        b.iter(|| black_box(wt.sample_t3(&mut rng)));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

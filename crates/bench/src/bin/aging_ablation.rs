@@ -1,0 +1,93 @@
+//! **Experiment E14 — the PODC title claim**: positive aging suffices.
+//!
+//! The published title — *Positive Aging Admits Fast Asynchronous Plurality
+//! Consensus* — names the property of the latency law that the analysis
+//! needs: a non-decreasing hazard rate. We fix the expected latency at 1 and
+//! swap the distribution family: exponential (constant hazard, the boundary
+//! case), Erlang-2/Erlang-5 and Weibull 1.5/3 (strictly aging),
+//! uniform [0, 2], and deterministic 1 (extreme aging). The time-unit
+//! length `C1` and the ε-convergence time *in units* should be stable
+//! across the family — that is the "positive aging admits" claim in
+//! measurable form.
+
+use plurality_bench::{is_full, results_dir, seeds, theorem_bias};
+use plurality_core::leader::LeaderConfig;
+use plurality_core::InitialAssignment;
+use plurality_dist::{ChannelPattern, Latency, WaitingTime};
+use plurality_stats::{fmt_f64, OnlineStats, Table};
+
+fn main() {
+    let full = is_full();
+    let reps = if full { 6 } else { 3 };
+    let n: u64 = if full { 50_000 } else { 15_000 };
+    let k = 4u32;
+    let alpha = theorem_bias(n, k).max(1.5);
+
+    let families: Vec<(&str, Latency)> = vec![
+        ("exponential(1)", Latency::exponential(1.0).unwrap()),
+        ("erlang(2, 2)", Latency::erlang(2, 2.0).unwrap()),
+        ("erlang(5, 5)", Latency::erlang(5, 5.0).unwrap()),
+        (
+            "weibull(1.5)",
+            Latency::weibull_with_mean(1.5, 1.0).unwrap(),
+        ),
+        ("weibull(3)", Latency::weibull_with_mean(3.0, 1.0).unwrap()),
+        ("uniform[0,2)", Latency::uniform(0.0, 2.0).unwrap()),
+        ("deterministic(1)", Latency::deterministic(1.0).unwrap()),
+    ];
+
+    let mut table = Table::new(
+        format!(
+            "Positive-aging ablation (n = {n}, k = {k}, α₀ = {:.3}, mean latency 1)",
+            alpha
+        ),
+        &[
+            "latency family",
+            "aging",
+            "C1 (steps)",
+            "ε-time (steps)",
+            "ε-time (units)",
+            "success",
+        ],
+    );
+    for (name, latency) in &families {
+        assert!((latency.mean() - 1.0).abs() < 1e-9, "{name}: mean != 1");
+        let wt = WaitingTime::new(*latency, ChannelPattern::SingleLeader);
+        let c1 = wt.time_unit(if full { 200_000 } else { 50_000 }, 0xAB);
+        let mut eps_t = OnlineStats::new();
+        let mut wins = 0u64;
+        for seed in seeds(0xB30, reps) {
+            let assignment =
+                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let r = LeaderConfig::new(assignment)
+                .with_seed(seed)
+                .with_latency(*latency)
+                .with_steps_per_unit(c1)
+                .run();
+            if let Some(e) = r.outcome.epsilon_time {
+                eps_t.push(e);
+            }
+            if r.outcome.plurality_preserved() {
+                wins += 1;
+            }
+        }
+        table.row(&[
+            name.to_string(),
+            if latency.is_positive_aging() { "yes" } else { "no" }.to_string(),
+            fmt_f64(c1),
+            fmt_f64(eps_t.mean()),
+            fmt_f64(eps_t.mean() / c1),
+            format!("{wins}/{reps}"),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "claim under test: across positive-aging families at fixed mean latency, the unit-time\n\
+         behaviour (ε-time in units, success rate) is stable — the analysis never used\n\
+         memorylessness beyond the Γ majorant."
+    );
+
+    let path = results_dir().join("aging_ablation.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

@@ -1,0 +1,127 @@
+//! **Experiment E12 — related-work comparison**: the generation protocol vs
+//! the classic dynamics.
+//!
+//! The paper's positioning (Section 1.1): 3-majority needs `Θ(k log n)`
+//! rounds, pull voting `Ω(n)`, while the generation protocol needs
+//! `O(log k · log log_α k + log log n)`. We race them on identical
+//! instances across `k` (where the separation grows) and also run the
+//! two-opinion population protocols for the parallel-time comparison.
+
+use plurality_baselines::{
+    Dynamics, DynamicsConfig, PopulationConfig, PopulationProtocol,
+};
+use plurality_bench::{is_full, results_dir, seeds};
+use plurality_core::sync::SyncConfig;
+use plurality_core::InitialAssignment;
+use plurality_stats::{fmt_f64, OnlineStats, Table};
+
+fn main() {
+    let full = is_full();
+    let reps = if full { 6 } else { 3 };
+    let n: u64 = if full { 100_000 } else { 30_000 };
+    let alpha = 2.0;
+
+    let ks: &[u32] = &[2, 4, 8, 16, 32, 64];
+    let mut table = Table::new(
+        format!("Rounds to consensus vs k (n = {n}, α₀ = {alpha}); '-' = hit round cap"),
+        &[
+            "k",
+            "generations (ours)",
+            "3-majority",
+            "two-choices",
+            "undecided",
+            "pull-voting",
+        ],
+    );
+    // Cap baselines so pull voting does not dominate the wall-clock.
+    let cap = 4_000u64;
+    for &k in ks {
+        let mut ours = OnlineStats::new();
+        let mut per_dyn = [
+            (Dynamics::ThreeMajority, OnlineStats::new(), 0u32),
+            (Dynamics::TwoChoices, OnlineStats::new(), 0u32),
+            (Dynamics::Undecided, OnlineStats::new(), 0u32),
+            (Dynamics::PullVoting, OnlineStats::new(), 0u32),
+        ];
+        for seed in seeds(0xB12, reps) {
+            let assignment =
+                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let r = SyncConfig::new(assignment.clone()).with_seed(seed).run();
+            if let Some(t) = r.outcome.consensus_time {
+                ours.push(t);
+            }
+            for (dynamics, stats, timeouts) in per_dyn.iter_mut() {
+                let r = DynamicsConfig::new(*dynamics, assignment.clone())
+                    .with_seed(seed)
+                    .with_max_rounds(cap)
+                    .run();
+                match r.outcome.consensus_time {
+                    Some(t) => stats.push(t),
+                    None => *timeouts += 1,
+                }
+            }
+        }
+        let cell = |stats: &OnlineStats, timeouts: u32| -> String {
+            if timeouts > 0 {
+                format!("- ({timeouts}/{reps} capped)")
+            } else {
+                fmt_f64(stats.mean())
+            }
+        };
+        table.row(&[
+            k.to_string(),
+            fmt_f64(ours.mean()),
+            cell(&per_dyn[0].1, per_dyn[0].2),
+            cell(&per_dyn[1].1, per_dyn[1].2),
+            cell(&per_dyn[2].1, per_dyn[2].2),
+            cell(&per_dyn[3].1, per_dyn[3].2),
+        ]);
+    }
+    println!("{}", table.render());
+    println!(
+        "expected shape: ours grows ~log k; 3-majority ~k·log n (loses badly at large k);\n\
+         two-choices stalls for large k at this bias; pull voting needs Ω(n) rounds.\n"
+    );
+
+    // Two-opinion population protocols (parallel time).
+    let pop_n: u64 = if full { 20_000 } else { 5_000 };
+    let mut t2 = Table::new(
+        format!("Population protocols, two opinions (n = {pop_n}): parallel time"),
+        &["initial A", "protocol", "parallel time", "interactions", "correct"],
+    );
+    for &(frac, label) in &[(0.6f64, "60/40"), (0.52f64, "52/48")] {
+        let a = (pop_n as f64 * frac) as u64;
+        for protocol in [
+            PopulationProtocol::ApproximateMajority,
+            PopulationProtocol::ExactMajority,
+        ] {
+            let mut time = OnlineStats::new();
+            let mut inter = OnlineStats::new();
+            let mut correct = 0u64;
+            for seed in seeds(0xB15, reps) {
+                let r = PopulationConfig::new(protocol, pop_n, a)
+                    .with_seed(seed)
+                    .run();
+                time.push(r.outcome.duration);
+                inter.push(r.interactions as f64);
+                if r.converged && r.outcome.plurality_preserved() {
+                    correct += 1;
+                }
+            }
+            t2.row(&[
+                label.to_string(),
+                protocol.name().to_string(),
+                fmt_f64(time.mean()),
+                fmt_f64(inter.mean()),
+                format!("{correct}/{reps}"),
+            ]);
+        }
+    }
+    println!("{}", t2.render());
+
+    let dir = results_dir();
+    table.write_csv(dir.join("baseline_comparison.csv")).expect("write csv");
+    t2.write_csv(dir.join("baseline_population.csv")).expect("write csv");
+    println!("wrote {}", dir.join("baseline_comparison.csv").display());
+    println!("wrote {}", dir.join("baseline_population.csv").display());
+}

@@ -1,0 +1,92 @@
+//! **Experiments E5 + E16 — Lemma 4 / Prop 8 / Cor 24 / Lemma 11**: the
+//! bias squares from one generation to the next.
+//!
+//! The central mechanism of the paper: if generation `i−1` has bias
+//! `α_{i−1}`, the two-choices birth of generation `i` realizes
+//! `α_i ≈ α²_{i−1}` (Lemma 4 synchronous, Lemma 22/23 asynchronous). We run
+//! both engines, print the per-generation chain `α_i` vs `α²_{i−1}`, and
+//! check Lemma 11's endgame: once `α_i > k`, a monochromatic generation
+//! appears within `O(log log_k n)` further generations.
+
+use plurality_bench::{is_full, results_dir};
+use plurality_core::leader::LeaderConfig;
+use plurality_core::sync::SyncConfig;
+use plurality_core::{GenerationBirth, InitialAssignment};
+use plurality_stats::{fmt_f64, Table};
+
+fn chain_table(title: String, births: &[GenerationBirth], k: u32) -> Table {
+    let mut table = Table::new(
+        title,
+        &["gen i", "α_i", "α²_{i-1}", "ratio", "parent p_{i-1}"],
+    );
+    for w in births.windows(2) {
+        let prev = &w[0];
+        let cur = &w[1];
+        let predicted = prev.bias * prev.bias;
+        let ratio = if predicted.is_finite() && predicted > 0.0 {
+            cur.bias / predicted
+        } else {
+            f64::NAN
+        };
+        table.row(&[
+            cur.generation.to_string(),
+            fmt_f64(cur.bias),
+            fmt_f64(predicted),
+            fmt_f64(ratio),
+            fmt_f64(cur.parent_collision),
+        ]);
+    }
+    // Lemma 11 check: index of first generation with bias > k and the first
+    // monochromatic (infinite-bias) generation.
+    let first_above_k = births.iter().find(|b| b.bias > k as f64);
+    let first_mono = births.iter().find(|b| !b.bias.is_finite());
+    if let (Some(a), Some(m)) = (first_above_k, first_mono) {
+        println!(
+            "first generation with α > k: {}; first monochromatic generation: {} (Lemma 11: gap is O(log log_k n))",
+            a.generation, m.generation
+        );
+    }
+    table
+}
+
+fn main() {
+    let full = is_full();
+    let n: u64 = if full { 500_000 } else { 100_000 };
+    let k = 8u32;
+    let alpha = 1.1;
+
+    // Synchronous chain.
+    let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+    let sync = SyncConfig::new(assignment).with_seed(0xE5).run();
+    let t1 = chain_table(
+        format!(
+            "Bias squaring, synchronous (n = {n}, k = {k}, α₀ = {:.3})",
+            sync.outcome.initial_bias
+        ),
+        &sync.outcome.generations,
+        k,
+    );
+    println!("{}", t1.render());
+
+    // Asynchronous single-leader chain (bias measured when each
+    // generation's active window closes, cf. Lemma 22).
+    let n_async = if full { 100_000 } else { 30_000 };
+    let assignment =
+        InitialAssignment::with_bias(n_async, k, alpha).expect("valid assignment");
+    let leader = LeaderConfig::new(assignment).with_seed(0xE5).run();
+    let t2 = chain_table(
+        format!(
+            "Bias squaring, async single-leader (n = {n_async}, k = {k}, α₀ = {:.3})",
+            leader.outcome.initial_bias
+        ),
+        &leader.outcome.generations,
+        k,
+    );
+    println!("{}", t2.render());
+
+    let dir = results_dir();
+    t1.write_csv(dir.join("bias_squaring_sync.csv")).expect("write csv");
+    t2.write_csv(dir.join("bias_squaring_async.csv")).expect("write csv");
+    println!("wrote {}", dir.join("bias_squaring_sync.csv").display());
+    println!("wrote {}", dir.join("bias_squaring_async.csv").display());
+}

@@ -1,0 +1,112 @@
+//! **Experiments E6 + E7 — Prop 9 / Prop 16 / Prop 17**: generation growth
+//! rates and the length of the two-choices phase.
+//!
+//! * Proposition 9 (synchronous): while the newest generation holds between
+//!   `γ²/k` and `γ` of the nodes, it grows by a factor ≥ `(2 − γ)` per
+//!   round (up to `o(1)`).
+//! * Proposition 16 (asynchronous): the two-choices window of each
+//!   generation lasts `t′ ∈ (2, 2(1 + log n/√n))` time units, and by its
+//!   end the generation holds ≥ `p_{i−1}/9` of the nodes.
+//! * Proposition 17 (asynchronous): during propagation the generation grows
+//!   by ≥ 1.4 per time unit until it exceeds `n/2`.
+
+use plurality_bench::{is_full, results_dir};
+use plurality_core::leader::LeaderConfig;
+use plurality_core::sync::SyncConfig;
+use plurality_core::{InitialAssignment, RecordLevel};
+use plurality_stats::{fmt_f64, OnlineStats, Table};
+
+fn main() {
+    let full = is_full();
+    let n: u64 = if full { 300_000 } else { 100_000 };
+    // Large k keeps p_{i-1} ≈ 1/k small so the two-choices phase cannot
+    // saturate the generation on its own (Prop 16's regime).
+    let k = 64u32;
+    let gamma = 0.5;
+    let alpha = 1.5;
+
+    // --- Synchronous growth factors (Prop 9).
+    let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+    let sync = SyncConfig::new(assignment)
+        .with_seed(0xE6)
+        .with_gamma(gamma)
+        .with_record(RecordLevel::Full)
+        .run();
+    let series = sync
+        .newest_generation_fraction
+        .expect("full record produces the series");
+    let mut growth = OnlineStats::new();
+    let lo = gamma * gamma / k as f64;
+    for w in series.values().windows(2) {
+        let (prev, next) = (w[0], w[1]);
+        // Only measure strictly inside the growth window and while the
+        // newest generation did not change (fraction resets on a birth).
+        if prev > lo && prev < gamma && next > prev {
+            growth.push(next / prev);
+        }
+    }
+    let mut t1 = Table::new(
+        format!("Prop 9: per-round growth of the newest generation (n = {n}, k = {k}, γ = {gamma})"),
+        &["quantity", "value"],
+    );
+    t1.row(&["rounds measured".into(), growth.count().to_string()]);
+    t1.row(&["mean growth factor".into(), fmt_f64(growth.mean())]);
+    t1.row(&["min growth factor".into(), fmt_f64(growth.min())]);
+    t1.row(&["paper bound (2 − γ)".into(), fmt_f64(2.0 - gamma)]);
+    println!("{}", t1.render());
+
+    // --- Asynchronous two-choices window length (Prop 16) and generation
+    // cycle lengths (Cor 18).
+    let n_async = if full { 100_000 } else { 30_000 };
+    let assignment =
+        InitialAssignment::with_bias(n_async, k, alpha).expect("valid assignment");
+    let leader = LeaderConfig::new(assignment).with_seed(0xE6).run();
+    let c1 = leader.steps_per_unit;
+    let mut t2 = Table::new(
+        format!(
+            "Prop 16/17: leader phase telemetry (n = {n_async}, k = {k}, C1 = {:.2} steps/unit)",
+            c1
+        ),
+        &[
+            "gen",
+            "allowed at",
+            "two-choices window t′ (units)",
+            "cycle to next gen (units)",
+        ],
+    );
+    let mut windows = OnlineStats::new();
+    for (i, p) in leader.phases.iter().enumerate() {
+        let window = p
+            .propagation_at
+            .map(|prop| (prop - p.allowed_at) / c1);
+        if let Some(w) = window {
+            windows.push(w);
+        }
+        let cycle = leader
+            .phases
+            .get(i + 1)
+            .map(|next| (next.allowed_at - p.allowed_at) / c1);
+        t2.row(&[
+            p.generation.to_string(),
+            fmt_f64(p.allowed_at),
+            window.map(fmt_f64).unwrap_or_else(|| "-".into()),
+            cycle.map(fmt_f64).unwrap_or_else(|| "-".into()),
+        ]);
+    }
+    println!("{}", t2.render());
+    if windows.count() > 0 {
+        let upper = 2.0 * (1.0 + (n_async as f64).log2() / (n_async as f64).sqrt());
+        println!(
+            "two-choices windows: mean {:.3} units over {} generations (Prop 16 predicts (2, {:.3}))",
+            windows.mean(),
+            windows.count(),
+            upper
+        );
+    }
+
+    let dir = results_dir();
+    t1.write_csv(dir.join("generation_growth_sync.csv")).expect("write csv");
+    t2.write_csv(dir.join("generation_growth_async.csv")).expect("write csv");
+    println!("wrote {}", dir.join("generation_growth_sync.csv").display());
+    println!("wrote {}", dir.join("generation_growth_async.csv").display());
+}

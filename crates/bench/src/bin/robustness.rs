@@ -1,0 +1,101 @@
+//! **Extension experiment — failure injection**: how much signal loss and
+//! clock heterogeneity does the single-leader protocol absorb?
+//!
+//! The paper's model is failure-free. Two perturbations probe the slack in
+//! its thresholds:
+//!
+//! * **Signal loss**: each 0-/gen-signal towards the leader is dropped
+//!   independently with probability `p`. The gen-size threshold `n/2` keeps
+//!   firing while `(1 − p) > 1/2`, so the predicted cliff is at `p = 1/2`.
+//! * **Stragglers**: a fraction of nodes tick at a slower rate; ε-convergence
+//!   should degrade smoothly (the fast majority carries the generations),
+//!   while full consensus waits for the slowest clocks.
+
+use plurality_bench::{is_full, results_dir, seeds};
+use plurality_core::leader::LeaderConfig;
+use plurality_core::InitialAssignment;
+use plurality_stats::{fmt_f64, OnlineStats, Table};
+
+fn main() {
+    let full = is_full();
+    let reps = if full { 8 } else { 4 };
+    let n: u64 = if full { 20_000 } else { 8_000 };
+    let k = 2u32;
+    let alpha = 3.0;
+
+    // --- Signal-loss sweep: cliff predicted at 50%.
+    let losses = [0.0, 0.1, 0.2, 0.3, 0.4, 0.45, 0.55, 0.7];
+    let mut t1 = Table::new(
+        format!("Signal-loss sweep (n = {n}, k = {k}, α₀ = {alpha})"),
+        &["loss", "ε-time", "consensus rate", "generations allowed"],
+    );
+    for &loss in &losses {
+        let mut eps_t = OnlineStats::new();
+        let mut gens = OnlineStats::new();
+        let mut converged = 0u64;
+        for seed in seeds(0xB0B1, reps) {
+            let assignment =
+                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let r = LeaderConfig::new(assignment)
+                .with_seed(seed)
+                .with_signal_loss(loss)
+                .run();
+            if let Some(e) = r.outcome.epsilon_time {
+                eps_t.push(e);
+            }
+            gens.push(r.phases.len() as f64);
+            if r.outcome.consensus_time.is_some() && r.outcome.plurality_preserved() {
+                converged += 1;
+            }
+        }
+        t1.row(&[
+            fmt_f64(loss),
+            if eps_t.count() > 0 { fmt_f64(eps_t.mean()) } else { "-".into() },
+            format!("{converged}/{reps}"),
+            fmt_f64(gens.mean()),
+        ]);
+    }
+    println!("{}", t1.render());
+    println!("predicted cliff at loss = 0.5: the n/2 gen-size threshold stops firing.\n");
+
+    // --- Straggler sweep.
+    let mut t2 = Table::new(
+        format!("Straggler sweep (n = {n}, k = {k}, α₀ = {alpha}; straggler rate 0.1)"),
+        &["straggler fraction", "ε-time", "full time", "success"],
+    );
+    for &frac in &[0.0, 0.1, 0.2, 0.4] {
+        let mut eps_t = OnlineStats::new();
+        let mut full_t = OnlineStats::new();
+        let mut wins = 0u64;
+        for seed in seeds(0xB0B2, reps) {
+            let assignment =
+                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let r = LeaderConfig::new(assignment)
+                .with_seed(seed)
+                .with_stragglers(frac, 0.1)
+                .run();
+            if let Some(e) = r.outcome.epsilon_time {
+                eps_t.push(e);
+            }
+            if let Some(f) = r.outcome.consensus_time {
+                full_t.push(f);
+            }
+            if r.outcome.plurality_preserved() {
+                wins += 1;
+            }
+        }
+        t2.row(&[
+            fmt_f64(frac),
+            fmt_f64(eps_t.mean()),
+            if full_t.count() > 0 { fmt_f64(full_t.mean()) } else { "-".into() },
+            format!("{wins}/{reps}"),
+        ]);
+    }
+    println!("{}", t2.render());
+
+    let dir = results_dir();
+    t1.write_csv(dir.join("robustness_signal_loss.csv")).expect("write csv");
+    t2.write_csv(dir.join("robustness_stragglers.csv")).expect("write csv");
+    println!("wrote {}", dir.join("robustness_signal_loss.csv").display());
+    println!("wrote {}", dir.join("robustness_stragglers.csv").display());
+}

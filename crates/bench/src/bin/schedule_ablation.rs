@@ -1,0 +1,92 @@
+//! **Experiment E15 — design ablation**: predefined `{t_i}` vs adaptive
+//! two-choices scheduling in the synchronous protocol.
+//!
+//! The paper's Algorithm 1 fixes the two-choices rounds in advance from
+//! `(n, k, α, γ)`; its asynchronous leader instead *reacts* to the measured
+//! generation sizes. This ablation runs the synchronous engine both ways:
+//! the adaptive rule needs no knowledge of `α` and should track the
+//! predefined schedule closely when the predefined `α` hint is accurate —
+//! and beat it when the hint is wrong.
+
+use plurality_bench::{is_full, results_dir, seeds};
+use plurality_core::sync::{ScheduleMode, SyncConfig};
+use plurality_core::InitialAssignment;
+use plurality_stats::{fmt_f64, OnlineStats, Table};
+
+fn run(
+    n: u64,
+    k: u32,
+    alpha: f64,
+    mode: ScheduleMode,
+    alpha_hint: Option<f64>,
+    reps: usize,
+) -> (OnlineStats, u64, OnlineStats) {
+    let mut rounds = OnlineStats::new();
+    let mut tc_rounds = OnlineStats::new();
+    let mut wins = 0u64;
+    for seed in seeds(0xB31, reps) {
+        let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+        let mut cfg = SyncConfig::new(assignment).with_seed(seed).with_mode(mode);
+        if let Some(hint) = alpha_hint {
+            cfg = cfg.with_alpha_hint(hint);
+        }
+        let r = cfg.run();
+        rounds.push(r.rounds as f64);
+        tc_rounds.push(r.two_choices_rounds.len() as f64);
+        if r.outcome.plurality_preserved() {
+            wins += 1;
+        }
+    }
+    (rounds, wins, tc_rounds)
+}
+
+fn main() {
+    let full = is_full();
+    let reps = if full { 10 } else { 4 };
+    let n: u64 = if full { 200_000 } else { 50_000 };
+    let k = 8u32;
+
+    let alphas = [1.05, 1.2, 2.0];
+    let mut table = Table::new(
+        format!("Schedule ablation (n = {n}, k = {k})"),
+        &[
+            "α₀",
+            "variant",
+            "rounds (mean)",
+            "sd",
+            "2-choices rounds",
+            "success",
+        ],
+    );
+    for &alpha in &alphas {
+        let (pre, pre_w, pre_tc) = run(n, k, alpha, ScheduleMode::Predefined, None, reps);
+        let (ada, ada_w, ada_tc) = run(n, k, alpha, ScheduleMode::Adaptive, None, reps);
+        // Predefined with a *wrong* α hint (pretends the bias is huge, so
+        // the schedule packs two-choices rounds far too densely).
+        let (bad, bad_w, bad_tc) =
+            run(n, k, alpha, ScheduleMode::Predefined, Some(8.0), reps);
+        for (name, stats, wins, tc) in [
+            ("predefined", &pre, pre_w, &pre_tc),
+            ("adaptive", &ada, ada_w, &ada_tc),
+            ("predefined (wrong α=8 hint)", &bad, bad_w, &bad_tc),
+        ] {
+            table.row(&[
+                fmt_f64(alpha),
+                name.to_string(),
+                fmt_f64(stats.mean()),
+                fmt_f64(stats.sample_sd()),
+                fmt_f64(tc.mean()),
+                format!("{wins}/{reps}"),
+            ]);
+        }
+    }
+    println!("{}", table.render());
+    println!(
+        "expected: adaptive ≈ predefined with a correct hint; a wrong (too large) α hint\n\
+         spaces generations too aggressively and costs time or stability."
+    );
+
+    let path = results_dir().join("schedule_ablation.csv");
+    table.write_csv(&path).expect("write csv");
+    println!("wrote {}", path.display());
+}

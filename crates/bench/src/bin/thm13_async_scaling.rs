@@ -1,0 +1,120 @@
+//! **Experiments E8 + E13 — Theorem 13**: asynchronous single-leader
+//! convergence times.
+//!
+//! Theorem 13 claims `ε`-convergence (all but a `1/polylog n` fraction on
+//! the plurality opinion) in `O(log log_α k · log k + log log n)` time whp.,
+//! and full convergence after `O(log n)` additional time. We sweep `n` and
+//! `k` and report the ε-time, the full-consensus tail, and success rates.
+
+use plurality_bench::{is_full, results_dir, seeds, theorem_bias};
+use plurality_core::leader::LeaderConfig;
+use plurality_core::InitialAssignment;
+use plurality_stats::{fit, fmt_f64, Axis, OnlineStats, Table};
+
+fn main() {
+    let full = is_full();
+    let reps = if full { 8 } else { 3 };
+
+    // Sweep 1: n at fixed k.
+    let ns: &[u64] = if full {
+        &[2_000, 5_000, 10_000, 20_000, 50_000, 100_000]
+    } else {
+        &[2_000, 5_000, 10_000, 20_000]
+    };
+    let k = 4u32;
+    let mut t1 = Table::new(
+        "Theorem 13 (a): async single-leader times vs n (k = 4, α at bound)",
+        &["n", "α₀", "ε-time (steps)", "full time", "tail/ln n", "success"],
+    );
+    let mut xs = Vec::new();
+    let mut tails = Vec::new();
+    for &n in ns {
+        let alpha = theorem_bias(n, k).max(1.2);
+        let mut eps_t = OnlineStats::new();
+        let mut full_t = OnlineStats::new();
+        let mut tail_ratio = OnlineStats::new();
+        let mut wins = 0u64;
+        for seed in seeds(0xB13, reps) {
+            let assignment =
+                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let r = LeaderConfig::new(assignment).with_seed(seed).run();
+            if let Some(e) = r.outcome.epsilon_time {
+                eps_t.push(e);
+            }
+            if let Some(f) = r.outcome.consensus_time {
+                full_t.push(f);
+                if let Some(e) = r.outcome.epsilon_time {
+                    tail_ratio.push((f - e) / (n as f64).ln());
+                }
+            }
+            if r.outcome.plurality_preserved() {
+                wins += 1;
+            }
+        }
+        t1.row(&[
+            n.to_string(),
+            fmt_f64(alpha),
+            fmt_f64(eps_t.mean()),
+            fmt_f64(full_t.mean()),
+            fmt_f64(tail_ratio.mean()),
+            format!("{wins}/{reps}"),
+        ]);
+        xs.push(n as f64);
+        tails.push(eps_t.mean());
+    }
+    println!("{}", t1.render());
+    let f = fit(&xs, &tails, Axis::Log, Axis::Linear);
+    println!(
+        "ε-time vs ln n: slope {:.3}, R² {:.4} (paper: ε-time is O(log k·log log_α k + log log n) — nearly flat; the full-consensus tail is the Θ(log n) part)\n",
+        f.slope, f.r_squared
+    );
+
+    // Sweep 2: k at fixed n.
+    let n = if full { 50_000 } else { 20_000 };
+    let ks: &[u32] = &[2, 4, 8, 16, 32, 64];
+    let mut t2 = Table::new(
+        format!("Theorem 13 (b): async single-leader times vs k (n = {n})"),
+        &["k", "α₀", "ε-time (steps)", "ε-time (units)", "success"],
+    );
+    let mut kxs = Vec::new();
+    let mut kys = Vec::new();
+    for &k in ks {
+        let alpha = theorem_bias(n, k).max(1.2);
+        let mut eps_t = OnlineStats::new();
+        let mut units = OnlineStats::new();
+        let mut wins = 0u64;
+        for seed in seeds(0xB14, reps) {
+            let assignment =
+                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let r = LeaderConfig::new(assignment).with_seed(seed).run();
+            if let Some(e) = r.outcome.epsilon_time {
+                eps_t.push(e);
+                units.push(e / r.steps_per_unit);
+            }
+            if r.outcome.plurality_preserved() {
+                wins += 1;
+            }
+        }
+        t2.row(&[
+            k.to_string(),
+            fmt_f64(alpha),
+            fmt_f64(eps_t.mean()),
+            fmt_f64(units.mean()),
+            format!("{wins}/{reps}"),
+        ]);
+        kxs.push(k as f64);
+        kys.push(eps_t.mean());
+    }
+    println!("{}", t2.render());
+    let f = fit(&kxs, &kys, Axis::Log, Axis::Linear);
+    println!(
+        "ε-time vs ln k: slope {:.3}, R² {:.4} (paper: O(log k · log log_α k))\n",
+        f.slope, f.r_squared
+    );
+
+    let dir = results_dir();
+    t1.write_csv(dir.join("thm13_async_vs_n.csv")).expect("write csv");
+    t2.write_csv(dir.join("thm13_async_vs_k.csv")).expect("write csv");
+    println!("wrote {}", dir.join("thm13_async_vs_n.csv").display());
+    println!("wrote {}", dir.join("thm13_async_vs_k.csv").display());
+}

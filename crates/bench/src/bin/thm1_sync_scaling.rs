@@ -1,0 +1,131 @@
+//! **Experiment E3 — Theorem 1**: synchronous convergence time scaling.
+//!
+//! Theorem 1 claims convergence towards the initial plurality opinion in
+//! `O(log k · log log_α k + log log n)` rounds whp. for `k ≤ n^ε` and bias
+//! `α > 1 + (k log n/√n) log k`. Three sweeps probe the three knobs:
+//!
+//! * `n` at fixed `k` (bias at the theorem bound): rounds should grow like
+//!   `log log n` once the `log k` term saturates — i.e. barely at all;
+//! * `k` at fixed `n`: rounds should grow roughly linearly in `log k`;
+//! * `α` at fixed `(n, k)`: rounds should *shrink* as `log log_α k` does.
+
+use plurality_bench::{is_full, results_dir, seeds, theorem_bias};
+use plurality_core::sync::SyncConfig;
+use plurality_core::InitialAssignment;
+use plurality_stats::{fit, fmt_f64, Axis, OnlineStats, Table};
+
+fn run_cell(n: u64, k: u32, alpha: f64, reps: usize, master: u64) -> (OnlineStats, OnlineStats, u64) {
+    let mut rounds = OnlineStats::new();
+    let mut eps_rounds = OnlineStats::new();
+    let mut wins = 0u64;
+    for seed in seeds(master, reps) {
+        let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+        let r = SyncConfig::new(assignment).with_seed(seed).run();
+        rounds.push(r.rounds as f64);
+        if let Some(e) = r.outcome.epsilon_time {
+            eps_rounds.push(e);
+        }
+        if r.outcome.plurality_preserved() {
+            wins += 1;
+        }
+    }
+    (rounds, eps_rounds, wins)
+}
+
+fn main() {
+    let full = is_full();
+    let reps = if full { 10 } else { 3 };
+
+    // Sweep 1: n at fixed k.
+    let ns: &[u64] = if full {
+        &[1_000, 3_000, 10_000, 30_000, 100_000, 300_000, 1_000_000]
+    } else {
+        &[1_000, 3_000, 10_000, 30_000, 100_000]
+    };
+    let k = 16u32;
+    let mut t1 = Table::new(
+        "Theorem 1 (a): rounds vs n (k = 16, α at theorem bound)",
+        &["n", "α₀", "rounds (mean)", "sd", "ε-rounds", "success"],
+    );
+    let mut xs = Vec::new();
+    let mut ys = Vec::new();
+    for &n in ns {
+        let alpha = theorem_bias(n, k);
+        let (rounds, eps, wins) = run_cell(n, k, alpha, reps, 0xA1);
+        t1.row(&[
+            n.to_string(),
+            fmt_f64(alpha),
+            fmt_f64(rounds.mean()),
+            fmt_f64(rounds.sample_sd()),
+            fmt_f64(eps.mean()),
+            format!("{wins}/{reps}"),
+        ]);
+        xs.push(n as f64);
+        ys.push(rounds.mean());
+    }
+    println!("{}", t1.render());
+    let f = fit(&xs, &ys, Axis::LogLog, Axis::Linear);
+    println!(
+        "rounds vs ln ln n: slope {:.3}, R² {:.4} (paper: additive O(log log n) term)\n",
+        f.slope, f.r_squared
+    );
+
+    // Sweep 2: k at fixed n.
+    let n = if full { 300_000 } else { 100_000 };
+    let ks: &[u32] = &[2, 4, 8, 16, 32, 64, 128];
+    let mut t2 = Table::new(
+        format!("Theorem 1 (b): rounds vs k (n = {n}, α at theorem bound)"),
+        &["k", "α₀", "rounds (mean)", "sd", "success"],
+    );
+    let mut kxs = Vec::new();
+    let mut kys = Vec::new();
+    for &k in ks {
+        let alpha = theorem_bias(n, k);
+        let (rounds, _, wins) = run_cell(n, k, alpha, reps, 0xA2);
+        t2.row(&[
+            k.to_string(),
+            fmt_f64(alpha),
+            fmt_f64(rounds.mean()),
+            fmt_f64(rounds.sample_sd()),
+            format!("{wins}/{reps}"),
+        ]);
+        kxs.push(k as f64);
+        kys.push(rounds.mean());
+    }
+    println!("{}", t2.render());
+    let f = fit(&kxs, &kys, Axis::Log, Axis::Linear);
+    println!(
+        "rounds vs ln k: slope {:.3}, R² {:.4} (paper: O(log k · log log_α k))\n",
+        f.slope, f.r_squared
+    );
+
+    // Sweep 3: α at fixed (n, k).
+    let (n, k) = (if full { 300_000 } else { 100_000 }, 16u32);
+    let base = theorem_bias(n, k);
+    let alphas = [base, 1.1, 1.25, 1.5, 2.0, 4.0, 16.0];
+    let mut t3 = Table::new(
+        format!("Theorem 1 (c): rounds vs α₀ (n = {n}, k = {k})"),
+        &["α₀", "rounds (mean)", "sd", "ε-rounds", "success"],
+    );
+    for &alpha in &alphas {
+        let (rounds, eps, wins) = run_cell(n, k, alpha, reps, 0xA3);
+        t3.row(&[
+            fmt_f64(alpha),
+            fmt_f64(rounds.mean()),
+            fmt_f64(rounds.sample_sd()),
+            fmt_f64(eps.mean()),
+            format!("{wins}/{reps}"),
+        ]);
+    }
+    println!("{}", t3.render());
+
+    for (name, table) in [
+        ("thm1_sync_vs_n.csv", &t1),
+        ("thm1_sync_vs_k.csv", &t2),
+        ("thm1_sync_vs_alpha.csv", &t3),
+    ] {
+        let path = results_dir().join(name);
+        table.write_csv(&path).expect("write csv");
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,93 @@
+//! # plurality-bench
+//!
+//! Experiment harness for the `plurality` workspace. Each binary in
+//! `src/bin/` regenerates one figure or quantitative claim of the paper
+//! (see DESIGN.md's per-experiment index and EXPERIMENTS.md for recorded
+//! results); the Criterion benches in `benches/` cover engine and sampler
+//! throughput plus smoke-size versions of the main experiments.
+//!
+//! All binaries accept an optional `full` argument (or the environment
+//! variable `PLURALITY_EFFORT=full`) to run at publication scale; the
+//! default "quick" scale finishes in seconds to a few minutes per binary.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use plurality_dist::rng::derive_seed;
+use std::path::PathBuf;
+
+/// Whether the current invocation asked for the full-scale experiment
+/// (argument `full` or `PLURALITY_EFFORT=full`).
+pub fn is_full() -> bool {
+    std::env::args().any(|a| a == "full")
+        || std::env::var("PLURALITY_EFFORT").map(|v| v == "full").unwrap_or(false)
+}
+
+/// Directory where experiment CSVs are written (`results/` under the
+/// workspace root, created on demand).
+pub fn results_dir() -> PathBuf {
+    let dir = std::env::var("PLURALITY_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("results"));
+    std::fs::create_dir_all(&dir).expect("create results directory");
+    dir
+}
+
+/// Derives `reps` per-repetition seeds from a master seed — stable across
+/// runs so experiments are reproducible.
+pub fn seeds(master: u64, reps: usize) -> Vec<u64> {
+    (0..reps as u64).map(|i| derive_seed(master, i)).collect()
+}
+
+/// Logarithmically spaced values from `lo` to `hi` (inclusive).
+///
+/// # Panics
+///
+/// Panics if `lo ≤ 0`, `hi ≤ lo`, or `points < 2`.
+pub fn log_spaced(lo: f64, hi: f64, points: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi > lo && points >= 2, "bad log_spaced arguments");
+    let step = (hi / lo).ln() / (points - 1) as f64;
+    (0..points).map(|i| lo * (step * i as f64).exp()).collect()
+}
+
+/// The paper's bias lower bound `1 + (k·log n/√n)·log k` (Theorems 1, 13,
+/// 26), clamped to at least `1 + 10/√n` so tiny instances stay feasible.
+pub fn theorem_bias(n: u64, k: u32) -> f64 {
+    let nf = n as f64;
+    let kf = k as f64;
+    let bound = kf * nf.log2() / nf.sqrt() * kf.log2().max(1.0);
+    1.0 + bound.max(10.0 / nf.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn log_spaced_endpoints_and_monotone() {
+        let v = log_spaced(1.0, 1000.0, 4);
+        assert_eq!(v.len(), 4);
+        assert!((v[0] - 1.0).abs() < 1e-12);
+        assert!((v[3] - 1000.0).abs() < 1e-9);
+        assert!(v.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn seeds_are_stable_and_distinct() {
+        let a = seeds(1, 5);
+        let b = seeds(1, 5);
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn theorem_bias_exceeds_one() {
+        assert!(theorem_bias(10_000, 8) > 1.0);
+        assert!(theorem_bias(100, 2) > 1.0);
+        // Larger k needs more bias at fixed n.
+        assert!(theorem_bias(100_000, 64) > theorem_bias(100_000, 4));
+    }
+}

@@ -1,0 +1,161 @@
+//! Closed-form predictions from the paper's analysis.
+//!
+//! The experiment harness compares measured quantities against the exact
+//! expressions the proofs manipulate: the collision-probability lower bound
+//! of Remark 2, the squared-bias chain `α_i = α₀^{2^i}` of Proposition 8,
+//! the generation counts of Corollary 10 and Lemma 11, and the overall time
+//! bound of Theorem 1. Everything is computed in the log domain so the
+//! doubly-exponential bias chain never overflows.
+
+/// Remark 2: in a generation with bias `α` and `k` colors, the collision
+/// probability satisfies `p ≥ (α² + k − 1)/(α + k − 1)²` (equality when all
+/// non-dominant colors tie).
+///
+/// # Panics
+///
+/// Panics if `alpha < 1` or `k == 0`.
+pub fn collision_lower_bound(alpha: f64, k: u32) -> f64 {
+    assert!(alpha >= 1.0, "collision_lower_bound: alpha must be ≥ 1");
+    assert!(k >= 1, "collision_lower_bound: k must be ≥ 1");
+    let kf = k as f64;
+    (alpha * alpha + kf - 1.0) / ((alpha + kf - 1.0) * (alpha + kf - 1.0))
+}
+
+/// The idealized bias chain `α_i = α₀^{2^i}` (Proposition 8 without error
+/// terms), returned for `i = 0..=generations`. Values whose logarithm
+/// exceeds `f64` range are reported as `+∞`.
+///
+/// # Panics
+///
+/// Panics if `alpha0 < 1`.
+pub fn predicted_bias_chain(alpha0: f64, generations: u32) -> Vec<f64> {
+    assert!(alpha0 >= 1.0, "predicted_bias_chain: alpha0 must be ≥ 1");
+    let ln_a = alpha0.ln();
+    (0..=generations)
+        .map(|i| {
+            let ln_bias = 2f64.powi(i as i32) * ln_a;
+            if ln_bias > 700.0 {
+                f64::INFINITY
+            } else {
+                ln_bias.exp()
+            }
+        })
+        .collect()
+}
+
+/// Corollary 10: the number of generations needed for the bias to reach a
+/// target value, `⌈log₂ log_{α₀} target⌉` (0 if already there).
+///
+/// # Panics
+///
+/// Panics if `alpha0 ≤ 1` or `target ≤ 1`.
+pub fn generations_to_reach(alpha0: f64, target: f64) -> u32 {
+    assert!(alpha0 > 1.0, "generations_to_reach: alpha0 must exceed 1");
+    assert!(target > 1.0, "generations_to_reach: target must exceed 1");
+    if alpha0 >= target {
+        return 0;
+    }
+    let g = (target.ln() / alpha0.ln()).ln() / std::f64::consts::LN_2;
+    g.ceil().max(0.0) as u32
+}
+
+/// Lemma 11: once the bias exceeds `k`, the number of further generations
+/// until a monochromatic generation appears is about `log₂ log_k n`.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `n < 2`.
+pub fn endgame_generations(k: u32, n: u64) -> f64 {
+    assert!(k >= 2, "endgame_generations: k must be ≥ 2");
+    assert!(n >= 2, "endgame_generations: n must be ≥ 2");
+    ((n as f64).ln() / (k as f64).ln()).ln() / std::f64::consts::LN_2
+}
+
+/// Theorem 1's time bound `C·(log k · log log_α k + log log n)` with an
+/// explicit constant, for plotting against measured round counts.
+///
+/// # Panics
+///
+/// Panics if `alpha ≤ 1`, `k < 2`, or `n < 3`.
+pub fn theorem1_round_bound(n: u64, k: u32, alpha: f64, constant: f64) -> f64 {
+    assert!(alpha > 1.0, "theorem1_round_bound: alpha must exceed 1");
+    assert!(k >= 2, "theorem1_round_bound: k must be ≥ 2");
+    assert!(n >= 3, "theorem1_round_bound: n must be ≥ 3");
+    let log_k = (k as f64).log2().max(1.0);
+    let loglog_alpha_k = generations_to_reach(alpha, k as f64).max(1) as f64;
+    let loglog_n = (n as f64).ln().ln().max(1.0);
+    constant * (log_k * loglog_alpha_k + loglog_n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collision_bound_sanity() {
+        // Uniform two colors: α = 1, k = 2 ⇒ p ≥ 1/2.
+        assert!((collision_lower_bound(1.0, 2) - 0.5).abs() < 1e-12);
+        // Large bias dominates: α → ∞ gives p → 1.
+        assert!(collision_lower_bound(1000.0, 8) > 0.98);
+        // Uniform k colors: p ≥ 1/k.
+        let k = 10u32;
+        assert!((collision_lower_bound(1.0, k) - 1.0 / k as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collision_bound_decreases_in_k_increases_in_alpha() {
+        assert!(collision_lower_bound(1.5, 4) > collision_lower_bound(1.5, 16));
+        assert!(collision_lower_bound(3.0, 8) > collision_lower_bound(1.5, 8));
+    }
+
+    #[test]
+    fn bias_chain_squares() {
+        let chain = predicted_bias_chain(1.5, 4);
+        assert_eq!(chain.len(), 5);
+        assert!((chain[0] - 1.5).abs() < 1e-12);
+        for w in chain.windows(2) {
+            if w[1].is_finite() {
+                assert!((w[1] - w[0] * w[0]).abs() < 1e-6 * w[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn bias_chain_saturates_to_infinity() {
+        let chain = predicted_bias_chain(2.0, 64);
+        assert!(chain.last().unwrap().is_infinite());
+        // Monotone towards infinity.
+        for w in chain.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn generations_to_reach_matches_hand_computation() {
+        // α₀ = 1.5, target 16: 1.5^(2^g) ≥ 16 ⇔ 2^g ≥ ln16/ln1.5 ≈ 6.84 ⇒ g = 3.
+        assert_eq!(generations_to_reach(1.5, 16.0), 3);
+        // Already there.
+        assert_eq!(generations_to_reach(20.0, 16.0), 0);
+        // Squaring once suffices.
+        assert_eq!(generations_to_reach(4.0, 16.0), 1);
+    }
+
+    #[test]
+    fn endgame_shrinks_with_k() {
+        let n = 1_000_000u64;
+        assert!(endgame_generations(2, n) > endgame_generations(64, n));
+        // log₂ log₂ 1e6 ≈ log₂(19.9) ≈ 4.3 for k = 2.
+        let g = endgame_generations(2, n);
+        assert!((3.5..5.0).contains(&g), "g = {g}");
+    }
+
+    #[test]
+    fn theorem1_bound_monotone_in_k_and_n() {
+        let b_small_k = theorem1_round_bound(100_000, 4, 1.2, 1.0);
+        let b_large_k = theorem1_round_bound(100_000, 64, 1.2, 1.0);
+        assert!(b_large_k > b_small_k);
+        let b_small_n = theorem1_round_bound(1_000, 8, 1.2, 1.0);
+        let b_large_n = theorem1_round_bound(100_000_000, 8, 1.2, 1.0);
+        assert!(b_large_n >= b_small_n);
+    }
+}

@@ -1,0 +1,1115 @@
+//! Event-driven execution of the decentralized multi-leader protocol
+//! (Section 4): clustering, constant-time broadcast among cluster leaders,
+//! and the clustered consensus phase of Algorithms 4 + 5.
+//!
+//! The run has two parts sharing one event loop:
+//!
+//! 1. **Clustering** (Section 4.1): every node is a leader with a small
+//!    probability; followers join the cluster of the first sampled node
+//!    whose leader is accepting. A cluster that reaches the participation
+//!    size pauses for a counted interval, accepts more followers for
+//!    another counted interval, and then switches to consensus mode —
+//!    broadcasting the switch to all other leaders.
+//! 2. **Consensus** (Section 4.4): nodes execute Algorithm 4 against the
+//!    cluster leaders' `(generation, phase)` lattice; leaders count member
+//!    signals per Algorithm 5 and synchronize by adopting the
+//!    lexicographic maximum whenever two leaders are contacted in the same
+//!    interaction (the Section 4.2 broadcast).
+//!
+//! Scale substitution (see DESIGN.md): the paper's `log^{c−1} n` cluster
+//! size with "sufficiently large c" exceeds `n` for any feasible `n`, so the
+//! participation size is an explicit parameter defaulting to
+//! `max(8, ⌈log₂(n)^1.5⌉)`.
+
+use crate::cluster::leader::{
+    ClusterLeaderParams, ClusterLeaderState, ClusterPhase, ClusterTransition,
+};
+use crate::genstate::GenerationTable;
+use crate::opinion::InitialAssignment;
+use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcome};
+use crate::sync::{generations_needed, GENERATION_CAP};
+use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
+use plurality_dist::{ChannelPattern, Latency, WaitingTime};
+use plurality_sim::{EventLog, EventQueue, PoissonClock};
+use rand::Rng;
+
+/// Sentinel for "not in any cluster".
+const UNCLUSTERED: u32 = u32::MAX;
+
+/// Configuration for a multi-leader run. Construct with
+/// [`ClusterConfig::new`] and chain the `with_*` setters.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_core::cluster::ClusterConfig;
+/// use plurality_core::InitialAssignment;
+///
+/// let assignment = InitialAssignment::with_bias(1_200, 2, 3.0).unwrap();
+/// let result = ClusterConfig::new(assignment)
+///     .with_seed(1)
+///     .with_steps_per_unit(12.0)
+///     .run();
+/// assert!(result.cluster_count > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterConfig {
+    assignment: InitialAssignment,
+    latency: Latency,
+    epsilon: f64,
+    seed: u64,
+    record: RecordLevel,
+    max_time: Option<f64>,
+    steps_per_unit: Option<f64>,
+    participation_size: Option<u64>,
+    leader_probability: Option<f64>,
+    pause_units: f64,
+    accept_units: f64,
+    two_choices_units: f64,
+    sleep_units: f64,
+    generation_cap: Option<u32>,
+    alpha_hint: Option<f64>,
+}
+
+impl ClusterConfig {
+    /// Creates a configuration with defaults: exponential latency rate 1,
+    /// `ε = 0.05`, pause window of 1 unit, accept window of 8 units (long
+    /// enough for near-total coverage — the paper's windows scale with
+    /// `log log n`), two-choices window 2 units, sleep window 2 units,
+    /// seed 0.
+    pub fn new(assignment: InitialAssignment) -> Self {
+        Self {
+            assignment,
+            latency: Latency::exponential(1.0).expect("rate 1 valid"),
+            epsilon: 0.05,
+            seed: 0,
+            record: RecordLevel::Generations,
+            max_time: None,
+            steps_per_unit: None,
+            participation_size: None,
+            leader_probability: None,
+            pause_units: 1.0,
+            accept_units: 8.0,
+            two_choices_units: 2.0,
+            sleep_units: 2.0,
+            generation_cap: None,
+            alpha_hint: None,
+        }
+    }
+
+    /// Sets the channel-establishment latency law (default `Exp(1)`).
+    pub fn with_latency(mut self, latency: Latency) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets ε for ε-convergence reporting (default 0.05).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ [0, 1]`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must lie in [0, 1]");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the telemetry level (default [`RecordLevel::Generations`]).
+    pub fn with_record(mut self, record: RecordLevel) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Caps the simulated time in steps (default: derived bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_time` is not positive.
+    pub fn with_max_time(mut self, max_time: f64) -> Self {
+        assert!(max_time > 0.0, "max_time must be positive");
+        self.max_time = Some(max_time);
+        self
+    }
+
+    /// Overrides the time-unit length `C1` in steps (default: Monte-Carlo
+    /// estimate for the configured latency and the multi-leader channel
+    /// pattern).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c1` is not positive.
+    pub fn with_steps_per_unit(mut self, c1: f64) -> Self {
+        assert!(c1 > 0.0, "steps_per_unit must be positive");
+        self.steps_per_unit = Some(c1);
+        self
+    }
+
+    /// Sets the participation size — the paper's `log^{c−1} n` (default
+    /// `max(8, ⌈log₂(n)^1.5⌉)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn with_participation_size(mut self, size: u64) -> Self {
+        assert!(size > 0, "participation_size must be positive");
+        self.participation_size = Some(size);
+        self
+    }
+
+    /// Sets the probability of a node declaring itself a leader (default
+    /// `1/(4·participation_size)`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ (0, 1]`.
+    pub fn with_leader_probability(mut self, p: f64) -> Self {
+        assert!(p > 0.0 && p <= 1.0, "leader_probability must lie in (0, 1]");
+        self.leader_probability = Some(p);
+        self
+    }
+
+    /// Sets the counting pause after a cluster fills, in time units
+    /// (default 1).
+    pub fn with_pause_units(mut self, units: f64) -> Self {
+        assert!(units > 0.0, "pause_units must be positive");
+        self.pause_units = units;
+        self
+    }
+
+    /// Sets the post-pause accepting window, in time units (default 8).
+    pub fn with_accept_units(mut self, units: f64) -> Self {
+        assert!(units > 0.0, "accept_units must be positive");
+        self.accept_units = units;
+        self
+    }
+
+    /// Sets the two-choices window per generation, in time units
+    /// (default 2).
+    pub fn with_two_choices_units(mut self, units: f64) -> Self {
+        assert!(units > 0.0, "two_choices_units must be positive");
+        self.two_choices_units = units;
+        self
+    }
+
+    /// Sets the sleeping window per generation, in time units (default 2).
+    pub fn with_sleep_units(mut self, units: f64) -> Self {
+        assert!(units > 0.0, "sleep_units must be positive");
+        self.sleep_units = units;
+        self
+    }
+
+    /// Overrides the generation cap `⌈log log_α n⌉`.
+    pub fn with_generation_cap(mut self, cap: u32) -> Self {
+        self.generation_cap = Some(cap);
+        self
+    }
+
+    /// Overrides the bias `α₀` used for the generation cap.
+    pub fn with_alpha_hint(mut self, alpha: f64) -> Self {
+        self.alpha_hint = Some(alpha);
+        self
+    }
+
+    /// Runs the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment materializes fewer than 8 nodes.
+    pub fn run(&self) -> ClusterResult {
+        run_cluster(self)
+    }
+}
+
+/// One entry of the per-cluster phase log (Figure 2's raw data).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhaseLogEntry {
+    /// Cluster id.
+    pub cluster: u32,
+    /// Generation whose phase changed.
+    pub generation: u32,
+    /// The phase entered.
+    pub phase: ClusterPhase,
+    /// Whether the change came from the cluster's own counters (`false` if
+    /// adopted from a peer via broadcast/relay).
+    pub organic: bool,
+}
+
+/// Result of a multi-leader run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterResult {
+    /// Common outcome report.
+    pub outcome: RunOutcome,
+    /// The time-unit length `C1` (steps) used for all thresholds.
+    pub steps_per_unit: f64,
+    /// Number of clusters created (leaders that attracted any state).
+    pub cluster_count: usize,
+    /// Clusters that reached the participation size and switched to
+    /// consensus mode.
+    pub participating_clusters: usize,
+    /// Fraction of nodes inside participating clusters at their switch.
+    pub participating_fraction: f64,
+    /// Fraction of nodes in any cluster at the end of the run.
+    pub clustered_fraction: f64,
+    /// When the first participating cluster switched to consensus mode
+    /// (the paper's `t_f`, Theorem 27).
+    pub first_switch_time: Option<f64>,
+    /// When the last participating cluster switched (`t_l`); Theorem 27
+    /// claims `t_l − t_f = O(1)`.
+    pub last_switch_time: Option<f64>,
+    /// Per-cluster phase-change log (Figure 2).
+    pub phase_log: EventLog<PhaseLogEntry>,
+    /// Total clock ticks processed.
+    pub ticks: u64,
+    /// Fraction of nodes with the `finished` flag at the end.
+    pub finished_fraction: f64,
+}
+
+impl ClusterResult {
+    /// Per-generation spread between the first and last cluster entering
+    /// the given phase — the de-synchronization Figure 2 visualizes and
+    /// Proposition 31 bounds by `O(1)` time units.
+    ///
+    /// Returns `(generation, first_time, last_time)` tuples, ascending by
+    /// generation, for generations in which at least one cluster entered
+    /// `phase`.
+    pub fn phase_spread(&self, phase: ClusterPhase) -> Vec<(u32, f64, f64)> {
+        let mut per_gen: Vec<(u32, f64, f64)> = Vec::new();
+        for &(time, entry) in self.phase_log.entries() {
+            if entry.phase != phase {
+                continue;
+            }
+            match per_gen.iter_mut().find(|(g, _, _)| *g == entry.generation) {
+                Some((_, first, last)) => {
+                    if time < *first {
+                        *first = time;
+                    }
+                    if time > *last {
+                        *last = time;
+                    }
+                }
+                None => per_gen.push((entry.generation, time, time)),
+            }
+        }
+        per_gen.sort_by_key(|&(g, _, _)| g);
+        per_gen
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ClusterMode {
+    /// Accepting members up to the participation size.
+    Filling,
+    /// Full; counting member ticks, rejecting joins.
+    Pausing,
+    /// Counting member ticks while accepting more members.
+    Accepting,
+    /// Running Algorithm 5.
+    Consensus,
+    /// Too small when the consensus switch arrived; inert.
+    NonParticipating,
+}
+
+#[derive(Debug, Clone)]
+struct Cluster {
+    size: u64,
+    mode: ClusterMode,
+    /// 0-signal counter for the Pausing/Accepting windows.
+    window_count: u64,
+    window_threshold: u64,
+    state: Option<ClusterLeaderState>,
+    switch_time: Option<f64>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Tick(u32),
+    OpDone { v: u32, s1: u32, s2: u32, s3: u32 },
+    MemberZero { cluster: u32 },
+    MemberPromoted { cluster: u32, gen: u32 },
+}
+
+struct Engine<'cfg> {
+    cfg: &'cfg ClusterConfig,
+    rng: Xoshiro256PlusPlus,
+    n: usize,
+    c1: f64,
+    cap: u32,
+    participation_size: u64,
+    cols: Vec<u32>,
+    gens: Vec<u32>,
+    locked: Vec<bool>,
+    finished: Vec<bool>,
+    stored_gen: Vec<u32>,
+    stored_phase: Vec<u8>,
+    cluster_of: Vec<u32>,
+    clusters: Vec<Cluster>,
+    table: GenerationTable,
+    tracker: ConvergenceTracker,
+    births: Vec<GenerationBirth>,
+    phase_log: EventLog<PhaseLogEntry>,
+    queue: EventQueue<Event>,
+    waiting: WaitingTime,
+    clock: PoissonClock,
+    ticks: u64,
+    first_switch: Option<f64>,
+    last_switch: Option<f64>,
+}
+
+fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
+    let mut rng = Xoshiro256PlusPlus::from_u64(cfg.seed);
+    let opinions = cfg.assignment.materialize(&mut rng);
+    let n = opinions.len();
+    assert!(n >= 8, "multi-leader run needs at least 8 nodes");
+    let k = cfg.assignment.k() as usize;
+
+    let cols: Vec<u32> = opinions.iter().map(|o| o.index()).collect();
+    let gens: Vec<u32> = vec![0; n];
+    let table = GenerationTable::from_states(&gens, &cols, k);
+    let initial_counts = table.global_counts();
+    let initial_winner = initial_counts.winner().expect("non-empty population");
+    let initial_bias = initial_counts.bias().unwrap_or(f64::INFINITY);
+
+    let waiting = WaitingTime::new(cfg.latency, ChannelPattern::MultiLeader);
+    let c1 = cfg
+        .steps_per_unit
+        .unwrap_or_else(|| waiting.time_unit(20_000, derive_seed(cfg.seed, 0xC1)));
+
+    let alpha = cfg.alpha_hint.unwrap_or(if initial_bias.is_finite() {
+        initial_bias.max(1.0)
+    } else {
+        2.0
+    });
+    let cap = cfg
+        .generation_cap
+        .unwrap_or_else(|| generations_needed(n as u64, alpha, GENERATION_CAP));
+
+    let participation_size = cfg
+        .participation_size
+        .unwrap_or_else(|| ((n as f64).log2().powf(1.5).ceil() as u64).max(8))
+        .min(n as u64 / 2);
+    let p_lead = cfg
+        .leader_probability
+        .unwrap_or_else(|| (1.0 / (4.0 * participation_size as f64)).min(1.0));
+
+    // Leader election: every node flips a coin; force at least two leaders.
+    let mut cluster_of = vec![UNCLUSTERED; n];
+    let mut clusters: Vec<Cluster> = Vec::new();
+    for v in 0..n {
+        if rng.gen::<f64>() < p_lead {
+            cluster_of[v] = clusters.len() as u32;
+            clusters.push(Cluster {
+                size: 1,
+                mode: ClusterMode::Filling,
+                window_count: 0,
+                window_threshold: 0,
+                state: None,
+                switch_time: None,
+            });
+        }
+    }
+    while clusters.len() < 2 {
+        let v = rng.gen_range(0..n);
+        if cluster_of[v] == UNCLUSTERED {
+            cluster_of[v] = clusters.len() as u32;
+            clusters.push(Cluster {
+                size: 1,
+                mode: ClusterMode::Filling,
+                window_count: 0,
+                window_threshold: 0,
+                state: None,
+                switch_time: None,
+            });
+        }
+    }
+
+    let max_time = cfg.max_time.unwrap_or_else(|| {
+        let nf = n as f64;
+        let clustering = c1 * (cfg.pause_units + cfg.accept_units + 8.0);
+        let per_gen = 2.0 * (k as f64 + 2.0).log2()
+            + cfg.two_choices_units
+            + cfg.sleep_units
+            + 12.0;
+        clustering + c1 * (cap as f64 + 2.0) * per_gen + 12.0 * nf.ln() + 200.0
+    });
+
+    let mut tracker = ConvergenceTracker::new(n as u64, initial_winner, cfg.epsilon);
+    tracker.observe(
+        0.0,
+        table.color_support(initial_winner),
+        table.max_color_support(),
+    );
+
+    let clock = PoissonClock::unit_rate();
+    let mut queue: EventQueue<Event> = EventQueue::with_capacity(2 * n);
+    for v in 0..n {
+        let t = clock.next_tick(0.0, &mut rng);
+        queue.schedule(t, Event::Tick(v as u32));
+    }
+
+    let mut engine = Engine {
+        cfg,
+        rng,
+        n,
+        c1,
+        cap,
+        participation_size,
+        cols,
+        gens,
+        locked: vec![false; n],
+        finished: vec![false; n],
+        stored_gen: vec![0; n],
+        stored_phase: vec![0; n],
+        cluster_of,
+        clusters,
+        table,
+        tracker,
+        births: Vec::new(),
+        phase_log: EventLog::new(),
+        queue,
+        waiting,
+        clock,
+        ticks: 0,
+        first_switch: None,
+        last_switch: None,
+    };
+
+    let mut end_time = 0.0f64;
+    if !engine.table.is_monochromatic() {
+        loop {
+            let Some((now, event)) = engine.queue.pop() else {
+                break;
+            };
+            if now > max_time {
+                end_time = max_time;
+                break;
+            }
+            end_time = now;
+            let done = match event {
+                Event::Tick(v) => engine.on_tick(now, v),
+                Event::OpDone { v, s1, s2, s3 } => engine.on_op_done(now, v, s1, s2, s3),
+                Event::MemberZero { cluster } => engine.on_member_zero(now, cluster),
+                Event::MemberPromoted { cluster, gen } => {
+                    engine.on_member_promoted(now, cluster, gen)
+                }
+            };
+            if done {
+                break;
+            }
+        }
+    }
+
+    let participating: Vec<&Cluster> = engine
+        .clusters
+        .iter()
+        .filter(|c| c.mode == ClusterMode::Consensus)
+        .collect();
+    let participating_nodes: u64 = participating.iter().map(|c| c.size).sum();
+    let clustered_nodes = engine
+        .cluster_of
+        .iter()
+        .filter(|&&c| c != UNCLUSTERED)
+        .count();
+    let finished_count = engine.finished.iter().filter(|&&f| f).count();
+
+    let outcome = RunOutcome {
+        n: n as u64,
+        k: k as u32,
+        initial_winner,
+        initial_bias,
+        final_counts: engine.table.global_counts(),
+        epsilon_time: engine.tracker.epsilon_time(),
+        consensus_time: engine.tracker.consensus_time(),
+        duration: end_time,
+        generations: engine.births,
+    };
+    ClusterResult {
+        outcome,
+        steps_per_unit: c1,
+        cluster_count: engine.clusters.len(),
+        participating_clusters: participating.len(),
+        participating_fraction: participating_nodes as f64 / n as f64,
+        clustered_fraction: clustered_nodes as f64 / n as f64,
+        first_switch_time: engine.first_switch,
+        last_switch_time: engine.last_switch,
+        phase_log: engine.phase_log,
+        ticks: engine.ticks,
+        finished_fraction: finished_count as f64 / n as f64,
+    }
+}
+
+impl Engine<'_> {
+    /// Handles a Poisson tick of node `v`. Returns true when the run is
+    /// finished.
+    fn on_tick(&mut self, now: f64, v: u32) -> bool {
+        self.ticks += 1;
+        let next = self.clock.next_tick(now, &mut self.rng);
+        self.queue.schedule(next, Event::Tick(v));
+        let vi = v as usize;
+        let c = self.cluster_of[vi];
+        if c != UNCLUSTERED {
+            // Line 1 of Algorithm 4: the 0-signal to the own leader, subject
+            // to one travel latency. Also drives the clustering counters.
+            let travel = self.cfg.latency.sample(&mut self.rng);
+            self.queue
+                .schedule(now + travel, Event::MemberZero { cluster: c });
+        }
+        if !self.locked[vi] {
+            self.locked[vi] = true;
+            let s1 = self.rng.gen_range(0..self.n) as u32;
+            let s2 = self.rng.gen_range(0..self.n) as u32;
+            let s3 = self.rng.gen_range(0..self.n) as u32;
+            let phase = self.waiting.sample_channel_phase(&mut self.rng);
+            self.queue
+                .schedule(now + phase, Event::OpDone { v, s1, s2, s3 });
+        }
+        false
+    }
+
+    fn log_transition(&mut self, now: f64, cluster: u32, t: ClusterTransition, organic: bool) {
+        let (generation, phase) = match t {
+            ClusterTransition::Slept { generation } => (generation, ClusterPhase::Sleeping),
+            ClusterTransition::PropagationEnabled { generation } => {
+                (generation, ClusterPhase::Propagation)
+            }
+            ClusterTransition::GenerationAllowed { generation } => {
+                (generation, ClusterPhase::TwoChoices)
+            }
+            ClusterTransition::Synchronized { generation, phase } => (generation, phase),
+        };
+        if matches!(
+            t,
+            ClusterTransition::PropagationEnabled { .. }
+                | ClusterTransition::Synchronized {
+                    phase: ClusterPhase::Propagation,
+                    ..
+                }
+        ) {
+            // Lemma 22 analogue: measure the generation's bias when its
+            // propagation window first opens anywhere.
+            if let Some(b) = self
+                .births
+                .iter_mut()
+                .find(|b| b.generation == generation && !b.bias.is_finite())
+            {
+                let measured = self.table.bias_in(generation).unwrap_or(f64::INFINITY);
+                b.bias = measured;
+            }
+        }
+        // A generation can mature without its propagation window opening
+        // (small k: two-choices alone reaches the gen-size threshold);
+        // measure its bias when the next generation is first allowed.
+        if generation >= 2 && phase == ClusterPhase::TwoChoices {
+            if let Some(b) = self
+                .births
+                .iter_mut()
+                .find(|b| b.generation == generation - 1 && !b.bias.is_finite())
+            {
+                b.bias = self
+                    .table
+                    .bias_in(generation - 1)
+                    .unwrap_or(f64::INFINITY);
+            }
+        }
+        if !matches!(self.cfg.record, RecordLevel::Outcome) {
+            self.phase_log.record(
+                now,
+                PhaseLogEntry {
+                    cluster,
+                    generation,
+                    phase,
+                    organic,
+                },
+            );
+        }
+    }
+
+    /// Handles a member 0-signal arriving at a cluster leader.
+    fn on_member_zero(&mut self, now: f64, c: u32) -> bool {
+        let ci = c as usize;
+        match self.clusters[ci].mode {
+            ClusterMode::Filling | ClusterMode::NonParticipating => {}
+            ClusterMode::Pausing => {
+                self.clusters[ci].window_count += 1;
+                if self.clusters[ci].window_count >= self.clusters[ci].window_threshold {
+                    let size = self.clusters[ci].size;
+                    self.clusters[ci].mode = ClusterMode::Accepting;
+                    self.clusters[ci].window_count = 0;
+                    self.clusters[ci].window_threshold =
+                        (size as f64 * self.c1 * self.cfg.accept_units).ceil() as u64;
+                }
+            }
+            ClusterMode::Accepting => {
+                self.clusters[ci].window_count += 1;
+                if self.clusters[ci].window_count >= self.clusters[ci].window_threshold {
+                    self.switch_to_consensus(now, c);
+                }
+            }
+            ClusterMode::Consensus => {
+                let transition = self.clusters[ci]
+                    .state
+                    .as_mut()
+                    .expect("consensus cluster has a state")
+                    .on_zero();
+                if let Some(t) = transition {
+                    self.log_transition(now, c, t, true);
+                }
+            }
+        }
+        false
+    }
+
+    /// Handles a member promotion signal arriving at a cluster leader.
+    fn on_member_promoted(&mut self, now: f64, c: u32, gen: u32) -> bool {
+        let ci = c as usize;
+        if self.clusters[ci].mode != ClusterMode::Consensus {
+            return false;
+        }
+        let state = self.clusters[ci]
+            .state
+            .as_mut()
+            .expect("consensus cluster has a state");
+        // The signal may predate a leader sync that advanced the leader past
+        // `gen`; such signals are stale and ignored by on_promoted anyway.
+        if gen <= state.generation() {
+            if let Some(t) = state.on_promoted(gen) {
+                self.log_transition(now, c, t, true);
+            }
+        }
+        false
+    }
+
+    fn consensus_params(&self, card: u64) -> ClusterLeaderParams {
+        let nf = self.n as f64;
+        let sleep =
+            (card as f64 * self.c1 * self.cfg.two_choices_units).ceil() as u64;
+        let prop = (card as f64
+            * self.c1
+            * (self.cfg.two_choices_units + self.cfg.sleep_units))
+            .ceil() as u64;
+        let gen_size = ((card as f64 * (0.5 + 1.0 / nf.log2().sqrt())).ceil() as u64)
+            .clamp(1, card);
+        ClusterLeaderParams {
+            sleep_threshold: sleep.max(1),
+            prop_threshold: prop.max(sleep.max(1) + 1),
+            gen_size_threshold: gen_size,
+            generation_cap: self.cap,
+        }
+    }
+
+    fn switch_to_consensus(&mut self, now: f64, c: u32) {
+        let ci = c as usize;
+        if matches!(
+            self.clusters[ci].mode,
+            ClusterMode::Consensus | ClusterMode::NonParticipating
+        ) {
+            return;
+        }
+        if self.clusters[ci].size < self.participation_size {
+            self.clusters[ci].mode = ClusterMode::NonParticipating;
+            return;
+        }
+        let params = self.consensus_params(self.clusters[ci].size);
+        self.clusters[ci].state = Some(ClusterLeaderState::new(params));
+        self.clusters[ci].mode = ClusterMode::Consensus;
+        self.clusters[ci].switch_time = Some(now);
+        if self.first_switch.is_none() {
+            self.first_switch = Some(now);
+        }
+        self.last_switch = Some(now);
+        if !matches!(self.cfg.record, RecordLevel::Outcome) {
+            self.phase_log.record(
+                now,
+                PhaseLogEntry {
+                    cluster: c,
+                    generation: 1,
+                    phase: ClusterPhase::TwoChoices,
+                    organic: true,
+                },
+            );
+        }
+    }
+
+    /// Spreads the consensus switch between two clusters that met in an
+    /// interaction (Section 4.2 broadcast of the "switch" message).
+    fn spread_switch(&mut self, now: f64, a: u32, b: u32) {
+        if a == b {
+            return;
+        }
+        let a_cons = self.clusters[a as usize].mode == ClusterMode::Consensus;
+        let b_cons = self.clusters[b as usize].mode == ClusterMode::Consensus;
+        if a_cons && !b_cons {
+            self.switch_to_consensus(now, b);
+        } else if b_cons && !a_cons {
+            self.switch_to_consensus(now, a);
+        }
+    }
+
+    /// Merges the `(generation, phase)` lattice states of two consensus
+    /// leaders that met in an interaction (Section 4.2 / Algorithm 5
+    /// line 1).
+    fn sync_leaders(&mut self, now: f64, a: u32, b: u32) {
+        if a == b {
+            return;
+        }
+        let (ai, bi) = (a as usize, b as usize);
+        if self.clusters[ai].mode != ClusterMode::Consensus
+            || self.clusters[bi].mode != ClusterMode::Consensus
+        {
+            return;
+        }
+        let a_pub = {
+            let s = self.clusters[ai].state.as_ref().expect("state");
+            (s.generation(), s.phase())
+        };
+        let b_pub = {
+            let s = self.clusters[bi].state.as_ref().expect("state");
+            (s.generation(), s.phase())
+        };
+        if let Some(t) = self.clusters[ai]
+            .state
+            .as_mut()
+            .expect("state")
+            .merge_from(b_pub.0, b_pub.1)
+        {
+            self.log_transition(now, a, t, false);
+        }
+        if let Some(t) = self.clusters[bi]
+            .state
+            .as_mut()
+            .expect("state")
+            .merge_from(a_pub.0, a_pub.1)
+        {
+            self.log_transition(now, b, t, false);
+        }
+    }
+
+    /// Adopts `(gen, col)` for node `v`, maintaining the table, telemetry,
+    /// and convergence tracking. Returns true if the population became
+    /// monochromatic.
+    fn adopt(&mut self, now: f64, v: usize, gen: u32, col: u32) -> bool {
+        let (old_gen, old_col) = (self.gens[v], self.cols[v]);
+        if (gen, col) == (old_gen, old_col) {
+            return false;
+        }
+        let is_birth = gen > self.table.max_generation();
+        if is_birth && !matches!(self.cfg.record, RecordLevel::Outcome) {
+            let parent_bias = self.table.bias_in(gen - 1).unwrap_or(f64::INFINITY);
+            let parent_collision = self.table.collision_in(gen - 1);
+            self.births.push(GenerationBirth {
+                generation: gen,
+                time: now,
+                bias: f64::INFINITY, // measured when propagation opens
+                parent_bias,
+                initial_fraction: 0.0, // filled after the transfer below
+                parent_collision,
+            });
+        }
+        self.table.transfer(old_gen, old_col, gen, col);
+        self.gens[v] = gen;
+        self.cols[v] = col;
+        if is_birth && !matches!(self.cfg.record, RecordLevel::Outcome) {
+            if let Some(b) = self.births.last_mut() {
+                b.initial_fraction = self.table.fraction_in(gen);
+            }
+        }
+        self.tracker.observe(
+            now,
+            self.table
+                .color_support(self.tracker.initial_winner()),
+            self.table.max_color_support(),
+        );
+        self.table.is_monochromatic()
+    }
+
+    /// Handles channel completion for node `v` with samples `s1, s2, s3`.
+    /// Returns true when the run is finished.
+    fn on_op_done(&mut self, now: f64, v: u32, s1: u32, s2: u32, s3: u32) -> bool {
+        let vi = v as usize;
+        self.locked[vi] = false;
+
+        // Lines 5–7 of Algorithm 4: finished-flag exchange (push + pull).
+        if self.finished[vi] {
+            let col = self.cols[vi];
+            for s in [s1, s2, s3] {
+                let si = s as usize;
+                if !self.finished[si] {
+                    self.finished[si] = true;
+                    if self.adopt(now, si, self.gens[si], col) {
+                        return true;
+                    }
+                }
+            }
+            return false;
+        }
+        for s in [s1, s2, s3] {
+            let si = s as usize;
+            if self.finished[si] {
+                self.finished[vi] = true;
+                let col = self.cols[si];
+                return self.adopt(now, vi, self.gens[vi], col);
+            }
+        }
+
+        // Unclustered nodes attempt to join a sampled node's cluster.
+        if self.cluster_of[vi] == UNCLUSTERED {
+            for s in [s1, s2, s3] {
+                let c = self.cluster_of[s as usize];
+                if c == UNCLUSTERED {
+                    continue;
+                }
+                let ci = c as usize;
+                match self.clusters[ci].mode {
+                    ClusterMode::Filling => {
+                        self.cluster_of[vi] = c;
+                        self.clusters[ci].size += 1;
+                        if self.clusters[ci].size >= self.participation_size {
+                            self.clusters[ci].mode = ClusterMode::Pausing;
+                            self.clusters[ci].window_count = 0;
+                            self.clusters[ci].window_threshold = (self.clusters[ci].size as f64
+                                * self.c1
+                                * self.cfg.pause_units)
+                                .ceil()
+                                as u64;
+                        }
+                        break;
+                    }
+                    ClusterMode::Accepting => {
+                        self.cluster_of[vi] = c;
+                        self.clusters[ci].size += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            return false;
+        }
+
+        let own = self.cluster_of[vi];
+        let sampled_cluster = self.cluster_of[s3 as usize];
+
+        // Consensus-switch broadcast and leader lattice sync happen whenever
+        // two leaders are on the line (own + the sampled node's).
+        if sampled_cluster != UNCLUSTERED {
+            self.spread_switch(now, own, sampled_cluster);
+            self.sync_leaders(now, own, sampled_cluster);
+        }
+
+        if self.clusters[own as usize].mode != ClusterMode::Consensus {
+            return false;
+        }
+        // Line 8: a non-active sampled cluster ends the interaction.
+        if sampled_cluster == UNCLUSTERED
+            || self.clusters[sampled_cluster as usize].mode != ClusterMode::Consensus
+        {
+            return false;
+        }
+
+        let l_state = {
+            let s = self.clusters[sampled_cluster as usize]
+                .state
+                .as_ref()
+                .expect("state");
+            (s.generation(), s.phase())
+        };
+        let (l_gen, l_phase) = l_state;
+        let in_sync =
+            self.stored_gen[vi] == l_gen && self.stored_phase[vi] == l_phase.as_state();
+
+        let (g1, c1s) = (self.gens[s1 as usize], self.cols[s1 as usize]);
+        let (g2, c2s) = (self.gens[s2 as usize], self.cols[s2 as usize]);
+        let vg = self.gens[vi];
+
+        let mut promoted_to: Option<(u32, u32)> = None;
+        if in_sync
+            && l_phase == ClusterPhase::TwoChoices
+            && l_gen >= 1
+            && g1 == g2
+            && g1 + 1 == l_gen
+            && c1s == c2s
+            && vg <= g1
+        {
+            // Line 13: two-choices promotion into the newest generation.
+            promoted_to = Some((l_gen, c1s));
+        } else if in_sync && l_phase == ClusterPhase::Propagation {
+            // Line 9: propagation from a sample inside the newest generation.
+            for (g, c) in [(g1, c1s), (g2, c2s)] {
+                if vg < g && g == l_gen {
+                    promoted_to = Some((g, c));
+                    break;
+                }
+            }
+        }
+        if promoted_to.is_none() {
+            // Catch-up from settled generations (mirrors Algorithm 2's
+            // `gen(v̄) < gen` case; stragglers must be able to advance).
+            let mut best: Option<(u32, u32)> = None;
+            for (g, c) in [(g1, c1s), (g2, c2s)] {
+                if vg < g && g < l_gen && best.map_or(true, |(bg, _)| g > bg) {
+                    best = Some((g, c));
+                }
+            }
+            promoted_to = best;
+        }
+
+        match promoted_to {
+            Some((gen, col)) => {
+                let increased = gen > vg;
+                let done = self.adopt(now, vi, gen, col);
+                if done {
+                    return true;
+                }
+                if increased {
+                    // Lines 12/16: notify the own leader (travel latency).
+                    let travel = self.cfg.latency.sample(&mut self.rng);
+                    self.queue.schedule(
+                        now + travel,
+                        Event::MemberPromoted { cluster: own, gen },
+                    );
+                }
+                // Line 20: reaching the final generation finishes the node.
+                if gen >= self.cap {
+                    self.finished[vi] = true;
+                }
+            }
+            None => {
+                // Lines 17–19: relay the observed leader state to the own
+                // leader (already covered by sync_leaders above) and refresh
+                // the stored copy.
+                self.stored_gen[vi] = l_gen;
+                self.stored_phase[vi] = l_phase.as_state();
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opinion::Opinion;
+
+    fn quick(n: u64, k: u32, alpha: f64, seed: u64) -> ClusterConfig {
+        let assignment = InitialAssignment::with_bias(n, k, alpha).unwrap();
+        ClusterConfig::new(assignment)
+            .with_seed(seed)
+            .with_steps_per_unit(12.0) // skip the MC estimate in tests
+    }
+
+    #[test]
+    fn forms_clusters_and_converges() {
+        let result = quick(1_500, 2, 3.0, 1).run();
+        assert!(result.cluster_count >= 2);
+        assert!(
+            result.participating_clusters >= 1,
+            "no participating clusters (coverage {})",
+            result.clustered_fraction
+        );
+        assert!(result.outcome.epsilon_time.is_some(), "no ε-convergence");
+        assert!(
+            result.outcome.consensus_time.is_some(),
+            "no consensus (duration {}, finished {})",
+            result.outcome.duration,
+            result.finished_fraction
+        );
+        assert!(result.outcome.plurality_preserved());
+        assert_eq!(result.outcome.winner(), Some(Opinion::new(0)));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let r1 = quick(800, 2, 3.0, 7).run();
+        let r2 = quick(800, 2, 3.0, 7).run();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn switch_spread_is_small() {
+        let result = quick(2_000, 2, 3.0, 2).run();
+        let (first, last) = (
+            result.first_switch_time.expect("first switch"),
+            result.last_switch_time.expect("last switch"),
+        );
+        assert!(first <= last);
+        // Theorem 27: t_l − t_f = O(1) time units; allow a generous constant.
+        let units = (last - first) / result.steps_per_unit;
+        assert!(units < 8.0, "switch spread {units} units");
+    }
+
+    #[test]
+    fn clustering_covers_most_nodes() {
+        let result = quick(2_000, 2, 3.0, 3).run();
+        assert!(
+            result.clustered_fraction > 0.8,
+            "coverage {}",
+            result.clustered_fraction
+        );
+        assert!(
+            result.participating_fraction > 0.5,
+            "participating {}",
+            result.participating_fraction
+        );
+    }
+
+    #[test]
+    fn phase_log_ordering_per_cluster_generation() {
+        let result = quick(1_500, 2, 3.0, 4).run();
+        // For each (cluster, generation), phases must appear in lattice
+        // order over time: TwoChoices ≤ Sleeping ≤ Propagation.
+        let mut seen: std::collections::HashMap<(u32, u32), ClusterPhase> =
+            std::collections::HashMap::new();
+        for &(_, e) in result.phase_log.entries() {
+            if let Some(prev) = seen.get(&(e.cluster, e.generation)) {
+                assert!(
+                    *prev <= e.phase,
+                    "cluster {} gen {} regressed {:?} → {:?}",
+                    e.cluster,
+                    e.generation,
+                    prev,
+                    e.phase
+                );
+            }
+            seen.insert((e.cluster, e.generation), e.phase);
+        }
+        assert!(!result.phase_log.is_empty());
+    }
+
+    #[test]
+    fn phase_spread_reports_each_generation_once() {
+        let result = quick(1_500, 2, 3.0, 5).run();
+        let spreads = result.phase_spread(ClusterPhase::Propagation);
+        let mut last_gen = 0;
+        for (g, first, last) in spreads {
+            assert!(g > last_gen);
+            last_gen = g;
+            assert!(first <= last);
+        }
+    }
+
+    #[test]
+    fn finished_flag_spreads() {
+        let result = quick(1_200, 2, 3.0, 6).run();
+        if result.outcome.consensus_time.is_some() {
+            assert!(
+                result.finished_fraction > 0.0,
+                "consensus without any finished nodes"
+            );
+        }
+    }
+
+    #[test]
+    fn respects_max_time() {
+        let assignment = InitialAssignment::with_bias(600, 2, 1.01).unwrap();
+        let result = ClusterConfig::new(assignment)
+            .with_seed(8)
+            .with_steps_per_unit(12.0)
+            .with_max_time(10.0)
+            .run();
+        assert!(result.outcome.duration <= 10.0 + 1e-9);
+    }
+}

@@ -1,0 +1,381 @@
+//! Cluster-leader state machine (Algorithm 5).
+//!
+//! After clustering, each participating cluster leader mirrors the
+//! single-leader Algorithm 3 with two differences: (i) it counts only
+//! signals from its *own* members (its clock is `card` signals per time
+//! step), and (ii) the two-choices window is followed by a **sleeping**
+//! phase before propagation opens, absorbing the `O(1)` de-synchronization
+//! between clusters (Proposition 31, Figure 2). Leaders synchronize by
+//! adopting the lexicographic maximum of `(generation, phase)` pairs relayed
+//! to them by their members (line 1 of Algorithm 5) and through the
+//! constant-time broadcast of Section 4.2.
+
+use std::cmp::Ordering;
+
+/// The three phases a generation passes through in every cluster
+/// (Figure 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ClusterPhase {
+    /// State 1: only two-choices promotions into the newest generation.
+    TwoChoices = 1,
+    /// State 2: no promotions into the newest generation at all — the
+    /// buffer that keeps fast and slow clusters from interleaving
+    /// mechanisms.
+    Sleeping = 2,
+    /// State 3: propagation into the newest generation is open.
+    Propagation = 3,
+}
+
+impl ClusterPhase {
+    /// The paper's numeric state encoding (1, 2, 3).
+    pub fn as_state(self) -> u8 {
+        self as u8
+    }
+}
+
+/// Thresholds of one cluster leader, fixed when its cluster enters
+/// consensus mode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ClusterLeaderParams {
+    /// 0-signals after a generation birth before sleeping starts
+    /// (`C1 · card · C2` in the paper's notation).
+    pub sleep_threshold: u64,
+    /// 0-signals after a generation birth before propagation opens
+    /// (`C1 · card · C3`); must exceed `sleep_threshold`.
+    pub prop_threshold: u64,
+    /// Member promotions into the newest generation before the next one is
+    /// allowed (`⌈card(1/2 + 1/√log n)⌉`).
+    pub gen_size_threshold: u64,
+    /// Maximum generation (`⌈log log_α n⌉`).
+    pub generation_cap: u32,
+}
+
+/// Observable transitions, for telemetry and for triggering broadcast.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ClusterTransition {
+    /// The leader entered the sleeping phase for its current generation.
+    Slept {
+        /// Generation whose two-choices window closed.
+        generation: u32,
+    },
+    /// Propagation opened for the current generation.
+    PropagationEnabled {
+        /// Generation whose propagation window opened.
+        generation: u32,
+    },
+    /// The leader allowed the next generation (and re-entered two-choices).
+    GenerationAllowed {
+        /// The new generation.
+        generation: u32,
+    },
+    /// The leader adopted a more advanced `(generation, phase)` from a peer
+    /// (via member relay or broadcast).
+    Synchronized {
+        /// Adopted generation.
+        generation: u32,
+        /// Adopted phase.
+        phase: ClusterPhase,
+    },
+}
+
+/// A cluster leader executing Algorithm 5.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_core::cluster::{ClusterLeaderParams, ClusterLeaderState, ClusterPhase};
+/// let mut leader = ClusterLeaderState::new(ClusterLeaderParams {
+///     sleep_threshold: 4,
+///     prop_threshold: 8,
+///     gen_size_threshold: 3,
+///     generation_cap: 9,
+/// });
+/// assert_eq!(leader.generation(), 1);
+/// assert_eq!(leader.phase(), ClusterPhase::TwoChoices);
+/// for _ in 0..4 { leader.on_zero(); }
+/// assert_eq!(leader.phase(), ClusterPhase::Sleeping);
+/// for _ in 0..4 { leader.on_zero(); }
+/// assert_eq!(leader.phase(), ClusterPhase::Propagation);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterLeaderState {
+    generation: u32,
+    phase: ClusterPhase,
+    tick_count: u64,
+    gen_size: u64,
+    params: ClusterLeaderParams,
+}
+
+/// Lexicographic comparison of `(generation, phase)` pairs — the lattice
+/// the leaders synchronize on.
+fn lex_cmp(a: (u32, ClusterPhase), b: (u32, ClusterPhase)) -> Ordering {
+    a.0.cmp(&b.0).then(a.1.cmp(&b.1))
+}
+
+impl ClusterLeaderState {
+    /// Creates a leader in its initial consensus state
+    /// (`gen = 1`, two-choices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if thresholds are zero or not increasing.
+    pub fn new(params: ClusterLeaderParams) -> Self {
+        assert!(params.sleep_threshold > 0, "sleep_threshold must be positive");
+        assert!(
+            params.prop_threshold > params.sleep_threshold,
+            "prop_threshold must exceed sleep_threshold"
+        );
+        assert!(
+            params.gen_size_threshold > 0,
+            "gen_size_threshold must be positive"
+        );
+        assert!(params.generation_cap >= 1, "generation_cap must be ≥ 1");
+        Self {
+            generation: 1,
+            phase: ClusterPhase::TwoChoices,
+            tick_count: 0,
+            gen_size: 0,
+            params,
+        }
+    }
+
+    /// The current generation.
+    pub fn generation(&self) -> u32 {
+        self.generation
+    }
+
+    /// The current phase.
+    pub fn phase(&self) -> ClusterPhase {
+        self.phase
+    }
+
+    /// The configured thresholds.
+    pub fn params(&self) -> ClusterLeaderParams {
+        self.params
+    }
+
+    /// Number of 0-signals counted since the current generation started.
+    pub fn tick_count(&self) -> u64 {
+        self.tick_count
+    }
+
+    /// Member promotions into the current generation counted so far.
+    pub fn gen_size(&self) -> u64 {
+        self.gen_size
+    }
+
+    /// Handles one member 0-signal (the `i = 0` branch, lines 4–9).
+    pub fn on_zero(&mut self) -> Option<ClusterTransition> {
+        self.tick_count += 1;
+        if self.phase == ClusterPhase::TwoChoices && self.tick_count >= self.params.sleep_threshold
+        {
+            self.phase = ClusterPhase::Sleeping;
+            return Some(ClusterTransition::Slept {
+                generation: self.generation,
+            });
+        }
+        if self.phase == ClusterPhase::Sleeping && self.tick_count >= self.params.prop_threshold {
+            self.phase = ClusterPhase::Propagation;
+            return Some(ClusterTransition::PropagationEnabled {
+                generation: self.generation,
+            });
+        }
+        None
+    }
+
+    /// Handles a member's promotion signal `(i, ·, hasChanged = true)`
+    /// (lines 10–15).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds the current generation (members cannot outrun
+    /// their leader's knowledge: they only promote with a leader's consent).
+    pub fn on_promoted(&mut self, i: u32) -> Option<ClusterTransition> {
+        assert!(
+            i <= self.generation,
+            "promotion signal {i} exceeds leader generation {}",
+            self.generation
+        );
+        if i == self.generation {
+            self.gen_size += 1;
+            if self.gen_size >= self.params.gen_size_threshold
+                && self.generation < self.params.generation_cap
+            {
+                self.generation += 1;
+                self.tick_count = 0;
+                self.gen_size = 0;
+                self.phase = ClusterPhase::TwoChoices;
+                return Some(ClusterTransition::GenerationAllowed {
+                    generation: self.generation,
+                });
+            }
+        }
+        None
+    }
+
+    /// Adopts a peer's `(generation, phase)` if lexicographically ahead
+    /// (line 1–3 of Algorithm 5; also used for the Section 4.2 broadcast).
+    ///
+    /// On adoption the tick counter is reset per line 3 (`t ← 0` when the
+    /// adopted phase is two-choices, else jumped to the corresponding
+    /// threshold), and the generation-size counter is cleared when the
+    /// generation advances (a fidelity fix: the paper's listing omits the
+    /// reset, which would double-count promotions across generations).
+    pub fn merge_from(&mut self, generation: u32, phase: ClusterPhase) -> Option<ClusterTransition> {
+        if lex_cmp((generation, phase), (self.generation, self.phase)) != Ordering::Greater {
+            return None;
+        }
+        if generation > self.generation {
+            self.gen_size = 0;
+        }
+        self.generation = generation;
+        self.phase = phase;
+        self.tick_count = match phase {
+            ClusterPhase::TwoChoices => 0,
+            ClusterPhase::Sleeping => self.params.sleep_threshold,
+            ClusterPhase::Propagation => self.params.prop_threshold,
+        };
+        Some(ClusterTransition::Synchronized { generation, phase })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ClusterLeaderParams {
+        ClusterLeaderParams {
+            sleep_threshold: 4,
+            prop_threshold: 10,
+            gen_size_threshold: 3,
+            generation_cap: 3,
+        }
+    }
+
+    #[test]
+    fn phases_progress_with_zero_signals() {
+        let mut l = ClusterLeaderState::new(params());
+        for _ in 0..3 {
+            assert_eq!(l.on_zero(), None);
+        }
+        assert_eq!(l.on_zero(), Some(ClusterTransition::Slept { generation: 1 }));
+        assert_eq!(l.phase(), ClusterPhase::Sleeping);
+        for _ in 0..5 {
+            assert_eq!(l.on_zero(), None);
+        }
+        assert_eq!(
+            l.on_zero(),
+            Some(ClusterTransition::PropagationEnabled { generation: 1 })
+        );
+        assert_eq!(l.phase(), ClusterPhase::Propagation);
+        // Extra zero signals do nothing further.
+        assert_eq!(l.on_zero(), None);
+    }
+
+    #[test]
+    fn promotions_birth_next_generation_and_reset() {
+        let mut l = ClusterLeaderState::new(params());
+        for _ in 0..10 {
+            l.on_zero();
+        }
+        assert_eq!(l.phase(), ClusterPhase::Propagation);
+        l.on_promoted(1);
+        l.on_promoted(1);
+        let t = l.on_promoted(1);
+        assert_eq!(t, Some(ClusterTransition::GenerationAllowed { generation: 2 }));
+        assert_eq!(l.phase(), ClusterPhase::TwoChoices);
+        assert_eq!(l.tick_count(), 0);
+        assert_eq!(l.gen_size(), 0);
+    }
+
+    #[test]
+    fn stale_promotions_ignored() {
+        let mut l = ClusterLeaderState::new(params());
+        for _ in 0..3 {
+            l.on_promoted(1);
+        }
+        assert_eq!(l.generation(), 2);
+        for _ in 0..10 {
+            assert_eq!(l.on_promoted(1), None);
+        }
+        assert_eq!(l.generation(), 2);
+    }
+
+    #[test]
+    fn cap_is_respected() {
+        let mut l = ClusterLeaderState::new(params());
+        for gen in 1..3 {
+            for _ in 0..3 {
+                l.on_promoted(gen);
+            }
+        }
+        assert_eq!(l.generation(), 3);
+        for _ in 0..10 {
+            assert_eq!(l.on_promoted(3), None);
+        }
+        assert_eq!(l.generation(), 3);
+    }
+
+    #[test]
+    fn merge_adopts_only_lex_greater() {
+        let mut l = ClusterLeaderState::new(params());
+        // Same state: no-op.
+        assert_eq!(l.merge_from(1, ClusterPhase::TwoChoices), None);
+        // Phase ahead within same generation.
+        let t = l.merge_from(1, ClusterPhase::Sleeping);
+        assert_eq!(
+            t,
+            Some(ClusterTransition::Synchronized {
+                generation: 1,
+                phase: ClusterPhase::Sleeping
+            })
+        );
+        assert_eq!(l.tick_count(), 4); // jumped to sleep threshold
+        // Generation ahead beats phase.
+        l.merge_from(2, ClusterPhase::TwoChoices);
+        assert_eq!(l.generation(), 2);
+        assert_eq!(l.phase(), ClusterPhase::TwoChoices);
+        assert_eq!(l.tick_count(), 0);
+        // Lex-smaller states are rejected.
+        assert_eq!(l.merge_from(1, ClusterPhase::Propagation), None);
+        assert_eq!(l.generation(), 2);
+    }
+
+    #[test]
+    fn merge_resets_gen_size_on_generation_advance() {
+        let mut l = ClusterLeaderState::new(params());
+        l.on_promoted(1);
+        l.on_promoted(1);
+        assert_eq!(l.gen_size(), 2);
+        l.merge_from(2, ClusterPhase::TwoChoices);
+        assert_eq!(l.gen_size(), 0, "stale promotions must not carry over");
+        // One more promotion for gen 2 is not enough to advance now.
+        assert_eq!(l.on_promoted(2), None);
+        assert_eq!(l.generation(), 2);
+    }
+
+    #[test]
+    fn merge_into_propagation_jumps_tick_counter() {
+        let mut l = ClusterLeaderState::new(params());
+        l.merge_from(1, ClusterPhase::Propagation);
+        assert_eq!(l.tick_count(), 10);
+        // Subsequent zeros do not re-fire transitions.
+        assert_eq!(l.on_zero(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds leader generation")]
+    fn future_promotion_panics() {
+        let mut l = ClusterLeaderState::new(params());
+        l.on_promoted(2);
+    }
+
+    #[test]
+    fn phase_ordering_matches_paper_states() {
+        assert!(ClusterPhase::TwoChoices < ClusterPhase::Sleeping);
+        assert!(ClusterPhase::Sleeping < ClusterPhase::Propagation);
+        assert_eq!(ClusterPhase::TwoChoices.as_state(), 1);
+        assert_eq!(ClusterPhase::Sleeping.as_state(), 2);
+        assert_eq!(ClusterPhase::Propagation.as_state(), 3);
+    }
+}

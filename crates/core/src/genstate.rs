@@ -1,0 +1,287 @@
+//! Generation × color bookkeeping shared by all generation-based engines.
+//!
+//! The analysis of the paper is phrased entirely in terms of the quantities
+//! tracked here: `g_t(i)` (fraction of nodes in generation `i`), `c_{j,i,t}`
+//! (color fractions inside a generation), the per-generation bias
+//! `α_{i,t}` and the collision probability `p_{i,t} = Σ_j c²_{j,i,t}`
+//! (Section 2.2). [`GenerationTable`] maintains these incrementally so the
+//! simulation engines can expose them at any time in `O(k)` per query.
+
+use crate::opinion::{Opinion, OpinionCounts};
+
+/// Incremental `generation → color → count` table for `n` nodes.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_core::GenerationTable;
+/// let mut t = GenerationTable::new(2);
+/// t.insert(0, 0);
+/// t.insert(0, 1);
+/// t.insert(0, 0);
+/// assert_eq!(t.n(), 3);
+/// assert_eq!(t.bias_in(0), Some(2.0));
+/// t.transfer(0, 1, 1, 0); // node moves to generation 1 adopting color 0
+/// assert_eq!(t.max_generation(), 1);
+/// assert!(t.is_monochromatic());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GenerationTable {
+    k: usize,
+    /// `counts[g][c]` = number of nodes in generation `g` with color `c`.
+    counts: Vec<Vec<u64>>,
+    /// `totals[g]` = number of nodes in generation `g`.
+    totals: Vec<u64>,
+    /// Global support per color.
+    color_totals: Vec<u64>,
+    n: u64,
+    max_generation: u32,
+}
+
+impl GenerationTable {
+    /// Creates an empty table for `k` colors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: usize) -> Self {
+        assert!(k > 0, "GenerationTable: k must be positive");
+        Self {
+            k,
+            counts: vec![vec![0; k]],
+            totals: vec![0],
+            color_totals: vec![0; k],
+            n: 0,
+            max_generation: 0,
+        }
+    }
+
+    /// Builds a table from parallel generation/color state slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices differ in length or a color index is `≥ k`.
+    pub fn from_states(gens: &[u32], cols: &[u32], k: usize) -> Self {
+        assert_eq!(gens.len(), cols.len(), "state slices must match");
+        let mut table = Self::new(k);
+        for (&g, &c) in gens.iter().zip(cols) {
+            table.insert(g, c);
+        }
+        table
+    }
+
+    fn ensure_generation(&mut self, g: u32) {
+        while self.counts.len() <= g as usize {
+            self.counts.push(vec![0; self.k]);
+            self.totals.push(0);
+        }
+        if g > self.max_generation {
+            self.max_generation = g;
+        }
+    }
+
+    /// Number of colors.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Total number of nodes.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The highest generation that has ever held a node.
+    pub fn max_generation(&self) -> u32 {
+        self.max_generation
+    }
+
+    /// Adds a node in generation `g` with color `c`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c ≥ k`.
+    pub fn insert(&mut self, g: u32, c: u32) {
+        assert!((c as usize) < self.k, "color {c} out of range");
+        self.ensure_generation(g);
+        self.counts[g as usize][c as usize] += 1;
+        self.totals[g as usize] += 1;
+        self.color_totals[c as usize] += 1;
+        self.n += 1;
+    }
+
+    /// Moves one node from `(from_gen, from_col)` to `(to_gen, to_col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there is no node at the source cell or a color is `≥ k`.
+    pub fn transfer(&mut self, from_gen: u32, from_col: u32, to_gen: u32, to_col: u32) {
+        assert!((from_col as usize) < self.k, "color {from_col} out of range");
+        assert!((to_col as usize) < self.k, "color {to_col} out of range");
+        let src = &mut self.counts[from_gen as usize][from_col as usize];
+        assert!(
+            *src > 0,
+            "transfer from empty cell (gen {from_gen}, col {from_col})"
+        );
+        *src -= 1;
+        self.totals[from_gen as usize] -= 1;
+        self.color_totals[from_col as usize] -= 1;
+        self.ensure_generation(to_gen);
+        self.counts[to_gen as usize][to_col as usize] += 1;
+        self.totals[to_gen as usize] += 1;
+        self.color_totals[to_col as usize] += 1;
+    }
+
+    /// Number of nodes in generation `g` (0 if never populated).
+    pub fn generation_total(&self, g: u32) -> u64 {
+        self.totals.get(g as usize).copied().unwrap_or(0)
+    }
+
+    /// Fraction of all nodes in generation `g`.
+    pub fn fraction_in(&self, g: u32) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.generation_total(g) as f64 / self.n as f64
+        }
+    }
+
+    /// Color counts inside generation `g` as an [`OpinionCounts`].
+    pub fn counts_in(&self, g: u32) -> OpinionCounts {
+        match self.counts.get(g as usize) {
+            Some(row) => OpinionCounts::from_counts(row.clone()),
+            None => OpinionCounts::zeros(self.k),
+        }
+    }
+
+    /// Bias `α_{g} = c_a / c_b` inside generation `g` (see
+    /// [`OpinionCounts::bias`]); `None` if the generation is empty or
+    /// `k < 2`.
+    pub fn bias_in(&self, g: u32) -> Option<f64> {
+        if self.generation_total(g) == 0 {
+            return None;
+        }
+        self.counts_in(g).bias()
+    }
+
+    /// Collision probability `p_g = Σ_j c²_{j,g}` inside generation `g`
+    /// (0 for an empty generation).
+    pub fn collision_in(&self, g: u32) -> f64 {
+        let total = self.generation_total(g);
+        if total == 0 {
+            return 0.0;
+        }
+        let row = &self.counts[g as usize];
+        let t = total as f64;
+        row.iter()
+            .map(|&c| {
+                let f = c as f64 / t;
+                f * f
+            })
+            .sum()
+    }
+
+    /// Global support of `color`.
+    pub fn color_support(&self, color: Opinion) -> u64 {
+        self.color_totals[color.index() as usize]
+    }
+
+    /// The largest global support of any color.
+    pub fn max_color_support(&self) -> u64 {
+        self.color_totals.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Global color counts.
+    pub fn global_counts(&self) -> OpinionCounts {
+        OpinionCounts::from_counts(self.color_totals.clone())
+    }
+
+    /// Whether all nodes share one color.
+    pub fn is_monochromatic(&self) -> bool {
+        self.n > 0 && self.max_color_support() == self.n
+    }
+
+    /// Total nodes in generations `≥ g`.
+    pub fn total_at_or_above(&self, g: u32) -> u64 {
+        self.totals.iter().skip(g as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_query() {
+        let mut t = GenerationTable::new(3);
+        t.insert(0, 0);
+        t.insert(0, 0);
+        t.insert(0, 1);
+        t.insert(2, 2); // skipping generation 1 is allowed
+        assert_eq!(t.n(), 4);
+        assert_eq!(t.max_generation(), 2);
+        assert_eq!(t.generation_total(0), 3);
+        assert_eq!(t.generation_total(1), 0);
+        assert_eq!(t.generation_total(2), 1);
+        assert_eq!(t.fraction_in(0), 0.75);
+        assert_eq!(t.color_support(Opinion::new(0)), 2);
+    }
+
+    #[test]
+    fn transfer_conserves_population() {
+        let mut t = GenerationTable::new(2);
+        for _ in 0..10 {
+            t.insert(0, 1);
+        }
+        t.transfer(0, 1, 1, 0);
+        t.transfer(0, 1, 1, 0);
+        assert_eq!(t.n(), 10);
+        assert_eq!(t.generation_total(0), 8);
+        assert_eq!(t.generation_total(1), 2);
+        assert_eq!(t.color_support(Opinion::new(0)), 2);
+        assert_eq!(t.color_support(Opinion::new(1)), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "transfer from empty cell")]
+    fn transfer_from_empty_panics() {
+        let mut t = GenerationTable::new(2);
+        t.transfer(0, 0, 1, 0);
+    }
+
+    #[test]
+    fn bias_and_collision() {
+        let mut t = GenerationTable::new(2);
+        for _ in 0..6 {
+            t.insert(1, 0);
+        }
+        for _ in 0..3 {
+            t.insert(1, 1);
+        }
+        assert_eq!(t.bias_in(1), Some(2.0));
+        // p = (2/3)² + (1/3)² = 5/9
+        assert!((t.collision_in(1) - 5.0 / 9.0).abs() < 1e-12);
+        assert_eq!(t.bias_in(0), None);
+        assert_eq!(t.collision_in(0), 0.0);
+    }
+
+    #[test]
+    fn monochromatic_detection() {
+        let mut t = GenerationTable::new(2);
+        t.insert(0, 1);
+        t.insert(3, 1);
+        assert!(t.is_monochromatic());
+        t.insert(1, 0);
+        assert!(!t.is_monochromatic());
+    }
+
+    #[test]
+    fn from_states_matches_manual_inserts() {
+        let gens = [0, 1, 1, 2];
+        let cols = [0, 1, 1, 0];
+        let t = GenerationTable::from_states(&gens, &cols, 2);
+        assert_eq!(t.n(), 4);
+        assert_eq!(t.generation_total(1), 2);
+        assert_eq!(t.color_support(Opinion::new(1)), 2);
+        assert_eq!(t.total_at_or_above(1), 3);
+    }
+}

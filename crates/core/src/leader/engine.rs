@@ -1,0 +1,712 @@
+//! Event-driven execution of the single-leader asynchronous protocol
+//! (Algorithms 2 + 3) in the Poisson clock model with edge latencies.
+//!
+//! Every node ticks at rate 1. At each tick it fires a 0-signal towards the
+//! leader (subject to one latency for travel) and — if it is not locked by a
+//! previous attempt — opens channels to two uniform peers in parallel and
+//! then to the leader (`T′2 = max(T2, T2) + T2`). When the channels complete
+//! it reads the *current* states of the peers and the leader, applies the
+//! decision rule of [`crate::leader::decide`], possibly promotes itself, and
+//! notifies the leader with a gen-signal (again subject to travel latency).
+
+use crate::genstate::GenerationTable;
+use crate::leader::node::{decide, NodeDecision, NodeView, SampleView};
+use crate::leader::state::{LeaderParams, LeaderState, LeaderTransition, Signal};
+use crate::opinion::InitialAssignment;
+use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcome};
+use crate::sync::{generations_needed, GENERATION_CAP};
+use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
+use plurality_dist::{ChannelPattern, Latency, WaitingTime};
+use plurality_sim::{EventQueue, PoissonClock, Series};
+use rand::Rng;
+
+/// Configuration for a single-leader asynchronous run. Construct with
+/// [`LeaderConfig::new`] and chain the `with_*` setters.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_core::leader::LeaderConfig;
+/// use plurality_core::InitialAssignment;
+/// use plurality_dist::Latency;
+///
+/// let assignment = InitialAssignment::with_bias(1_500, 2, 3.0).unwrap();
+/// let result = LeaderConfig::new(assignment)
+///     .with_latency(Latency::exponential(1.0).unwrap())
+///     .with_seed(3)
+///     .run();
+/// assert!(result.outcome.epsilon_time.is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaderConfig {
+    assignment: InitialAssignment,
+    latency: Latency,
+    epsilon: f64,
+    seed: u64,
+    record: RecordLevel,
+    max_time: Option<f64>,
+    steps_per_unit: Option<f64>,
+    two_choices_units: f64,
+    generation_cap: Option<u32>,
+    alpha_hint: Option<f64>,
+    gen_size_fraction: f64,
+    signal_loss: f64,
+    straggler_fraction: f64,
+    straggler_rate: f64,
+}
+
+impl LeaderConfig {
+    /// Creates a configuration with defaults: exponential latency with rate
+    /// 1, `ε = 0.05`, two-choices window of 2 time units, generation-size
+    /// threshold `n/2`, seed 0.
+    pub fn new(assignment: InitialAssignment) -> Self {
+        Self {
+            assignment,
+            latency: Latency::exponential(1.0).expect("rate 1 valid"),
+            epsilon: 0.05,
+            seed: 0,
+            record: RecordLevel::Generations,
+            max_time: None,
+            steps_per_unit: None,
+            two_choices_units: 2.0,
+            generation_cap: None,
+            alpha_hint: None,
+            gen_size_fraction: 0.5,
+            signal_loss: 0.0,
+            straggler_fraction: 0.0,
+            straggler_rate: 1.0,
+        }
+    }
+
+    /// Failure injection: drops each 0-/gen-signal towards the leader
+    /// independently with probability `loss` (default 0). The protocol
+    /// tolerates moderate loss — the `n/2` gen-size threshold still fires
+    /// as long as more than half the promotion signals get through — and
+    /// stalls gracefully beyond that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `loss ∉ [0, 1]`.
+    pub fn with_signal_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..=1.0).contains(&loss), "signal_loss must lie in [0, 1]");
+        self.signal_loss = loss;
+        self
+    }
+
+    /// Failure injection: makes a `fraction` of the nodes tick at `rate`
+    /// instead of rate 1 (default: none). Models stragglers with slow
+    /// clocks; the model's whp. statements assume unit rate, so this knob
+    /// probes how much heterogeneity the protocol absorbs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction ∉ [0, 1]` or `rate` is not positive and finite.
+    pub fn with_stragglers(mut self, fraction: f64, rate: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&fraction),
+            "straggler_fraction must lie in [0, 1]"
+        );
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "straggler_rate must be positive and finite"
+        );
+        self.straggler_fraction = fraction;
+        self.straggler_rate = rate;
+        self
+    }
+
+    /// Sets the channel-establishment latency law (default `Exp(1)`).
+    pub fn with_latency(mut self, latency: Latency) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets ε for ε-convergence reporting (default 0.05).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ [0, 1]`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must lie in [0, 1]");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the telemetry level (default [`RecordLevel::Generations`]).
+    pub fn with_record(mut self, record: RecordLevel) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Caps the simulated time in time *steps* (default: derived bound).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_time` is not positive.
+    pub fn with_max_time(mut self, max_time: f64) -> Self {
+        assert!(max_time > 0.0, "max_time must be positive");
+        self.max_time = Some(max_time);
+        self
+    }
+
+    /// Overrides the time-unit length `C1` in steps (default: Monte-Carlo
+    /// estimate of `F⁻¹(0.9)` for the configured latency).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c1` is not positive.
+    pub fn with_steps_per_unit(mut self, c1: f64) -> Self {
+        assert!(c1 > 0.0, "steps_per_unit must be positive");
+        self.steps_per_unit = Some(c1);
+        self
+    }
+
+    /// Sets the length of the two-choices window in time units (the paper's
+    /// constant 2 in `C3 = C1(2 + log n/√n)`, Proposition 16).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `units` is not positive.
+    pub fn with_two_choices_units(mut self, units: f64) -> Self {
+        assert!(units > 0.0, "two_choices_units must be positive");
+        self.two_choices_units = units;
+        self
+    }
+
+    /// Overrides the generation cap `⌈log log_α n⌉`.
+    pub fn with_generation_cap(mut self, cap: u32) -> Self {
+        self.generation_cap = Some(cap);
+        self
+    }
+
+    /// Overrides the bias `α₀` used for the generation cap.
+    pub fn with_alpha_hint(mut self, alpha: f64) -> Self {
+        self.alpha_hint = Some(alpha);
+        self
+    }
+
+    /// Sets the gen-size threshold as a fraction of `n` (default 1/2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction ∉ (0, 1]`.
+    pub fn with_gen_size_fraction(mut self, fraction: f64) -> Self {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "gen_size_fraction must lie in (0, 1]"
+        );
+        self.gen_size_fraction = fraction;
+        self
+    }
+
+    /// Runs the protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment materializes fewer than 2 nodes.
+    pub fn run(&self) -> LeaderResult {
+        run_leader(self)
+    }
+}
+
+/// Per-generation phase telemetry of the leader (Figure 2's `t̂` marks in
+/// the single-leader setting; used by experiments E5–E7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GenerationPhase {
+    /// The generation.
+    pub generation: u32,
+    /// When the leader allowed this generation (`gen ← generation`).
+    pub allowed_at: f64,
+    /// When a node first promoted itself into it.
+    pub first_promotion_at: Option<f64>,
+    /// When the leader opened propagation for it.
+    pub propagation_at: Option<f64>,
+}
+
+/// Result of a single-leader asynchronous run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaderResult {
+    /// Common outcome report. Generation `bias` fields are measured when the
+    /// propagation window opens (the paper's `α_{i, t_i + t′}`, Lemma 22).
+    pub outcome: RunOutcome,
+    /// The time-unit length `C1` (steps) used to derive leader thresholds.
+    pub steps_per_unit: f64,
+    /// Per-generation leader phase telemetry.
+    pub phases: Vec<GenerationPhase>,
+    /// Total clock ticks processed.
+    pub ticks: u64,
+    /// Ticks that initiated an interaction (node not locked).
+    pub good_ticks: u64,
+    /// Number of promotions via the two-choices rule.
+    pub two_choices_promotions: u64,
+    /// Number of adoptions via propagation.
+    pub propagation_promotions: u64,
+    /// Winner-fraction time series (only at [`RecordLevel::Full`]).
+    pub winner_fraction: Option<Series>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum Event {
+    Tick(u32),
+    OpComplete { v: u32, a: u32, b: u32 },
+    LeaderSignal(Signal),
+}
+
+fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
+    let mut rng = Xoshiro256PlusPlus::from_u64(cfg.seed);
+    let opinions = cfg.assignment.materialize(&mut rng);
+    let n = opinions.len();
+    assert!(n >= 2, "single-leader run needs at least 2 nodes");
+    let k = cfg.assignment.k() as usize;
+
+    let mut cols: Vec<u32> = opinions.iter().map(|o| o.index()).collect();
+    let mut gens: Vec<u32> = vec![0; n];
+    let mut locked: Vec<bool> = vec![false; n];
+    // Stored leader state; starts stale (leader starts at gen 1).
+    let mut seen_gen: Vec<u32> = vec![0; n];
+    let mut seen_prop: Vec<bool> = vec![false; n];
+
+    let mut table = GenerationTable::from_states(&gens, &cols, k);
+    let initial_counts = table.global_counts();
+    let initial_winner = initial_counts.winner().expect("non-empty population");
+    let initial_bias = initial_counts.bias().unwrap_or(f64::INFINITY);
+
+    let waiting = WaitingTime::new(cfg.latency, ChannelPattern::SingleLeader);
+    let c1 = cfg
+        .steps_per_unit
+        .unwrap_or_else(|| waiting.time_unit(20_000, derive_seed(cfg.seed, 0xC1)));
+
+    let alpha = cfg.alpha_hint.unwrap_or(if initial_bias.is_finite() {
+        initial_bias.max(1.0)
+    } else {
+        2.0
+    });
+    let cap = cfg
+        .generation_cap
+        .unwrap_or_else(|| generations_needed(n as u64, alpha, GENERATION_CAP));
+
+    let nf = n as f64;
+    let zero_signal_threshold =
+        (nf * c1 * (cfg.two_choices_units + nf.ln() / nf.sqrt())).ceil() as u64;
+    let gen_size_threshold = (nf * cfg.gen_size_fraction).ceil() as u64;
+    let mut leader = LeaderState::new(LeaderParams {
+        zero_signal_threshold,
+        gen_size_threshold,
+        generation_cap: cap,
+    });
+
+    let max_time = cfg.max_time.unwrap_or_else(|| {
+        let units = (cap as f64 + 2.0) * (2.0 * (k as f64 + 2.0).log2() + 12.0);
+        c1 * units + 10.0 * nf.ln() + 100.0
+    });
+
+    let mut tracker = ConvergenceTracker::new(n as u64, initial_winner, cfg.epsilon);
+    tracker.observe(
+        0.0,
+        table.color_support(initial_winner),
+        table.max_color_support(),
+    );
+
+    let mut phases = vec![GenerationPhase {
+        generation: 1,
+        allowed_at: 0.0,
+        first_promotion_at: None,
+        propagation_at: None,
+    }];
+    let mut births: Vec<GenerationBirth> = Vec::new();
+    let mut winner_series = matches!(cfg.record, RecordLevel::Full).then(|| {
+        let mut s = Series::new("winner_fraction");
+        s.push(0.0, initial_counts.fraction(initial_winner));
+        s
+    });
+    let mut next_sample = 1.0f64;
+
+    let clock = PoissonClock::unit_rate();
+    let straggler_count = (cfg.straggler_fraction * nf).round() as usize;
+    let straggler_clock = PoissonClock::new(cfg.straggler_rate).expect("validated rate");
+    let node_clock =
+        |v: usize| -> &PoissonClock { if v < straggler_count { &straggler_clock } else { &clock } };
+    let mut queue: EventQueue<Event> = EventQueue::with_capacity(2 * n);
+    for v in 0..n {
+        let t = node_clock(v).next_tick(0.0, &mut rng);
+        queue.schedule(t, Event::Tick(v as u32));
+    }
+
+    let mut ticks = 0u64;
+    let mut good_ticks = 0u64;
+    let mut two_choices_promotions = 0u64;
+    let mut propagation_promotions = 0u64;
+    let mut end_time = 0.0f64;
+
+    let done_at_start = table.is_monochromatic();
+    while !done_at_start {
+        let Some((now, event)) = queue.pop() else {
+            break;
+        };
+        if now > max_time {
+            end_time = max_time;
+            break;
+        }
+        end_time = now;
+        if let Some(series) = winner_series.as_mut() {
+            if now >= next_sample {
+                series.push(
+                    now,
+                    table.color_support(initial_winner) as f64 / nf,
+                );
+                next_sample = now.floor() + 1.0;
+            }
+        }
+        match event {
+            Event::Tick(v) => {
+                ticks += 1;
+                queue.schedule(
+                    node_clock(v as usize).next_tick(now, &mut rng),
+                    Event::Tick(v),
+                );
+                // Line 1: the 0-signal travels one latency, without locking.
+                // Injected failure: the signal may be lost in transit.
+                if cfg.signal_loss == 0.0 || rng.gen::<f64>() >= cfg.signal_loss {
+                    let travel = cfg.latency.sample(&mut rng);
+                    queue.schedule(now + travel, Event::LeaderSignal(Signal::Zero));
+                }
+                let vi = v as usize;
+                if !locked[vi] {
+                    good_ticks += 1;
+                    locked[vi] = true;
+                    let a = rng.gen_range(0..n) as u32;
+                    let b = rng.gen_range(0..n) as u32;
+                    let phase = waiting.sample_channel_phase(&mut rng);
+                    queue.schedule(now + phase, Event::OpComplete { v, a, b });
+                }
+            }
+            Event::OpComplete { v, a, b } => {
+                let vi = v as usize;
+                let node = NodeView {
+                    gen: gens[vi],
+                    col: cols[vi],
+                    seen_gen: seen_gen[vi],
+                    seen_prop: seen_prop[vi],
+                };
+                let s1 = SampleView {
+                    gen: gens[a as usize],
+                    col: cols[a as usize],
+                };
+                let s2 = SampleView {
+                    gen: gens[b as usize],
+                    col: cols[b as usize],
+                };
+                match decide(node, s1, s2, leader.generation(), leader.propagation()) {
+                    NodeDecision::Refresh => {
+                        seen_gen[vi] = leader.generation();
+                        seen_prop[vi] = leader.propagation();
+                    }
+                    NodeDecision::Adopt {
+                        gen,
+                        col,
+                        via_two_choices,
+                    } => {
+                        let (old_gen, old_col) = (gens[vi], cols[vi]);
+                        let is_birth = gen > table.max_generation();
+                        let parent_bias = if is_birth {
+                            table.bias_in(gen - 1).unwrap_or(f64::INFINITY)
+                        } else {
+                            0.0
+                        };
+                        let parent_collision =
+                            if is_birth { table.collision_in(gen - 1) } else { 0.0 };
+                        if (gen, col) != (old_gen, old_col) {
+                            table.transfer(old_gen, old_col, gen, col);
+                            gens[vi] = gen;
+                            cols[vi] = col;
+                        }
+                        if via_two_choices {
+                            two_choices_promotions += 1;
+                        } else {
+                            propagation_promotions += 1;
+                        }
+                        if is_birth && !matches!(cfg.record, RecordLevel::Outcome) {
+                            births.push(GenerationBirth {
+                                generation: gen,
+                                time: now,
+                                // Filled in when propagation opens (Lemma 22
+                                // measures α at t_i + t′); meanwhile: current.
+                                bias: f64::INFINITY,
+                                parent_bias,
+                                initial_fraction: table.fraction_in(gen),
+                                parent_collision,
+                            });
+                        }
+                        if is_birth {
+                            if let Some(p) =
+                                phases.iter_mut().find(|p| p.generation == gen)
+                            {
+                                p.first_promotion_at.get_or_insert(now);
+                            }
+                        }
+                        if gen > old_gen
+                            && (cfg.signal_loss == 0.0
+                                || rng.gen::<f64>() >= cfg.signal_loss)
+                        {
+                            let travel = cfg.latency.sample(&mut rng);
+                            queue.schedule(
+                                now + travel,
+                                Event::LeaderSignal(Signal::Generation(gen)),
+                            );
+                        }
+                        tracker.observe(
+                            now,
+                            table.color_support(initial_winner),
+                            table.max_color_support(),
+                        );
+                        if table.is_monochromatic() {
+                            locked[vi] = false;
+                            break;
+                        }
+                    }
+                    NodeDecision::Nothing => {}
+                }
+                locked[vi] = false;
+            }
+            Event::LeaderSignal(signal) => {
+                if let Some(transition) = leader.on_signal(signal) {
+                    match transition {
+                        LeaderTransition::PropagationEnabled { generation } => {
+                            if let Some(p) =
+                                phases.iter_mut().find(|p| p.generation == generation)
+                            {
+                                p.propagation_at.get_or_insert(now);
+                            }
+                            // Lemma 22: measure the new generation's bias at
+                            // the start of its propagation phase.
+                            if let Some(b) = births
+                                .iter_mut()
+                                .find(|b| b.generation == generation)
+                            {
+                                b.bias =
+                                    table.bias_in(generation).unwrap_or(f64::INFINITY);
+                            }
+                        }
+                        LeaderTransition::GenerationAllowed { generation } => {
+                            phases.push(GenerationPhase {
+                                generation,
+                                allowed_at: now,
+                                first_promotion_at: None,
+                                propagation_at: None,
+                            });
+                            // If generation g−1 matured without its
+                            // propagation window ever opening (possible for
+                            // small k, where two-choices alone reaches the
+                            // n/2 threshold), measure its bias now.
+                            if generation >= 2 {
+                                if let Some(b) = births
+                                    .iter_mut()
+                                    .find(|b| b.generation == generation - 1)
+                                {
+                                    if !b.bias.is_finite() {
+                                        b.bias = table
+                                            .bias_in(generation - 1)
+                                            .unwrap_or(f64::INFINITY);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    let outcome = RunOutcome {
+        n: n as u64,
+        k: k as u32,
+        initial_winner,
+        initial_bias,
+        final_counts: table.global_counts(),
+        epsilon_time: tracker.epsilon_time(),
+        consensus_time: tracker.consensus_time(),
+        duration: end_time,
+        generations: births,
+    };
+    LeaderResult {
+        outcome,
+        steps_per_unit: c1,
+        phases,
+        ticks,
+        good_ticks,
+        two_choices_promotions,
+        propagation_promotions,
+        winner_fraction: winner_series,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opinion::Opinion;
+
+    fn quick_config(n: u64, k: u32, alpha: f64, seed: u64) -> LeaderConfig {
+        let assignment = InitialAssignment::with_bias(n, k, alpha).unwrap();
+        LeaderConfig::new(assignment)
+            .with_seed(seed)
+            .with_steps_per_unit(9.3) // skip the MC estimate in tests
+    }
+
+    #[test]
+    fn converges_to_plurality_with_large_bias() {
+        let result = quick_config(1_500, 2, 3.0, 1).run();
+        assert!(result.outcome.epsilon_time.is_some(), "no ε-convergence");
+        assert!(
+            result.outcome.consensus_time.is_some(),
+            "no full consensus (duration {})",
+            result.outcome.duration
+        );
+        assert!(result.outcome.plurality_preserved());
+        assert_eq!(result.outcome.winner(), Some(Opinion::new(0)));
+    }
+
+    #[test]
+    fn epsilon_no_later_than_consensus() {
+        let result = quick_config(1_000, 3, 2.5, 2).run();
+        let (eps, full) = (
+            result.outcome.epsilon_time.unwrap(),
+            result.outcome.consensus_time.unwrap(),
+        );
+        assert!(eps <= full, "eps {eps} > full {full}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let r1 = quick_config(600, 2, 2.0, 42).run();
+        let r2 = quick_config(600, 2, 2.0, 42).run();
+        assert_eq!(r1, r2);
+    }
+
+    #[test]
+    fn two_choices_precede_propagation_per_generation() {
+        let result = quick_config(2_000, 2, 2.0, 3).run();
+        for p in &result.phases {
+            if let (Some(first), Some(prop)) = (p.first_promotion_at, p.propagation_at) {
+                assert!(
+                    p.allowed_at <= first,
+                    "gen {} promoted before allowed",
+                    p.generation
+                );
+                assert!(
+                    first < prop,
+                    "gen {}: first promotion after propagation opened",
+                    p.generation
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn generations_allowed_in_order() {
+        let result = quick_config(2_000, 2, 2.0, 4).run();
+        for (i, p) in result.phases.iter().enumerate() {
+            assert_eq!(p.generation, i as u32 + 1);
+        }
+        for w in result.phases.windows(2) {
+            assert!(w[0].allowed_at <= w[1].allowed_at);
+        }
+    }
+
+    #[test]
+    fn both_promotion_mechanisms_fire() {
+        let result = quick_config(2_000, 2, 2.0, 5).run();
+        assert!(result.two_choices_promotions > 0, "no two-choices promotions");
+        assert!(result.propagation_promotions > 0, "no propagation promotions");
+        assert!(result.good_ticks <= result.ticks);
+    }
+
+    #[test]
+    fn monochromatic_start_ends_immediately() {
+        let assignment = InitialAssignment::Exact(vec![300, 0]);
+        let result = LeaderConfig::new(assignment)
+            .with_seed(6)
+            .with_steps_per_unit(9.3)
+            .run();
+        assert_eq!(result.outcome.consensus_time, Some(0.0));
+        assert_eq!(result.ticks, 0);
+    }
+
+    #[test]
+    fn full_record_produces_series() {
+        let result = quick_config(800, 2, 3.0, 7);
+        let result = result.with_record(RecordLevel::Full).run();
+        let series = result.winner_fraction.expect("series recorded");
+        assert!(series.len() > 1);
+        assert!(series.last_value().unwrap() > 0.9);
+    }
+
+    #[test]
+    fn respects_max_time() {
+        let assignment = InitialAssignment::with_bias(500, 2, 1.01).unwrap();
+        let result = LeaderConfig::new(assignment)
+            .with_seed(8)
+            .with_steps_per_unit(9.3)
+            .with_max_time(5.0)
+            .run();
+        assert!(result.outcome.duration <= 5.0 + 1e-9);
+    }
+
+    #[test]
+    fn tolerates_moderate_signal_loss() {
+        // 30% loss: the gen-size threshold n/2 still fires (≈ 0.7·n
+        // promotion signals arrive per generation).
+        let result = quick_config(1_500, 2, 3.0, 31)
+            .with_signal_loss(0.3)
+            .run();
+        assert!(result.outcome.consensus_time.is_some(), "did not converge");
+        assert!(result.outcome.plurality_preserved());
+    }
+
+    #[test]
+    fn extreme_signal_loss_stalls_generation_progress() {
+        // 90% loss: only ≈ 0.1·n gen-signals arrive, below the n/2
+        // threshold — the leader can never allow generation 2.
+        let result = quick_config(800, 2, 3.0, 32)
+            .with_signal_loss(0.9)
+            .with_max_time(120.0)
+            .run();
+        assert!(result.phases.len() <= 1, "generation advanced despite loss");
+    }
+
+    #[test]
+    fn tolerates_straggler_clocks() {
+        // 20% of nodes tick at a tenth of the rate: slower but safe.
+        let fast = quick_config(1_500, 2, 3.0, 33).run();
+        let slow = quick_config(1_500, 2, 3.0, 33)
+            .with_stragglers(0.2, 0.1)
+            .run();
+        assert!(slow.outcome.plurality_preserved());
+        let (f, s) = (
+            fast.outcome.consensus_time.expect("fast converges"),
+            slow.outcome.consensus_time.expect("slow converges"),
+        );
+        assert!(s > f, "stragglers should slow full consensus: {s} ≤ {f}");
+    }
+
+    #[test]
+    fn bias_grows_across_generations() {
+        let result = quick_config(30_000, 2, 1.5, 9).run();
+        let finite: Vec<f64> = result
+            .outcome
+            .generations
+            .iter()
+            .map(|b| b.bias)
+            .take_while(|b| b.is_finite())
+            .collect();
+        assert!(finite.len() >= 2, "need ≥ 2 measured generations");
+        for w in finite.windows(2) {
+            assert!(w[1] > w[0], "bias not growing: {finite:?}");
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! A node's decision rule (Algorithm 2, lines 5–14), as a pure function.
+//!
+//! When a node's three channels (two random peers, then the leader) complete,
+//! it compares the leader's current `(gen, prop)` against the values it
+//! stored at the previous successful communication (`l.gen`, `l.prop`). Only
+//! if they coincide may it act — this guard is what separates the
+//! two-choices window from the propagation window of each generation and
+//! prevents the two promotion mechanisms from interleaving. On a mismatch
+//! the node merely refreshes its stored copy.
+
+/// What a node sees of itself when deciding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeView {
+    /// Own generation.
+    pub gen: u32,
+    /// Own color.
+    pub col: u32,
+    /// Leader generation stored at the last communication.
+    pub seen_gen: u32,
+    /// Leader propagation bit stored at the last communication.
+    pub seen_prop: bool,
+}
+
+/// What a node sees of one sampled peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SampleView {
+    /// Peer generation.
+    pub gen: u32,
+    /// Peer color.
+    pub col: u32,
+}
+
+/// The action a node takes at the end of an interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeDecision {
+    /// Adopt `(gen, col)`. `via_two_choices` distinguishes the two
+    /// promotion mechanisms for telemetry.
+    Adopt {
+        /// New generation.
+        gen: u32,
+        /// New color.
+        col: u32,
+        /// Whether the two-choices rule (line 6) fired, as opposed to
+        /// propagation (line 9).
+        via_two_choices: bool,
+    },
+    /// Stored leader state was stale: update `(seen_gen, seen_prop)` to the
+    /// leader's current values and do nothing else (lines 13–14).
+    Refresh,
+    /// In sync with the leader but no rule applies.
+    Nothing,
+}
+
+/// Decides a node's action given its two samples and the leader's current
+/// state (Algorithm 2, lines 5–14).
+pub fn decide(
+    node: NodeView,
+    s1: SampleView,
+    s2: SampleView,
+    leader_gen: u32,
+    leader_prop: bool,
+) -> NodeDecision {
+    // Line 5: the stored leader state must coincide with the current one.
+    if node.seen_gen != leader_gen || node.seen_prop != leader_prop {
+        return NodeDecision::Refresh;
+    }
+    // Line 6: two-choices — both samples one below the allowed generation,
+    // agreeing on a color, while the two-choices window is open.
+    if !leader_prop
+        && leader_gen >= 1
+        && s1.gen == s2.gen
+        && s1.gen + 1 == leader_gen
+        && s1.col == s2.col
+    {
+        return NodeDecision::Adopt {
+            gen: leader_gen,
+            col: s1.col,
+            via_two_choices: true,
+        };
+    }
+    // Line 9: propagation — adopt from a strictly higher-generation sample
+    // v̄ provided gen(v̄) < gen (an older, settled generation) or prop is
+    // open. Prefer the higher-generation qualifying sample.
+    let mut best: Option<SampleView> = None;
+    for s in [s1, s2] {
+        if node.gen < s.gen && (s.gen < leader_gen || leader_prop) {
+            best = match best {
+                Some(b) if b.gen >= s.gen => Some(b),
+                _ => Some(s),
+            };
+        }
+    }
+    if let Some(s) = best {
+        return NodeDecision::Adopt {
+            gen: s.gen,
+            col: s.col,
+            via_two_choices: false,
+        };
+    }
+    NodeDecision::Nothing
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn node(gen: u32, col: u32, seen_gen: u32, seen_prop: bool) -> NodeView {
+        NodeView {
+            gen,
+            col,
+            seen_gen,
+            seen_prop,
+        }
+    }
+
+    fn s(gen: u32, col: u32) -> SampleView {
+        SampleView { gen, col }
+    }
+
+    #[test]
+    fn stale_leader_state_only_refreshes() {
+        // Node stored (0, false) but leader is at (1, false).
+        let d = decide(node(0, 7, 0, false), s(0, 3), s(0, 3), 1, false);
+        assert_eq!(d, NodeDecision::Refresh);
+        // Prop bit mismatch also refreshes.
+        let d = decide(node(0, 7, 1, false), s(0, 3), s(0, 3), 1, true);
+        assert_eq!(d, NodeDecision::Refresh);
+    }
+
+    #[test]
+    fn two_choices_promotes_to_leader_generation() {
+        let d = decide(node(0, 7, 1, false), s(0, 3), s(0, 3), 1, false);
+        assert_eq!(
+            d,
+            NodeDecision::Adopt {
+                gen: 1,
+                col: 3,
+                via_two_choices: true
+            }
+        );
+    }
+
+    #[test]
+    fn two_choices_requires_color_agreement() {
+        let d = decide(node(0, 7, 1, false), s(0, 3), s(0, 4), 1, false);
+        assert_eq!(d, NodeDecision::Nothing);
+    }
+
+    #[test]
+    fn two_choices_requires_samples_one_below_leader() {
+        // Samples at generation 0 while leader allows 2: no two-choices.
+        let d = decide(node(0, 7, 2, false), s(0, 3), s(0, 3), 2, false);
+        assert_eq!(d, NodeDecision::Nothing);
+    }
+
+    #[test]
+    fn two_choices_blocked_during_propagation() {
+        let d = decide(node(0, 7, 1, true), s(0, 3), s(0, 3), 1, true);
+        // Propagation is open, but samples are not above the node: with
+        // s.gen == 0 == node.gen nothing applies.
+        assert_eq!(d, NodeDecision::Nothing);
+    }
+
+    #[test]
+    fn propagation_adopts_from_higher_generation_when_open() {
+        let d = decide(node(0, 7, 2, true), s(2, 3), s(0, 9), 2, true);
+        assert_eq!(
+            d,
+            NodeDecision::Adopt {
+                gen: 2,
+                col: 3,
+                via_two_choices: false
+            }
+        );
+    }
+
+    #[test]
+    fn propagation_into_highest_generation_requires_prop_bit() {
+        // Sample in the leader's current generation, but prop is false:
+        // blocked (two-choices window still open for generation 2).
+        let d = decide(node(0, 7, 2, false), s(2, 3), s(0, 9), 2, false);
+        assert_eq!(d, NodeDecision::Nothing);
+    }
+
+    #[test]
+    fn propagation_from_settled_generation_always_allowed() {
+        // Sample in generation 1 < leader gen 2: adopt even with prop false.
+        let d = decide(node(0, 7, 2, false), s(1, 3), s(0, 9), 2, false);
+        assert_eq!(
+            d,
+            NodeDecision::Adopt {
+                gen: 1,
+                col: 3,
+                via_two_choices: false
+            }
+        );
+    }
+
+    #[test]
+    fn propagation_prefers_higher_generation_sample() {
+        let d = decide(node(0, 7, 3, true), s(1, 4), s(2, 5), 3, true);
+        assert_eq!(
+            d,
+            NodeDecision::Adopt {
+                gen: 2,
+                col: 5,
+                via_two_choices: false
+            }
+        );
+    }
+
+    #[test]
+    fn node_at_leader_generation_can_flip_color_via_two_choices() {
+        // Algorithm 2 line 6 has no gen(v) guard: a node already in the
+        // leader's generation re-adopts the agreed color.
+        let d = decide(node(1, 7, 1, false), s(0, 3), s(0, 3), 1, false);
+        assert_eq!(
+            d,
+            NodeDecision::Adopt {
+                gen: 1,
+                col: 3,
+                via_two_choices: true
+            }
+        );
+    }
+
+    #[test]
+    fn in_sync_no_rule_is_nothing() {
+        let d = decide(node(2, 7, 2, true), s(0, 1), s(1, 2), 2, true);
+        assert_eq!(d, NodeDecision::Nothing);
+    }
+}

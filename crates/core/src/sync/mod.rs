@@ -1,0 +1,19 @@
+//! The synchronous generation-based plurality consensus protocol
+//! (Section 2, Algorithm 1).
+//!
+//! Nodes proceed through *generations*; a predefined schedule `{t_i}` of
+//! two-choices rounds creates a new generation whenever the previous one has
+//! grown to a `γ` fraction of the population, squaring the bias between the
+//! top two opinions each time (Lemma 4). All other rounds are propagation
+//! (pull) rounds. Theorem 1: convergence to the initial plurality opinion in
+//! `O(log k · log log_α k + log log n)` rounds whp.
+
+mod process;
+mod schedule;
+mod urn;
+
+pub use process::{step_node, ScheduleMode, SyncConfig, SyncResult};
+pub use schedule::{
+    generations_needed, lifecycle_length, Schedule, GENERATION_CAP,
+};
+pub use urn::{UrnConfig, UrnResult};

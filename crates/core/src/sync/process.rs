@@ -1,0 +1,490 @@
+//! The synchronous generation protocol (Algorithm 1).
+//!
+//! Rounds are simultaneous: every node samples two uniform nodes and updates
+//! against the *previous* round's state. At scheduled two-choices rounds
+//! `{t_i}` a node that sees two same-generation, same-color samples at least
+//! as high as itself promotes to the next generation; at every round, a node
+//! seeing a strictly higher-generation sample adopts its generation and
+//! color (the propagation / pull-voting step).
+
+use crate::genstate::GenerationTable;
+use crate::opinion::InitialAssignment;
+use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcome};
+use crate::sync::schedule::{generations_needed, lifecycle_length, Schedule, GENERATION_CAP};
+use plurality_dist::rng::Xoshiro256PlusPlus;
+use plurality_sim::Series;
+use rand::Rng;
+
+/// How two-choices rounds are chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScheduleMode {
+    /// The paper's predefined `{t_i}` computed from `(n, k, α, γ)`
+    /// (Section 2.2). Requires the initial bias to be known (or hinted).
+    #[default]
+    Predefined,
+    /// Ablation (E15): trigger a two-choices round whenever the newest
+    /// generation holds at least a `γ` fraction of nodes — the synchronous
+    /// analogue of what the asynchronous leader does by counting signals.
+    Adaptive,
+}
+
+/// Configuration for a synchronous run. Construct with
+/// [`SyncConfig::new`] and chain the `with_*` setters.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_core::sync::{ScheduleMode, SyncConfig};
+/// use plurality_core::InitialAssignment;
+/// let assignment = InitialAssignment::with_bias(2_000, 4, 2.0).unwrap();
+/// let result = SyncConfig::new(assignment)
+///     .with_seed(7)
+///     .with_mode(ScheduleMode::Adaptive)
+///     .run();
+/// assert!(result.outcome.consensus_time.is_some());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncConfig {
+    assignment: InitialAssignment,
+    gamma: f64,
+    mode: ScheduleMode,
+    epsilon: f64,
+    seed: u64,
+    record: RecordLevel,
+    max_rounds: Option<u64>,
+    alpha_hint: Option<f64>,
+    max_generations: Option<u32>,
+}
+
+impl SyncConfig {
+    /// Creates a configuration with the paper's defaults: `γ = 1/2`,
+    /// predefined schedule, `ε = 0.05`, seed 0.
+    pub fn new(assignment: InitialAssignment) -> Self {
+        Self {
+            assignment,
+            gamma: 0.5,
+            mode: ScheduleMode::Predefined,
+            epsilon: 0.05,
+            seed: 0,
+            record: RecordLevel::Generations,
+            max_rounds: None,
+            alpha_hint: None,
+            max_generations: None,
+        }
+    }
+
+    /// Sets the generation-density threshold `γ ∈ (0, 1)` (default 1/2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma ∉ (0, 1)`.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        assert!(gamma > 0.0 && gamma < 1.0, "gamma must lie in (0, 1)");
+        self.gamma = gamma;
+        self
+    }
+
+    /// Sets the schedule mode (default [`ScheduleMode::Predefined`]).
+    pub fn with_mode(mut self, mode: ScheduleMode) -> Self {
+        self.mode = mode;
+        self
+    }
+
+    /// Sets the ε used for ε-convergence reporting (default 0.05).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ [0, 1]`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must lie in [0, 1]");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the RNG seed (default 0). Runs are pure functions of the seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the telemetry level (default [`RecordLevel::Generations`]).
+    pub fn with_record(mut self, record: RecordLevel) -> Self {
+        self.record = record;
+        self
+    }
+
+    /// Caps the number of rounds (default: derived from the schedule).
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Overrides the bias `α₀` used to build the predefined schedule
+    /// (default: the realized initial bias).
+    pub fn with_alpha_hint(mut self, alpha: f64) -> Self {
+        self.alpha_hint = Some(alpha);
+        self
+    }
+
+    /// Caps the number of generations (default
+    /// [`GENERATION_CAP`]).
+    pub fn with_max_generations(mut self, cap: u32) -> Self {
+        self.max_generations = Some(cap);
+        self
+    }
+
+    /// Runs the synchronous protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment materializes fewer than 2 nodes.
+    pub fn run(&self) -> SyncResult {
+        run_sync(self)
+    }
+}
+
+/// Result of a synchronous run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncResult {
+    /// Common outcome report.
+    pub outcome: RunOutcome,
+    /// Number of rounds simulated.
+    pub rounds: u64,
+    /// The `G*` used.
+    pub g_star: u32,
+    /// The two-choices rounds actually executed.
+    pub two_choices_rounds: Vec<u64>,
+    /// Per-round fraction of the newest generation
+    /// (only at [`RecordLevel::Full`]).
+    pub newest_generation_fraction: Option<Series>,
+    /// Per-round fraction of nodes holding the initial plurality opinion
+    /// (only at [`RecordLevel::Full`]).
+    pub winner_fraction: Option<Series>,
+}
+
+/// One node's update rule (Algorithm 1), as a pure function.
+///
+/// `(vg, vc)` is the node's generation/color; `(g1, c1)` and `(g2, c2)` are
+/// the two samples; `two_choices` says whether this round is in `{t_i}`.
+/// Returns the node's next `(generation, color)`.
+#[inline]
+pub fn step_node(
+    vg: u32,
+    vc: u32,
+    g1: u32,
+    c1: u32,
+    g2: u32,
+    c2: u32,
+    two_choices: bool,
+) -> (u32, u32) {
+    // Lines 3–5: two-choices promotion.
+    if two_choices && g1 == g2 && c1 == c2 && vg <= g1 {
+        return (g1 + 1, c1);
+    }
+    // Lines 6–8: propagation from the higher-generation sample.
+    let (hg, hc) = if g1 >= g2 { (g1, c1) } else { (g2, c2) };
+    if hg > vg {
+        (hg, hc)
+    } else {
+        (vg, vc)
+    }
+}
+
+fn run_sync(cfg: &SyncConfig) -> SyncResult {
+    let mut rng = Xoshiro256PlusPlus::from_u64(cfg.seed);
+    let opinions = cfg.assignment.materialize(&mut rng);
+    let n = opinions.len();
+    assert!(n >= 2, "synchronous run needs at least 2 nodes");
+    let k = cfg.assignment.k() as usize;
+
+    let mut col: Vec<u32> = opinions.iter().map(|o| o.index()).collect();
+    let mut gen: Vec<u32> = vec![0; n];
+    let mut table = GenerationTable::from_states(&gen, &col, k);
+
+    let initial_counts = table.global_counts();
+    let initial_winner = initial_counts.winner().expect("non-empty population");
+    let initial_bias = initial_counts.bias().unwrap_or(f64::INFINITY);
+
+    let alpha_for_schedule = cfg.alpha_hint.unwrap_or(if initial_bias.is_finite() {
+        initial_bias.max(1.0)
+    } else {
+        2.0
+    });
+    let cap = cfg.max_generations.unwrap_or(GENERATION_CAP);
+    let g_star = generations_needed(n as u64, alpha_for_schedule, cap);
+    let schedule = match cfg.mode {
+        ScheduleMode::Predefined => Some(Schedule::predefined(
+            n as u64,
+            k as u32,
+            alpha_for_schedule,
+            cfg.gamma,
+        )),
+        ScheduleMode::Adaptive => None,
+    };
+
+    let max_rounds = cfg.max_rounds.unwrap_or_else(|| {
+        let x1 = lifecycle_length(alpha_for_schedule.max(1.0 + 1e-9), k as u32, cfg.gamma, 1)
+            .ceil()
+            .max(1.0) as u64;
+        let tail = 4 * (n as f64).log2().ceil() as u64 + 100;
+        match &schedule {
+            Some(s) => s.final_round() + tail,
+            None => g_star as u64 * (x1 + 4) + tail,
+        }
+    });
+
+    let mut tracker = ConvergenceTracker::new(n as u64, initial_winner, cfg.epsilon);
+    tracker.observe(
+        0.0,
+        table.color_support(initial_winner),
+        table.max_color_support(),
+    );
+
+    let mut births: Vec<GenerationBirth> = Vec::new();
+    let mut two_choices_rounds: Vec<u64> = Vec::new();
+    let mut newest_frac = matches!(cfg.record, RecordLevel::Full).then(|| {
+        let mut s = Series::new("newest_generation_fraction");
+        s.push(0.0, 1.0);
+        s
+    });
+    let mut winner_frac = matches!(cfg.record, RecordLevel::Full).then(|| {
+        let mut s = Series::new("winner_fraction");
+        s.push(0.0, initial_counts.fraction(initial_winner));
+        s
+    });
+
+    let mut new_col = col.clone();
+    let mut new_gen = gen.clone();
+    let mut rounds_run = 0u64;
+
+    if !table.is_monochromatic() {
+        for round in 1..=max_rounds {
+            rounds_run = round;
+            let created = table.max_generation();
+            let two_choices = match &schedule {
+                Some(s) => s.is_two_choices_round(round),
+                None => created < g_star && table.fraction_in(created) >= cfg.gamma,
+            };
+            if two_choices {
+                two_choices_rounds.push(round);
+            }
+
+            // Snapshot of the would-be parent generation, just before the round.
+            let parent_gen = table.max_generation();
+            let parent_bias = table.bias_in(parent_gen).unwrap_or(f64::INFINITY);
+            let parent_collision = table.collision_in(parent_gen);
+
+            for v in 0..n {
+                let a = rng.gen_range(0..n);
+                let b = rng.gen_range(0..n);
+                let (g, c) = step_node(gen[v], col[v], gen[a], col[a], gen[b], col[b], two_choices);
+                new_gen[v] = g;
+                new_col[v] = c;
+            }
+            for v in 0..n {
+                if new_gen[v] != gen[v] || new_col[v] != col[v] {
+                    table.transfer(gen[v], col[v], new_gen[v], new_col[v]);
+                }
+            }
+            std::mem::swap(&mut gen, &mut new_gen);
+            std::mem::swap(&mut col, &mut new_col);
+
+            if table.max_generation() > parent_gen
+                && !matches!(cfg.record, RecordLevel::Outcome)
+            {
+                let g = table.max_generation();
+                births.push(GenerationBirth {
+                    generation: g,
+                    time: round as f64,
+                    bias: table.bias_in(g).unwrap_or(f64::INFINITY),
+                    parent_bias,
+                    initial_fraction: table.fraction_in(g),
+                    parent_collision,
+                });
+            }
+
+            tracker.observe(
+                round as f64,
+                table.color_support(initial_winner),
+                table.max_color_support(),
+            );
+            if let Some(s) = newest_frac.as_mut() {
+                s.push(round as f64, table.fraction_in(table.max_generation()));
+            }
+            if let Some(s) = winner_frac.as_mut() {
+                s.push(
+                    round as f64,
+                    table.color_support(initial_winner) as f64 / n as f64,
+                );
+            }
+            if table.is_monochromatic() {
+                break;
+            }
+        }
+    }
+
+    let outcome = RunOutcome {
+        n: n as u64,
+        k: k as u32,
+        initial_winner,
+        initial_bias,
+        final_counts: table.global_counts(),
+        epsilon_time: tracker.epsilon_time(),
+        consensus_time: tracker.consensus_time(),
+        duration: rounds_run as f64,
+        generations: births,
+    };
+    SyncResult {
+        outcome,
+        rounds: rounds_run,
+        g_star,
+        two_choices_rounds,
+        newest_generation_fraction: newest_frac,
+        winner_fraction: winner_frac,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opinion::Opinion;
+
+    #[test]
+    fn step_node_two_choices_promotes() {
+        // Two same-gen, same-color samples at or above v's generation.
+        assert_eq!(step_node(0, 9, 0, 3, 0, 3, true), (1, 3));
+        assert_eq!(step_node(2, 9, 2, 3, 2, 3, true), (3, 3));
+        // v above the samples: no promotion, no propagation.
+        assert_eq!(step_node(3, 9, 2, 3, 2, 3, true), (3, 9));
+    }
+
+    #[test]
+    fn step_node_two_choices_requires_agreement() {
+        // Different colors: falls through to propagation (no higher gen).
+        assert_eq!(step_node(0, 9, 0, 3, 0, 4, true), (0, 9));
+        // Different generations: propagation from the higher one.
+        assert_eq!(step_node(0, 9, 2, 3, 1, 4, true), (2, 3));
+    }
+
+    #[test]
+    fn step_node_propagation_only_outside_schedule() {
+        // Same conditions as promotion, but not a two-choices round.
+        assert_eq!(step_node(0, 9, 0, 3, 0, 3, false), (0, 9));
+        // Higher-generation sample wins.
+        assert_eq!(step_node(0, 9, 1, 3, 0, 5, false), (1, 3));
+        assert_eq!(step_node(0, 9, 0, 5, 1, 3, false), (1, 3));
+    }
+
+    #[test]
+    fn converges_to_plurality_with_large_bias() {
+        let assignment = InitialAssignment::with_bias(2_000, 3, 3.0).unwrap();
+        let result = SyncConfig::new(assignment).with_seed(1).run();
+        assert!(result.outcome.consensus_time.is_some(), "did not converge");
+        assert!(result.outcome.plurality_preserved());
+        assert_eq!(result.outcome.winner(), Some(Opinion::new(0)));
+    }
+
+    #[test]
+    fn adaptive_mode_converges_too() {
+        let assignment = InitialAssignment::with_bias(2_000, 3, 3.0).unwrap();
+        let result = SyncConfig::new(assignment)
+            .with_seed(2)
+            .with_mode(ScheduleMode::Adaptive)
+            .run();
+        assert!(result.outcome.plurality_preserved());
+        assert!(!result.two_choices_rounds.is_empty());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let assignment = InitialAssignment::with_bias(500, 4, 2.0).unwrap();
+        let r1 = SyncConfig::new(assignment.clone()).with_seed(42).run();
+        let r2 = SyncConfig::new(assignment.clone()).with_seed(42).run();
+        assert_eq!(r1, r2);
+        // A different seed produces a different trajectory; generation-birth
+        // telemetry carries enough precision that collisions are absurd.
+        let r3 = SyncConfig::new(assignment).with_seed(43).run();
+        assert_ne!(r1.outcome.generations, r3.outcome.generations);
+    }
+
+    #[test]
+    fn monochromatic_start_is_instant_consensus() {
+        let assignment = InitialAssignment::Exact(vec![100, 0]);
+        let result = SyncConfig::new(assignment).run();
+        assert_eq!(result.outcome.consensus_time, Some(0.0));
+        assert_eq!(result.rounds, 0);
+        assert!(result.outcome.plurality_preserved());
+    }
+
+    #[test]
+    fn generation_births_are_recorded_in_order() {
+        let assignment = InitialAssignment::with_bias(20_000, 4, 1.5).unwrap();
+        let result = SyncConfig::new(assignment).with_seed(3).run();
+        let gens: Vec<u32> = result
+            .outcome
+            .generations
+            .iter()
+            .map(|b| b.generation)
+            .collect();
+        assert!(!gens.is_empty());
+        for (i, &g) in gens.iter().enumerate() {
+            assert_eq!(g, i as u32 + 1, "births out of order: {gens:?}");
+        }
+        // First birth happens at round t₁ = 1.
+        assert_eq!(result.outcome.generations[0].time, 1.0);
+    }
+
+    #[test]
+    fn bias_grows_across_generations() {
+        // The squaring dynamics (Lemma 4): later generations have higher
+        // bias; the last one should exceed k by a wide margin.
+        let assignment = InitialAssignment::with_bias(50_000, 4, 1.5).unwrap();
+        let result = SyncConfig::new(assignment).with_seed(4).run();
+        let births = &result.outcome.generations;
+        assert!(births.len() >= 2);
+        let finite: Vec<f64> = births
+            .iter()
+            .map(|b| b.bias)
+            .take_while(|b| b.is_finite())
+            .collect();
+        for w in finite.windows(2) {
+            assert!(
+                w[1] > w[0] * 1.2,
+                "bias did not grow: {:?}",
+                births.iter().map(|b| b.bias).collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn epsilon_before_full_consensus() {
+        let assignment = InitialAssignment::with_bias(5_000, 3, 2.0).unwrap();
+        let result = SyncConfig::new(assignment)
+            .with_seed(5)
+            .with_epsilon(0.1)
+            .run();
+        let eps = result.outcome.epsilon_time.expect("eps-converged");
+        let full = result.outcome.consensus_time.expect("converged");
+        assert!(eps <= full);
+    }
+
+    #[test]
+    fn full_record_produces_series() {
+        let assignment = InitialAssignment::with_bias(1_000, 3, 2.0).unwrap();
+        let result = SyncConfig::new(assignment)
+            .with_seed(6)
+            .with_record(RecordLevel::Full)
+            .run();
+        let growth = result.newest_generation_fraction.expect("series");
+        assert!(growth.len() as u64 >= result.rounds);
+        let wf = result.winner_fraction.expect("series");
+        assert!(wf.last_value().unwrap() > 0.99);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma")]
+    fn bad_gamma_panics() {
+        let assignment = InitialAssignment::with_bias(100, 2, 2.0).unwrap();
+        let _ = SyncConfig::new(assignment).with_gamma(1.5);
+    }
+}

@@ -1,0 +1,122 @@
+//! Poisson clocks.
+//!
+//! Every node in the paper's asynchronous model carries an independent
+//! Poisson clock with constant rate (w.l.o.g. rate 1, Section 3.1). A clock
+//! is just an exponential inter-arrival sampler; the engine schedules the
+//! next tick event whenever the current one fires. A per-node `rate` allows
+//! the straggler-injection extension (heterogeneous clocks) used by the
+//! robustness tests.
+
+use plurality_dist::Exponential;
+use plurality_dist::InvalidParameterError;
+use rand::Rng;
+
+/// A Poisson clock producing exponentially distributed inter-tick times.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_sim::PoissonClock;
+/// use plurality_dist::rng::Xoshiro256PlusPlus;
+/// # fn main() -> Result<(), plurality_dist::InvalidParameterError> {
+/// let clock = PoissonClock::unit_rate();
+/// let mut rng = Xoshiro256PlusPlus::from_u64(1);
+/// let t1 = clock.next_tick(0.0, &mut rng);
+/// let t2 = clock.next_tick(t1, &mut rng);
+/// assert!(t2 > t1 && t1 > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoissonClock {
+    inter_tick: Exponential,
+}
+
+impl PoissonClock {
+    /// Creates a clock with the given tick rate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] if `rate` is not positive and
+    /// finite.
+    pub fn new(rate: f64) -> Result<Self, InvalidParameterError> {
+        Ok(Self {
+            inter_tick: Exponential::new(rate)?,
+        })
+    }
+
+    /// The standard unit-rate clock of the paper's model.
+    pub fn unit_rate() -> Self {
+        Self::new(1.0).expect("rate 1 is valid")
+    }
+
+    /// The tick rate.
+    pub fn rate(&self) -> f64 {
+        self.inter_tick.rate()
+    }
+
+    /// Returns the absolute time of the next tick after `now`.
+    #[inline]
+    pub fn next_tick<R: Rng + ?Sized>(&self, now: f64, rng: &mut R) -> f64 {
+        now + self.inter_tick.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_dist::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn rejects_bad_rate() {
+        assert!(PoissonClock::new(0.0).is_err());
+        assert!(PoissonClock::new(-1.0).is_err());
+    }
+
+    #[test]
+    fn unit_rate_mean_inter_tick_is_one() {
+        let clock = PoissonClock::unit_rate();
+        let mut rng = Xoshiro256PlusPlus::from_u64(3);
+        let mut now = 0.0;
+        const N: usize = 100_000;
+        for _ in 0..N {
+            now = clock.next_tick(now, &mut rng);
+        }
+        let mean = now / N as f64;
+        assert!((mean - 1.0).abs() < 0.02, "mean inter-tick {mean}");
+    }
+
+    #[test]
+    fn ticks_strictly_increase() {
+        let clock = PoissonClock::new(5.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(4);
+        let mut now = 0.0;
+        for _ in 0..10_000 {
+            let next = clock.next_tick(now, &mut rng);
+            assert!(next > now);
+            now = next;
+        }
+    }
+
+    #[test]
+    fn count_in_unit_interval_is_poisson_like() {
+        // Over [0, T] a rate-r clock ticks ~ Poisson(rT) times.
+        let clock = PoissonClock::new(2.0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(5);
+        let horizon = 10_000.0;
+        let mut now = 0.0;
+        let mut count = 0u64;
+        loop {
+            now = clock.next_tick(now, &mut rng);
+            if now > horizon {
+                break;
+            }
+            count += 1;
+        }
+        let expected = 2.0 * horizon;
+        assert!(
+            (count as f64 - expected).abs() < 4.0 * expected.sqrt(),
+            "count {count} vs expected {expected}"
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! # plurality-sim
+//!
+//! Deterministic discrete-event simulation substrate for the `plurality`
+//! workspace.
+//!
+//! The asynchronous protocols of the paper (single-leader Algorithm 2/3 and
+//! the clustered multi-leader Algorithm 4/5) are executed against this
+//! engine: an [`EventQueue`] orders ticks, channel completions and signal
+//! arrivals on a continuous time axis; [`PoissonClock`] produces the
+//! unit-rate tick processes the model postulates; [`Series`] and
+//! [`EventLog`] capture the observables the experiment harness turns into
+//! the paper's figures.
+//!
+//! Determinism is a design requirement: a simulation run is a pure function
+//! of its `u64` seed (see `plurality_dist::rng`), and the queue breaks
+//! timestamp ties by insertion order.
+//!
+//! ## Example
+//!
+//! ```
+//! use plurality_sim::{EventQueue, PoissonClock};
+//! use plurality_dist::rng::Xoshiro256PlusPlus;
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { Tick(usize) }
+//!
+//! let mut rng = Xoshiro256PlusPlus::from_u64(7);
+//! let clock = PoissonClock::unit_rate();
+//! let mut queue = EventQueue::new();
+//! queue.schedule(clock.next_tick(0.0, &mut rng), Ev::Tick(0));
+//! let (t, Ev::Tick(node)) = queue.pop().unwrap();
+//! assert_eq!(node, 0);
+//! assert!(t > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod clock;
+pub mod metrics;
+pub mod queue;
+
+pub use clock::PoissonClock;
+pub use metrics::{EventLog, Series};
+pub use queue::EventQueue;

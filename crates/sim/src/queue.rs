@@ -1,0 +1,242 @@
+//! Deterministic future-event queue.
+//!
+//! The asynchronous protocols are executed as discrete-event simulations:
+//! ticks, channel completions, and signal arrivals are events scheduled at
+//! continuous timestamps. The queue orders events by `(time, insertion
+//! sequence)`, so simultaneous events (a probability-zero occurrence with
+//! continuous clocks, but possible with deterministic latencies) are resolved
+//! in insertion order — making every run a pure function of the seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A single scheduled entry.
+#[derive(Debug, Clone)]
+struct QueueEntry<E> {
+    time: f64,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for QueueEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for QueueEntry<E> {}
+
+impl<E> PartialOrd for QueueEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for QueueEntry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+        // `time` is guaranteed finite by `EventQueue::schedule`.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .expect("event times are finite")
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A future-event list ordering events by time, breaking ties by insertion
+/// order.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_sim::EventQueue;
+/// let mut q = EventQueue::new();
+/// q.schedule(2.0, "late");
+/// q.schedule(1.0, "early");
+/// assert_eq!(q.pop(), Some((1.0, "early")));
+/// assert_eq!(q.pop(), Some((2.0, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<QueueEntry<E>>,
+    seq: u64,
+    now: f64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// Creates an empty queue with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            heap: BinaryHeap::with_capacity(capacity),
+            seq: 0,
+            now: 0.0,
+        }
+    }
+
+    /// The current simulation time: the timestamp of the last popped event
+    /// (zero initially). Time never runs backwards.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|e| e.time)
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN/infinite or lies strictly in the past
+    /// (before [`EventQueue::now`]).
+    pub fn schedule(&mut self, time: f64, event: E) {
+        assert!(time.is_finite(), "schedule: event time must be finite");
+        assert!(
+            time >= self.now,
+            "schedule: event time {time} is before current time {}",
+            self.now
+        );
+        let entry = QueueEntry {
+            time,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        self.heap.push(entry);
+    }
+
+    /// Schedules `event` at `delay` after the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or not finite.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "schedule_in: delay must be a non-negative finite number, got {delay}"
+        );
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let entry = self.heap.pop()?;
+        self.now = entry.time;
+        Some((entry.time, entry.event))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(3.0, 3u32);
+        q.schedule(1.0, 1u32);
+        q.schedule(2.0, 2u32);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        for i in 0..100u32 {
+            q.schedule(1.0, i);
+        }
+        for i in 0..100u32 {
+            assert_eq!(q.pop().unwrap().1, i);
+        }
+    }
+
+    #[test]
+    fn now_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(5.0, ());
+        q.schedule(7.0, ());
+        assert_eq!(q.now(), 0.0);
+        q.pop();
+        assert_eq!(q.now(), 5.0);
+        q.pop();
+        assert_eq!(q.now(), 7.0);
+    }
+
+    #[test]
+    fn schedule_in_is_relative() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, "a");
+        q.pop();
+        q.schedule_in(1.5, "b");
+        assert_eq!(q.pop(), Some((3.5, "b")));
+    }
+
+    #[test]
+    #[should_panic(expected = "before current time")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(2.0, ());
+        q.pop();
+        q.schedule(1.0, ());
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn scheduling_nan_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(f64::NAN, ());
+    }
+
+    #[test]
+    fn len_and_empty_track_contents() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.schedule(1.0, ());
+        q.schedule(2.0, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_does_not_remove() {
+        let mut q = EventQueue::new();
+        q.schedule(4.0, ());
+        assert_eq!(q.peek_time(), Some(4.0));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property tests for the deterministic event queue: the total order the
+//! engines rely on must hold for arbitrary schedules.
+
+use proptest::prelude::*;
+use plurality_sim::EventQueue;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn pops_are_sorted_by_time_then_insertion(
+        times in prop::collection::vec(0.0f64..1e6, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in times.iter().enumerate() {
+            q.schedule(t, i);
+        }
+        let mut popped: Vec<(f64, usize)> = Vec::new();
+        while let Some(e) = q.pop() {
+            popped.push(e);
+        }
+        prop_assert_eq!(popped.len(), times.len());
+        for w in popped.windows(2) {
+            prop_assert!(w[0].0 <= w[1].0, "time order violated");
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].1 < w[1].1, "insertion order violated on tie");
+            }
+        }
+        // Every event came out exactly once.
+        let mut ids: Vec<usize> = popped.iter().map(|&(_, i)| i).collect();
+        ids.sort_unstable();
+        prop_assert!(ids.iter().enumerate().all(|(i, &v)| i == v));
+    }
+
+    #[test]
+    fn interleaved_scheduling_respects_now(
+        seeds in prop::collection::vec(0.0f64..100.0, 1..50),
+    ) {
+        // Schedule a chain where each popped event schedules a follow-up
+        // strictly later; `now` must never run backwards.
+        let mut q = EventQueue::new();
+        for (i, &t) in seeds.iter().enumerate() {
+            q.schedule(t, i as u64);
+        }
+        let mut last = 0.0f64;
+        let mut budget = 500usize;
+        while let Some((t, id)) = q.pop() {
+            prop_assert!(t >= last);
+            last = t;
+            if budget > 0 && id < 1_000 {
+                budget -= 1;
+                q.schedule_in(0.5, id + 1_000);
+            }
+        }
+    }
+
+    #[test]
+    fn len_tracks_schedules_and_pops(
+        ops in prop::collection::vec(0.0f64..10.0, 0..100),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, &t) in ops.iter().enumerate() {
+            q.schedule(t, i);
+            prop_assert_eq!(q.len(), i + 1);
+        }
+        for i in (0..ops.len()).rev() {
+            q.pop();
+            prop_assert_eq!(q.len(), i);
+        }
+        prop_assert!(q.is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Fixed-bin histograms for distribution-shaped experiment outputs
+//! (e.g. the spread of per-cluster phase-change times, or waiting-time
+//! distributions behind Figure 1).
+
+/// A histogram over `[lo, hi)` with equally wide bins, plus underflow and
+/// overflow counters.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_stats::Histogram;
+/// let mut h = Histogram::new(0.0, 10.0, 5).unwrap();
+/// for x in [1.0, 1.5, 7.2, 11.0, -3.0] {
+///     h.add(x);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.bin_count(0), 2); // 1.0 and 1.5 fall into [0, 2)
+/// assert_eq!(h.overflow(), 1);
+/// assert_eq!(h.underflow(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    underflow: u64,
+    overflow: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram over `[lo, hi)` with `bins` equal-width bins.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if the bounds are not finite and ordered or
+    /// `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, String> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err(format!("invalid histogram range [{lo}, {hi})"));
+        }
+        if bins == 0 {
+            return Err("histogram needs at least one bin".to_string());
+        }
+        Ok(Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        })
+    }
+
+    /// Adds one observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x` is NaN.
+    pub fn add(&mut self, x: f64) {
+        assert!(!x.is_nan(), "Histogram::add: NaN observation");
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let width = (self.hi - self.lo) / self.bins.len() as f64;
+            let idx = (((x - self.lo) / width) as usize).min(self.bins.len() - 1);
+            self.bins[idx] += 1;
+        }
+    }
+
+    /// Total observations, including under-/overflow.
+    pub fn count(&self) -> u64 {
+        self.bins.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// Number of bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether no observations were added.
+    pub fn is_empty(&self) -> bool {
+        self.count() == 0
+    }
+
+    /// Count in bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_count(&self, i: usize) -> u64 {
+        self.bins[i]
+    }
+
+    /// The half-open range `[lo, hi)` covered by bin `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn bin_range(&self, i: usize) -> (f64, f64) {
+        assert!(i < self.bins.len(), "bin index {i} out of range");
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        (self.lo + i as f64 * width, self.lo + (i + 1) as f64 * width)
+    }
+
+    /// Observations below `lo`.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Observations at or above `hi`.
+    pub fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// A compact ASCII rendering (one line per bin, `#` bars normalized to
+    /// the fullest bin).
+    pub fn render(&self, width: usize) -> String {
+        use std::fmt::Write as _;
+        let max = self.bins.iter().copied().max().unwrap_or(0).max(1);
+        let mut out = String::new();
+        for (i, &c) in self.bins.iter().enumerate() {
+            let (a, b) = self.bin_range(i);
+            let bar = "#".repeat((c as usize * width) / max as usize);
+            let _ = writeln!(out, "[{a:>10.3}, {b:>10.3}) {c:>8} {bar}");
+        }
+        if self.underflow > 0 {
+            let _ = writeln!(out, "underflow: {}", self.underflow);
+        }
+        if self.overflow > 0 {
+            let _ = writeln!(out, "overflow:  {}", self.overflow);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_configuration() {
+        assert!(Histogram::new(1.0, 1.0, 4).is_err());
+        assert!(Histogram::new(2.0, 1.0, 4).is_err());
+        assert!(Histogram::new(0.0, 1.0, 0).is_err());
+        assert!(Histogram::new(f64::NAN, 1.0, 4).is_err());
+    }
+
+    #[test]
+    fn bins_partition_the_range() {
+        let mut h = Histogram::new(0.0, 1.0, 4).unwrap();
+        for i in 0..100 {
+            h.add(i as f64 / 100.0);
+        }
+        assert_eq!(h.count(), 100);
+        assert_eq!(h.underflow() + h.overflow(), 0);
+        let total: u64 = (0..4).map(|i| h.bin_count(i)).sum();
+        assert_eq!(total, 100);
+        assert_eq!(h.bin_count(0), 25);
+        assert_eq!(h.bin_range(0), (0.0, 0.25));
+        assert_eq!(h.bin_range(3), (0.75, 1.0));
+    }
+
+    #[test]
+    fn boundary_values_go_to_the_right_bin() {
+        let mut h = Histogram::new(0.0, 4.0, 4).unwrap();
+        h.add(0.0); // first bin
+        h.add(1.0); // second bin
+        h.add(3.999); // last bin
+        h.add(4.0); // overflow (half-open)
+        assert_eq!(h.bin_count(0), 1);
+        assert_eq!(h.bin_count(1), 1);
+        assert_eq!(h.bin_count(3), 1);
+        assert_eq!(h.overflow(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_panics() {
+        let mut h = Histogram::new(0.0, 1.0, 2).unwrap();
+        h.add(f64::NAN);
+    }
+
+    #[test]
+    fn render_contains_bars() {
+        let mut h = Histogram::new(0.0, 2.0, 2).unwrap();
+        for _ in 0..10 {
+            h.add(0.5);
+        }
+        h.add(1.5);
+        h.add(-1.0);
+        let s = h.render(20);
+        assert!(s.contains("####"));
+        assert!(s.contains("underflow: 1"));
+    }
+}

@@ -1,0 +1,81 @@
+//! Scenario: a sensor swarm agreeing on a discretized reading.
+//!
+//! 20 000 battery-powered sensors each quantize a noisy measurement into one
+//! of 25 buckets (Zipf-distributed: the true value is the most common, but
+//! far from a majority). Radios wake on independent Poisson timers and
+//! channel setup dominates communication (Weibull-aging handshake — radios
+//! that have been waiting longer are *more* likely to finish soon, i.e.
+//! positive aging). The swarm runs the fully decentralized multi-leader
+//! protocol: no base station, no designated coordinator.
+//!
+//! ```sh
+//! cargo run --release --example sensor_fusion
+//! ```
+
+use plurality::core::cluster::ClusterConfig;
+use plurality::core::{InitialAssignment, OpinionCounts};
+use plurality::dist::rng::Xoshiro256PlusPlus;
+use plurality::dist::Latency;
+
+fn main() {
+    let n: u64 = 20_000;
+    let buckets = 25;
+    let assignment = InitialAssignment::Zipf {
+        n,
+        k: buckets,
+        s: 1.1,
+    };
+
+    // Peek at the electorate the Zipf draw produced.
+    let mut rng = Xoshiro256PlusPlus::from_u64(2024);
+    let preview = OpinionCounts::tally(&assignment.materialize(&mut rng), buckets as usize);
+    let ((top, ca), (_, cb)) = preview.top_two().expect("k ≥ 2");
+    println!(
+        "{n} sensors, {buckets} buckets; plurality bucket {top} holds {:.1}% (bias α₀ = {:.3})\n",
+        100.0 * ca as f64 / n as f64,
+        ca as f64 / cb as f64
+    );
+
+    let latency = Latency::weibull_with_mean(1.5, 1.0).expect("valid latency");
+    let result = ClusterConfig::new(assignment)
+        .with_latency(latency)
+        .with_seed(2024)
+        .with_epsilon(0.02)
+        .run();
+
+    println!(
+        "clustering: {} clusters formed, {} participating, covering {:.1}% of sensors",
+        result.cluster_count,
+        result.participating_clusters,
+        100.0 * result.participating_fraction
+    );
+    if let (Some(tf), Some(tl)) = (result.first_switch_time, result.last_switch_time) {
+        println!(
+            "consensus mode reached between t = {tf:.1} and t = {tl:.1} ({:.2} time units apart)",
+            (tl - tf) / result.steps_per_unit
+        );
+    }
+    match result.outcome.epsilon_time {
+        Some(t) => println!("98% of sensors agreed on the plurality bucket at t = {t:.1}"),
+        None => println!("ε-convergence not reached within the horizon"),
+    }
+    match result.outcome.consensus_time {
+        Some(t) => println!("every sensor agreed at t = {t:.1}"),
+        None => println!("full agreement not reached within the horizon"),
+    }
+    println!(
+        "winner: {} (initial plurality preserved: {})",
+        result.outcome.winner().expect("non-empty"),
+        result.outcome.plurality_preserved()
+    );
+    println!(
+        "{} generations were created on the way:",
+        result.outcome.generations.len()
+    );
+    for b in &result.outcome.generations {
+        println!(
+            "  generation {:>2} born at t = {:>7.1}, bias at maturity {:.3}",
+            b.generation, b.time, b.bias
+        );
+    }
+}

@@ -1,0 +1,305 @@
+//! `plurality` — command-line front end for the consensus simulators.
+//!
+//! ```text
+//! plurality run --protocol leader --n 10000 --k 4 --alpha 2.0 --seed 7
+//! plurality run --protocol cluster --n 20000 --k 8 --alpha 1.5 --latency weibull:1.5:1.0
+//! plurality run --protocol 3-majority --n 30000 --k 16 --alpha 2.0
+//! plurality time-unit --latency exp:0.1 --pattern single
+//! ```
+//!
+//! Argument parsing is hand-rolled (the workspace keeps its dependency set
+//! to `rand` + dev-tools); every flag has a default, so
+//! `plurality run --protocol sync` already works.
+
+use plurality::baselines::{Dynamics, DynamicsConfig};
+use plurality::core::cluster::ClusterConfig;
+use plurality::core::leader::LeaderConfig;
+use plurality::core::sync::SyncConfig;
+use plurality::core::{InitialAssignment, RunOutcome};
+use plurality::dist::{ChannelPattern, Latency, WaitingTime};
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+/// Parsed `--key value` options plus the leading subcommand.
+#[derive(Debug, Clone, PartialEq)]
+struct Args {
+    command: String,
+    options: HashMap<String, String>,
+}
+
+/// Splits raw arguments into a subcommand and `--key value` pairs.
+fn parse_args(raw: &[String]) -> Result<Args, String> {
+    let mut iter = raw.iter();
+    let command = iter
+        .next()
+        .cloned()
+        .ok_or_else(|| "missing subcommand (try `run` or `time-unit`)".to_string())?;
+    let mut options = HashMap::new();
+    while let Some(flag) = iter.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got `{flag}`"))?;
+        let value = iter
+            .next()
+            .ok_or_else(|| format!("flag --{key} needs a value"))?;
+        options.insert(key.to_string(), value.clone());
+    }
+    Ok(Args { command, options })
+}
+
+impl Args {
+    fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: `{v}` is not a number")),
+        }
+    }
+
+    fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: `{v}` is not an integer")),
+        }
+    }
+
+    fn get_str(&self, key: &str, default: &str) -> String {
+        self.options
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
+    }
+}
+
+/// Parses a latency spec: `exp:RATE`, `erlang:SHAPE:RATE`,
+/// `weibull:SHAPE:MEAN`, `uniform:LO:HI`, `det:VALUE`.
+fn parse_latency(spec: &str) -> Result<Latency, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    let num = |s: &str| -> Result<f64, String> {
+        s.parse().map_err(|_| format!("`{s}` is not a number"))
+    };
+    let latency = match parts.as_slice() {
+        ["exp", rate] => Latency::exponential(num(rate)?),
+        ["erlang", shape, rate] => {
+            let shape: u32 = shape
+                .parse()
+                .map_err(|_| format!("`{shape}` is not an integer"))?;
+            Latency::erlang(shape, num(rate)?)
+        }
+        ["weibull", shape, mean] => Latency::weibull_with_mean(num(shape)?, num(mean)?),
+        ["uniform", lo, hi] => Latency::uniform(num(lo)?, num(hi)?),
+        ["det", value] => Latency::deterministic(num(value)?),
+        _ => {
+            return Err(format!(
+                "unknown latency spec `{spec}` (expected exp:RATE, erlang:SHAPE:RATE, \
+                 weibull:SHAPE:MEAN, uniform:LO:HI, or det:VALUE)"
+            ))
+        }
+    };
+    latency.map_err(|e| e.to_string())
+}
+
+fn print_outcome(protocol: &str, outcome: &RunOutcome) {
+    println!("protocol:            {protocol}");
+    println!("population:          n = {}, k = {}", outcome.n, outcome.k);
+    println!(
+        "initial:             plurality = {}, bias α₀ = {:.4}",
+        outcome.initial_winner, outcome.initial_bias
+    );
+    match outcome.epsilon_time {
+        Some(t) => println!("ε-convergence:       t = {t:.3}"),
+        None => println!("ε-convergence:       not reached"),
+    }
+    match outcome.consensus_time {
+        Some(t) => println!("full consensus:      t = {t:.3}"),
+        None => println!("full consensus:      not reached (ran to t = {:.3})", outcome.duration),
+    }
+    match outcome.winner() {
+        Some(w) => println!(
+            "winner:              {w} (initial plurality preserved: {})",
+            outcome.plurality_preserved()
+        ),
+        None => println!("winner:              none"),
+    }
+    if !outcome.generations.is_empty() {
+        println!("generations created: {}", outcome.generations.len());
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let protocol = args.get_str("protocol", "sync");
+    let n = args.get_u64("n", 10_000)?;
+    let k = args.get_u64("k", 4)? as u32;
+    let alpha = args.get_f64("alpha", 2.0)?;
+    let seed = args.get_u64("seed", 0)?;
+    let epsilon = args.get_f64("epsilon", 0.05)?;
+    let latency = parse_latency(&args.get_str("latency", "exp:1.0"))?;
+    let assignment = InitialAssignment::with_bias(n, k, alpha)?;
+
+    match protocol.as_str() {
+        "sync" => {
+            let gamma = args.get_f64("gamma", 0.5)?;
+            let r = SyncConfig::new(assignment)
+                .with_seed(seed)
+                .with_gamma(gamma)
+                .with_epsilon(epsilon)
+                .run();
+            print_outcome("synchronous (Algorithm 1)", &r.outcome);
+            println!("rounds:              {}", r.rounds);
+        }
+        "leader" => {
+            let r = LeaderConfig::new(assignment)
+                .with_seed(seed)
+                .with_latency(latency)
+                .with_epsilon(epsilon)
+                .run();
+            print_outcome("async single-leader (Algorithms 2+3)", &r.outcome);
+            println!(
+                "time unit:           C1 = {:.3} steps ({} ticks processed)",
+                r.steps_per_unit, r.ticks
+            );
+        }
+        "cluster" => {
+            let r = ClusterConfig::new(assignment)
+                .with_seed(seed)
+                .with_latency(latency)
+                .with_epsilon(epsilon)
+                .run();
+            print_outcome("async multi-leader (Algorithms 4+5)", &r.outcome);
+            println!(
+                "clusters:            {} ({} participating, {:.1}% of nodes)",
+                r.cluster_count,
+                r.participating_clusters,
+                100.0 * r.participating_fraction
+            );
+        }
+        "pull" | "two-choices" | "3-majority" | "undecided" => {
+            let dynamics = match protocol.as_str() {
+                "pull" => Dynamics::PullVoting,
+                "two-choices" => Dynamics::TwoChoices,
+                "3-majority" => Dynamics::ThreeMajority,
+                _ => Dynamics::Undecided,
+            };
+            let r = DynamicsConfig::new(dynamics, assignment)
+                .with_seed(seed)
+                .with_epsilon(epsilon)
+                .run();
+            print_outcome(dynamics.name(), &r.outcome);
+            println!("rounds:              {}", r.rounds);
+        }
+        other => {
+            return Err(format!(
+                "unknown protocol `{other}` (expected sync, leader, cluster, pull, \
+                 two-choices, 3-majority, or undecided)"
+            ))
+        }
+    }
+    Ok(())
+}
+
+fn cmd_time_unit(args: &Args) -> Result<(), String> {
+    let latency = parse_latency(&args.get_str("latency", "exp:1.0"))?;
+    let pattern = match args.get_str("pattern", "single").as_str() {
+        "single" => ChannelPattern::SingleLeader,
+        "multi" => ChannelPattern::MultiLeader,
+        other => return Err(format!("unknown pattern `{other}` (single or multi)")),
+    };
+    let samples = args.get_u64("samples", 100_000)? as usize;
+    let seed = args.get_u64("seed", 42)?;
+    let wt = WaitingTime::new(latency, pattern);
+    let c1 = wt.time_unit(samples, seed);
+    println!("latency:     {latency}");
+    println!("pattern:     {pattern:?}");
+    println!("C1 = F⁻¹(0.9) = {c1:.4} steps per time unit");
+    if let Some(m) = wt.majorant_time_unit() {
+        println!("Γ majorant 0.9-quantile: {m:.4}");
+    }
+    if let Some(r) = wt.remark14_bound() {
+        println!("paper's claimed Remark 14 bound: {r:.4} (see EXPERIMENTS.md E1)");
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage:
+  plurality run [--protocol sync|leader|cluster|pull|two-choices|3-majority|undecided]
+                [--n N] [--k K] [--alpha A] [--seed S] [--epsilon E]
+                [--gamma G] [--latency SPEC]
+  plurality time-unit [--latency SPEC] [--pattern single|multi] [--samples M] [--seed S]
+
+latency SPEC: exp:RATE | erlang:SHAPE:RATE | weibull:SHAPE:MEAN | uniform:LO:HI | det:VALUE";
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&raw) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match args.command.as_str() {
+        "run" => cmd_run(&args),
+        "time-unit" => cmd_time_unit(&args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown subcommand `{other}`")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}\n{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_subcommand_and_flags() {
+        let args = parse_args(&raw(&["run", "--n", "100", "--protocol", "leader"])).unwrap();
+        assert_eq!(args.command, "run");
+        assert_eq!(args.get_u64("n", 0).unwrap(), 100);
+        assert_eq!(args.get_str("protocol", "sync"), "leader");
+        assert_eq!(args.get_f64("alpha", 2.0).unwrap(), 2.0); // default
+    }
+
+    #[test]
+    fn rejects_missing_value_and_bad_flag() {
+        assert!(parse_args(&raw(&["run", "--n"])).is_err());
+        assert!(parse_args(&raw(&["run", "n", "5"])).is_err());
+        assert!(parse_args(&raw(&[])).is_err());
+    }
+
+    #[test]
+    fn rejects_non_numeric_values() {
+        let args = parse_args(&raw(&["run", "--n", "many"])).unwrap();
+        assert!(args.get_u64("n", 0).is_err());
+        let args = parse_args(&raw(&["run", "--alpha", "big"])).unwrap();
+        assert!(args.get_f64("alpha", 1.0).is_err());
+    }
+
+    #[test]
+    fn parses_latency_specs() {
+        assert!(parse_latency("exp:2.0").is_ok());
+        assert!(parse_latency("erlang:3:1.5").is_ok());
+        assert!(parse_latency("weibull:1.5:1.0").is_ok());
+        assert!(parse_latency("uniform:0:2").is_ok());
+        assert!(parse_latency("det:1").is_ok());
+        assert!(parse_latency("exp").is_err());
+        assert!(parse_latency("cauchy:1").is_err());
+        assert!(parse_latency("exp:-1").is_err());
+        assert!(parse_latency("erlang:x:1").is_err());
+    }
+}

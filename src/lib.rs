@@ -1,0 +1,42 @@
+//! # plurality
+//!
+//! Umbrella crate for the `plurality` workspace — a from-scratch Rust
+//! reproduction of *Positive Aging Admits Fast Asynchronous Plurality
+//! Consensus* (Bankhamer, Elsässer, Kaaser, Krnc; PODC 2020 / arXiv
+//! 1806.02596).
+//!
+//! The workspace implements the paper's three protocols (synchronous,
+//! asynchronous single-leader, and decentralized multi-leader), the full
+//! simulation substrate they require (Poisson clocks, edge latencies,
+//! deterministic discrete-event engine), the baselines from the related
+//! work, and an experiment harness regenerating every figure and
+//! quantitative claim. See `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for paper-vs-measured results.
+//!
+//! This crate re-exports the member crates under stable names:
+//!
+//! * [`dist`] — probability substrate (`plurality-dist`)
+//! * [`sim`] — discrete-event engine (`plurality-sim`)
+//! * [`core`] — the paper's protocols (`plurality-core`)
+//! * [`baselines`] — comparison dynamics (`plurality-baselines`)
+//! * [`stats`] — statistics and reporting (`plurality-stats`)
+//!
+//! ## Quick start
+//!
+//! ```
+//! use plurality::core::sync::SyncConfig;
+//! use plurality::core::InitialAssignment;
+//!
+//! let assignment = InitialAssignment::with_bias(2_000, 4, 2.0).unwrap();
+//! let result = SyncConfig::new(assignment).with_seed(1).run();
+//! assert!(result.outcome.plurality_preserved());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use plurality_baselines as baselines;
+pub use plurality_core as core;
+pub use plurality_dist as dist;
+pub use plurality_sim as sim;
+pub use plurality_stats as stats;

@@ -1,0 +1,63 @@
+//! Integration tests for the `plurality` CLI binary.
+
+use std::process::Command;
+
+fn plurality(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_plurality"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn run_sync_small_instance() {
+    let out = plurality(&[
+        "run", "--protocol", "sync", "--n", "800", "--k", "2", "--alpha", "3.0", "--seed", "1",
+    ]);
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("synchronous"));
+    assert!(stdout.contains("initial plurality preserved: true"));
+}
+
+#[test]
+fn run_baseline_dynamics() {
+    let out = plurality(&[
+        "run", "--protocol", "3-majority", "--n", "600", "--k", "3", "--alpha", "3.0",
+    ]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("3-majority"));
+    assert!(stdout.contains("rounds:"));
+}
+
+#[test]
+fn time_unit_reports_c1_and_bounds() {
+    let out = plurality(&["time-unit", "--latency", "exp:1.0", "--samples", "20000"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("steps per time unit"));
+    assert!(stdout.contains("majorant"));
+}
+
+#[test]
+fn unknown_protocol_fails_with_usage() {
+    let out = plurality(&["run", "--protocol", "paxos"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown protocol"));
+    assert!(stderr.contains("usage:"));
+}
+
+#[test]
+fn missing_subcommand_fails() {
+    let out = plurality(&[]);
+    assert!(!out.status.success());
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = plurality(&["help"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
+}

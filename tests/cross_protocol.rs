@@ -1,0 +1,174 @@
+//! Integration: all protocols and baselines, run end to end on shared
+//! instances, must tell one consistent story.
+
+use plurality::baselines::{Dynamics, DynamicsConfig, PopulationConfig, PopulationProtocol};
+use plurality::core::cluster::ClusterConfig;
+use plurality::core::leader::LeaderConfig;
+use plurality::core::sync::SyncConfig;
+use plurality::core::{InitialAssignment, Opinion};
+
+fn strongly_biased(n: u64, k: u32) -> InitialAssignment {
+    InitialAssignment::with_bias(n, k, 3.0).expect("valid assignment")
+}
+
+#[test]
+fn all_protocols_elect_the_initial_plurality() {
+    let assignment = strongly_biased(2_000, 3);
+
+    let sync = SyncConfig::new(assignment.clone()).with_seed(11).run();
+    let leader = LeaderConfig::new(assignment.clone())
+        .with_seed(11)
+        .with_steps_per_unit(9.3)
+        .run();
+    let multi = ClusterConfig::new(assignment.clone())
+        .with_seed(11)
+        .with_steps_per_unit(12.0)
+        .run();
+
+    for (name, outcome) in [
+        ("sync", &sync.outcome),
+        ("leader", &leader.outcome),
+        ("multi", &multi.outcome),
+    ] {
+        assert!(
+            outcome.plurality_preserved(),
+            "{name} failed to preserve the plurality"
+        );
+        assert_eq!(outcome.winner(), Some(Opinion::new(0)), "{name} winner");
+        assert_eq!(outcome.n, 2_000, "{name} population");
+    }
+}
+
+#[test]
+fn baselines_agree_with_core_protocols_under_strong_bias() {
+    let assignment = strongly_biased(2_000, 3);
+    let reference = SyncConfig::new(assignment.clone())
+        .with_seed(12)
+        .run()
+        .outcome
+        .winner();
+
+    for dynamics in [Dynamics::TwoChoices, Dynamics::ThreeMajority, Dynamics::Undecided] {
+        let r = DynamicsConfig::new(dynamics, assignment.clone())
+            .with_seed(12)
+            .run();
+        assert_eq!(
+            r.outcome.winner(),
+            reference,
+            "{} disagreed with the reference winner",
+            dynamics.name()
+        );
+    }
+}
+
+#[test]
+fn epsilon_convergence_never_after_full_consensus() {
+    let assignment = strongly_biased(1_500, 2);
+    let results: Vec<(Option<f64>, Option<f64>)> = vec![
+        {
+            let r = SyncConfig::new(assignment.clone()).with_seed(13).run();
+            (r.outcome.epsilon_time, r.outcome.consensus_time)
+        },
+        {
+            let r = LeaderConfig::new(assignment.clone())
+                .with_seed(13)
+                .with_steps_per_unit(9.3)
+                .run();
+            (r.outcome.epsilon_time, r.outcome.consensus_time)
+        },
+        {
+            let r = ClusterConfig::new(assignment)
+                .with_seed(13)
+                .with_steps_per_unit(12.0)
+                .run();
+            (r.outcome.epsilon_time, r.outcome.consensus_time)
+        },
+    ];
+    for (eps, full) in results {
+        if let (Some(e), Some(f)) = (eps, full) {
+            assert!(e <= f, "ε-time {e} after consensus time {f}");
+        }
+    }
+}
+
+#[test]
+fn population_protocols_match_majority_of_assignment() {
+    // 70/30 split: both protocols must output opinion 0.
+    for protocol in [
+        PopulationProtocol::ApproximateMajority,
+        PopulationProtocol::ExactMajority,
+    ] {
+        let r = PopulationConfig::new(protocol, 600, 420).with_seed(5).run();
+        assert!(r.converged, "{} did not converge", protocol.name());
+        assert_eq!(
+            r.outcome.winner(),
+            Some(Opinion::new(0)),
+            "{} wrong winner",
+            protocol.name()
+        );
+    }
+}
+
+#[test]
+fn population_is_conserved_by_every_engine() {
+    let n = 1_200u64;
+    let assignment = strongly_biased(n, 4);
+
+    let sync = SyncConfig::new(assignment.clone()).with_seed(21).run();
+    assert_eq!(sync.outcome.final_counts.n(), n);
+
+    let leader = LeaderConfig::new(assignment.clone())
+        .with_seed(21)
+        .with_steps_per_unit(9.3)
+        .run();
+    assert_eq!(leader.outcome.final_counts.n(), n);
+
+    let multi = ClusterConfig::new(assignment.clone())
+        .with_seed(21)
+        .with_steps_per_unit(12.0)
+        .run();
+    assert_eq!(multi.outcome.final_counts.n(), n);
+
+    for dynamics in Dynamics::all() {
+        let r = DynamicsConfig::new(dynamics, assignment.clone())
+            .with_seed(21)
+            .with_max_rounds(50)
+            .run();
+        // The undecided dynamic parks some mass outside the color counts.
+        assert!(
+            r.outcome.final_counts.n() <= n,
+            "{} overcounted",
+            dynamics.name()
+        );
+        if dynamics != Dynamics::Undecided {
+            assert_eq!(r.outcome.final_counts.n(), n, "{}", dynamics.name());
+        }
+    }
+}
+
+#[test]
+fn generation_births_are_strictly_ordered_everywhere() {
+    let assignment = strongly_biased(2_000, 3);
+    let sync = SyncConfig::new(assignment.clone()).with_seed(22).run();
+    let leader = LeaderConfig::new(assignment.clone())
+        .with_seed(22)
+        .with_steps_per_unit(9.3)
+        .run();
+    let multi = ClusterConfig::new(assignment)
+        .with_seed(22)
+        .with_steps_per_unit(12.0)
+        .run();
+    for (name, births) in [
+        ("sync", &sync.outcome.generations),
+        ("leader", &leader.outcome.generations),
+        ("multi", &multi.outcome.generations),
+    ] {
+        for w in births.windows(2) {
+            assert!(
+                w[0].generation < w[1].generation,
+                "{name}: generations out of order"
+            );
+            assert!(w[0].time <= w[1].time, "{name}: birth times out of order");
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Integration: every engine is a pure function of its seed.
+
+use plurality::baselines::{Dynamics, DynamicsConfig, PopulationConfig, PopulationProtocol};
+use plurality::core::cluster::ClusterConfig;
+use plurality::core::leader::LeaderConfig;
+use plurality::core::sync::SyncConfig;
+use plurality::core::InitialAssignment;
+use plurality::dist::{ChannelPattern, Latency, WaitingTime};
+
+fn assignment() -> InitialAssignment {
+    InitialAssignment::with_bias(900, 3, 2.5).expect("valid assignment")
+}
+
+#[test]
+fn sync_engine_is_deterministic() {
+    let a = SyncConfig::new(assignment()).with_seed(31).run();
+    let b = SyncConfig::new(assignment()).with_seed(31).run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn leader_engine_is_deterministic() {
+    let mk = || {
+        LeaderConfig::new(assignment())
+            .with_seed(32)
+            .with_steps_per_unit(9.3)
+            .run()
+    };
+    assert_eq!(mk(), mk());
+}
+
+#[test]
+fn cluster_engine_is_deterministic() {
+    let mk = || {
+        ClusterConfig::new(assignment())
+            .with_seed(33)
+            .with_steps_per_unit(12.0)
+            .run()
+    };
+    assert_eq!(mk(), mk());
+}
+
+#[test]
+fn baseline_engines_are_deterministic() {
+    for dynamics in Dynamics::all() {
+        let mk = || {
+            DynamicsConfig::new(dynamics, assignment())
+                .with_seed(34)
+                .with_max_rounds(200)
+                .run()
+        };
+        assert_eq!(mk(), mk(), "{}", dynamics.name());
+    }
+    let mk = || {
+        PopulationConfig::new(PopulationProtocol::ExactMajority, 300, 180)
+            .with_seed(35)
+            .run()
+    };
+    assert_eq!(mk(), mk());
+}
+
+#[test]
+fn different_seeds_give_different_trajectories() {
+    let a = LeaderConfig::new(assignment())
+        .with_seed(36)
+        .with_steps_per_unit(9.3)
+        .run();
+    let b = LeaderConfig::new(assignment())
+        .with_seed(37)
+        .with_steps_per_unit(9.3)
+        .run();
+    // Continuous times collide with probability zero.
+    assert_ne!(a.outcome.duration, b.outcome.duration);
+}
+
+#[test]
+fn monte_carlo_time_unit_is_deterministic() {
+    let wt = WaitingTime::new(
+        Latency::exponential(0.5).unwrap(),
+        ChannelPattern::SingleLeader,
+    );
+    assert_eq!(wt.time_unit(5_000, 9), wt.time_unit(5_000, 9));
+    assert_ne!(wt.time_unit(5_000, 9), wt.time_unit(5_000, 10));
+}

@@ -1,0 +1,135 @@
+//! Property-based integration tests: random configurations must uphold the
+//! engines' structural invariants (no panics, conservation, valid winners,
+//! ordered telemetry).
+
+use proptest::prelude::*;
+use plurality::baselines::{Dynamics, DynamicsConfig};
+use plurality::core::leader::LeaderConfig;
+use plurality::core::sync::{lifecycle_length, Schedule, SyncConfig};
+use plurality::core::{InitialAssignment, Opinion};
+use plurality::dist::rng::Xoshiro256PlusPlus;
+use plurality::dist::{quantile::quantile_sorted, sample_binomial};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn sync_runs_conserve_population_and_elect_valid_winner(
+        n in 50u64..800,
+        k in 2u32..6,
+        alpha in 1.0f64..4.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        prop_assume!(InitialAssignment::with_bias(n, k, alpha).is_ok());
+        let assignment = InitialAssignment::with_bias(n, k, alpha).unwrap();
+        let r = SyncConfig::new(assignment)
+            .with_seed(seed)
+            .with_max_rounds(400)
+            .run();
+        prop_assert_eq!(r.outcome.final_counts.n(), n);
+        let winner = r.outcome.winner().unwrap();
+        prop_assert!(winner.index() < k);
+        // Birth telemetry is ordered and within the generation cap.
+        for w in r.outcome.generations.windows(2) {
+            prop_assert!(w[0].generation < w[1].generation);
+            prop_assert!(w[0].time <= w[1].time);
+        }
+        if let (Some(e), Some(f)) = (r.outcome.epsilon_time, r.outcome.consensus_time) {
+            prop_assert!(e <= f);
+        }
+    }
+
+    #[test]
+    fn leader_runs_conserve_population(
+        n in 50u64..500,
+        k in 2u32..5,
+        alpha in 1.0f64..4.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        prop_assume!(InitialAssignment::with_bias(n, k, alpha).is_ok());
+        let assignment = InitialAssignment::with_bias(n, k, alpha).unwrap();
+        let r = LeaderConfig::new(assignment)
+            .with_seed(seed)
+            .with_steps_per_unit(9.3)
+            .with_max_time(300.0)
+            .run();
+        prop_assert_eq!(r.outcome.final_counts.n(), n);
+        prop_assert!(r.good_ticks <= r.ticks);
+        // Leader phases are ordered by generation and time.
+        for w in r.phases.windows(2) {
+            prop_assert_eq!(w[0].generation + 1, w[1].generation);
+            prop_assert!(w[0].allowed_at <= w[1].allowed_at);
+        }
+    }
+
+    #[test]
+    fn baselines_never_invent_opinions(
+        n in 50u64..500,
+        k in 2u32..6,
+        seed in 0u64..u64::MAX,
+    ) {
+        let assignment = InitialAssignment::Uniform { n, k };
+        for dynamics in Dynamics::all() {
+            let r = DynamicsConfig::new(dynamics, assignment.clone())
+                .with_seed(seed)
+                .with_max_rounds(60)
+                .run();
+            // No opinion index outside 0..k ever gains support.
+            prop_assert_eq!(r.outcome.final_counts.k(), k as usize);
+            prop_assert!(r.outcome.final_counts.n() <= n);
+            for idx in 0..k {
+                let _ = r.outcome.final_counts.support(Opinion::new(idx));
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_rounds_strictly_increase(
+        n in 100u64..1_000_000,
+        k in 2u32..64,
+        alpha in 1.01f64..8.0,
+        gamma in 0.2f64..0.8,
+    ) {
+        let s = Schedule::predefined(n, k, alpha, gamma);
+        prop_assert_eq!(s.rounds()[0], 1);
+        for w in s.rounds().windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+        prop_assert_eq!(s.rounds().len() as u32, s.g_star());
+    }
+
+    #[test]
+    fn lifecycle_lengths_are_positive_and_bounded_by_log_k(
+        k in 2u32..512,
+        alpha in 1.01f64..4.0,
+        i in 1u32..20,
+    ) {
+        let x = lifecycle_length(alpha, k, 0.5, i);
+        prop_assert!(x > 0.0);
+        // X_i ≤ O(log k): generous constant from the formula's structure.
+        let bound = 2.0 * (k as f64).ln() / 1.5f64.ln() + 8.0;
+        prop_assert!(x <= bound, "X_{i} = {x} exceeds bound {bound}");
+    }
+
+    #[test]
+    fn binomial_samples_stay_in_support(
+        n in 0u64..100_000,
+        p in 0.0f64..1.0,
+        seed in 0u64..u64::MAX,
+    ) {
+        let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+        let x = sample_binomial(n, p, &mut rng);
+        prop_assert!(x <= n);
+    }
+
+    #[test]
+    fn empirical_quantiles_are_monotone_in_q(
+        mut xs in prop::collection::vec(-1e6f64..1e6, 2..200),
+        q1 in 0.0f64..1.0,
+        q2 in 0.0f64..1.0,
+    ) {
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let (lo, hi) = if q1 <= q2 { (q1, q2) } else { (q2, q1) };
+        prop_assert!(quantile_sorted(&xs, lo) <= quantile_sorted(&xs, hi));
+    }
+}
