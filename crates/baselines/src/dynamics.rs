@@ -172,9 +172,7 @@ fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
 
     // Consensus for the undecided dynamic additionally requires that no
     // node is undecided.
-    let mono = |counts: &OpinionCounts, undecided: u64| {
-        undecided == 0 && counts.is_monochromatic()
-    };
+    let mono = |counts: &OpinionCounts, undecided: u64| undecided == 0 && counts.is_monochromatic();
 
     if !mono(&counts, undecided_count) {
         for round in 1..=cfg.max_rounds {
@@ -202,7 +200,7 @@ fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
                             b
                         } else {
                             // All distinct: uniform tie-break among them.
-                            [a, b, c][rng.gen_range(0..3)]
+                            [a, b, c][rng.gen_range(0..3usize)]
                         }
                     }
                     Dynamics::Undecided => {

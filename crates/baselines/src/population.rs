@@ -318,7 +318,11 @@ mod tests {
         assert!(r.converged, "did not converge");
         assert!(r.outcome.plurality_preserved());
         // O(n log n) interactions ⇒ parallel time O(log n); be generous.
-        assert!(r.outcome.duration < 200.0, "parallel time {}", r.outcome.duration);
+        assert!(
+            r.outcome.duration < 200.0,
+            "parallel time {}",
+            r.outcome.duration
+        );
     }
 
     #[test]
@@ -377,8 +381,7 @@ mod tests {
     #[test]
     fn from_assignment_maps_counts() {
         let a = InitialAssignment::Exact(vec![60, 40]);
-        let cfg =
-            PopulationConfig::from_assignment(PopulationProtocol::ExactMajority, &a, 1);
+        let cfg = PopulationConfig::from_assignment(PopulationProtocol::ExactMajority, &a, 1);
         let r = cfg.run();
         assert_eq!(r.outcome.n, 100);
         assert_eq!(r.outcome.winner(), Some(Opinion::new(0)));

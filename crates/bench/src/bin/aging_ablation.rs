@@ -57,8 +57,7 @@ fn main() {
         let mut eps_t = OnlineStats::new();
         let mut wins = 0u64;
         for seed in seeds(0xB30, reps) {
-            let assignment =
-                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
             let r = LeaderConfig::new(assignment)
                 .with_seed(seed)
                 .with_latency(*latency)
@@ -73,7 +72,12 @@ fn main() {
         }
         table.row(&[
             name.to_string(),
-            if latency.is_positive_aging() { "yes" } else { "no" }.to_string(),
+            if latency.is_positive_aging() {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
             fmt_f64(c1),
             fmt_f64(eps_t.mean()),
             fmt_f64(eps_t.mean() / c1),

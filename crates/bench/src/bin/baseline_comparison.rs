@@ -7,9 +7,7 @@
 //! instances across `k` (where the separation grows) and also run the
 //! two-opinion population protocols for the parallel-time comparison.
 
-use plurality_baselines::{
-    Dynamics, DynamicsConfig, PopulationConfig, PopulationProtocol,
-};
+use plurality_baselines::{Dynamics, DynamicsConfig, PopulationConfig, PopulationProtocol};
 use plurality_bench::{is_full, results_dir, seeds};
 use plurality_core::sync::SyncConfig;
 use plurality_core::InitialAssignment;
@@ -44,8 +42,7 @@ fn main() {
             (Dynamics::PullVoting, OnlineStats::new(), 0u32),
         ];
         for seed in seeds(0xB12, reps) {
-            let assignment =
-                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
             let r = SyncConfig::new(assignment.clone()).with_seed(seed).run();
             if let Some(t) = r.outcome.consensus_time {
                 ours.push(t);
@@ -87,7 +84,13 @@ fn main() {
     let pop_n: u64 = if full { 20_000 } else { 5_000 };
     let mut t2 = Table::new(
         format!("Population protocols, two opinions (n = {pop_n}): parallel time"),
-        &["initial A", "protocol", "parallel time", "interactions", "correct"],
+        &[
+            "initial A",
+            "protocol",
+            "parallel time",
+            "interactions",
+            "correct",
+        ],
     );
     for &(frac, label) in &[(0.6f64, "60/40"), (0.52f64, "52/48")] {
         let a = (pop_n as f64 * frac) as u64;
@@ -120,8 +123,11 @@ fn main() {
     println!("{}", t2.render());
 
     let dir = results_dir();
-    table.write_csv(dir.join("baseline_comparison.csv")).expect("write csv");
-    t2.write_csv(dir.join("baseline_population.csv")).expect("write csv");
+    table
+        .write_csv(dir.join("baseline_comparison.csv"))
+        .expect("write csv");
+    t2.write_csv(dir.join("baseline_population.csv"))
+        .expect("write csv");
     println!("wrote {}", dir.join("baseline_comparison.csv").display());
     println!("wrote {}", dir.join("baseline_population.csv").display());
 }

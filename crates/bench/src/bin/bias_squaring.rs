@@ -71,8 +71,7 @@ fn main() {
     // Asynchronous single-leader chain (bias measured when each
     // generation's active window closes, cf. Lemma 22).
     let n_async = if full { 100_000 } else { 30_000 };
-    let assignment =
-        InitialAssignment::with_bias(n_async, k, alpha).expect("valid assignment");
+    let assignment = InitialAssignment::with_bias(n_async, k, alpha).expect("valid assignment");
     let leader = LeaderConfig::new(assignment).with_seed(0xE5).run();
     let t2 = chain_table(
         format!(
@@ -85,8 +84,10 @@ fn main() {
     println!("{}", t2.render());
 
     let dir = results_dir();
-    t1.write_csv(dir.join("bias_squaring_sync.csv")).expect("write csv");
-    t2.write_csv(dir.join("bias_squaring_async.csv")).expect("write csv");
+    t1.write_csv(dir.join("bias_squaring_sync.csv"))
+        .expect("write csv");
+    t2.write_csv(dir.join("bias_squaring_async.csv"))
+        .expect("write csv");
     println!("wrote {}", dir.join("bias_squaring_sync.csv").display());
     println!("wrote {}", dir.join("bias_squaring_async.csv").display());
 }

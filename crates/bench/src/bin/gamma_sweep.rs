@@ -27,8 +27,7 @@ fn main() {
         let mut rounds = OnlineStats::new();
         let mut wins = 0u64;
         for seed in seeds(0xE4, reps) {
-            let assignment =
-                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
             let r = SyncConfig::new(assignment)
                 .with_seed(seed)
                 .with_gamma(gamma)

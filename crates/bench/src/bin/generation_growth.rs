@@ -46,7 +46,9 @@ fn main() {
         }
     }
     let mut t1 = Table::new(
-        format!("Prop 9: per-round growth of the newest generation (n = {n}, k = {k}, γ = {gamma})"),
+        format!(
+            "Prop 9: per-round growth of the newest generation (n = {n}, k = {k}, γ = {gamma})"
+        ),
         &["quantity", "value"],
     );
     t1.row(&["rounds measured".into(), growth.count().to_string()]);
@@ -58,8 +60,7 @@ fn main() {
     // --- Asynchronous two-choices window length (Prop 16) and generation
     // cycle lengths (Cor 18).
     let n_async = if full { 100_000 } else { 30_000 };
-    let assignment =
-        InitialAssignment::with_bias(n_async, k, alpha).expect("valid assignment");
+    let assignment = InitialAssignment::with_bias(n_async, k, alpha).expect("valid assignment");
     let leader = LeaderConfig::new(assignment).with_seed(0xE6).run();
     let c1 = leader.steps_per_unit;
     let mut t2 = Table::new(
@@ -76,9 +77,7 @@ fn main() {
     );
     let mut windows = OnlineStats::new();
     for (i, p) in leader.phases.iter().enumerate() {
-        let window = p
-            .propagation_at
-            .map(|prop| (prop - p.allowed_at) / c1);
+        let window = p.propagation_at.map(|prop| (prop - p.allowed_at) / c1);
         if let Some(w) = window {
             windows.push(w);
         }
@@ -105,8 +104,13 @@ fn main() {
     }
 
     let dir = results_dir();
-    t1.write_csv(dir.join("generation_growth_sync.csv")).expect("write csv");
-    t2.write_csv(dir.join("generation_growth_async.csv")).expect("write csv");
+    t1.write_csv(dir.join("generation_growth_sync.csv"))
+        .expect("write csv");
+    t2.write_csv(dir.join("generation_growth_async.csv"))
+        .expect("write csv");
     println!("wrote {}", dir.join("generation_growth_sync.csv").display());
-    println!("wrote {}", dir.join("generation_growth_async.csv").display());
+    println!(
+        "wrote {}",
+        dir.join("generation_growth_async.csv").display()
+    );
 }

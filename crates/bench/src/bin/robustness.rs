@@ -34,8 +34,7 @@ fn main() {
         let mut gens = OnlineStats::new();
         let mut converged = 0u64;
         for seed in seeds(0xB0B1, reps) {
-            let assignment =
-                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
             let r = LeaderConfig::new(assignment)
                 .with_seed(seed)
                 .with_signal_loss(loss)
@@ -50,7 +49,11 @@ fn main() {
         }
         t1.row(&[
             fmt_f64(loss),
-            if eps_t.count() > 0 { fmt_f64(eps_t.mean()) } else { "-".into() },
+            if eps_t.count() > 0 {
+                fmt_f64(eps_t.mean())
+            } else {
+                "-".into()
+            },
             format!("{converged}/{reps}"),
             fmt_f64(gens.mean()),
         ]);
@@ -68,8 +71,7 @@ fn main() {
         let mut full_t = OnlineStats::new();
         let mut wins = 0u64;
         for seed in seeds(0xB0B2, reps) {
-            let assignment =
-                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
             let r = LeaderConfig::new(assignment)
                 .with_seed(seed)
                 .with_stragglers(frac, 0.1)
@@ -87,15 +89,21 @@ fn main() {
         t2.row(&[
             fmt_f64(frac),
             fmt_f64(eps_t.mean()),
-            if full_t.count() > 0 { fmt_f64(full_t.mean()) } else { "-".into() },
+            if full_t.count() > 0 {
+                fmt_f64(full_t.mean())
+            } else {
+                "-".into()
+            },
             format!("{wins}/{reps}"),
         ]);
     }
     println!("{}", t2.render());
 
     let dir = results_dir();
-    t1.write_csv(dir.join("robustness_signal_loss.csv")).expect("write csv");
-    t2.write_csv(dir.join("robustness_stragglers.csv")).expect("write csv");
+    t1.write_csv(dir.join("robustness_signal_loss.csv"))
+        .expect("write csv");
+    t2.write_csv(dir.join("robustness_stragglers.csv"))
+        .expect("write csv");
     println!("wrote {}", dir.join("robustness_signal_loss.csv").display());
     println!("wrote {}", dir.join("robustness_stragglers.csv").display());
 }

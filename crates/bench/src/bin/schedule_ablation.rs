@@ -63,8 +63,7 @@ fn main() {
         let (ada, ada_w, ada_tc) = run(n, k, alpha, ScheduleMode::Adaptive, None, reps);
         // Predefined with a *wrong* α hint (pretends the bias is huge, so
         // the schedule packs two-choices rounds far too densely).
-        let (bad, bad_w, bad_tc) =
-            run(n, k, alpha, ScheduleMode::Predefined, Some(8.0), reps);
+        let (bad, bad_w, bad_tc) = run(n, k, alpha, ScheduleMode::Predefined, Some(8.0), reps);
         for (name, stats, wins, tc) in [
             ("predefined", &pre, pre_w, &pre_tc),
             ("adaptive", &ada, ada_w, &ada_tc),

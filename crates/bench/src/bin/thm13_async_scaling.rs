@@ -24,7 +24,14 @@ fn main() {
     let k = 4u32;
     let mut t1 = Table::new(
         "Theorem 13 (a): async single-leader times vs n (k = 4, α at bound)",
-        &["n", "α₀", "ε-time (steps)", "full time", "tail/ln n", "success"],
+        &[
+            "n",
+            "α₀",
+            "ε-time (steps)",
+            "full time",
+            "tail/ln n",
+            "success",
+        ],
     );
     let mut xs = Vec::new();
     let mut tails = Vec::new();
@@ -35,8 +42,7 @@ fn main() {
         let mut tail_ratio = OnlineStats::new();
         let mut wins = 0u64;
         for seed in seeds(0xB13, reps) {
-            let assignment =
-                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
             let r = LeaderConfig::new(assignment).with_seed(seed).run();
             if let Some(e) = r.outcome.epsilon_time {
                 eps_t.push(e);
@@ -84,8 +90,7 @@ fn main() {
         let mut units = OnlineStats::new();
         let mut wins = 0u64;
         for seed in seeds(0xB14, reps) {
-            let assignment =
-                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
             let r = LeaderConfig::new(assignment).with_seed(seed).run();
             if let Some(e) = r.outcome.epsilon_time {
                 eps_t.push(e);
@@ -113,8 +118,10 @@ fn main() {
     );
 
     let dir = results_dir();
-    t1.write_csv(dir.join("thm13_async_vs_n.csv")).expect("write csv");
-    t2.write_csv(dir.join("thm13_async_vs_k.csv")).expect("write csv");
+    t1.write_csv(dir.join("thm13_async_vs_n.csv"))
+        .expect("write csv");
+    t2.write_csv(dir.join("thm13_async_vs_k.csv"))
+        .expect("write csv");
     println!("wrote {}", dir.join("thm13_async_vs_n.csv").display());
     println!("wrote {}", dir.join("thm13_async_vs_k.csv").display());
 }

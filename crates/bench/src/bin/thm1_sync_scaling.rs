@@ -14,7 +14,13 @@ use plurality_core::sync::SyncConfig;
 use plurality_core::InitialAssignment;
 use plurality_stats::{fit, fmt_f64, Axis, OnlineStats, Table};
 
-fn run_cell(n: u64, k: u32, alpha: f64, reps: usize, master: u64) -> (OnlineStats, OnlineStats, u64) {
+fn run_cell(
+    n: u64,
+    k: u32,
+    alpha: f64,
+    reps: usize,
+    master: u64,
+) -> (OnlineStats, OnlineStats, u64) {
     let mut rounds = OnlineStats::new();
     let mut eps_rounds = OnlineStats::new();
     let mut wins = 0u64;

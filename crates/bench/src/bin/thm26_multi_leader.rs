@@ -43,8 +43,7 @@ fn main() {
         let mut coverage = OnlineStats::new();
         let mut wins = 0u64;
         for seed in seeds(0xB26, reps) {
-            let assignment =
-                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
             let multi = ClusterConfig::new(assignment.clone()).with_seed(seed).run();
             let single = LeaderConfig::new(assignment).with_seed(seed).run();
             if let Some(e) = multi.outcome.epsilon_time {
@@ -86,7 +85,14 @@ fn main() {
     let sizes: &[u64] = &[16, 32, 64, 128, 256];
     let mut t2 = Table::new(
         format!("Participation-size ablation (n = {n}, k = {k})"),
-        &["size", "ε-time", "clusters", "coverage", "switch spread (units)", "success"],
+        &[
+            "size",
+            "ε-time",
+            "clusters",
+            "coverage",
+            "switch spread (units)",
+            "success",
+        ],
     );
     for &size in sizes {
         let mut eps_t = OnlineStats::new();
@@ -95,8 +101,7 @@ fn main() {
         let mut spread = OnlineStats::new();
         let mut wins = 0u64;
         for seed in seeds(0xB27, reps) {
-            let assignment =
-                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
             let r = ClusterConfig::new(assignment)
                 .with_seed(seed)
                 .with_participation_size(size)
@@ -125,8 +130,10 @@ fn main() {
     println!("{}", t2.render());
 
     let dir = results_dir();
-    t1.write_csv(dir.join("thm26_multi_vs_single.csv")).expect("write csv");
-    t2.write_csv(dir.join("thm26_size_ablation.csv")).expect("write csv");
+    t1.write_csv(dir.join("thm26_multi_vs_single.csv"))
+        .expect("write csv");
+    t2.write_csv(dir.join("thm26_size_ablation.csv"))
+        .expect("write csv");
     println!("wrote {}", dir.join("thm26_multi_vs_single.csv").display());
     println!("wrote {}", dir.join("thm26_size_ablation.csv").display());
 }

@@ -42,8 +42,7 @@ fn main() {
         let mut tf_units = OnlineStats::new();
         let mut spread_units = OnlineStats::new();
         for seed in seeds(0xB28, reps) {
-            let assignment =
-                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
             let r = ClusterConfig::new(assignment).with_seed(seed).run();
             clusters.push(r.cluster_count as f64);
             participating.push(r.participating_clusters as f64);

@@ -40,8 +40,7 @@ fn main() {
         let mut switch_spread = OnlineStats::new();
         let mut gens = 0u32;
         for seed in seeds(0xB29, reps) {
-            let assignment =
-                InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
             let r = ClusterConfig::new(assignment).with_seed(seed).run();
             let c1 = r.steps_per_unit;
             for (g, first, last) in r.phase_spread(ClusterPhase::TwoChoices) {

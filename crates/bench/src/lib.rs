@@ -20,7 +20,9 @@ use std::path::PathBuf;
 /// (argument `full` or `PLURALITY_EFFORT=full`).
 pub fn is_full() -> bool {
     std::env::args().any(|a| a == "full")
-        || std::env::var("PLURALITY_EFFORT").map(|v| v == "full").unwrap_or(false)
+        || std::env::var("PLURALITY_EFFORT")
+            .map(|v| v == "full")
+            .unwrap_or(false)
 }
 
 /// Directory where experiment CSVs are written (`results/` under the
@@ -45,7 +47,10 @@ pub fn seeds(master: u64, reps: usize) -> Vec<u64> {
 ///
 /// Panics if `lo ≤ 0`, `hi ≤ lo`, or `points < 2`.
 pub fn log_spaced(lo: f64, hi: f64, points: usize) -> Vec<f64> {
-    assert!(lo > 0.0 && hi > lo && points >= 2, "bad log_spaced arguments");
+    assert!(
+        lo > 0.0 && hi > lo && points >= 2,
+        "bad log_spaced arguments"
+    );
     let step = (hi / lo).ln() / (points - 1) as f64;
     (0..points).map(|i| lo * (step * i as f64).exp()).collect()
 }

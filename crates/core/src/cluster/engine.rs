@@ -431,10 +431,8 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
     let max_time = cfg.max_time.unwrap_or_else(|| {
         let nf = n as f64;
         let clustering = c1 * (cfg.pause_units + cfg.accept_units + 8.0);
-        let per_gen = 2.0 * (k as f64 + 2.0).log2()
-            + cfg.two_choices_units
-            + cfg.sleep_units
-            + 12.0;
+        let per_gen =
+            2.0 * (k as f64 + 2.0).log2() + cfg.two_choices_units + cfg.sleep_units + 12.0;
         clustering + c1 * (cap as f64 + 2.0) * per_gen + 12.0 * nf.ln() + 200.0
     });
 
@@ -610,10 +608,7 @@ impl Engine<'_> {
                 .iter_mut()
                 .find(|b| b.generation == generation - 1 && !b.bias.is_finite())
             {
-                b.bias = self
-                    .table
-                    .bias_in(generation - 1)
-                    .unwrap_or(f64::INFINITY);
+                b.bias = self.table.bias_in(generation - 1).unwrap_or(f64::INFINITY);
             }
         }
         if !matches!(self.cfg.record, RecordLevel::Outcome) {
@@ -686,14 +681,11 @@ impl Engine<'_> {
 
     fn consensus_params(&self, card: u64) -> ClusterLeaderParams {
         let nf = self.n as f64;
-        let sleep =
-            (card as f64 * self.c1 * self.cfg.two_choices_units).ceil() as u64;
-        let prop = (card as f64
-            * self.c1
-            * (self.cfg.two_choices_units + self.cfg.sleep_units))
+        let sleep = (card as f64 * self.c1 * self.cfg.two_choices_units).ceil() as u64;
+        let prop = (card as f64 * self.c1 * (self.cfg.two_choices_units + self.cfg.sleep_units))
             .ceil() as u64;
-        let gen_size = ((card as f64 * (0.5 + 1.0 / nf.log2().sqrt())).ceil() as u64)
-            .clamp(1, card);
+        let gen_size =
+            ((card as f64 * (0.5 + 1.0 / nf.log2().sqrt())).ceil() as u64).clamp(1, card);
         ClusterLeaderParams {
             sleep_threshold: sleep.max(1),
             prop_threshold: prop.max(sleep.max(1) + 1),
@@ -820,8 +812,7 @@ impl Engine<'_> {
         }
         self.tracker.observe(
             now,
-            self.table
-                .color_support(self.tracker.initial_winner()),
+            self.table.color_support(self.tracker.initial_winner()),
             self.table.max_color_support(),
         );
         self.table.is_monochromatic()
@@ -871,11 +862,9 @@ impl Engine<'_> {
                         if self.clusters[ci].size >= self.participation_size {
                             self.clusters[ci].mode = ClusterMode::Pausing;
                             self.clusters[ci].window_count = 0;
-                            self.clusters[ci].window_threshold = (self.clusters[ci].size as f64
-                                * self.c1
-                                * self.cfg.pause_units)
-                                .ceil()
-                                as u64;
+                            self.clusters[ci].window_threshold =
+                                (self.clusters[ci].size as f64 * self.c1 * self.cfg.pause_units)
+                                    .ceil() as u64;
                         }
                         break;
                     }
@@ -918,8 +907,7 @@ impl Engine<'_> {
             (s.generation(), s.phase())
         };
         let (l_gen, l_phase) = l_state;
-        let in_sync =
-            self.stored_gen[vi] == l_gen && self.stored_phase[vi] == l_phase.as_state();
+        let in_sync = self.stored_gen[vi] == l_gen && self.stored_phase[vi] == l_phase.as_state();
 
         let (g1, c1s) = (self.gens[s1 as usize], self.cols[s1 as usize]);
         let (g2, c2s) = (self.gens[s2 as usize], self.cols[s2 as usize]);
@@ -967,10 +955,8 @@ impl Engine<'_> {
                 if increased {
                     // Lines 12/16: notify the own leader (travel latency).
                     let travel = self.cfg.latency.sample(&mut self.rng);
-                    self.queue.schedule(
-                        now + travel,
-                        Event::MemberPromoted { cluster: own, gen },
-                    );
+                    self.queue
+                        .schedule(now + travel, Event::MemberPromoted { cluster: own, gen });
                 }
                 // Line 20: reaching the final generation finishes the node.
                 if gen >= self.cap {

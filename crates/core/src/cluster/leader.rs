@@ -120,7 +120,10 @@ impl ClusterLeaderState {
     ///
     /// Panics if thresholds are zero or not increasing.
     pub fn new(params: ClusterLeaderParams) -> Self {
-        assert!(params.sleep_threshold > 0, "sleep_threshold must be positive");
+        assert!(
+            params.sleep_threshold > 0,
+            "sleep_threshold must be positive"
+        );
         assert!(
             params.prop_threshold > params.sleep_threshold,
             "prop_threshold must exceed sleep_threshold"
@@ -221,7 +224,11 @@ impl ClusterLeaderState {
     /// threshold), and the generation-size counter is cleared when the
     /// generation advances (a fidelity fix: the paper's listing omits the
     /// reset, which would double-count promotions across generations).
-    pub fn merge_from(&mut self, generation: u32, phase: ClusterPhase) -> Option<ClusterTransition> {
+    pub fn merge_from(
+        &mut self,
+        generation: u32,
+        phase: ClusterPhase,
+    ) -> Option<ClusterTransition> {
         if lex_cmp((generation, phase), (self.generation, self.phase)) != Ordering::Greater {
             return None;
         }
@@ -258,7 +265,10 @@ mod tests {
         for _ in 0..3 {
             assert_eq!(l.on_zero(), None);
         }
-        assert_eq!(l.on_zero(), Some(ClusterTransition::Slept { generation: 1 }));
+        assert_eq!(
+            l.on_zero(),
+            Some(ClusterTransition::Slept { generation: 1 })
+        );
         assert_eq!(l.phase(), ClusterPhase::Sleeping);
         for _ in 0..5 {
             assert_eq!(l.on_zero(), None);
@@ -282,7 +292,10 @@ mod tests {
         l.on_promoted(1);
         l.on_promoted(1);
         let t = l.on_promoted(1);
-        assert_eq!(t, Some(ClusterTransition::GenerationAllowed { generation: 2 }));
+        assert_eq!(
+            t,
+            Some(ClusterTransition::GenerationAllowed { generation: 2 })
+        );
         assert_eq!(l.phase(), ClusterPhase::TwoChoices);
         assert_eq!(l.tick_count(), 0);
         assert_eq!(l.gen_size(), 0);
@@ -331,6 +344,7 @@ mod tests {
             })
         );
         assert_eq!(l.tick_count(), 4); // jumped to sleep threshold
+
         // Generation ahead beats phase.
         l.merge_from(2, ClusterPhase::TwoChoices);
         assert_eq!(l.generation(), 2);

@@ -15,6 +15,4 @@ mod engine;
 mod leader;
 
 pub use engine::{ClusterConfig, ClusterResult, PhaseLogEntry};
-pub use leader::{
-    ClusterLeaderParams, ClusterLeaderState, ClusterPhase, ClusterTransition,
-};
+pub use leader::{ClusterLeaderParams, ClusterLeaderState, ClusterPhase, ClusterTransition};

@@ -115,7 +115,10 @@ impl GenerationTable {
     ///
     /// Panics if there is no node at the source cell or a color is `≥ k`.
     pub fn transfer(&mut self, from_gen: u32, from_col: u32, to_gen: u32, to_col: u32) {
-        assert!((from_col as usize) < self.k, "color {from_col} out of range");
+        assert!(
+            (from_col as usize) < self.k,
+            "color {from_col} out of range"
+        );
         assert!((to_col as usize) < self.k, "color {to_col} out of range");
         let src = &mut self.counts[from_gen as usize][from_col as usize];
         assert!(

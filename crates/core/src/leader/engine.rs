@@ -88,7 +88,10 @@ impl LeaderConfig {
     ///
     /// Panics if `loss ∉ [0, 1]`.
     pub fn with_signal_loss(mut self, loss: f64) -> Self {
-        assert!((0.0..=1.0).contains(&loss), "signal_loss must lie in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&loss),
+            "signal_loss must lie in [0, 1]"
+        );
         self.signal_loss = loss;
         self
     }
@@ -330,8 +333,13 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
     let clock = PoissonClock::unit_rate();
     let straggler_count = (cfg.straggler_fraction * nf).round() as usize;
     let straggler_clock = PoissonClock::new(cfg.straggler_rate).expect("validated rate");
-    let node_clock =
-        |v: usize| -> &PoissonClock { if v < straggler_count { &straggler_clock } else { &clock } };
+    let node_clock = |v: usize| -> &PoissonClock {
+        if v < straggler_count {
+            &straggler_clock
+        } else {
+            &clock
+        }
+    };
     let mut queue: EventQueue<Event> = EventQueue::with_capacity(2 * n);
     for v in 0..n {
         let t = node_clock(v).next_tick(0.0, &mut rng);
@@ -356,10 +364,7 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
         end_time = now;
         if let Some(series) = winner_series.as_mut() {
             if now >= next_sample {
-                series.push(
-                    now,
-                    table.color_support(initial_winner) as f64 / nf,
-                );
+                series.push(now, table.color_support(initial_winner) as f64 / nf);
                 next_sample = now.floor() + 1.0;
             }
         }
@@ -419,8 +424,11 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                         } else {
                             0.0
                         };
-                        let parent_collision =
-                            if is_birth { table.collision_in(gen - 1) } else { 0.0 };
+                        let parent_collision = if is_birth {
+                            table.collision_in(gen - 1)
+                        } else {
+                            0.0
+                        };
                         if (gen, col) != (old_gen, old_col) {
                             table.transfer(old_gen, old_col, gen, col);
                             gens[vi] = gen;
@@ -444,15 +452,12 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                             });
                         }
                         if is_birth {
-                            if let Some(p) =
-                                phases.iter_mut().find(|p| p.generation == gen)
-                            {
+                            if let Some(p) = phases.iter_mut().find(|p| p.generation == gen) {
                                 p.first_promotion_at.get_or_insert(now);
                             }
                         }
                         if gen > old_gen
-                            && (cfg.signal_loss == 0.0
-                                || rng.gen::<f64>() >= cfg.signal_loss)
+                            && (cfg.signal_loss == 0.0 || rng.gen::<f64>() >= cfg.signal_loss)
                         {
                             let travel = cfg.latency.sample(&mut rng);
                             queue.schedule(
@@ -478,19 +483,15 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                 if let Some(transition) = leader.on_signal(signal) {
                     match transition {
                         LeaderTransition::PropagationEnabled { generation } => {
-                            if let Some(p) =
-                                phases.iter_mut().find(|p| p.generation == generation)
+                            if let Some(p) = phases.iter_mut().find(|p| p.generation == generation)
                             {
                                 p.propagation_at.get_or_insert(now);
                             }
                             // Lemma 22: measure the new generation's bias at
                             // the start of its propagation phase.
-                            if let Some(b) = births
-                                .iter_mut()
-                                .find(|b| b.generation == generation)
+                            if let Some(b) = births.iter_mut().find(|b| b.generation == generation)
                             {
-                                b.bias =
-                                    table.bias_in(generation).unwrap_or(f64::INFINITY);
+                                b.bias = table.bias_in(generation).unwrap_or(f64::INFINITY);
                             }
                         }
                         LeaderTransition::GenerationAllowed { generation } => {
@@ -505,14 +506,12 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                             // small k, where two-choices alone reaches the
                             // n/2 threshold), measure its bias now.
                             if generation >= 2 {
-                                if let Some(b) = births
-                                    .iter_mut()
-                                    .find(|b| b.generation == generation - 1)
+                                if let Some(b) =
+                                    births.iter_mut().find(|b| b.generation == generation - 1)
                                 {
                                     if !b.bias.is_finite() {
-                                        b.bias = table
-                                            .bias_in(generation - 1)
-                                            .unwrap_or(f64::INFINITY);
+                                        b.bias =
+                                            table.bias_in(generation - 1).unwrap_or(f64::INFINITY);
                                     }
                                 }
                             }
@@ -621,8 +620,14 @@ mod tests {
     #[test]
     fn both_promotion_mechanisms_fire() {
         let result = quick_config(2_000, 2, 2.0, 5).run();
-        assert!(result.two_choices_promotions > 0, "no two-choices promotions");
-        assert!(result.propagation_promotions > 0, "no propagation promotions");
+        assert!(
+            result.two_choices_promotions > 0,
+            "no two-choices promotions"
+        );
+        assert!(
+            result.propagation_promotions > 0,
+            "no propagation promotions"
+        );
         assert!(result.good_ticks <= result.ticks);
     }
 
@@ -661,9 +666,7 @@ mod tests {
     fn tolerates_moderate_signal_loss() {
         // 30% loss: the gen-size threshold n/2 still fires (≈ 0.7·n
         // promotion signals arrive per generation).
-        let result = quick_config(1_500, 2, 3.0, 31)
-            .with_signal_loss(0.3)
-            .run();
+        let result = quick_config(1_500, 2, 3.0, 31).with_signal_loss(0.3).run();
         assert!(result.outcome.consensus_time.is_some(), "did not converge");
         assert!(result.outcome.plurality_preserved());
     }

@@ -67,9 +67,7 @@ pub struct OpinionCounts {
 impl OpinionCounts {
     /// Creates counts with all opinions at zero support.
     pub fn zeros(k: usize) -> Self {
-        Self {
-            counts: vec![0; k],
-        }
+        Self { counts: vec![0; k] }
     }
 
     /// Creates counts from an explicit vector (index = opinion).
@@ -375,8 +373,7 @@ impl InitialAssignment {
             }
             Self::Zipf { n, k, s } => {
                 assert!(*k > 0 || *n == 0, "zipf assignment needs k ≥ 1");
-                let weights: Vec<f64> =
-                    (1..=*k).map(|rank| (rank as f64).powf(-s)).collect();
+                let weights: Vec<f64> = (1..=*k).map(|rank| (rank as f64).powf(-s)).collect();
                 let table = AliasTable::new(&weights).expect("valid zipf weights");
                 let mut v = Vec::with_capacity(*n as usize);
                 for _ in 0..*n {

@@ -13,7 +13,5 @@ mod schedule;
 mod urn;
 
 pub use process::{step_node, ScheduleMode, SyncConfig, SyncResult};
-pub use schedule::{
-    generations_needed, lifecycle_length, Schedule, GENERATION_CAP,
-};
+pub use schedule::{generations_needed, lifecycle_length, Schedule, GENERATION_CAP};
 pub use urn::{UrnConfig, UrnResult};

@@ -289,9 +289,7 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
             std::mem::swap(&mut gen, &mut new_gen);
             std::mem::swap(&mut col, &mut new_col);
 
-            if table.max_generation() > parent_gen
-                && !matches!(cfg.record, RecordLevel::Outcome)
-            {
+            if table.max_generation() > parent_gen && !matches!(cfg.record, RecordLevel::Outcome) {
                 let g = table.max_generation();
                 births.push(GenerationBirth {
                     generation: g,

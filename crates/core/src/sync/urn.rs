@@ -186,7 +186,9 @@ fn run_urn(cfg: &UrnConfig) -> UrnResult {
 
     let bias_in_gen = |counts: &[u64], g: usize| -> f64 {
         let row: Vec<u64> = (0..k).map(|c| counts[cell(g, c, k)]).collect();
-        OpinionCounts::from_counts(row).bias().unwrap_or(f64::INFINITY)
+        OpinionCounts::from_counts(row)
+            .bias()
+            .unwrap_or(f64::INFINITY)
     };
     let collision_in_gen = |counts: &[u64], g: usize| -> f64 {
         let total: u64 = (0..k).map(|c| counts[cell(g, c, k)]).sum();

@@ -1,0 +1,197 @@
+//! Walker/Vose alias tables: O(1) sampling from arbitrary finite weight
+//! vectors after O(k) preprocessing.
+//!
+//! The workspace uses alias tables wherever a skewed discrete law is
+//! sampled in a hot loop — most prominently Zipf-weighted initial opinion
+//! assignments, where every one of `n` nodes draws from the same `k`-point
+//! distribution.
+
+use crate::InvalidParameterError;
+use rand::Rng;
+
+/// A preprocessed discrete distribution over `0..k` supporting O(1)
+/// sampling (Vose's alias method).
+///
+/// # Examples
+///
+/// ```
+/// use plurality_dist::rng::Xoshiro256PlusPlus;
+/// use plurality_dist::AliasTable;
+///
+/// let table = AliasTable::new(&[3.0, 1.0])?;
+/// let mut rng = Xoshiro256PlusPlus::from_u64(1);
+/// let mut counts = [0u32; 2];
+/// for _ in 0..10_000 {
+///     counts[table.sample(&mut rng)] += 1;
+/// }
+/// // Outcome 0 carries 3× the weight of outcome 1.
+/// assert!(counts[0] > 2 * counts[1]);
+/// # Ok::<(), plurality_dist::InvalidParameterError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AliasTable {
+    /// Acceptance probability of the own column.
+    prob: Vec<f64>,
+    /// Fallback outcome when the own column rejects.
+    alias: Vec<usize>,
+}
+
+impl AliasTable {
+    /// Builds a table from non-negative weights (they need not sum to 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] if `weights` is empty, contains a
+    /// negative or non-finite value, or sums to zero.
+    pub fn new(weights: &[f64]) -> Result<Self, InvalidParameterError> {
+        if weights.is_empty() {
+            return Err(InvalidParameterError::new(
+                "alias table needs at least one weight",
+            ));
+        }
+        if let Some(w) = weights.iter().find(|w| !(w.is_finite() && **w >= 0.0)) {
+            return Err(InvalidParameterError::new(format!(
+                "alias weights must be finite and non-negative, got {w}"
+            )));
+        }
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 {
+            return Err(InvalidParameterError::new(
+                "alias weights must not all be zero",
+            ));
+        }
+
+        let k = weights.len();
+        // Scale to mean 1: columns < 1 are "small", ≥ 1 are "large".
+        let mut scaled: Vec<f64> = weights.iter().map(|w| w * k as f64 / total).collect();
+        let mut prob = vec![1.0f64; k];
+        let mut alias: Vec<usize> = (0..k).collect();
+        let mut small: Vec<usize> = Vec::with_capacity(k);
+        let mut large: Vec<usize> = Vec::with_capacity(k);
+        for (i, &s) in scaled.iter().enumerate() {
+            if s < 1.0 {
+                small.push(i);
+            } else {
+                large.push(i);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            prob[s] = scaled[s];
+            alias[s] = l;
+            // The large column donates the small column's deficit.
+            scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+            if scaled[l] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers are full columns.
+        for i in small.into_iter().chain(large) {
+            prob[i] = 1.0;
+        }
+        Ok(Self { prob, alias })
+    }
+
+    /// The number of outcomes `k`.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true for a constructed table).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draws one outcome in `0..k` with probability proportional to its
+    /// weight.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let column = rng.gen_range(0..self.prob.len());
+        if rng.gen::<f64>() < self.prob[column] {
+            column
+        } else {
+            self.alias[column]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn rejects_degenerate_weight_vectors() {
+        assert!(AliasTable::new(&[]).is_err());
+        assert!(AliasTable::new(&[0.0, 0.0]).is_err());
+        assert!(AliasTable::new(&[1.0, -0.5]).is_err());
+        assert!(AliasTable::new(&[1.0, f64::NAN]).is_err());
+        assert!(AliasTable::new(&[1.0, f64::INFINITY]).is_err());
+    }
+
+    #[test]
+    fn single_outcome_always_sampled() {
+        let t = AliasTable::new(&[2.5]).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let t = AliasTable::new(&[1.0, 0.0, 3.0]).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(2);
+        for _ in 0..50_000 {
+            assert_ne!(t.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    fn empirical_frequencies_pass_chi_square() {
+        // Skewed 5-point law; χ² with 4 degrees of freedom.
+        let weights = [10.0, 5.0, 2.0, 2.0, 1.0];
+        let total: f64 = weights.iter().sum();
+        let t = AliasTable::new(&weights).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(3);
+        const N: usize = 400_000;
+        let mut counts = [0u64; 5];
+        for _ in 0..N {
+            counts[t.sample(&mut rng)] += 1;
+        }
+        let chi2: f64 = counts
+            .iter()
+            .zip(&weights)
+            .map(|(&c, &w)| {
+                let expected = N as f64 * w / total;
+                let d = c as f64 - expected;
+                d * d / expected
+            })
+            .sum();
+        // 99.9th percentile of χ²(4) ≈ 18.47.
+        assert!(chi2 < 18.47, "chi-square statistic {chi2}");
+    }
+
+    #[test]
+    fn unnormalized_weights_match_normalized_ones() {
+        let a = AliasTable::new(&[2.0, 6.0]).unwrap();
+        let b = AliasTable::new(&[0.25, 0.75]).unwrap();
+        let mut rng_a = Xoshiro256PlusPlus::from_u64(4);
+        let mut rng_b = Xoshiro256PlusPlus::from_u64(4);
+        for _ in 0..1_000 {
+            assert_eq!(a.sample(&mut rng_a), b.sample(&mut rng_b));
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let t = AliasTable::new(&[1.0, 2.0, 3.0, 4.0]).unwrap();
+        let draw = |seed: u64| -> Vec<usize> {
+            let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+            (0..64).map(|_| t.sample(&mut rng)).collect()
+        };
+        assert_eq!(draw(5), draw(5));
+        assert_ne!(draw(5), draw(6));
+    }
+}

@@ -1,0 +1,86 @@
+//! Empirical quantiles of sorted samples.
+//!
+//! The asynchronous engines estimate the paper's time unit
+//! `C1 = F⁻¹(0.9)` by Monte-Carlo: draw waiting times, sort, read off the
+//! 0.9 empirical quantile. This module holds that one primitive.
+
+/// The empirical `q`-quantile of an ascending-sorted slice, with linear
+/// interpolation between order statistics (the "type 7" estimator used by
+/// R and NumPy). Monotone in `q` for a fixed sample.
+///
+/// # Panics
+///
+/// Panics if `xs` is empty, not sorted ascending, or `q ∉ [0, 1]`.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_dist::quantile::quantile_sorted;
+/// let xs = [1.0, 2.0, 3.0, 4.0, 5.0];
+/// assert_eq!(quantile_sorted(&xs, 0.0), 1.0);
+/// assert_eq!(quantile_sorted(&xs, 0.5), 3.0);
+/// assert_eq!(quantile_sorted(&xs, 1.0), 5.0);
+/// assert_eq!(quantile_sorted(&xs, 0.625), 3.5);
+/// ```
+#[must_use]
+pub fn quantile_sorted(xs: &[f64], q: f64) -> f64 {
+    assert!(!xs.is_empty(), "quantile_sorted: empty sample");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile_sorted: q must lie in [0, 1], got {q}"
+    );
+    assert!(
+        xs.windows(2).all(|w| w[0] <= w[1]),
+        "quantile_sorted: sample must be sorted ascending"
+    );
+    let position = q * (xs.len() - 1) as f64;
+    let below = position.floor() as usize;
+    let above = position.ceil() as usize;
+    if below == above {
+        return xs[below];
+    }
+    let weight = position - below as f64;
+    xs[below] * (1.0 - weight) + xs[above] * weight
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_element_is_every_quantile() {
+        for &q in &[0.0, 0.3, 1.0] {
+            assert_eq!(quantile_sorted(&[7.0], q), 7.0);
+        }
+    }
+
+    #[test]
+    fn interpolates_between_order_statistics() {
+        let xs = [0.0, 10.0];
+        assert_eq!(quantile_sorted(&xs, 0.25), 2.5);
+        assert_eq!(quantile_sorted(&xs, 0.75), 7.5);
+    }
+
+    #[test]
+    fn monotone_in_q() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sqrt()).collect();
+        let mut last = f64::NEG_INFINITY;
+        for i in 0..=50 {
+            let v = quantile_sorted(&xs, i as f64 / 50.0);
+            assert!(v >= last);
+            last = v;
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "q must lie in")]
+    fn out_of_range_q_panics() {
+        let _ = quantile_sorted(&[1.0], 1.5);
+    }
+}

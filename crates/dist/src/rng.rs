@@ -1,0 +1,189 @@
+//! Deterministic random number generation.
+//!
+//! Reproducibility is a workspace-wide contract: every engine is a pure
+//! function of its `u64` seed, so experiments can be re-run bit-for-bit and
+//! failures always reproduce. Two pieces make that work:
+//!
+//! * [`Xoshiro256PlusPlus`] — Blackman & Vigna's xoshiro256++ generator
+//!   (256-bit state, 64-bit output, period `2²⁵⁶ − 1`), seeded through
+//!   splitmix64 so that *any* `u64` — including 0 — yields a well-mixed
+//!   state;
+//! * [`derive_seed`] — a pure mixing function turning one master seed into
+//!   arbitrarily many decorrelated stream seeds (per repetition, per
+//!   subsystem), so experiment harnesses never reuse a stream by accident.
+
+use rand::RngCore;
+
+/// One step of the splitmix64 sequence: advances `state` and returns the
+/// scrambled output. Used for seeding and seed derivation.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives a decorrelated stream seed from a master seed.
+///
+/// The map is injective in practice for the stream counts experiments use
+/// (it is a bijective finalizer applied to `master ⊕ mix(stream)`), stable
+/// across releases, and cheap enough to call once per repetition.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_dist::rng::derive_seed;
+/// // Stable: the same inputs always give the same stream seed.
+/// assert_eq!(derive_seed(42, 0), derive_seed(42, 0));
+/// // Decorrelated: nearby streams differ in about half their bits.
+/// assert_ne!(derive_seed(42, 0), derive_seed(42, 1));
+/// assert_ne!(derive_seed(42, 0), derive_seed(43, 0));
+/// ```
+#[must_use]
+pub fn derive_seed(master: u64, stream: u64) -> u64 {
+    let mut state = stream ^ 0xA076_1D64_78BD_642F;
+    let salt = splitmix64(&mut state);
+    let mut state = master ^ salt;
+    splitmix64(&mut state)
+}
+
+/// The xoshiro256++ generator of Blackman & Vigna (2019).
+///
+/// Fast (four xor/shift/rotate word operations per draw), equidistributed
+/// in all 64 output bits, with a 2²⁵⁶ − 1 period — comfortably beyond any
+/// simulation in this workspace. Construct it with [`from_u64`], which runs
+/// the seed through splitmix64 per the authors' recommendation so that
+/// low-entropy seeds (0, 1, 2, …) still produce well-mixed states.
+///
+/// [`from_u64`]: Xoshiro256PlusPlus::from_u64
+///
+/// # Examples
+///
+/// ```
+/// use plurality_dist::rng::Xoshiro256PlusPlus;
+/// use rand::Rng;
+///
+/// let mut a = Xoshiro256PlusPlus::from_u64(1);
+/// let mut b = Xoshiro256PlusPlus::from_u64(1);
+/// // Identical seeds give identical streams …
+/// assert_eq!(a.gen::<f64>(), b.gen::<f64>());
+/// // … and draws stay in [0, 1).
+/// let x: f64 = a.gen();
+/// assert!((0.0..1.0).contains(&x));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Xoshiro256PlusPlus {
+    state: [u64; 4],
+}
+
+impl Xoshiro256PlusPlus {
+    /// Creates a generator from a 64-bit seed via splitmix64 expansion.
+    #[must_use]
+    pub fn from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Self { state }
+    }
+
+    /// Advances the generator by one step and returns the next output.
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let [s0, s1, s2, s3] = self.state;
+        let result = s0.wrapping_add(s3).rotate_left(23).wrapping_add(s0);
+        let t = s1 << 17;
+        let mut s2 = s2 ^ s0;
+        let mut s3 = s3 ^ s1;
+        let s1 = s1 ^ s2;
+        let s0 = s0 ^ s3;
+        s2 ^= t;
+        s3 = s3.rotate_left(45);
+        self.state = [s0, s1, s2, s3];
+        result
+    }
+}
+
+impl RngCore for Xoshiro256PlusPlus {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn matches_reference_vectors() {
+        // Reference: xoshiro256++ seeded with splitmix64(0) per the
+        // authors' C code (first outputs of the sequence for seed 0, as
+        // also used by the `rand_xoshiro` crate's test vectors).
+        let mut rng = Xoshiro256PlusPlus::from_u64(0);
+        let got: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![
+                5987356902031041503,
+                7051070477665621255,
+                6633766593972829180,
+                211316841551650330
+            ]
+        );
+    }
+
+    #[test]
+    fn streams_are_pure_functions_of_the_seed() {
+        for seed in [0u64, 1, 42, u64::MAX] {
+            let mut a = Xoshiro256PlusPlus::from_u64(seed);
+            let mut b = Xoshiro256PlusPlus::from_u64(seed);
+            for _ in 0..100 {
+                assert_eq!(a.next_u64(), b.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_streams() {
+        let mut a = Xoshiro256PlusPlus::from_u64(7);
+        let mut b = Xoshiro256PlusPlus::from_u64(8);
+        let va: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn zero_seed_is_well_mixed() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(0);
+        // A degenerate all-zero state would output only zeros.
+        assert!((0..16).map(|_| rng.next_u64()).any(|x| x != 0));
+    }
+
+    #[test]
+    fn uniform_f64_mean_is_one_half() {
+        let mut rng = Xoshiro256PlusPlus::from_u64(9);
+        const N: usize = 200_000;
+        let mean = (0..N).map(|_| rng.gen::<f64>()).sum::<f64>() / N as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn derive_seed_is_stable_and_spreads() {
+        let a: Vec<u64> = (0..100).map(|i| derive_seed(0xFEED, i)).collect();
+        let b: Vec<u64> = (0..100).map(|i| derive_seed(0xFEED, i)).collect();
+        assert_eq!(a, b);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), a.len(), "collisions in derived seeds");
+        // Different masters give different streams.
+        assert_ne!(derive_seed(1, 0), derive_seed(2, 0));
+    }
+}

@@ -1,8 +1,8 @@
 //! Property tests for the deterministic event queue: the total order the
 //! engines rely on must hold for arbitrary schedules.
 
-use proptest::prelude::*;
 use plurality_sim::EventQueue;
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]

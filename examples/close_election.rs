@@ -35,8 +35,7 @@ fn main() {
     ] {
         let mut wins = 0u64;
         for i in 0..reps {
-            let assignment =
-                InitialAssignment::with_bias(n, k, alpha).expect("valid parameters");
+            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid parameters");
             let r = LeaderConfig::new(assignment)
                 .with_seed(derive_seed(0xE1EC, i))
                 .run();

@@ -33,8 +33,7 @@ fn main() {
         let latency = Latency::exponential(1.0 / inv_lambda).expect("valid rate");
         let wt = WaitingTime::new(latency, ChannelPattern::SingleLeader);
         let c1 = wt.time_unit(50_000, 7);
-        let assignment =
-            InitialAssignment::with_bias(n, k, alpha).expect("valid parameters");
+        let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid parameters");
         let r = LeaderConfig::new(assignment)
             .with_seed(7)
             .with_latency(latency)

@@ -41,10 +41,7 @@ fn main() {
             .get(b.generation as usize)
             .copied()
             .unwrap_or(f64::INFINITY);
-        println!(
-            "{:>10} | {:>18.6} | {:>18.6}",
-            b.generation, b.bias, ideal
-        );
+        println!("{:>10} | {:>18.6} | {:>18.6}", b.generation, b.bias, ideal);
     }
     println!(
         "\nat n = 10⁹ the measured chain tracks the idealized squaring law to several digits —\n\

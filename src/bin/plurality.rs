@@ -115,7 +115,10 @@ fn print_outcome(protocol: &str, outcome: &RunOutcome) {
     }
     match outcome.consensus_time {
         Some(t) => println!("full consensus:      t = {t:.3}"),
-        None => println!("full consensus:      not reached (ran to t = {:.3})", outcome.duration),
+        None => println!(
+            "full consensus:      not reached (ran to t = {:.3})",
+            outcome.duration
+        ),
     }
     match outcome.winner() {
         Some(w) => println!(

@@ -12,9 +12,23 @@ fn plurality(args: &[&str]) -> std::process::Output {
 #[test]
 fn run_sync_small_instance() {
     let out = plurality(&[
-        "run", "--protocol", "sync", "--n", "800", "--k", "2", "--alpha", "3.0", "--seed", "1",
+        "run",
+        "--protocol",
+        "sync",
+        "--n",
+        "800",
+        "--k",
+        "2",
+        "--alpha",
+        "3.0",
+        "--seed",
+        "1",
     ]);
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("synchronous"));
     assert!(stdout.contains("initial plurality preserved: true"));
@@ -23,7 +37,15 @@ fn run_sync_small_instance() {
 #[test]
 fn run_baseline_dynamics() {
     let out = plurality(&[
-        "run", "--protocol", "3-majority", "--n", "600", "--k", "3", "--alpha", "3.0",
+        "run",
+        "--protocol",
+        "3-majority",
+        "--n",
+        "600",
+        "--k",
+        "3",
+        "--alpha",
+        "3.0",
     ]);
     assert!(out.status.success());
     let stdout = String::from_utf8_lossy(&out.stdout);

@@ -48,7 +48,11 @@ fn baselines_agree_with_core_protocols_under_strong_bias() {
         .outcome
         .winner();
 
-    for dynamics in [Dynamics::TwoChoices, Dynamics::ThreeMajority, Dynamics::Undecided] {
+    for dynamics in [
+        Dynamics::TwoChoices,
+        Dynamics::ThreeMajority,
+        Dynamics::Undecided,
+    ] {
         let r = DynamicsConfig::new(dynamics, assignment.clone())
             .with_seed(12)
             .run();

@@ -2,13 +2,13 @@
 //! engines' structural invariants (no panics, conservation, valid winners,
 //! ordered telemetry).
 
-use proptest::prelude::*;
 use plurality::baselines::{Dynamics, DynamicsConfig};
 use plurality::core::leader::LeaderConfig;
 use plurality::core::sync::{lifecycle_length, Schedule, SyncConfig};
 use plurality::core::{InitialAssignment, Opinion};
 use plurality::dist::rng::Xoshiro256PlusPlus;
 use plurality::dist::{quantile::quantile_sorted, sample_binomial};
+use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]

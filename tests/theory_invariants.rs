@@ -79,13 +79,20 @@ fn leader_phases_follow_the_protocol_order() {
             assert!(p.allowed_at <= first, "gen {} promoted early", p.generation);
         }
         if let (Some(first), Some(prop)) = (p.first_promotion_at, p.propagation_at) {
-            assert!(first < prop, "gen {}: propagation before any promotion", p.generation);
+            assert!(
+                first < prop,
+                "gen {}: propagation before any promotion",
+                p.generation
+            );
             prop_seen += 1;
         }
     }
     // With k = 32 the two-choices phase cannot saturate n/2, so propagation
     // windows must actually open.
-    assert!(prop_seen >= 1, "no propagation window ever opened at k = 32");
+    assert!(
+        prop_seen >= 1,
+        "no propagation window ever opened at k = 32"
+    );
 }
 
 #[test]

@@ -1,0 +1,177 @@
+//! # criterion (workspace-local subset)
+//!
+//! The build environment has no network access, so the real `criterion`
+//! crate cannot be fetched. This vendored crate implements the subset of
+//! its API the workspace's benches use — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`], [`Bencher::iter`], [`black_box`],
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — with a small
+//! built-in wall-clock harness instead of criterion's statistical engine.
+//!
+//! Each `bench_function` runs the closure through a short warm-up, then
+//! reports the median per-iteration wall time on stdout. The numbers are
+//! indicative, not rigorous; the point is that `cargo bench` runs every
+//! benchmark end to end with zero external dependencies.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a benchmarked computation.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark context, handed to every `criterion_group!` target.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("\ngroup: {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+            sample_size: 10,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples each benchmark collects (minimum 5).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(5);
+        self
+    }
+
+    /// Runs one benchmark: `f` receives a [`Bencher`] and must call
+    /// [`Bencher::iter`] with the routine under test.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.samples.sort_unstable();
+        let median = bencher
+            .samples
+            .get(bencher.samples.len() / 2)
+            .copied()
+            .unwrap_or(Duration::ZERO);
+        println!("  {}/{id}: median {}", self.name, format_duration(median));
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; no-op).
+    pub fn finish(self) {}
+}
+
+/// Collects timed samples of one benchmark routine.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times repeated executions of `routine`.
+    ///
+    /// One untimed warm-up call sizes the batch so that cheap routines are
+    /// measured over many iterations and expensive ones only a few times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up & batch sizing: target ~2 ms of work per sample, capped.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(5));
+        let per_sample = (Duration::from_millis(2).as_nanos() / once.as_nanos()).clamp(1, 10_000);
+        let samples = self.sample_size.min(12);
+        for _ in 0..samples {
+            let start = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed() / per_sample as u32);
+        }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 10_000 {
+        format!("{nanos} ns/iter")
+    } else if nanos < 10_000_000 {
+        format!("{:.2} µs/iter", nanos as f64 / 1e3)
+    } else if nanos < 10_000_000_000 {
+        format!("{:.2} ms/iter", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s/iter", nanos as f64 / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a named group runner, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` for a bench target (requires `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("smoke");
+        group.sample_size(5);
+        let mut calls = 0u64;
+        group.bench_function("add", |b| {
+            b.iter(|| {
+                calls += 1;
+                black_box(1u64 + 1)
+            })
+        });
+        group.finish();
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn duration_formatting_scales() {
+        assert!(format_duration(Duration::from_nanos(5)).ends_with("ns/iter"));
+        assert!(format_duration(Duration::from_micros(50)).ends_with("µs/iter"));
+        assert!(format_duration(Duration::from_millis(50)).ends_with("ms/iter"));
+        assert!(format_duration(Duration::from_secs(50)).ends_with("s/iter"));
+    }
+}

@@ -1,0 +1,284 @@
+//! # proptest (workspace-local subset)
+//!
+//! The build environment has no network access, so the real `proptest`
+//! crate cannot be fetched. This vendored crate implements the subset of
+//! its API the workspace's property tests use:
+//!
+//! * the [`proptest!`] macro (`fn name(arg in strategy, ...) { body }`
+//!   with an optional `#![proptest_config(...)]` header);
+//! * range strategies over integers and floats, plus
+//!   [`collection::vec`];
+//! * [`prop_assert!`], [`prop_assert_eq!`], [`prop_assert_ne!`], and
+//!   [`prop_assume!`].
+//!
+//! Differences from real proptest: inputs are drawn from a deterministic
+//! per-test generator (seeded from the test name, so failures reproduce
+//! across runs) and failing cases are **not shrunk** — the failure message
+//! reports the raw case index and assertion text instead.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Strategies for collections.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// A strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Creates a strategy for vectors of `element` values with a length
+    /// in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(size.start < size.end, "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+            let len = self.size.clone().new_value(rng);
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Runtime configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run per property.
+    pub cases: u32,
+    /// Maximum `prop_assume!` rejections before the property errors out.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+pub mod prelude {
+    //! One-stop import for property tests: `use proptest::prelude::*;`.
+
+    pub use crate as prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strategy:expr),* $(,)?) $body:block)*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::__run_property(
+                    stringify!($name),
+                    &config,
+                    |__rng| {
+                        $(let $arg = $crate::strategy::Strategy::new_value(&($strategy), __rng);)*
+                        $body
+                        ::std::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+    ($($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strategy:expr),* $(,)?) $body:block)*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($(#[$meta])* fn $name($($arg in $strategy),*) $body)*
+        }
+    };
+}
+
+/// Drives one property: draws cases, honours rejections, panics on the
+/// first failing case. Not part of the public API contract — only the
+/// [`proptest!`] expansion calls it.
+#[doc(hidden)]
+pub fn __run_property<F>(name: &str, config: &ProptestConfig, mut case: F)
+where
+    F: FnMut(&mut test_runner::TestRng) -> Result<(), test_runner::TestCaseError>,
+{
+    let mut rng = test_runner::TestRng::from_name(name);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut attempt = 0u32;
+    while accepted < config.cases {
+        attempt += 1;
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(test_runner::TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "property `{name}`: too many prop_assume! rejections \
+                     ({rejected} after {accepted} accepted cases)"
+                );
+            }
+            Err(test_runner::TestCaseError::Fail(message)) => {
+                panic!("property `{name}` failed at case #{attempt}: {message}");
+            }
+        }
+    }
+}
+
+/// Rejects the current case (it does not count towards the case budget).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+/// Fails the current case if the condition does not hold.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case if the two expressions are not equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(left == right, $($fmt)+);
+    }};
+}
+
+/// Fails the current case if the two expressions are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            x in 10u64..20,
+            y in 2u32..6,
+            z in -1.5f64..2.5,
+            w in 0usize..=4,
+        ) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((2..6).contains(&y));
+            prop_assert!((-1.5..2.5).contains(&z));
+            prop_assert!(w <= 4);
+        }
+
+        #[test]
+        fn vectors_respect_size_and_element_ranges(
+            mut xs in prop::collection::vec(0.0f64..1.0, 1..50),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 50);
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            prop_assert!(xs.iter().all(|&x| (0.0..1.0).contains(&x)));
+        }
+
+        #[test]
+        fn assume_rejects_without_consuming_cases(
+            n in 0u64..100,
+        ) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n % 2, 1);
+        }
+    }
+
+    #[test]
+    fn full_u64_range_strategy_works() {
+        crate::__run_property("full_u64", &ProptestConfig::with_cases(32), |rng| {
+            let x = crate::strategy::Strategy::new_value(&(0u64..u64::MAX), rng);
+            prop_assert!(x < u64::MAX);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_panic_with_context() {
+        crate::__run_property("always_fails", &ProptestConfig::with_cases(4), |_rng| {
+            prop_assert!(false);
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn cases_are_deterministic_per_test_name() {
+        let draw = |name: &str| {
+            let mut rng = crate::test_runner::TestRng::from_name(name);
+            crate::strategy::Strategy::new_value(&(0u64..u64::MAX), &mut rng)
+        };
+        assert_eq!(draw("a"), draw("a"));
+        assert_ne!(draw("a"), draw("b"));
+    }
+}

@@ -1,0 +1,304 @@
+//! # rand (workspace-local subset)
+//!
+//! The build environment of this repository has no network access, so the
+//! real `rand` crate cannot be fetched. This vendored crate implements the
+//! exact subset of the `rand 0.8` API surface the workspace consumes:
+//!
+//! * [`RngCore`] — the raw generator interface (`next_u32`, `next_u64`,
+//!   `fill_bytes`);
+//! * [`Rng`] — the ergonomic extension trait with [`Rng::gen`] and
+//!   [`Rng::gen_range`], blanket-implemented for every [`RngCore`];
+//! * uniform integer sampling via Lemire's widening-multiply rejection
+//!   method (unbiased), and the standard 53-bit mantissa construction for
+//!   `f64` in `[0, 1)`.
+//!
+//! The workspace's generator itself (`xoshiro256++`) lives in
+//! `plurality-dist`; this crate deliberately ships **no** generator so the
+//! simulation crates cannot accidentally pick up a non-reproducible one.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a source of raw random words.
+///
+/// Mirrors `rand::RngCore`. Implementors only need [`RngCore::next_u64`];
+/// the remaining methods have sensible derived defaults.
+pub trait RngCore {
+    /// Returns the next random `u64` (all 64 bits uniform).
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (the high 32 bits of a `u64` draw).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let word = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&word[..chunk.len()]);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// Types that can be sampled uniformly from a generator's raw output —
+/// the stand-in for `rand`'s `Standard` distribution.
+pub trait StandardSample {
+    /// Draws one value from the standard distribution of the type
+    /// (uniform over the full domain for integers and `bool`, uniform on
+    /// `[0, 1)` for floats).
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardSample for f64 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits: u / 2^53 ∈ [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl StandardSample for f32 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl StandardSample for u64 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardSample for u32 {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl StandardSample for bool {
+    #[inline]
+    fn standard_sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Unbiased uniform draw from `[0, span)` via Lemire's widening-multiply
+/// rejection method. `span` must be positive.
+#[inline]
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    let mut x = rng.next_u64();
+    let mut m = (x as u128) * (span as u128);
+    let mut low = m as u64;
+    if low < span {
+        // Rejection zone for exact uniformity.
+        let threshold = span.wrapping_neg() % span;
+        while low < threshold {
+            x = rng.next_u64();
+            m = (x as u128) * (span as u128);
+            low = m as u64;
+        }
+    }
+    (m >> 64) as u64
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from uniformly — the
+/// stand-in for `rand`'s `SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws one uniform value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty (or, for floats, unordered).
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_ranges {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full u64 domain.
+                    return rng.next_u64() as $t;
+                }
+                start + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_ranges!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty float range");
+        let u = f64::standard_sample(rng);
+        self.start + u * (self.end - self.start)
+    }
+}
+
+/// Ergonomic sampling methods, blanket-implemented for every [`RngCore`].
+///
+/// # Examples
+///
+/// ```
+/// use rand::{Rng, RngCore};
+///
+/// struct Lcg(u64);
+/// impl RngCore for Lcg {
+///     fn next_u64(&mut self) -> u64 {
+///         self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1);
+///         self.0
+///     }
+/// }
+///
+/// let mut rng = Lcg(42);
+/// let x: f64 = rng.gen();
+/// assert!((0.0..1.0).contains(&x));
+/// let d = rng.gen_range(0..6usize);
+/// assert!(d < 6);
+/// ```
+pub trait Rng: RngCore {
+    /// Draws a value from the type's standard distribution (uniform
+    /// `[0, 1)` for floats; see [`StandardSample`]).
+    #[inline]
+    fn gen<T: StandardSample>(&mut self) -> T {
+        T::standard_sample(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, Rg: SampleRange<T>>(&mut self, range: Rg) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p ∉ [0, 1]`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must lie in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct SplitMix(u64);
+
+    impl RngCore for SplitMix {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    #[test]
+    fn f64_standard_stays_in_unit_interval() {
+        let mut rng = SplitMix(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = SplitMix(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&x));
+            let y = rng.gen_range(5u32..=5);
+            assert_eq!(y, 5);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = SplitMix(3);
+        let mut counts = [0u32; 10];
+        const N: u32 = 100_000;
+        for _ in 0..N {
+            counts[rng.gen_range(0usize..10)] += 1;
+        }
+        for &c in &counts {
+            let expected = N as f64 / 10.0;
+            assert!(
+                (c as f64 - expected).abs() < 5.0 * expected.sqrt(),
+                "count {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_u64_inclusive_range_works() {
+        let mut rng = SplitMix(4);
+        // Must not panic or loop forever.
+        let _ = rng.gen_range(0u64..=u64::MAX);
+    }
+
+    #[test]
+    fn unsized_rng_references_work() {
+        fn takes_dyn(rng: &mut dyn RngCore) -> f64 {
+            rng.gen::<f64>()
+        }
+        let mut rng = SplitMix(5);
+        let x = takes_dyn(&mut rng);
+        assert!((0.0..1.0).contains(&x));
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = SplitMix(6);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
