@@ -10,7 +10,7 @@
 //! across the family — that is the "positive aging admits" claim in
 //! measurable form.
 
-use plurality_bench::{is_full, results_dir, seeds, theorem_bias};
+use plurality_bench::{is_full, results_dir, run_many, theorem_bias};
 use plurality_core::leader::LeaderConfig;
 use plurality_core::InitialAssignment;
 use plurality_dist::{ChannelPattern, Latency, WaitingTime};
@@ -56,13 +56,15 @@ fn main() {
         let c1 = wt.time_unit(if full { 200_000 } else { 50_000 }, 0xAB);
         let mut eps_t = OnlineStats::new();
         let mut wins = 0u64;
-        for seed in seeds(0xB30, reps) {
+        let runs = run_many(0xB30, reps, |rep| {
             let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            let r = LeaderConfig::new(assignment)
-                .with_seed(seed)
+            LeaderConfig::new(assignment)
+                .with_seed(rep.seed)
                 .with_latency(*latency)
                 .with_steps_per_unit(c1)
-                .run();
+                .run()
+        });
+        for r in &runs {
             if let Some(e) = r.outcome.epsilon_time {
                 eps_t.push(e);
             }

@@ -8,7 +8,7 @@
 //! two-opinion population protocols for the parallel-time comparison.
 
 use plurality_baselines::{Dynamics, DynamicsConfig, PopulationConfig, PopulationProtocol};
-use plurality_bench::{is_full, results_dir, seeds};
+use plurality_bench::{is_full, results_dir, run_many};
 use plurality_core::sync::SyncConfig;
 use plurality_core::InitialAssignment;
 use plurality_stats::{fmt_f64, OnlineStats, Table};
@@ -33,27 +33,39 @@ fn main() {
     );
     // Cap baselines so pull voting does not dominate the wall-clock.
     let cap = 4_000u64;
+    const KINDS: [Dynamics; 4] = [
+        Dynamics::ThreeMajority,
+        Dynamics::TwoChoices,
+        Dynamics::Undecided,
+        Dynamics::PullVoting,
+    ];
     for &k in ks {
         let mut ours = OnlineStats::new();
-        let mut per_dyn = [
-            (Dynamics::ThreeMajority, OnlineStats::new(), 0u32),
-            (Dynamics::TwoChoices, OnlineStats::new(), 0u32),
-            (Dynamics::Undecided, OnlineStats::new(), 0u32),
-            (Dynamics::PullVoting, OnlineStats::new(), 0u32),
-        ];
-        for seed in seeds(0xB12, reps) {
+        let mut per_dyn = KINDS.map(|dynamics| (dynamics, OnlineStats::new(), 0u32));
+        let runs = run_many(0xB12, reps, |rep| {
             let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            let r = SyncConfig::new(assignment.clone()).with_seed(seed).run();
-            if let Some(t) = r.outcome.consensus_time {
-                ours.push(t);
-            }
-            for (dynamics, stats, timeouts) in per_dyn.iter_mut() {
-                let r = DynamicsConfig::new(*dynamics, assignment.clone())
-                    .with_seed(seed)
+            let ours_time = SyncConfig::new(assignment.clone())
+                .with_seed(rep.seed)
+                .run()
+                .outcome
+                .consensus_time;
+            let dyn_times = KINDS.map(|dynamics| {
+                DynamicsConfig::new(dynamics, assignment.clone())
+                    .with_seed(rep.seed)
                     .with_max_rounds(cap)
-                    .run();
-                match r.outcome.consensus_time {
-                    Some(t) => stats.push(t),
+                    .run()
+                    .outcome
+                    .consensus_time
+            });
+            (ours_time, dyn_times)
+        });
+        for (ours_time, dyn_times) in &runs {
+            if let Some(t) = ours_time {
+                ours.push(*t);
+            }
+            for (time, (_, stats, timeouts)) in dyn_times.iter().zip(per_dyn.iter_mut()) {
+                match time {
+                    Some(t) => stats.push(*t),
                     None => *timeouts += 1,
                 }
             }
@@ -101,10 +113,12 @@ fn main() {
             let mut time = OnlineStats::new();
             let mut inter = OnlineStats::new();
             let mut correct = 0u64;
-            for seed in seeds(0xB15, reps) {
-                let r = PopulationConfig::new(protocol, pop_n, a)
-                    .with_seed(seed)
-                    .run();
+            let runs = run_many(0xB15, reps, |rep| {
+                PopulationConfig::new(protocol, pop_n, a)
+                    .with_seed(rep.seed)
+                    .run()
+            });
+            for r in &runs {
                 time.push(r.outcome.duration);
                 inter.push(r.interactions as f64);
                 if r.converged && r.outcome.plurality_preserved() {

@@ -8,7 +8,7 @@
 //! check Lemma 11's endgame: once `α_i > k`, a monochromatic generation
 //! appears within `O(log log_k n)` further generations.
 
-use plurality_bench::{is_full, results_dir};
+use plurality_bench::{is_full, results_dir, run_many};
 use plurality_core::leader::LeaderConfig;
 use plurality_core::sync::SyncConfig;
 use plurality_core::{GenerationBirth, InitialAssignment};
@@ -56,8 +56,12 @@ fn main() {
     let alpha = 1.1;
 
     // Synchronous chain.
-    let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-    let sync = SyncConfig::new(assignment).with_seed(0xE5).run();
+    let sync = run_many(0xE5, 1, |rep| {
+        let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+        SyncConfig::new(assignment).with_seed(rep.seed).run()
+    })
+    .pop()
+    .expect("one repetition");
     let t1 = chain_table(
         format!(
             "Bias squaring, synchronous (n = {n}, k = {k}, α₀ = {:.3})",
@@ -71,8 +75,12 @@ fn main() {
     // Asynchronous single-leader chain (bias measured when each
     // generation's active window closes, cf. Lemma 22).
     let n_async = if full { 100_000 } else { 30_000 };
-    let assignment = InitialAssignment::with_bias(n_async, k, alpha).expect("valid assignment");
-    let leader = LeaderConfig::new(assignment).with_seed(0xE5).run();
+    let leader = run_many(0xE5, 1, |rep| {
+        let assignment = InitialAssignment::with_bias(n_async, k, alpha).expect("valid assignment");
+        LeaderConfig::new(assignment).with_seed(rep.seed).run()
+    })
+    .pop()
+    .expect("one repetition");
     let t2 = chain_table(
         format!(
             "Bias squaring, async single-leader (n = {n_async}, k = {k}, α₀ = {:.3})",

@@ -9,7 +9,7 @@
 //! values exceed for `λ ≤ 1` (the Remark's proof drops an `e^{−βx}` factor;
 //! see EXPERIMENTS.md).
 
-use plurality_bench::{is_full, log_spaced, results_dir};
+use plurality_bench::{is_full, log_spaced, results_dir, run_sweep};
 use plurality_dist::{ChannelPattern, Latency, WaitingTime};
 use plurality_stats::{fit, fmt_f64, Axis, Table};
 
@@ -25,7 +25,9 @@ fn main() {
     );
     let mut xs = Vec::new();
     let mut ys = Vec::new();
-    for &inv in &inv_lambdas {
+    // Each sweep cell is an independent fixed-seed Monte-Carlo quantile
+    // estimate — the heavy part of the binary — so fan the cells out.
+    let cells = run_sweep(&inv_lambdas, |&inv| {
         let rate = 1.0 / inv;
         let wt = WaitingTime::new(
             Latency::exponential(rate).expect("valid rate"),
@@ -34,6 +36,10 @@ fn main() {
         let c1 = wt.time_unit(samples, 42);
         let majorant = wt.majorant_time_unit().expect("exponential latency");
         let claimed = wt.remark14_bound().expect("single-leader pattern");
+        (c1, majorant, claimed)
+    });
+    for (&inv, &(c1, majorant, claimed)) in inv_lambdas.iter().zip(&cells) {
+        let rate = 1.0 / inv;
         table.row(&[
             fmt_f64(inv),
             fmt_f64(c1),

@@ -9,7 +9,7 @@
 //! not wake before the last one sleeps. We run the multi-leader engine and
 //! print the measured `t̂` marks per generation.
 
-use plurality_bench::{is_full, results_dir};
+use plurality_bench::{is_full, results_dir, run_many};
 use plurality_core::cluster::{ClusterConfig, ClusterPhase};
 use plurality_core::InitialAssignment;
 use plurality_stats::{fmt_f64, Table};
@@ -20,8 +20,12 @@ fn main() {
     let k = 8u32;
     let alpha = 1.5;
 
-    let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-    let result = ClusterConfig::new(assignment).with_seed(0xF2).run();
+    let result = run_many(0xF2, 1, |rep| {
+        let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+        ClusterConfig::new(assignment).with_seed(rep.seed).run()
+    })
+    .pop()
+    .expect("one repetition");
     let c1 = result.steps_per_unit;
 
     println!(

@@ -6,7 +6,7 @@
 //! trade-off: mean rounds to consensus and the plurality-success rate as a
 //! function of `γ`.
 
-use plurality_bench::{is_full, results_dir, seeds};
+use plurality_bench::{is_full, results_dir, run_many};
 use plurality_core::sync::SyncConfig;
 use plurality_core::InitialAssignment;
 use plurality_stats::{fmt_f64, success_rate, OnlineStats, Table};
@@ -26,12 +26,14 @@ fn main() {
     for &gamma in &gammas {
         let mut rounds = OnlineStats::new();
         let mut wins = 0u64;
-        for seed in seeds(0xE4, reps) {
+        let runs = run_many(0xE4, reps, |rep| {
             let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            let r = SyncConfig::new(assignment)
-                .with_seed(seed)
+            SyncConfig::new(assignment)
+                .with_seed(rep.seed)
                 .with_gamma(gamma)
-                .run();
+                .run()
+        });
+        for r in &runs {
             rounds.push(r.rounds as f64);
             if r.outcome.plurality_preserved() {
                 wins += 1;

@@ -10,7 +10,7 @@
 //! * Proposition 17 (asynchronous): during propagation the generation grows
 //!   by ≥ 1.4 per time unit until it exceeds `n/2`.
 
-use plurality_bench::{is_full, results_dir};
+use plurality_bench::{is_full, results_dir, run_many};
 use plurality_core::leader::LeaderConfig;
 use plurality_core::sync::SyncConfig;
 use plurality_core::{InitialAssignment, RecordLevel};
@@ -26,12 +26,16 @@ fn main() {
     let alpha = 1.5;
 
     // --- Synchronous growth factors (Prop 9).
-    let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-    let sync = SyncConfig::new(assignment)
-        .with_seed(0xE6)
-        .with_gamma(gamma)
-        .with_record(RecordLevel::Full)
-        .run();
+    let sync = run_many(0xE6, 1, |rep| {
+        let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+        SyncConfig::new(assignment)
+            .with_seed(rep.seed)
+            .with_gamma(gamma)
+            .with_record(RecordLevel::Full)
+            .run()
+    })
+    .pop()
+    .expect("one repetition");
     let series = sync
         .newest_generation_fraction
         .expect("full record produces the series");
@@ -60,8 +64,12 @@ fn main() {
     // --- Asynchronous two-choices window length (Prop 16) and generation
     // cycle lengths (Cor 18).
     let n_async = if full { 100_000 } else { 30_000 };
-    let assignment = InitialAssignment::with_bias(n_async, k, alpha).expect("valid assignment");
-    let leader = LeaderConfig::new(assignment).with_seed(0xE6).run();
+    let leader = run_many(0xE6, 1, |rep| {
+        let assignment = InitialAssignment::with_bias(n_async, k, alpha).expect("valid assignment");
+        LeaderConfig::new(assignment).with_seed(rep.seed).run()
+    })
+    .pop()
+    .expect("one repetition");
     let c1 = leader.steps_per_unit;
     let mut t2 = Table::new(
         format!(

@@ -1,0 +1,332 @@
+//! **Perf snapshot** — machine-readable performance trajectory.
+//!
+//! Measures median throughput of the hot samplers, wall-clock of one
+//! smoke-scale run per engine, and the serial-vs-parallel wall-clock of a
+//! smoke-scale `thm13_async_scaling` cell (with a bitwise equality check
+//! of the aggregate results, exercising the parallel determinism
+//! contract end to end). Writes everything as a flat JSON map to
+//! `benchmarks/BENCH_perf_snapshot.json` (directory overridable via
+//! `PLURALITY_BENCH_JSON`) so future PRs can diff performance.
+//!
+//! Usage:
+//!
+//! ```sh
+//! cargo run --release -p plurality-bench --bin perf_snapshot            # write snapshot
+//! cargo run --release -p plurality-bench --bin perf_snapshot -- --check # CI: compare keys
+//! ```
+//!
+//! With `--check`, the freshly measured snapshot is *not* written;
+//! instead its keys are compared against the committed baseline, and the
+//! process exits non-zero if the baseline contains a metric the fresh
+//! snapshot no longer produces (a silently dropped benchmark).
+
+use plurality_core::cluster::ClusterConfig;
+use plurality_core::leader::LeaderConfig;
+use plurality_core::sync::{SyncConfig, UrnConfig};
+use plurality_core::InitialAssignment;
+use plurality_dist::rng::Xoshiro256PlusPlus;
+use plurality_dist::{sample_binomial, ChannelPattern, Exponential, Gamma, Latency, WaitingTime};
+use plurality_sim::EventQueue;
+use rand::RngCore;
+use std::path::PathBuf;
+use std::time::Instant;
+
+/// Measurement effort. [`Effort::full`] produces the committed
+/// snapshot; [`Effort::quick`] backs `--check`, which only needs the
+/// metric-*name* list — every batch and repetition shrinks to near-zero
+/// cost while the names keep a single source of truth (the measurement
+/// code itself).
+#[derive(Clone, Copy)]
+struct Effort {
+    timing_samples: usize,
+    batch_divisor: u32,
+    engine_runs: usize,
+    thm13_n: u64,
+    thm13_reps: usize,
+}
+
+impl Effort {
+    fn full() -> Self {
+        Self {
+            timing_samples: 9,
+            batch_divisor: 1,
+            engine_runs: 3,
+            thm13_n: 5_000,
+            thm13_reps: 6,
+        }
+    }
+
+    fn quick() -> Self {
+        Self {
+            timing_samples: 1,
+            batch_divisor: 1_000,
+            engine_runs: 1,
+            thm13_n: 500,
+            thm13_reps: 2,
+        }
+    }
+
+    fn batch(&self, full: u32) -> u32 {
+        (full / self.batch_divisor).max(1)
+    }
+}
+
+/// Median of `samples` timed batches of `batch` calls, in ns per call.
+fn median_ns<F: FnMut()>(batch: u32, samples: usize, mut f: F) -> f64 {
+    let mut timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        for _ in 0..batch {
+            f();
+        }
+        timings.push(start.elapsed().as_nanos() as f64 / f64::from(batch));
+    }
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    timings[timings.len() / 2]
+}
+
+/// Median wall-clock of `samples` runs of `f`, in milliseconds.
+fn median_ms<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    let mut timings = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let start = Instant::now();
+        f();
+        timings.push(start.elapsed().as_nanos() as f64 / 1e6);
+    }
+    timings.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+    timings[timings.len() / 2]
+}
+
+fn sampler_metrics(metrics: &mut Vec<(String, f64)>, eff: Effort) {
+    let mut rng = Xoshiro256PlusPlus::from_u64(1);
+    metrics.push((
+        "sampler/xoshiro_u64_ns".into(),
+        median_ns(eff.batch(100_000), eff.timing_samples, || {
+            std::hint::black_box(rng.next_u64());
+        }),
+    ));
+    let exp = Exponential::new(1.0).expect("valid rate");
+    metrics.push((
+        "sampler/exponential_ns".into(),
+        median_ns(eff.batch(100_000), eff.timing_samples, || {
+            std::hint::black_box(exp.sample(&mut rng));
+        }),
+    ));
+    let gamma = Gamma::new(7.0, 1.0).expect("valid params");
+    metrics.push((
+        "sampler/gamma_shape7_ns".into(),
+        median_ns(eff.batch(50_000), eff.timing_samples, || {
+            std::hint::black_box(gamma.sample(&mut rng));
+        }),
+    ));
+    metrics.push((
+        "sampler/binomial_n1e6_ns".into(),
+        median_ns(eff.batch(20_000), eff.timing_samples, || {
+            std::hint::black_box(sample_binomial(1_000_000, 0.3, &mut rng));
+        }),
+    ));
+    let wt = WaitingTime::new(
+        Latency::exponential(1.0).expect("valid rate"),
+        ChannelPattern::SingleLeader,
+    );
+    metrics.push((
+        "sampler/waiting_time_t3_ns".into(),
+        median_ns(eff.batch(50_000), eff.timing_samples, || {
+            std::hint::black_box(wt.sample_t3(&mut rng));
+        }),
+    ));
+    metrics.push((
+        "sim/event_queue_push_pop_1k_ns".into(),
+        median_ns(eff.batch(50), eff.timing_samples, || {
+            let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1000u32 {
+                q.schedule(f64::from(i.wrapping_mul(2654435761) % 10_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc += u64::from(v);
+            }
+            std::hint::black_box(acc);
+        }),
+    ));
+}
+
+fn engine_metrics(metrics: &mut Vec<(String, f64)>, eff: Effort) {
+    metrics.push((
+        "engine/sync_n10k_k4_ms".into(),
+        median_ms(eff.engine_runs, || {
+            let assignment = InitialAssignment::with_bias(10_000, 4, 2.0).expect("valid");
+            std::hint::black_box(SyncConfig::new(assignment).with_seed(1).run().rounds);
+        }),
+    ));
+    metrics.push((
+        "engine/leader_n2k_k2_ms".into(),
+        median_ms(eff.engine_runs, || {
+            let assignment = InitialAssignment::with_bias(2_000, 2, 3.0).expect("valid");
+            let r = LeaderConfig::new(assignment)
+                .with_seed(1)
+                .with_steps_per_unit(9.3)
+                .run();
+            std::hint::black_box(r.ticks);
+        }),
+    ));
+    metrics.push((
+        "engine/cluster_n2k_k2_ms".into(),
+        median_ms(eff.engine_runs, || {
+            let assignment = InitialAssignment::with_bias(2_000, 2, 3.0).expect("valid");
+            let r = ClusterConfig::new(assignment)
+                .with_seed(1)
+                .with_steps_per_unit(12.0)
+                .run();
+            std::hint::black_box(r.ticks);
+        }),
+    ));
+    metrics.push((
+        "engine/urn_n1e8_k8_ms".into(),
+        median_ms(eff.engine_runs, || {
+            let r = UrnConfig::new(100_000_000, 8, 1.5)
+                .expect("valid")
+                .with_seed(2)
+                .run();
+            std::hint::black_box(r.rounds);
+        }),
+    ));
+}
+
+/// One smoke-scale `thm13_async_scaling` cell under an explicit thread
+/// count, for the serial-vs-parallel comparison.
+fn thm13_smoke(threads: usize, eff: Effort) -> Vec<plurality_core::leader::LeaderResult> {
+    let (n, k, reps) = (eff.thm13_n, 4u32, eff.thm13_reps);
+    let alpha = plurality_bench::theorem_bias(n, k).max(1.2);
+    plurality_par::par_map_seeded_with(threads, 0xB13, reps, |_, seed| {
+        let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+        LeaderConfig::new(assignment).with_seed(seed).run()
+    })
+}
+
+fn experiment_metrics(metrics: &mut Vec<(String, f64)>, eff: Effort) {
+    let threads = plurality_par::configured_threads();
+    // Warm the memoized time-unit cache so both timings pay it equally.
+    let warm = thm13_smoke(1, eff);
+    std::hint::black_box(warm.len());
+
+    let start = Instant::now();
+    let serial = thm13_smoke(1, eff);
+    let serial_ms = start.elapsed().as_nanos() as f64 / 1e6;
+
+    let start = Instant::now();
+    let parallel = thm13_smoke(threads, eff);
+    let parallel_ms = start.elapsed().as_nanos() as f64 / 1e6;
+
+    let identical = serial == parallel;
+    assert!(
+        identical,
+        "parallel determinism violated: thm13 smoke results differ between 1 and {threads} threads"
+    );
+    metrics.push(("thm13_smoke/serial_ms".into(), serial_ms));
+    metrics.push(("thm13_smoke/parallel_ms".into(), parallel_ms));
+    metrics.push(("thm13_smoke/parallel_threads".into(), threads as f64));
+    metrics.push((
+        "thm13_smoke/speedup".into(),
+        if parallel_ms > 0.0 {
+            serial_ms / parallel_ms
+        } else {
+            0.0
+        },
+    ));
+    metrics.push((
+        "thm13_smoke/results_identical".into(),
+        f64::from(u8::from(identical)),
+    ));
+}
+
+/// Extracts the metric keys of the `"results"` object of a snapshot file
+/// (one `"name": value` pair per line, as written by
+/// [`criterion::write_suite_json`]).
+fn baseline_keys(text: &str) -> Vec<String> {
+    let mut keys = Vec::new();
+    let mut in_results = false;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.starts_with("\"results\"") {
+            in_results = true;
+            continue;
+        }
+        if !in_results {
+            continue;
+        }
+        if trimmed.starts_with('}') {
+            break;
+        }
+        if let Some(rest) = trimmed.strip_prefix('"') {
+            if let Some(end) = rest.find("\": ") {
+                keys.push(rest[..end].to_string());
+            }
+        }
+    }
+    keys
+}
+
+fn snapshot_dir() -> PathBuf {
+    std::env::var(criterion::BENCH_JSON_ENV)
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("benchmarks"))
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let path = snapshot_dir().join("BENCH_perf_snapshot.json");
+    // --check only compares metric names, so measure at token effort.
+    let eff = if check {
+        Effort::quick()
+    } else {
+        Effort::full()
+    };
+
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    metrics.push((
+        "host/available_parallelism".into(),
+        std::thread::available_parallelism().map_or(1.0, |p| p.get() as f64),
+    ));
+    metrics.push((
+        "host/configured_threads".into(),
+        plurality_par::configured_threads() as f64,
+    ));
+    sampler_metrics(&mut metrics, eff);
+    engine_metrics(&mut metrics, eff);
+    experiment_metrics(&mut metrics, eff);
+
+    for (name, value) in &metrics {
+        println!("{name}: {value:.2}");
+    }
+
+    if check {
+        let baseline = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read committed baseline {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        let fresh: Vec<&str> = metrics.iter().map(|(name, _)| name.as_str()).collect();
+        let missing: Vec<String> = baseline_keys(&baseline)
+            .into_iter()
+            .filter(|key| !fresh.contains(&key.as_str()))
+            .collect();
+        if missing.is_empty() {
+            println!(
+                "check ok: all {} baseline metrics present",
+                baseline_keys(&baseline).len()
+            );
+        } else {
+            eprintln!("baseline metrics missing from fresh snapshot: {missing:?}");
+            std::process::exit(1);
+        }
+    } else {
+        criterion::write_suite_json(
+            &path,
+            "perf_snapshot",
+            "ns per op (…_ns), wall-clock ms (…_ms), ratios otherwise",
+            &metrics,
+        )
+        .expect("write snapshot");
+        println!("wrote {}", path.display());
+    }
+}

@@ -11,7 +11,7 @@
 //!   should degrade smoothly (the fast majority carries the generations),
 //!   while full consensus waits for the slowest clocks.
 
-use plurality_bench::{is_full, results_dir, seeds};
+use plurality_bench::{is_full, results_dir, run_many};
 use plurality_core::leader::LeaderConfig;
 use plurality_core::InitialAssignment;
 use plurality_stats::{fmt_f64, OnlineStats, Table};
@@ -33,12 +33,14 @@ fn main() {
         let mut eps_t = OnlineStats::new();
         let mut gens = OnlineStats::new();
         let mut converged = 0u64;
-        for seed in seeds(0xB0B1, reps) {
+        let runs = run_many(0xB0B1, reps, |rep| {
             let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            let r = LeaderConfig::new(assignment)
-                .with_seed(seed)
+            LeaderConfig::new(assignment)
+                .with_seed(rep.seed)
                 .with_signal_loss(loss)
-                .run();
+                .run()
+        });
+        for r in &runs {
             if let Some(e) = r.outcome.epsilon_time {
                 eps_t.push(e);
             }
@@ -70,12 +72,14 @@ fn main() {
         let mut eps_t = OnlineStats::new();
         let mut full_t = OnlineStats::new();
         let mut wins = 0u64;
-        for seed in seeds(0xB0B2, reps) {
+        let runs = run_many(0xB0B2, reps, |rep| {
             let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            let r = LeaderConfig::new(assignment)
-                .with_seed(seed)
+            LeaderConfig::new(assignment)
+                .with_seed(rep.seed)
                 .with_stragglers(frac, 0.1)
-                .run();
+                .run()
+        });
+        for r in &runs {
             if let Some(e) = r.outcome.epsilon_time {
                 eps_t.push(e);
             }

@@ -8,7 +8,7 @@
 //! predefined schedule closely when the predefined `α` hint is accurate —
 //! and beat it when the hint is wrong.
 
-use plurality_bench::{is_full, results_dir, seeds};
+use plurality_bench::{is_full, results_dir, run_many};
 use plurality_core::sync::{ScheduleMode, SyncConfig};
 use plurality_core::InitialAssignment;
 use plurality_stats::{fmt_f64, OnlineStats, Table};
@@ -24,13 +24,17 @@ fn run(
     let mut rounds = OnlineStats::new();
     let mut tc_rounds = OnlineStats::new();
     let mut wins = 0u64;
-    for seed in seeds(0xB31, reps) {
+    let runs = run_many(0xB31, reps, |rep| {
         let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-        let mut cfg = SyncConfig::new(assignment).with_seed(seed).with_mode(mode);
+        let mut cfg = SyncConfig::new(assignment)
+            .with_seed(rep.seed)
+            .with_mode(mode);
         if let Some(hint) = alpha_hint {
             cfg = cfg.with_alpha_hint(hint);
         }
-        let r = cfg.run();
+        cfg.run()
+    });
+    for r in &runs {
         rounds.push(r.rounds as f64);
         tc_rounds.push(r.two_choices_rounds.len() as f64);
         if r.outcome.plurality_preserved() {

@@ -6,7 +6,7 @@
 //! and full convergence after `O(log n)` additional time. We sweep `n` and
 //! `k` and report the ε-time, the full-consensus tail, and success rates.
 
-use plurality_bench::{is_full, results_dir, seeds, theorem_bias};
+use plurality_bench::{is_full, results_dir, run_many, theorem_bias};
 use plurality_core::leader::LeaderConfig;
 use plurality_core::InitialAssignment;
 use plurality_stats::{fit, fmt_f64, Axis, OnlineStats, Table};
@@ -41,9 +41,11 @@ fn main() {
         let mut full_t = OnlineStats::new();
         let mut tail_ratio = OnlineStats::new();
         let mut wins = 0u64;
-        for seed in seeds(0xB13, reps) {
+        let runs = run_many(0xB13, reps, |rep| {
             let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            let r = LeaderConfig::new(assignment).with_seed(seed).run();
+            LeaderConfig::new(assignment).with_seed(rep.seed).run()
+        });
+        for r in &runs {
             if let Some(e) = r.outcome.epsilon_time {
                 eps_t.push(e);
             }
@@ -89,9 +91,11 @@ fn main() {
         let mut eps_t = OnlineStats::new();
         let mut units = OnlineStats::new();
         let mut wins = 0u64;
-        for seed in seeds(0xB14, reps) {
+        let runs = run_many(0xB14, reps, |rep| {
             let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            let r = LeaderConfig::new(assignment).with_seed(seed).run();
+            LeaderConfig::new(assignment).with_seed(rep.seed).run()
+        });
+        for r in &runs {
             if let Some(e) = r.outcome.epsilon_time {
                 eps_t.push(e);
                 units.push(e / r.steps_per_unit);

@@ -9,7 +9,7 @@
 //! * `k` at fixed `n`: rounds should grow roughly linearly in `log k`;
 //! * `α` at fixed `(n, k)`: rounds should *shrink* as `log log_α k` does.
 
-use plurality_bench::{is_full, results_dir, seeds, theorem_bias};
+use plurality_bench::{is_full, results_dir, run_many, theorem_bias};
 use plurality_core::sync::SyncConfig;
 use plurality_core::InitialAssignment;
 use plurality_stats::{fit, fmt_f64, Axis, OnlineStats, Table};
@@ -24,9 +24,11 @@ fn run_cell(
     let mut rounds = OnlineStats::new();
     let mut eps_rounds = OnlineStats::new();
     let mut wins = 0u64;
-    for seed in seeds(master, reps) {
+    let runs = run_many(master, reps, |rep| {
         let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-        let r = SyncConfig::new(assignment).with_seed(seed).run();
+        SyncConfig::new(assignment).with_seed(rep.seed).run()
+    });
+    for r in &runs {
         rounds.push(r.rounds as f64);
         if let Some(e) = r.outcome.epsilon_time {
             eps_rounds.push(e);

@@ -7,7 +7,7 @@
 //! against the single-leader engine on identical instances, and ablate the
 //! participation size.
 
-use plurality_bench::{is_full, results_dir, seeds, theorem_bias};
+use plurality_bench::{is_full, results_dir, run_many, theorem_bias};
 use plurality_core::cluster::ClusterConfig;
 use plurality_core::leader::LeaderConfig;
 use plurality_core::InitialAssignment;
@@ -42,10 +42,15 @@ fn main() {
         let mut clusters = OnlineStats::new();
         let mut coverage = OnlineStats::new();
         let mut wins = 0u64;
-        for seed in seeds(0xB26, reps) {
+        let runs = run_many(0xB26, reps, |rep| {
             let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            let multi = ClusterConfig::new(assignment.clone()).with_seed(seed).run();
-            let single = LeaderConfig::new(assignment).with_seed(seed).run();
+            let multi = ClusterConfig::new(assignment.clone())
+                .with_seed(rep.seed)
+                .run();
+            let single = LeaderConfig::new(assignment).with_seed(rep.seed).run();
+            (multi, single)
+        });
+        for (multi, single) in &runs {
             if let Some(e) = multi.outcome.epsilon_time {
                 multi_eps.push(e);
             }
@@ -100,12 +105,14 @@ fn main() {
         let mut coverage = OnlineStats::new();
         let mut spread = OnlineStats::new();
         let mut wins = 0u64;
-        for seed in seeds(0xB27, reps) {
+        let runs = run_many(0xB27, reps, |rep| {
             let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            let r = ClusterConfig::new(assignment)
-                .with_seed(seed)
+            ClusterConfig::new(assignment)
+                .with_seed(rep.seed)
                 .with_participation_size(size)
-                .run();
+                .run()
+        });
+        for r in &runs {
             if let Some(e) = r.outcome.epsilon_time {
                 eps_t.push(e);
             }

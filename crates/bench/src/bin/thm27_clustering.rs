@@ -6,7 +6,7 @@
 //! switch times satisfy `t_l − t_f = O(1)`. We sweep `n` and report
 //! coverage, participation, and switch spreads.
 
-use plurality_bench::{is_full, results_dir, seeds, theorem_bias};
+use plurality_bench::{is_full, results_dir, run_many, theorem_bias};
 use plurality_core::cluster::ClusterConfig;
 use plurality_core::InitialAssignment;
 use plurality_stats::{fmt_f64, OnlineStats, Table};
@@ -41,9 +41,11 @@ fn main() {
         let mut part_frac = OnlineStats::new();
         let mut tf_units = OnlineStats::new();
         let mut spread_units = OnlineStats::new();
-        for seed in seeds(0xB28, reps) {
+        let runs = run_many(0xB28, reps, |rep| {
             let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            let r = ClusterConfig::new(assignment).with_seed(seed).run();
+            ClusterConfig::new(assignment).with_seed(rep.seed).run()
+        });
+        for r in &runs {
             clusters.push(r.cluster_count as f64);
             participating.push(r.participating_clusters as f64);
             coverage.push(r.clustered_fraction);

@@ -9,7 +9,7 @@
 //! last cluster entering it — across `n` — and check the spread does not
 //! grow with `n`.
 
-use plurality_bench::{is_full, results_dir, seeds, theorem_bias};
+use plurality_bench::{is_full, results_dir, run_many, theorem_bias};
 use plurality_core::cluster::{ClusterConfig, ClusterPhase};
 use plurality_core::InitialAssignment;
 use plurality_stats::{fmt_f64, OnlineStats, Table};
@@ -39,9 +39,11 @@ fn main() {
         let mut spreads = OnlineStats::new();
         let mut switch_spread = OnlineStats::new();
         let mut gens = 0u32;
-        for seed in seeds(0xB29, reps) {
+        let runs = run_many(0xB29, reps, |rep| {
             let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            let r = ClusterConfig::new(assignment).with_seed(seed).run();
+            ClusterConfig::new(assignment).with_seed(rep.seed).run()
+        });
+        for r in &runs {
             let c1 = r.steps_per_unit;
             for (g, first, last) in r.phase_spread(ClusterPhase::TwoChoices) {
                 // Generation 1 starts with the consensus switch itself.

@@ -36,9 +36,63 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Derives `reps` per-repetition seeds from a master seed — stable across
-/// runs so experiments are reproducible.
+/// runs so experiments are reproducible. [`run_many`] walks the same
+/// stream, so converting a serial `for seed in seeds(m, reps)` loop into
+/// `run_many(m, reps, ...)` preserves every per-repetition seed.
 pub fn seeds(master: u64, reps: usize) -> Vec<u64> {
     (0..reps as u64).map(|i| derive_seed(master, i)).collect()
+}
+
+/// One repetition of a seeded experiment: its index in the repetition
+/// stream and the private seed `derive_seed(master, index)` it owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Repetition {
+    /// Position in the repetition stream (`0..reps`).
+    pub index: usize,
+    /// The repetition's private RNG seed.
+    pub seed: u64,
+}
+
+/// Runs `reps` independent repetitions of a seeded experiment in
+/// parallel (worker count from `PLURALITY_THREADS`, see
+/// [`plurality_par::configured_threads`]), returning results in
+/// repetition order.
+///
+/// This is the one rep loop all experiment binaries share. The results
+/// are **identical to serial execution** for any thread count: each
+/// repetition owns the seed `derive_seed(master, index)` (the same
+/// stream [`seeds`] produces), no RNG state is shared, and the output
+/// order is fixed by repetition index — so folding the returned vector
+/// into `OnlineStats`/tables in order reproduces exactly what the old
+/// hand-rolled `for seed in seeds(...)` loops computed.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_bench::{run_many, seeds};
+///
+/// let results = run_many(7, 4, |rep| rep.seed);
+/// assert_eq!(results, seeds(7, 4));
+/// ```
+pub fn run_many<R, F>(master: u64, reps: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Repetition) -> R + Sync,
+{
+    plurality_par::par_map_seeded(master, reps, |index, seed| f(Repetition { index, seed }))
+}
+
+/// Maps `f` over the cells of a parameter sweep in parallel, preserving
+/// cell order. For sweeps whose cells are deterministic given their own
+/// parameters (fixed or derived seeds) — e.g. the Figure 1 Monte-Carlo
+/// quantile curve.
+pub fn run_sweep<T, R, F>(cells: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    plurality_par::par_map(cells, f)
 }
 
 /// Logarithmically spaced values from `lo` to `hi` (inclusive).
@@ -86,6 +140,22 @@ mod tests {
         sorted.sort_unstable();
         sorted.dedup();
         assert_eq!(sorted.len(), 5);
+    }
+
+    #[test]
+    fn run_many_matches_serial_seed_stream() {
+        let serial: Vec<u64> = seeds(0xAB, 9).iter().map(|s| s.wrapping_mul(3)).collect();
+        let parallel = run_many(0xAB, 9, |rep| rep.seed.wrapping_mul(3));
+        assert_eq!(parallel, serial);
+        let indices: Vec<usize> = run_many(0xAB, 9, |rep| rep.index);
+        assert_eq!(indices, (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_sweep_preserves_cell_order() {
+        let cells = [3.0f64, 1.0, 2.0];
+        let out = run_sweep(&cells, |x| x * 10.0);
+        assert_eq!(out, vec![30.0, 10.0, 20.0]);
     }
 
     #[test]

@@ -28,7 +28,7 @@ use crate::genstate::GenerationTable;
 use crate::opinion::InitialAssignment;
 use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcome};
 use crate::sync::{generations_needed, GENERATION_CAP};
-use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
+use plurality_dist::rng::Xoshiro256PlusPlus;
 use plurality_dist::{ChannelPattern, Latency, WaitingTime};
 use plurality_sim::{EventLog, EventQueue, PoissonClock};
 use rand::Rng;
@@ -328,10 +328,24 @@ struct Cluster {
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    Tick(u32),
-    OpDone { v: u32, s1: u32, s2: u32, s3: u32 },
-    MemberZero { cluster: u32 },
-    MemberPromoted { cluster: u32, gen: u32 },
+    /// A tick of the superposed unit-rate Poisson clock of the whole
+    /// population (rate `n`); the ticking node is sampled uniformly at
+    /// pop time, which is equivalent in law to `n` independent clocks but
+    /// keeps a single pending tick event in the heap.
+    Tick,
+    OpDone {
+        v: u32,
+        s1: u32,
+        s2: u32,
+        s3: u32,
+    },
+    MemberZero {
+        cluster: u32,
+    },
+    MemberPromoted {
+        cluster: u32,
+        gen: u32,
+    },
 }
 
 struct Engine<'cfg> {
@@ -376,9 +390,11 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
     let initial_bias = initial_counts.bias().unwrap_or(f64::INFINITY);
 
     let waiting = WaitingTime::new(cfg.latency, ChannelPattern::MultiLeader);
+    // Memoized per (latency, pattern): repetitions share one Monte-Carlo
+    // estimate instead of re-running 20k composite draws each.
     let c1 = cfg
         .steps_per_unit
-        .unwrap_or_else(|| waiting.time_unit(20_000, derive_seed(cfg.seed, 0xC1)));
+        .unwrap_or_else(|| waiting.time_unit_cached(20_000));
 
     let alpha = cfg.alpha_hint.unwrap_or(if initial_bias.is_finite() {
         initial_bias.max(1.0)
@@ -443,12 +459,13 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
         table.max_color_support(),
     );
 
-    let clock = PoissonClock::unit_rate();
-    let mut queue: EventQueue<Event> = EventQueue::with_capacity(2 * n);
-    for v in 0..n {
-        let t = clock.next_tick(0.0, &mut rng);
-        queue.schedule(t, Event::Tick(v as u32));
-    }
+    // Superposed population clock (rate n) with a single pending tick
+    // event; capacity covers open interactions plus in-flight member
+    // signals (≈ n·E[T1]) without rehashing.
+    let clock = PoissonClock::new(n as f64).expect("positive rate");
+    let mut queue: EventQueue<Event> = EventQueue::with_capacity(3 * n);
+    let t = clock.next_tick(0.0, &mut rng);
+    queue.schedule(t, Event::Tick);
 
     let mut engine = Engine {
         cfg,
@@ -489,7 +506,7 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
             }
             end_time = now;
             let done = match event {
-                Event::Tick(v) => engine.on_tick(now, v),
+                Event::Tick => engine.on_tick(now),
                 Event::OpDone { v, s1, s2, s3 } => engine.on_op_done(now, v, s1, s2, s3),
                 Event::MemberZero { cluster } => engine.on_member_zero(now, cluster),
                 Event::MemberPromoted { cluster, gen } => {
@@ -542,15 +559,34 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
 }
 
 impl Engine<'_> {
-    /// Handles a Poisson tick of node `v`. Returns true when the run is
-    /// finished.
-    fn on_tick(&mut self, now: f64, v: u32) -> bool {
+    /// Whether signals towards cluster `c` can never be observed again:
+    /// a non-participating cluster ignores everything forever, and a
+    /// consensus leader in its terminal lattice state
+    /// ([`ClusterLeaderState::is_terminal`]) cannot transition. Both modes
+    /// are absorbing, so skipping the event is exact, not approximate.
+    fn cluster_absorbed(&self, c: u32) -> bool {
+        let cluster = &self.clusters[c as usize];
+        match cluster.mode {
+            ClusterMode::NonParticipating => true,
+            ClusterMode::Consensus => cluster
+                .state
+                .as_ref()
+                .expect("consensus cluster has a state")
+                .is_terminal(),
+            _ => false,
+        }
+    }
+
+    /// Handles a tick of the superposed population clock. Returns true
+    /// when the run is finished.
+    fn on_tick(&mut self, now: f64) -> bool {
         self.ticks += 1;
         let next = self.clock.next_tick(now, &mut self.rng);
-        self.queue.schedule(next, Event::Tick(v));
-        let vi = v as usize;
+        self.queue.schedule(next, Event::Tick);
+        let vi = self.rng.gen_range(0..self.n);
+        let v = vi as u32;
         let c = self.cluster_of[vi];
-        if c != UNCLUSTERED {
+        if c != UNCLUSTERED && !self.cluster_absorbed(c) {
             // Line 1 of Algorithm 4: the 0-signal to the own leader, subject
             // to one travel latency. Also drives the clustering counters.
             let travel = self.cfg.latency.sample(&mut self.rng);
@@ -589,26 +625,29 @@ impl Engine<'_> {
                 }
         ) {
             // Lemma 22 analogue: measure the generation's bias when its
-            // propagation window first opens anywhere.
-            if let Some(b) = self
+            // propagation window first opens anywhere. Births are recorded
+            // in strictly increasing generation order → binary search.
+            if let Ok(i) = self
                 .births
-                .iter_mut()
-                .find(|b| b.generation == generation && !b.bias.is_finite())
+                .binary_search_by_key(&generation, |b| b.generation)
             {
-                let measured = self.table.bias_in(generation).unwrap_or(f64::INFINITY);
-                b.bias = measured;
+                if !self.births[i].bias.is_finite() {
+                    self.births[i].bias = self.table.bias_in(generation).unwrap_or(f64::INFINITY);
+                }
             }
         }
         // A generation can mature without its propagation window opening
         // (small k: two-choices alone reaches the gen-size threshold);
         // measure its bias when the next generation is first allowed.
         if generation >= 2 && phase == ClusterPhase::TwoChoices {
-            if let Some(b) = self
+            if let Ok(i) = self
                 .births
-                .iter_mut()
-                .find(|b| b.generation == generation - 1 && !b.bias.is_finite())
+                .binary_search_by_key(&(generation - 1), |b| b.generation)
             {
-                b.bias = self.table.bias_in(generation - 1).unwrap_or(f64::INFINITY);
+                if !self.births[i].bias.is_finite() {
+                    self.births[i].bias =
+                        self.table.bias_in(generation - 1).unwrap_or(f64::INFINITY);
+                }
             }
         }
         if !matches!(self.cfg.record, RecordLevel::Outcome) {
@@ -952,8 +991,9 @@ impl Engine<'_> {
                 if done {
                     return true;
                 }
-                if increased {
-                    // Lines 12/16: notify the own leader (travel latency).
+                if increased && !self.cluster_absorbed(own) {
+                    // Lines 12/16: notify the own leader (travel latency);
+                    // skipped when the leader is provably past reacting.
                     let travel = self.cfg.latency.sample(&mut self.rng);
                     self.queue
                         .schedule(now + travel, Event::MemberPromoted { cluster: own, gen });

@@ -167,6 +167,17 @@ impl ClusterLeaderState {
         self.gen_size
     }
 
+    /// Whether this leader can never transition again:
+    /// `(generation_cap, Propagation)` is the maximum of the
+    /// `(generation, phase)` lattice reachable in an execution, so once
+    /// there, `on_zero` and `on_promoted` are provably no-ops and
+    /// `merge_from` can never adopt a greater state. The engine uses this
+    /// to stop scheduling member-signal events whose arrival would be
+    /// unobservable.
+    pub fn is_terminal(&self) -> bool {
+        self.generation >= self.params.generation_cap && self.phase == ClusterPhase::Propagation
+    }
+
     /// Handles one member 0-signal (the `i = 0` branch, lines 4–9).
     pub fn on_zero(&mut self) -> Option<ClusterTransition> {
         self.tick_count += 1;
@@ -375,6 +386,21 @@ mod tests {
         assert_eq!(l.tick_count(), 10);
         // Subsequent zeros do not re-fire transitions.
         assert_eq!(l.on_zero(), None);
+    }
+
+    #[test]
+    fn terminal_state_is_absorbing() {
+        let mut l = ClusterLeaderState::new(params());
+        assert!(!l.is_terminal());
+        l.merge_from(3, ClusterPhase::Sleeping);
+        assert!(!l.is_terminal(), "cap generation but not yet propagating");
+        l.merge_from(3, ClusterPhase::Propagation);
+        assert!(l.is_terminal());
+        // Nothing moves a terminal leader.
+        assert_eq!(l.on_zero(), None);
+        assert_eq!(l.on_promoted(3), None);
+        assert_eq!(l.merge_from(3, ClusterPhase::Propagation), None);
+        assert!(l.is_terminal());
     }
 
     #[test]

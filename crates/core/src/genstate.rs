@@ -36,6 +36,11 @@ pub struct GenerationTable {
     color_totals: Vec<u64>,
     n: u64,
     max_generation: u32,
+    /// Cached `max(color_totals)`, maintained incrementally so the
+    /// engines' convergence tracking ([`GenerationTable::max_color_support`]
+    /// runs on every adoption) costs O(1) instead of O(k). Repaired by an
+    /// O(k) rescan only when the unique maximum color loses support.
+    max_support: u64,
 }
 
 impl GenerationTable {
@@ -53,6 +58,7 @@ impl GenerationTable {
             color_totals: vec![0; k],
             n: 0,
             max_generation: 0,
+            max_support: 0,
         }
     }
 
@@ -105,7 +111,11 @@ impl GenerationTable {
         self.ensure_generation(g);
         self.counts[g as usize][c as usize] += 1;
         self.totals[g as usize] += 1;
-        self.color_totals[c as usize] += 1;
+        let gained = self.color_totals[c as usize] + 1;
+        self.color_totals[c as usize] = gained;
+        if gained > self.max_support {
+            self.max_support = gained;
+        }
         self.n += 1;
     }
 
@@ -127,11 +137,24 @@ impl GenerationTable {
         );
         *src -= 1;
         self.totals[from_gen as usize] -= 1;
-        self.color_totals[from_col as usize] -= 1;
         self.ensure_generation(to_gen);
         self.counts[to_gen as usize][to_col as usize] += 1;
         self.totals[to_gen as usize] += 1;
-        self.color_totals[to_col as usize] += 1;
+        // Generation promotions that keep the color — the common case in
+        // every engine — leave the global color tallies untouched.
+        if from_col != to_col {
+            let old_max = self.max_support;
+            self.color_totals[from_col as usize] -= 1;
+            let gained = self.color_totals[to_col as usize] + 1;
+            self.color_totals[to_col as usize] = gained;
+            if gained > self.max_support {
+                self.max_support = gained;
+            } else if self.color_totals[from_col as usize] + 1 == old_max {
+                // The shrinking color sat at the maximum; it may have been
+                // the unique one there, so rescan.
+                self.max_support = self.color_totals.iter().copied().max().unwrap_or(0);
+            }
+        }
     }
 
     /// Number of nodes in generation `g` (0 if never populated).
@@ -158,12 +181,27 @@ impl GenerationTable {
 
     /// Bias `α_{g} = c_a / c_b` inside generation `g` (see
     /// [`OpinionCounts::bias`]); `None` if the generation is empty or
-    /// `k < 2`.
+    /// `k < 2`. Computed allocation-free from the top two counts of the
+    /// generation's row.
     pub fn bias_in(&self, g: u32) -> Option<f64> {
-        if self.generation_total(g) == 0 {
+        if self.generation_total(g) == 0 || self.k < 2 {
             return None;
         }
-        self.counts_in(g).bias()
+        let row = &self.counts[g as usize];
+        let (mut best, mut second) = (0u64, 0u64);
+        for &c in row {
+            if c > best {
+                second = best;
+                best = c;
+            } else if c > second {
+                second = c;
+            }
+        }
+        Some(if second == 0 {
+            f64::INFINITY
+        } else {
+            best as f64 / second as f64
+        })
     }
 
     /// Collision probability `p_g = Σ_j c²_{j,g}` inside generation `g`
@@ -188,9 +226,15 @@ impl GenerationTable {
         self.color_totals[color.index() as usize]
     }
 
-    /// The largest global support of any color.
+    /// The largest global support of any color — O(1), served from the
+    /// incrementally maintained cache.
     pub fn max_color_support(&self) -> u64 {
-        self.color_totals.iter().copied().max().unwrap_or(0)
+        debug_assert_eq!(
+            self.max_support,
+            self.color_totals.iter().copied().max().unwrap_or(0),
+            "cached max support out of sync"
+        );
+        self.max_support
     }
 
     /// Global color counts.
@@ -275,6 +319,49 @@ mod tests {
         assert!(t.is_monochromatic());
         t.insert(1, 0);
         assert!(!t.is_monochromatic());
+    }
+
+    #[test]
+    fn cached_max_support_tracks_mutations() {
+        let mut t = GenerationTable::new(3);
+        for _ in 0..5 {
+            t.insert(0, 0);
+        }
+        for _ in 0..5 {
+            t.insert(0, 1);
+        }
+        t.insert(0, 2);
+        assert_eq!(t.max_color_support(), 5);
+        // Unique-max decrement forces the rescan path.
+        t.transfer(0, 0, 1, 2);
+        assert_eq!(t.max_color_support(), 5); // color 1 still at 5
+        t.transfer(0, 1, 1, 2);
+        assert_eq!(t.max_color_support(), 4);
+        // Same-color generation promotion leaves tallies untouched.
+        t.transfer(0, 0, 2, 0);
+        assert_eq!(t.max_color_support(), 4);
+        assert_eq!(t.color_support(Opinion::new(0)), 4);
+        // Growth through the increment path.
+        for _ in 0..3 {
+            t.insert(2, 2);
+        }
+        assert_eq!(t.max_color_support(), 6);
+    }
+
+    #[test]
+    fn bias_in_matches_opinion_counts_bias() {
+        let mut t = GenerationTable::new(4);
+        for (c, reps) in [(0u32, 7usize), (1, 3), (2, 3), (3, 0)] {
+            for _ in 0..reps {
+                t.insert(1, c);
+            }
+        }
+        assert_eq!(t.bias_in(1), t.counts_in(1).bias());
+        // Monochromatic generation: infinite bias both ways.
+        let mut m = GenerationTable::new(2);
+        m.insert(0, 1);
+        assert_eq!(m.bias_in(0), Some(f64::INFINITY));
+        assert_eq!(m.bias_in(0), m.counts_in(0).bias());
     }
 
     #[test]

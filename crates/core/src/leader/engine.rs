@@ -8,6 +8,23 @@
 //! it reads the *current* states of the peers and the leader, applies the
 //! decision rule of [`crate::leader::decide`], possibly promotes itself, and
 //! notifies the leader with a gen-signal (again subject to travel latency).
+//!
+//! ## Hot-path structure
+//!
+//! Two standard discrete-event reductions keep the event heap small
+//! without changing the process law:
+//!
+//! * **Clock superposition** — the union of the population's independent
+//!   Poisson clocks is itself a Poisson process whose rate is the sum of
+//!   the per-node rates, with each event belonging to node `v` with
+//!   probability `rate_v / Σ rate`. The engine therefore keeps *one*
+//!   pending tick event per rate pool (unit-rate nodes, stragglers) and
+//!   samples the ticking node uniformly inside the pool at pop time,
+//!   instead of keeping `n` tick events in the heap.
+//! * **Terminal-leader gating** — once the leader reaches the generation
+//!   cap with propagation open it can provably never transition again
+//!   ([`LeaderState::is_terminal`]), so the long full-consensus tail stops
+//!   scheduling 0-/gen-signal events whose arrival would be unobservable.
 
 use crate::genstate::GenerationTable;
 use crate::leader::node::{decide, NodeDecision, NodeView, SampleView};
@@ -15,7 +32,7 @@ use crate::leader::state::{LeaderParams, LeaderState, LeaderTransition, Signal};
 use crate::opinion::InitialAssignment;
 use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcome};
 use crate::sync::{generations_needed, GENERATION_CAP};
-use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
+use plurality_dist::rng::Xoshiro256PlusPlus;
 use plurality_dist::{ChannelPattern, Latency, WaitingTime};
 use plurality_sim::{EventQueue, PoissonClock, Series};
 use rand::Rng;
@@ -256,8 +273,17 @@ pub struct LeaderResult {
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    Tick(u32),
-    OpComplete { v: u32, a: u32, b: u32 },
+    /// A tick of the superposed Poisson clock of one rate pool; the
+    /// ticking node is sampled uniformly inside the pool at pop time.
+    PoolTick {
+        /// `true` for the straggler pool, `false` for the unit-rate pool.
+        straggler: bool,
+    },
+    OpComplete {
+        v: u32,
+        a: u32,
+        b: u32,
+    },
     LeaderSignal(Signal),
 }
 
@@ -281,9 +307,11 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
     let initial_bias = initial_counts.bias().unwrap_or(f64::INFINITY);
 
     let waiting = WaitingTime::new(cfg.latency, ChannelPattern::SingleLeader);
+    // Memoized per (latency, pattern): repetitions share one Monte-Carlo
+    // estimate instead of re-running 20k composite draws each.
     let c1 = cfg
         .steps_per_unit
-        .unwrap_or_else(|| waiting.time_unit(20_000, derive_seed(cfg.seed, 0xC1)));
+        .unwrap_or_else(|| waiting.time_unit_cached(20_000));
 
     let alpha = cfg.alpha_hint.unwrap_or(if initial_bias.is_finite() {
         initial_bias.max(1.0)
@@ -316,13 +344,14 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
         table.max_color_support(),
     );
 
-    let mut phases = vec![GenerationPhase {
+    let mut phases = Vec::with_capacity(cap as usize + 1);
+    phases.push(GenerationPhase {
         generation: 1,
         allowed_at: 0.0,
         first_promotion_at: None,
         propagation_at: None,
-    }];
-    let mut births: Vec<GenerationBirth> = Vec::new();
+    });
+    let mut births: Vec<GenerationBirth> = Vec::with_capacity(cap as usize + 1);
     let mut winner_series = matches!(cfg.record, RecordLevel::Full).then(|| {
         let mut s = Series::new("winner_fraction");
         s.push(0.0, initial_counts.fraction(initial_winner));
@@ -330,20 +359,26 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
     });
     let mut next_sample = 1.0f64;
 
-    let clock = PoissonClock::unit_rate();
+    // Superposed clocks: one pending tick event per rate pool instead of
+    // one per node. Nodes `0..straggler_count` form the straggler pool
+    // (rate `straggler_rate` each), the rest tick at unit rate.
     let straggler_count = (cfg.straggler_fraction * nf).round() as usize;
-    let straggler_clock = PoissonClock::new(cfg.straggler_rate).expect("validated rate");
-    let node_clock = |v: usize| -> &PoissonClock {
-        if v < straggler_count {
-            &straggler_clock
-        } else {
-            &clock
-        }
-    };
-    let mut queue: EventQueue<Event> = EventQueue::with_capacity(2 * n);
-    for v in 0..n {
-        let t = node_clock(v).next_tick(0.0, &mut rng);
-        queue.schedule(t, Event::Tick(v as u32));
+    let fast_count = n - straggler_count;
+    // Pending events at any time: ≤ 2 pool ticks, ≤ n open interactions,
+    // plus in-flight 0-/gen-signals (≈ n·E[T1] for unit-rate ticking) —
+    // `3n` covers the steady state without rehashing.
+    let mut queue: EventQueue<Event> = EventQueue::with_capacity(3 * n);
+    let fast_clock = PoissonClock::new((fast_count as f64).max(1.0)).expect("positive rate");
+    let straggler_clock =
+        PoissonClock::new((straggler_count as f64 * cfg.straggler_rate).max(cfg.straggler_rate))
+            .expect("validated rate");
+    if fast_count > 0 {
+        let t = fast_clock.next_tick(0.0, &mut rng);
+        queue.schedule(t, Event::PoolTick { straggler: false });
+    }
+    if straggler_count > 0 {
+        let t = straggler_clock.next_tick(0.0, &mut rng);
+        queue.schedule(t, Event::PoolTick { straggler: true });
     }
 
     let mut ticks = 0u64;
@@ -369,19 +404,29 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
             }
         }
         match event {
-            Event::Tick(v) => {
+            Event::PoolTick { straggler } => {
                 ticks += 1;
+                let (clock, lo, size) = if straggler {
+                    (&straggler_clock, 0, straggler_count)
+                } else {
+                    (&fast_clock, straggler_count, fast_count)
+                };
                 queue.schedule(
-                    node_clock(v as usize).next_tick(now, &mut rng),
-                    Event::Tick(v),
+                    clock.next_tick(now, &mut rng),
+                    Event::PoolTick { straggler },
                 );
+                let vi = lo + rng.gen_range(0..size);
+                let v = vi as u32;
                 // Line 1: the 0-signal travels one latency, without locking.
-                // Injected failure: the signal may be lost in transit.
-                if cfg.signal_loss == 0.0 || rng.gen::<f64>() >= cfg.signal_loss {
+                // Skipped outright once the leader is terminal (the arrival
+                // would be unobservable); injected failure may also lose the
+                // signal in transit.
+                if !leader.is_terminal()
+                    && (cfg.signal_loss == 0.0 || rng.gen::<f64>() >= cfg.signal_loss)
+                {
                     let travel = cfg.latency.sample(&mut rng);
                     queue.schedule(now + travel, Event::LeaderSignal(Signal::Zero));
                 }
-                let vi = v as usize;
                 if !locked[vi] {
                     good_ticks += 1;
                     locked[vi] = true;
@@ -452,11 +497,15 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                             });
                         }
                         if is_birth {
-                            if let Some(p) = phases.iter_mut().find(|p| p.generation == gen) {
+                            // Generations are allowed in order, so phase g
+                            // sits at index g − 1.
+                            if let Some(p) = phases.get_mut(gen as usize - 1) {
+                                debug_assert_eq!(p.generation, gen);
                                 p.first_promotion_at.get_or_insert(now);
                             }
                         }
                         if gen > old_gen
+                            && !leader.is_terminal()
                             && (cfg.signal_loss == 0.0 || rng.gen::<f64>() >= cfg.signal_loss)
                         {
                             let travel = cfg.latency.sample(&mut rng);
@@ -483,15 +532,18 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                 if let Some(transition) = leader.on_signal(signal) {
                     match transition {
                         LeaderTransition::PropagationEnabled { generation } => {
-                            if let Some(p) = phases.iter_mut().find(|p| p.generation == generation)
-                            {
+                            if let Some(p) = phases.get_mut(generation as usize - 1) {
+                                debug_assert_eq!(p.generation, generation);
                                 p.propagation_at.get_or_insert(now);
                             }
                             // Lemma 22: measure the new generation's bias at
-                            // the start of its propagation phase.
-                            if let Some(b) = births.iter_mut().find(|b| b.generation == generation)
+                            // the start of its propagation phase. Births are
+                            // recorded in strictly increasing generation
+                            // order, so binary search applies.
+                            if let Ok(i) =
+                                births.binary_search_by_key(&generation, |b| b.generation)
                             {
-                                b.bias = table.bias_in(generation).unwrap_or(f64::INFINITY);
+                                births[i].bias = table.bias_in(generation).unwrap_or(f64::INFINITY);
                             }
                         }
                         LeaderTransition::GenerationAllowed { generation } => {
@@ -506,11 +558,11 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                             // small k, where two-choices alone reaches the
                             // n/2 threshold), measure its bias now.
                             if generation >= 2 {
-                                if let Some(b) =
-                                    births.iter_mut().find(|b| b.generation == generation - 1)
+                                if let Ok(i) =
+                                    births.binary_search_by_key(&(generation - 1), |b| b.generation)
                                 {
-                                    if !b.bias.is_finite() {
-                                        b.bias =
+                                    if !births[i].bias.is_finite() {
+                                        births[i].bias =
                                             table.bias_in(generation - 1).unwrap_or(f64::INFINITY);
                                     }
                                 }

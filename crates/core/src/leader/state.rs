@@ -131,6 +131,17 @@ impl LeaderState {
         self.params
     }
 
+    /// Whether the leader can never transition again: the generation cap
+    /// is reached *and* propagation for it is open. From here a 0-signal
+    /// only bumps a counter that is never read again (it is reset before
+    /// the next threshold comparison could matter, and no birth can reset
+    /// it), and a gen-signal cannot advance past the cap — so signals sent
+    /// to a terminal leader are unobservable, and the engine stops
+    /// scheduling them.
+    pub fn is_terminal(&self) -> bool {
+        self.generation >= self.params.generation_cap && self.propagation
+    }
+
     /// Handles one incoming signal; returns the transition it caused, if
     /// any.
     ///
@@ -278,6 +289,30 @@ mod tests {
         assert!(!leader.propagation());
         leader.on_signal(Signal::Zero);
         assert!(leader.propagation());
+    }
+
+    #[test]
+    fn terminal_state_is_absorbing() {
+        let mut leader = LeaderState::new(params());
+        assert!(!leader.is_terminal());
+        // Advance to the cap.
+        for gen in 1..3u32 {
+            for _ in 0..3 {
+                leader.on_signal(Signal::Generation(gen));
+            }
+        }
+        assert_eq!(leader.generation(), 3);
+        assert!(!leader.is_terminal(), "propagation still closed");
+        for _ in 0..5 {
+            leader.on_signal(Signal::Zero);
+        }
+        assert!(leader.is_terminal());
+        // No signal can cause a transition any more.
+        for _ in 0..20 {
+            assert_eq!(leader.on_signal(Signal::Zero), None);
+            assert_eq!(leader.on_signal(Signal::Generation(3)), None);
+        }
+        assert!(leader.is_terminal());
     }
 
     #[test]

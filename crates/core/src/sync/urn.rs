@@ -171,18 +171,29 @@ fn run_urn(cfg: &UrnConfig) -> UrnResult {
     let mut tracker = ConvergenceTracker::new(n, initial_winner, cfg.epsilon);
     let mut births: Vec<GenerationBirth> = Vec::new();
 
-    let color_support = |counts: &[u64], gens: usize, c: usize| -> u64 {
-        (0..gens).map(|g| counts[cell(g, c, k)]).sum()
+    // Per-round cache of the global color supports. The counts vector
+    // mutates exactly once per round (the multinomial split), so the
+    // O(G·k) column sums are computed once per mutation and every query
+    // in the round — convergence tracking, the monochromatic check, the
+    // final report — reads the cache instead of re-summing.
+    let refresh_color_sums = |counts: &[u64], gens: usize, sums: &mut Vec<u64>| {
+        sums.clear();
+        sums.resize(k, 0);
+        for g in 0..gens {
+            for (c, sum) in sums.iter_mut().enumerate() {
+                *sum += counts[cell(g, c, k)];
+            }
+        }
     };
-    let observe = |counts: &[u64], gens: usize, tracker: &mut ConvergenceTracker, t: f64| {
-        let winner_support = color_support(counts, gens, initial_winner.index() as usize);
-        let max_support = (0..k)
-            .map(|c| color_support(counts, gens, c))
-            .max()
-            .unwrap_or(0);
+    let mut color_sums: Vec<u64> = Vec::with_capacity(k);
+    refresh_color_sums(&counts, gens, &mut color_sums);
+
+    let observe = |sums: &[u64], tracker: &mut ConvergenceTracker, t: f64| {
+        let winner_support = sums[initial_winner.index() as usize];
+        let max_support = sums.iter().copied().max().unwrap_or(0);
         tracker.observe(t, winner_support, max_support);
     };
-    observe(&counts, gens, &mut tracker, 0.0);
+    observe(&color_sums, &mut tracker, 0.0);
 
     let bias_in_gen = |counts: &[u64], g: usize| -> f64 {
         let row: Vec<u64> = (0..k).map(|c| counts[cell(g, c, k)]).collect();
@@ -204,11 +215,9 @@ fn run_urn(cfg: &UrnConfig) -> UrnResult {
     };
 
     let mut rounds = 0u64;
-    let is_mono = |counts: &[u64], gens: usize| -> bool {
-        (0..k).any(|c| color_support(counts, gens, c) == n)
-    };
+    let is_mono = |sums: &[u64]| -> bool { sums.iter().any(|&c| c == n) };
 
-    if !is_mono(&counts, gens) {
+    if !is_mono(&color_sums) {
         for round in 1..=max_rounds {
             rounds = round;
             let two_choices = schedule.is_two_choices_round(round);
@@ -316,15 +325,15 @@ fn run_urn(cfg: &UrnConfig) -> UrnResult {
                 counts.truncate(gens * k);
             }
 
-            observe(&counts, gens, &mut tracker, round as f64);
-            if is_mono(&counts, gens) {
+            refresh_color_sums(&counts, gens, &mut color_sums);
+            observe(&color_sums, &mut tracker, round as f64);
+            if is_mono(&color_sums) {
                 break;
             }
         }
     }
 
-    let final_counts =
-        OpinionCounts::from_counts((0..k).map(|c| color_support(&counts, gens, c)).collect());
+    let final_counts = OpinionCounts::from_counts(color_sums);
     let outcome = RunOutcome {
         n,
         k: k as u32,

@@ -21,11 +21,13 @@
 
 use crate::continuous::{open01, Exponential, Gamma, Weibull};
 use crate::quantile::quantile_sorted;
-use crate::rng::Xoshiro256PlusPlus;
+use crate::rng::{derive_seed, Xoshiro256PlusPlus};
 use crate::special::gamma_quantile_integer;
 use crate::InvalidParameterError;
 use rand::Rng;
+use std::collections::HashMap;
 use std::fmt;
+use std::sync::{Mutex, OnceLock};
 
 /// An edge-latency law. All stock families have non-decreasing hazard
 /// rates for the parameter ranges their constructors accept with
@@ -343,6 +345,67 @@ impl WaitingTime {
         quantile_sorted(&draws, 0.9)
     }
 
+    /// Memoized [`WaitingTime::time_unit`]: the estimate for this
+    /// `(latency, pattern, samples)` triple, computed once per process
+    /// under a deterministic seed derived from the triple itself (see
+    /// [`WaitingTime::time_unit_cache_seed`]) and served from a global
+    /// cache afterwards.
+    ///
+    /// Engines use this so sweeping thousands of repetitions re-runs the
+    /// Monte-Carlo quantile estimate once per latency law instead of once
+    /// per repetition. Because the seed is a pure function of the triple,
+    /// the cached value is identical across processes, threads, and
+    /// repetition counts — a run configured by it remains a pure function
+    /// of its own seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `samples == 0`.
+    pub fn time_unit_cached(&self, samples: usize) -> f64 {
+        static CACHE: OnceLock<Mutex<HashMap<(u8, u64, u64, u8, usize), f64>>> = OnceLock::new();
+        let key = self.cache_key(samples);
+        let mut cache = CACHE
+            .get_or_init(|| Mutex::new(HashMap::new()))
+            .lock()
+            .expect("time-unit cache poisoned");
+        // The estimate is computed while holding the lock: concurrent
+        // callers wanting the same triple wait for one computation rather
+        // than racing through redundant 20k-sample estimates.
+        *cache
+            .entry(key)
+            .or_insert_with(|| self.time_unit(samples, self.time_unit_cache_seed()))
+    }
+
+    /// The deterministic seed [`WaitingTime::time_unit_cached`] feeds to
+    /// [`WaitingTime::time_unit`]: a `derive_seed` fold over the latency
+    /// family, its parameter bits, and the channel pattern. Exposed so
+    /// tests can verify the memoized value equals a fresh estimate.
+    pub fn time_unit_cache_seed(&self) -> u64 {
+        let (tag, p0, p1, pattern, _) = self.cache_key(0);
+        let mut seed = derive_seed(0xC1_CA_C4E, u64::from(tag));
+        seed = derive_seed(seed, p0);
+        seed = derive_seed(seed, p1);
+        derive_seed(seed, u64::from(pattern))
+    }
+
+    /// Canonical cache key for this waiting-time law: latency family tag,
+    /// its two parameter payloads (f64 bit patterns / integer shapes),
+    /// channel pattern, and sample count.
+    fn cache_key(&self, samples: usize) -> (u8, u64, u64, u8, usize) {
+        let (tag, p0, p1) = match self.latency {
+            Latency::Exponential { rate } => (0u8, rate.to_bits(), 0),
+            Latency::Erlang { shape, rate } => (1, u64::from(shape), rate.to_bits()),
+            Latency::Weibull { shape, scale } => (2, shape.to_bits(), scale.to_bits()),
+            Latency::Uniform { lo, hi } => (3, lo.to_bits(), hi.to_bits()),
+            Latency::Deterministic { value } => (4, value.to_bits(), 0),
+        };
+        let pattern = match self.pattern {
+            ChannelPattern::SingleLeader => 0u8,
+            ChannelPattern::MultiLeader => 1,
+        };
+        (tag, p0, p1, pattern, samples)
+    }
+
     /// The exact 0.9-quantile of the `Γ(s, β)` majorant of `T3` for
     /// exponential latencies (`s = 7` single-leader, `s = 9`
     /// multi-leader): every `max` replaced by a sum. `None` for
@@ -457,6 +520,37 @@ mod tests {
         );
         assert_eq!(wt.time_unit(5_000, 9), wt.time_unit(5_000, 9));
         assert_ne!(wt.time_unit(5_000, 9), wt.time_unit(5_000, 10));
+    }
+
+    #[test]
+    fn memoized_time_unit_matches_fresh_estimate() {
+        let wt = WaitingTime::new(
+            Latency::erlang(3, 3.0).unwrap(),
+            ChannelPattern::MultiLeader,
+        );
+        let fresh = wt.time_unit(4_000, wt.time_unit_cache_seed());
+        assert_eq!(wt.time_unit_cached(4_000), fresh);
+        // Second call serves the cache — still the same value.
+        assert_eq!(wt.time_unit_cached(4_000), fresh);
+        // A different law misses the cache and differs.
+        let other = WaitingTime::new(
+            Latency::erlang(3, 3.0).unwrap(),
+            ChannelPattern::SingleLeader,
+        );
+        assert_ne!(other.time_unit_cached(4_000), fresh);
+    }
+
+    #[test]
+    fn cache_seed_separates_laws_and_patterns() {
+        let exp = Latency::exponential(1.0).unwrap();
+        let single = WaitingTime::new(exp, ChannelPattern::SingleLeader);
+        let multi = WaitingTime::new(exp, ChannelPattern::MultiLeader);
+        assert_ne!(single.time_unit_cache_seed(), multi.time_unit_cache_seed());
+        let slower = WaitingTime::new(
+            Latency::exponential(0.5).unwrap(),
+            ChannelPattern::SingleLeader,
+        );
+        assert_ne!(single.time_unit_cache_seed(), slower.time_unit_cache_seed());
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! * [`core`] — the paper's protocols (`plurality-core`)
 //! * [`baselines`] — comparison dynamics (`plurality-baselines`)
 //! * [`stats`] — statistics and reporting (`plurality-stats`)
+//! * [`par`] — deterministic parallel execution (`plurality-par`)
 //!
 //! ## Quick start
 //!
@@ -38,5 +39,6 @@
 pub use plurality_baselines as baselines;
 pub use plurality_core as core;
 pub use plurality_dist as dist;
+pub use plurality_par as par;
 pub use plurality_sim as sim;
 pub use plurality_stats as stats;

@@ -1,0 +1,143 @@
+//! The parallel determinism contract, end to end: running the
+//! repetitions of every engine through `plurality-par` with any thread
+//! count must produce **bitwise identical** result vectors — parallelism
+//! may only change wall-clock, never results. (`RunOutcome` and the
+//! per-engine result structs derive `PartialEq` over their `f64` fields,
+//! so equality here really is exact, not approximate.)
+
+use plurality::baselines::{Dynamics, DynamicsConfig, PopulationConfig, PopulationProtocol};
+use plurality::core::cluster::ClusterConfig;
+use plurality::core::leader::LeaderConfig;
+use plurality::core::sync::{SyncConfig, UrnConfig};
+use plurality::core::{InitialAssignment, RunOutcome};
+use plurality::par::{configured_threads, par_map_seeded, par_map_seeded_with, THREADS_ENV};
+
+const REPS: usize = 4;
+const PAR_THREADS: usize = 4;
+
+fn assert_thread_invariant<R, F>(label: &str, f: F)
+where
+    R: PartialEq + std::fmt::Debug + Send,
+    F: Fn(usize, u64) -> R + Sync,
+{
+    let serial = par_map_seeded_with(1, 0xDE7, REPS, &f);
+    let parallel = par_map_seeded_with(PAR_THREADS, 0xDE7, REPS, &f);
+    assert_eq!(serial, parallel, "{label}: serial vs {PAR_THREADS} threads");
+}
+
+#[test]
+fn sync_engine_is_thread_invariant() {
+    assert_thread_invariant("sync", |_, seed| {
+        let assignment = InitialAssignment::with_bias(10_000, 4, 2.0).unwrap();
+        SyncConfig::new(assignment).with_seed(seed).run()
+    });
+}
+
+#[test]
+fn urn_engine_is_thread_invariant() {
+    assert_thread_invariant("urn", |_, seed| {
+        UrnConfig::new(1_000_000, 8, 1.5)
+            .unwrap()
+            .with_seed(seed)
+            .run()
+    });
+}
+
+#[test]
+fn leader_engine_is_thread_invariant() {
+    assert_thread_invariant("leader", |_, seed| {
+        let assignment = InitialAssignment::with_bias(600, 2, 3.0).unwrap();
+        LeaderConfig::new(assignment)
+            .with_seed(seed)
+            .with_steps_per_unit(9.3)
+            .run()
+    });
+}
+
+#[test]
+fn leader_engine_with_memoized_time_unit_is_thread_invariant() {
+    // No `with_steps_per_unit` override: every repetition goes through
+    // the global memoized Monte-Carlo `C1` estimate, so this exercises
+    // the cache's thread safety on top of the engine itself.
+    assert_thread_invariant("leader/default-c1", |_, seed| {
+        let assignment = InitialAssignment::with_bias(600, 2, 3.0).unwrap();
+        LeaderConfig::new(assignment).with_seed(seed).run()
+    });
+}
+
+#[test]
+fn cluster_engine_is_thread_invariant() {
+    assert_thread_invariant("cluster", |_, seed| {
+        let assignment = InitialAssignment::with_bias(800, 2, 3.0).unwrap();
+        ClusterConfig::new(assignment)
+            .with_seed(seed)
+            .with_steps_per_unit(12.0)
+            .run()
+    });
+}
+
+#[test]
+fn baseline_dynamics_are_thread_invariant() {
+    for dynamics in [
+        Dynamics::ThreeMajority,
+        Dynamics::TwoChoices,
+        Dynamics::Undecided,
+        Dynamics::PullVoting,
+    ] {
+        assert_thread_invariant("dynamics", |_, seed| {
+            let assignment = InitialAssignment::with_bias(2_000, 4, 2.0).unwrap();
+            DynamicsConfig::new(dynamics, assignment)
+                .with_seed(seed)
+                .with_max_rounds(300)
+                .run()
+        });
+    }
+}
+
+#[test]
+fn population_protocols_are_thread_invariant() {
+    for protocol in [
+        PopulationProtocol::ApproximateMajority,
+        PopulationProtocol::ExactMajority,
+    ] {
+        assert_thread_invariant("population", |_, seed| {
+            PopulationConfig::new(protocol, 2_000, 1_200)
+                .with_seed(seed)
+                .run()
+        });
+    }
+}
+
+#[test]
+fn outcome_vectors_survive_aggregation_order() {
+    // The experiment binaries fold the returned vector in index order;
+    // spot-check that the fold over a parallel run equals the fold over
+    // a serial run (i.e. nothing depends on completion order).
+    let run = |threads: usize| -> Vec<RunOutcome> {
+        par_map_seeded_with(threads, 0xA66, 6, |_, seed| {
+            let assignment = InitialAssignment::with_bias(5_000, 3, 2.0).unwrap();
+            SyncConfig::new(assignment).with_seed(seed).run().outcome
+        })
+    };
+    let serial = run(1);
+    let parallel = run(PAR_THREADS);
+    let mean = |outcomes: &[RunOutcome]| -> f64 {
+        outcomes.iter().map(|o| o.duration).sum::<f64>() / outcomes.len() as f64
+    };
+    assert_eq!(serial, parallel);
+    assert_eq!(mean(&serial).to_bits(), mean(&parallel).to_bits());
+}
+
+#[test]
+fn threads_env_var_controls_default_worker_count() {
+    // This is the only test in this binary that touches the env var or
+    // calls the env-reading entry points, so there is no cross-test race.
+    std::env::set_var(THREADS_ENV, "4");
+    assert_eq!(configured_threads(), 4);
+    let via_env = par_map_seeded(0xE2B, 8, |i, seed| (i, seed));
+    std::env::set_var(THREADS_ENV, "1");
+    assert_eq!(configured_threads(), 1);
+    let serial = par_map_seeded(0xE2B, 8, |i, seed| (i, seed));
+    assert_eq!(via_env, serial);
+    std::env::remove_var(THREADS_ENV);
+}

@@ -11,11 +11,29 @@
 //! reports the median per-iteration wall time on stdout. The numbers are
 //! indicative, not rigorous; the point is that `cargo bench` runs every
 //! benchmark end to end with zero external dependencies.
+//!
+//! ## Machine-readable output
+//!
+//! When the environment variable `PLURALITY_BENCH_JSON` names a
+//! directory, every bench binary additionally writes
+//! `BENCH_<suite>.json` there (suite = the bench target's name, with
+//! cargo's trailing `-<hash>` stripped): a flat map from
+//! `group/benchmark` to the median nanoseconds per iteration. CI diffs
+//! these files across commits to track the perf trajectory.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// Environment variable naming the directory `BENCH_<suite>.json`
+/// reports are written to. Unset → no JSON output (stdout only).
+pub const BENCH_JSON_ENV: &str = "PLURALITY_BENCH_JSON";
+
+/// Global registry of `(group/benchmark, median ns/iter)` rows collected
+/// by every [`BenchmarkGroup::bench_function`] in this process.
+static RESULTS: Mutex<Vec<(String, f64)>> = Mutex::new(Vec::new());
 
 /// Prevents the compiler from optimizing away a benchmarked computation.
 #[inline]
@@ -76,6 +94,10 @@ impl BenchmarkGroup<'_> {
             .copied()
             .unwrap_or(Duration::ZERO);
         println!("  {}/{id}: median {}", self.name, format_duration(median));
+        RESULTS
+            .lock()
+            .expect("bench result registry poisoned")
+            .push((format!("{}/{id}", self.name), median.as_nanos() as f64));
         self
     }
 
@@ -112,6 +134,90 @@ impl Bencher {
     }
 }
 
+/// Writes the collected results as `BENCH_<suite>.json` into the
+/// directory named by `PLURALITY_BENCH_JSON` (no-op when unset). Called
+/// by [`criterion_main!`] after all groups have run; harmless to call
+/// again.
+pub fn write_json_report() {
+    let Ok(dir) = std::env::var(BENCH_JSON_ENV) else {
+        return;
+    };
+    let suite = suite_name();
+    let results = RESULTS.lock().expect("bench result registry poisoned");
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{suite}.json"));
+    match write_suite_json(&path, &suite, "ns/iter (median)", &results) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("\nfailed to write {}: {e}", path.display()),
+    }
+}
+
+/// Writes a `BENCH_<suite>.json` report: a `suite`/`unit` header plus a
+/// flat `"results"` map with one `"name": value` pair per line. Shared
+/// by the bench harness and the `perf_snapshot` binary so every
+/// committed snapshot under `benchmarks/` has one format.
+pub fn write_suite_json(
+    path: &std::path::Path,
+    suite: &str,
+    unit: &str,
+    results: &[(String, f64)],
+) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"suite\": \"{}\",\n", escape_json(suite)));
+    out.push_str(&format!("  \"unit\": \"{}\",\n", escape_json(unit)));
+    out.push_str("  \"results\": {\n");
+    for (i, (name, value)) in results.iter().enumerate() {
+        let comma = if i + 1 < results.len() { "," } else { "" };
+        // NaN/∞ are not JSON tokens; serialize them as null so one bad
+        // measurement cannot make the whole file unparsable.
+        let rendered = if value.is_finite() {
+            format!("{value:.2}")
+        } else {
+            "null".to_string()
+        };
+        out.push_str(&format!(
+            "    \"{}\": {rendered}{comma}\n",
+            escape_json(name)
+        ));
+    }
+    out.push_str("  }\n}\n");
+    std::fs::write(path, out)
+}
+
+fn escape_json(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if c.is_control() => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// The bench target's name: `argv[0]`'s file stem with cargo's trailing
+/// `-<hash>` stripped (a final all-hex segment of at least 8 chars).
+fn suite_name() -> String {
+    let arg0 = std::env::args().next().unwrap_or_default();
+    let stem = std::path::Path::new(&arg0)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("bench")
+        .to_string();
+    match stem.rsplit_once('-') {
+        Some((base, suffix))
+            if !base.is_empty()
+                && suffix.len() >= 8
+                && suffix.chars().all(|c| c.is_ascii_hexdigit()) =>
+        {
+            base.to_string()
+        }
+        _ => stem,
+    }
+}
+
 fn format_duration(d: Duration) -> String {
     let nanos = d.as_nanos();
     if nanos < 10_000 {
@@ -143,6 +249,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_json_report();
         }
     };
 }
@@ -165,6 +272,33 @@ mod tests {
         });
         group.finish();
         assert!(calls > 0);
+    }
+
+    #[test]
+    fn suite_name_strips_cargo_hash() {
+        // suite_name reads argv[0] of the test binary, which cargo names
+        // `criterion-<hash>`; the hash must be stripped.
+        assert_eq!(suite_name(), "criterion");
+    }
+
+    #[test]
+    fn json_report_is_flat_and_escaped() {
+        let dir = std::env::temp_dir().join("plurality_criterion_json_test");
+        let path = dir.join("BENCH_demo.json");
+        let rows = vec![
+            ("group/plain".to_string(), 123.456),
+            ("group/quo\"te".to_string(), 7.0),
+            ("group/broken".to_string(), f64::NAN),
+        ];
+        write_suite_json(&path, "demo", "ns", &rows).expect("write json");
+        let text = std::fs::read_to_string(&path).expect("read back");
+        assert!(text.contains("\"suite\": \"demo\""));
+        assert!(text.contains("\"unit\": \"ns\""));
+        assert!(text.contains("\"group/plain\": 123.46"));
+        assert!(text.contains("group/quo\\\"te"));
+        assert!(text.contains("\"group/broken\": null"));
+        assert!(!text.contains("NaN"), "NaN must never reach the file");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
