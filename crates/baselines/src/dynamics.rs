@@ -17,7 +17,8 @@
 //! directly comparable.
 
 use plurality_core::{ConvergenceTracker, InitialAssignment, OpinionCounts, RunOutcome};
-use plurality_dist::rng::Xoshiro256PlusPlus;
+use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
+use plurality_topology::{Topology, TOPOLOGY_STREAM};
 use rand::Rng;
 
 /// Sentinel color index for the undecided state (only used internally by
@@ -81,6 +82,7 @@ pub struct DynamicsConfig {
     epsilon: f64,
     seed: u64,
     max_rounds: u64,
+    topology: Topology,
 }
 
 impl DynamicsConfig {
@@ -95,7 +97,18 @@ impl DynamicsConfig {
             epsilon: 0.05,
             seed: 0,
             max_rounds: (200.0 * (n as f64).log2()).ceil() as u64 + 200,
+            topology: Topology::Complete,
         }
+    }
+
+    /// Sets the communication topology (default [`Topology::Complete`]):
+    /// all samples a node draws per round come from uniform neighbors on
+    /// the given graph (isolated nodes sample themselves). Random graph
+    /// families are rebuilt per run from `derive_seed(seed,
+    /// TOPOLOGY_STREAM)`.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// Sets ε for ε-convergence reporting.
@@ -125,7 +138,8 @@ impl DynamicsConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the assignment materializes fewer than 2 nodes.
+    /// Panics if the assignment materializes fewer than 2 nodes, or if
+    /// the configured topology cannot be built for that population size.
     pub fn run(&self) -> DynamicsResult {
         run_dynamics(self)
     }
@@ -153,6 +167,13 @@ fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
     assert!(n >= 2, "baseline run needs at least 2 nodes");
     let k = cfg.assignment.k() as usize;
 
+    // Private RNG stream: complete-graph runs reproduce the historical
+    // results bitwise.
+    let sampler = cfg
+        .topology
+        .build(n, derive_seed(cfg.seed, TOPOLOGY_STREAM))
+        .expect("topology must be buildable for this population size");
+
     let mut col: Vec<u32> = opinions.iter().map(|o| o.index()).collect();
     let mut counts = OpinionCounts::tally(&opinions, k);
     let initial_winner = counts.winner().expect("non-empty population");
@@ -179,11 +200,12 @@ fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
             rounds = round;
             for v in 0..n {
                 let own = col[v];
+                let vu = v as u32;
                 new_col[v] = match cfg.dynamics {
-                    Dynamics::PullVoting => col[rng.gen_range(0..n)],
+                    Dynamics::PullVoting => col[sampler.sample(vu, &mut rng) as usize],
                     Dynamics::TwoChoices => {
-                        let a = col[rng.gen_range(0..n)];
-                        let b = col[rng.gen_range(0..n)];
+                        let a = col[sampler.sample(vu, &mut rng) as usize];
+                        let b = col[sampler.sample(vu, &mut rng) as usize];
                         if a == b {
                             a
                         } else {
@@ -191,9 +213,9 @@ fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
                         }
                     }
                     Dynamics::ThreeMajority => {
-                        let a = col[rng.gen_range(0..n)];
-                        let b = col[rng.gen_range(0..n)];
-                        let c = col[rng.gen_range(0..n)];
+                        let a = col[sampler.sample(vu, &mut rng) as usize];
+                        let b = col[sampler.sample(vu, &mut rng) as usize];
+                        let c = col[sampler.sample(vu, &mut rng) as usize];
                         if a == b || a == c {
                             a
                         } else if b == c {
@@ -204,7 +226,7 @@ fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
                         }
                     }
                     Dynamics::Undecided => {
-                        let s = col[rng.gen_range(0..n)];
+                        let s = col[sampler.sample(vu, &mut rng) as usize];
                         if own == UNDECIDED {
                             s // adopt whatever the sample holds (or stay
                               // undecided if the sample is undecided too)
@@ -351,6 +373,31 @@ mod tests {
     fn names_are_stable() {
         assert_eq!(Dynamics::PullVoting.name(), "pull-voting");
         assert_eq!(Dynamics::all().len(), 4);
+    }
+
+    #[test]
+    fn explicit_complete_topology_is_bitwise_identical_to_default() {
+        let a = biased(900, 3, 2.5);
+        let default = DynamicsConfig::new(Dynamics::ThreeMajority, a.clone())
+            .with_seed(11)
+            .run();
+        let explicit = DynamicsConfig::new(Dynamics::ThreeMajority, a)
+            .with_seed(11)
+            .with_topology(Topology::Complete)
+            .run();
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn sparse_expander_preserves_large_bias() {
+        for d in [Dynamics::TwoChoices, Dynamics::ThreeMajority] {
+            let r = DynamicsConfig::new(d, biased(2_000, 2, 3.0))
+                .with_seed(12)
+                .with_topology(Topology::Regular { d: 8 })
+                .run();
+            assert!(r.outcome.consensus_time.is_some(), "{} stalled", d.name());
+            assert!(r.outcome.plurality_preserved(), "{}", d.name());
+        }
     }
 
     #[test]

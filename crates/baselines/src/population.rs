@@ -14,7 +14,8 @@
 //!   interactions in the worst case.
 
 use plurality_core::{InitialAssignment, Opinion, OpinionCounts, RunOutcome};
-use plurality_dist::rng::Xoshiro256PlusPlus;
+use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
+use plurality_topology::{Topology, TOPOLOGY_STREAM};
 use rand::Rng;
 
 /// A two-opinion population protocol for majority.
@@ -79,6 +80,7 @@ pub struct PopulationConfig {
     initial_a: u64,
     seed: u64,
     max_interactions: Option<u64>,
+    topology: Topology,
 }
 
 impl PopulationConfig {
@@ -97,7 +99,20 @@ impl PopulationConfig {
             initial_a,
             seed: 0,
             max_interactions: None,
+            topology: Topology::Complete,
         }
+    }
+
+    /// Sets the communication topology (default [`Topology::Complete`]).
+    /// The sequential scheduler then draws each interacting pair as a
+    /// uniformly random *directed edge* of the graph (initiator
+    /// degree-proportional, responder a uniform neighbor), the standard
+    /// population-protocol-on-graphs model. A run on an edgeless graph
+    /// performs no interactions at all. Random graph families are
+    /// rebuilt per run from `derive_seed(seed, TOPOLOGY_STREAM)`.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// Builds from an [`InitialAssignment`] with `k = 2`.
@@ -153,6 +168,12 @@ pub struct PopulationResult {
 
 fn run_population(cfg: &PopulationConfig) -> PopulationResult {
     let n = cfg.n as usize;
+    // Private RNG stream: complete-graph runs reproduce the historical
+    // results bitwise.
+    let sampler = cfg
+        .topology
+        .build(n, derive_seed(cfg.seed, TOPOLOGY_STREAM))
+        .expect("topology must be buildable for this population size");
     let mut rng = Xoshiro256PlusPlus::from_u64(cfg.seed);
     let mut states: Vec<State> = (0..n)
         .map(|i| {
@@ -217,17 +238,14 @@ fn run_population(cfg: &PopulationConfig) -> PopulationResult {
     let mut interactions = 0u64;
 
     while !converged_now(sa, sb, wa, wb, blank) && interactions < max_interactions {
-        interactions += 1;
-        // Ordered pair of distinct agents (initiator, responder).
-        let i = rng.gen_range(0..n);
-        let j = {
-            let r = rng.gen_range(0..n - 1);
-            if r >= i {
-                r + 1
-            } else {
-                r
-            }
+        // Ordered pair of distinct agents (initiator, responder); on a
+        // graph: a uniformly random directed edge. An edgeless graph
+        // admits no interaction — ever — so the run ends unconverged.
+        let Some((iu, ju)) = sampler.sample_interaction_pair(&mut rng) else {
+            break;
         };
+        interactions += 1;
+        let (i, j) = (iu as usize, ju as usize);
         let (x, y) = (states[i], states[j]);
         let (nx, ny) = match cfg.protocol {
             PopulationProtocol::ApproximateMajority => match (x, y) {
@@ -365,6 +383,38 @@ mod tests {
             exact.interactions,
             approx.interactions
         );
+    }
+
+    #[test]
+    fn explicit_complete_topology_is_bitwise_identical_to_default() {
+        let default = PopulationConfig::new(PopulationProtocol::ApproximateMajority, 400, 260)
+            .with_seed(9)
+            .run();
+        let explicit = PopulationConfig::new(PopulationProtocol::ApproximateMajority, 400, 260)
+            .with_seed(9)
+            .with_topology(Topology::Complete)
+            .run();
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn sparse_expander_still_finds_the_majority() {
+        let r = PopulationConfig::new(PopulationProtocol::ApproximateMajority, 600, 420)
+            .with_seed(10)
+            .with_topology(Topology::Regular { d: 8 })
+            .run();
+        assert!(r.converged, "did not converge on the expander");
+        assert_eq!(r.outcome.winner(), Some(Opinion::new(0)));
+    }
+
+    #[test]
+    fn edgeless_topology_never_interacts() {
+        let r = PopulationConfig::new(PopulationProtocol::ExactMajority, 50, 30)
+            .with_seed(11)
+            .with_topology(Topology::ErdosRenyi { p: 0.0 })
+            .run();
+        assert!(!r.converged);
+        assert_eq!(r.interactions, 0);
     }
 
     #[test]

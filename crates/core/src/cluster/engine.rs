@@ -28,9 +28,10 @@ use crate::genstate::GenerationTable;
 use crate::opinion::InitialAssignment;
 use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcome};
 use crate::sync::{generations_needed, GENERATION_CAP};
-use plurality_dist::rng::Xoshiro256PlusPlus;
+use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
 use plurality_dist::{ChannelPattern, Latency, WaitingTime};
 use plurality_sim::{EventLog, EventQueue, PoissonClock};
+use plurality_topology::{PeerSampler, Topology, TOPOLOGY_STREAM};
 use rand::Rng;
 
 /// Sentinel for "not in any cluster".
@@ -69,6 +70,7 @@ pub struct ClusterConfig {
     sleep_units: f64,
     generation_cap: Option<u32>,
     alpha_hint: Option<f64>,
+    topology: Topology,
 }
 
 impl ClusterConfig {
@@ -94,7 +96,21 @@ impl ClusterConfig {
             sleep_units: 2.0,
             generation_cap: None,
             alpha_hint: None,
+            topology: Topology::Complete,
         }
+    }
+
+    /// Sets the communication topology for the *peer-sampling* step
+    /// (default [`Topology::Complete`], the paper's model): the three
+    /// channels a ticking node opens go to uniform neighbors on the
+    /// given graph, which also constrains which clusters a node can
+    /// discover and join. Member signals towards the own cluster leader
+    /// model the intra-cluster control channel and stay direct. Random
+    /// graph families are rebuilt per run from `derive_seed(seed,
+    /// TOPOLOGY_STREAM)`.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// Sets the channel-establishment latency law (default `Exp(1)`).
@@ -220,7 +236,9 @@ impl ClusterConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the assignment materializes fewer than 8 nodes.
+    /// Panics if the assignment materializes fewer than 8 nodes, or if
+    /// the configured topology cannot be built for that population size
+    /// (see [`Topology::build`]).
     pub fn run(&self) -> ClusterResult {
         run_cluster(self)
     }
@@ -363,6 +381,7 @@ struct Engine<'cfg> {
     stored_phase: Vec<u8>,
     cluster_of: Vec<u32>,
     clusters: Vec<Cluster>,
+    sampler: PeerSampler,
     table: GenerationTable,
     tracker: ConvergenceTracker,
     births: Vec<GenerationBirth>,
@@ -381,6 +400,13 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
     let n = opinions.len();
     assert!(n >= 8, "multi-leader run needs at least 8 nodes");
     let k = cfg.assignment.k() as usize;
+
+    // Built from a private RNG stream; complete-graph runs consume no
+    // topology randomness and keep the historical process stream intact.
+    let sampler = cfg
+        .topology
+        .build(n, derive_seed(cfg.seed, TOPOLOGY_STREAM))
+        .expect("topology must be buildable for this population size");
 
     let cols: Vec<u32> = opinions.iter().map(|o| o.index()).collect();
     let gens: Vec<u32> = vec![0; n];
@@ -416,9 +442,9 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
     // Leader election: every node flips a coin; force at least two leaders.
     let mut cluster_of = vec![UNCLUSTERED; n];
     let mut clusters: Vec<Cluster> = Vec::new();
-    for v in 0..n {
+    for slot in cluster_of.iter_mut() {
         if rng.gen::<f64>() < p_lead {
-            cluster_of[v] = clusters.len() as u32;
+            *slot = clusters.len() as u32;
             clusters.push(Cluster {
                 size: 1,
                 mode: ClusterMode::Filling,
@@ -482,6 +508,7 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
         stored_phase: vec![0; n],
         cluster_of,
         clusters,
+        sampler,
         table,
         tracker,
         births: Vec::new(),
@@ -496,10 +523,7 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
 
     let mut end_time = 0.0f64;
     if !engine.table.is_monochromatic() {
-        loop {
-            let Some((now, event)) = engine.queue.pop() else {
-                break;
-            };
+        while let Some((now, event)) = engine.queue.pop() {
             if now > max_time {
                 end_time = max_time;
                 break;
@@ -595,9 +619,9 @@ impl Engine<'_> {
         }
         if !self.locked[vi] {
             self.locked[vi] = true;
-            let s1 = self.rng.gen_range(0..self.n) as u32;
-            let s2 = self.rng.gen_range(0..self.n) as u32;
-            let s3 = self.rng.gen_range(0..self.n) as u32;
+            let s1 = self.sampler.sample(v, &mut self.rng);
+            let s2 = self.sampler.sample(v, &mut self.rng);
+            let s3 = self.sampler.sample(v, &mut self.rng);
             let phase = self.waiting.sample_channel_phase(&mut self.rng);
             self.queue
                 .schedule(now + phase, Event::OpDone { v, s1, s2, s3 });
@@ -977,7 +1001,11 @@ impl Engine<'_> {
             // `gen(v̄) < gen` case; stragglers must be able to advance).
             let mut best: Option<(u32, u32)> = None;
             for (g, c) in [(g1, c1s), (g2, c2s)] {
-                if vg < g && g < l_gen && best.map_or(true, |(bg, _)| g > bg) {
+                let improves = match best {
+                    None => true,
+                    Some((bg, _)) => g > bg,
+                };
+                if vg < g && g < l_gen && improves {
                     best = Some((g, c));
                 }
             }
@@ -1126,6 +1154,25 @@ mod tests {
                 "consensus without any finished nodes"
             );
         }
+    }
+
+    #[test]
+    fn explicit_complete_topology_is_bitwise_identical_to_default() {
+        let default = quick(900, 2, 3.0, 9).run();
+        let explicit = quick(900, 2, 3.0, 9)
+            .with_topology(Topology::Complete)
+            .run();
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn sparse_expander_converges_to_plurality() {
+        let result = quick(1_200, 2, 3.0, 10)
+            .with_topology(Topology::Regular { d: 8 })
+            .run();
+        assert!(result.cluster_count >= 2);
+        assert!(result.outcome.consensus_time.is_some(), "did not converge");
+        assert!(result.outcome.plurality_preserved());
     }
 
     #[test]

@@ -32,10 +32,16 @@ use crate::leader::state::{LeaderParams, LeaderState, LeaderTransition, Signal};
 use crate::opinion::InitialAssignment;
 use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcome};
 use crate::sync::{generations_needed, GENERATION_CAP};
-use plurality_dist::rng::Xoshiro256PlusPlus;
+use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
 use plurality_dist::{ChannelPattern, Latency, WaitingTime};
 use plurality_sim::{EventQueue, PoissonClock, Series};
+use plurality_topology::{Topology, TOPOLOGY_STREAM};
 use rand::Rng;
+
+/// Seed-stream tag for the straggler-identity permutation used on
+/// sparse topologies (private, like [`TOPOLOGY_STREAM`], so it never
+/// perturbs the process stream).
+const STRAGGLER_STREAM: u64 = 0x5752_A661;
 
 /// Configuration for a single-leader asynchronous run. Construct with
 /// [`LeaderConfig::new`] and chain the `with_*` setters.
@@ -70,6 +76,7 @@ pub struct LeaderConfig {
     signal_loss: f64,
     straggler_fraction: f64,
     straggler_rate: f64,
+    topology: Topology,
 }
 
 impl LeaderConfig {
@@ -92,7 +99,21 @@ impl LeaderConfig {
             signal_loss: 0.0,
             straggler_fraction: 0.0,
             straggler_rate: 1.0,
+            topology: Topology::Complete,
         }
+    }
+
+    /// Sets the communication topology for the *peer-sampling* step
+    /// (default [`Topology::Complete`], the paper's model): the two
+    /// parallel channels a ticking node opens go to uniform neighbors on
+    /// the given graph (isolated nodes sample themselves). The 0-/gen-
+    /// signals towards the leader model a dedicated control channel and
+    /// stay direct, exactly as in Algorithms 2 + 3. Random graph
+    /// families are rebuilt per run from `derive_seed(seed,
+    /// TOPOLOGY_STREAM)`.
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// Failure injection: drops each 0-/gen-signal towards the leader
@@ -117,6 +138,12 @@ impl LeaderConfig {
     /// instead of rate 1 (default: none). Models stragglers with slow
     /// clocks; the model's whp. statements assume unit rate, so this knob
     /// probes how much heterogeneity the protocol absorbs.
+    ///
+    /// Composes with [`LeaderConfig::with_topology`]: the straggler set
+    /// is a uniformly random subset of the nodes in either case (on a
+    /// sparse graph the identities are drawn from a private seeded
+    /// permutation, so graph structure — hubs, lattice patches — does
+    /// not leak into which nodes are slow).
     ///
     /// # Panics
     ///
@@ -229,7 +256,9 @@ impl LeaderConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the assignment materializes fewer than 2 nodes.
+    /// Panics if the assignment materializes fewer than 2 nodes, or if
+    /// the configured topology cannot be built for that population size
+    /// (see [`Topology::build`]).
     pub fn run(&self) -> LeaderResult {
         run_leader(self)
     }
@@ -293,6 +322,13 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
     let n = opinions.len();
     assert!(n >= 2, "single-leader run needs at least 2 nodes");
     let k = cfg.assignment.k() as usize;
+
+    // Built from a private RNG stream; complete-graph runs consume no
+    // topology randomness and keep the historical process stream intact.
+    let sampler = cfg
+        .topology
+        .build(n, derive_seed(cfg.seed, TOPOLOGY_STREAM))
+        .expect("topology must be buildable for this population size");
 
     let mut cols: Vec<u32> = opinions.iter().map(|o| o.index()).collect();
     let mut gens: Vec<u32> = vec![0; n];
@@ -360,10 +396,29 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
     let mut next_sample = 1.0f64;
 
     // Superposed clocks: one pending tick event per rate pool instead of
-    // one per node. Nodes `0..straggler_count` form the straggler pool
-    // (rate `straggler_rate` each), the rest tick at unit rate.
+    // one per node. Pool *slots* `0..straggler_count` form the straggler
+    // pool (rate `straggler_rate` each), the rest tick at unit rate.
     let straggler_count = (cfg.straggler_fraction * nf).round() as usize;
     let fast_count = n - straggler_count;
+    // On the complete graph node ids are exchangeable (`materialize`
+    // shuffles opinions), so slot = node id and stragglers are a uniform
+    // subset — the historical behavior, preserved bitwise. On a sparse
+    // topology ids carry graph structure (preferential-attachment hubs
+    // sit at low ids, ring/torus ids are geometric), so the slots are
+    // mapped through a seeded permutation to keep "a random fraction of
+    // nodes is slow" true rather than silently slowing the hubs or one
+    // contiguous patch. The permutation draws from a private stream, so
+    // the process stream is untouched.
+    let straggler_ids: Option<Vec<u32>> =
+        (straggler_count > 0 && !sampler.is_complete()).then(|| {
+            let mut ids: Vec<u32> = (0..n as u32).collect();
+            let mut srng = Xoshiro256PlusPlus::from_u64(derive_seed(cfg.seed, STRAGGLER_STREAM));
+            for i in (1..n).rev() {
+                let j = srng.gen_range(0..=i);
+                ids.swap(i, j);
+            }
+            ids
+        });
     // Pending events at any time: ≤ 2 pool ticks, ≤ n open interactions,
     // plus in-flight 0-/gen-signals (≈ n·E[T1] for unit-rate ticking) —
     // `3n` covers the steady state without rehashing.
@@ -372,13 +427,17 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
     let straggler_clock =
         PoissonClock::new((straggler_count as f64 * cfg.straggler_rate).max(cfg.straggler_rate))
             .expect("validated rate");
-    if fast_count > 0 {
-        let t = fast_clock.next_tick(0.0, &mut rng);
-        queue.schedule(t, Event::PoolTick { straggler: false });
-    }
-    if straggler_count > 0 {
-        let t = straggler_clock.next_tick(0.0, &mut rng);
-        queue.schedule(t, Event::PoolTick { straggler: true });
+    // A monochromatic start schedules nothing: the queue stays empty and
+    // the event loop below never runs.
+    if !table.is_monochromatic() {
+        if fast_count > 0 {
+            let t = fast_clock.next_tick(0.0, &mut rng);
+            queue.schedule(t, Event::PoolTick { straggler: false });
+        }
+        if straggler_count > 0 {
+            let t = straggler_clock.next_tick(0.0, &mut rng);
+            queue.schedule(t, Event::PoolTick { straggler: true });
+        }
     }
 
     let mut ticks = 0u64;
@@ -387,11 +446,7 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
     let mut propagation_promotions = 0u64;
     let mut end_time = 0.0f64;
 
-    let done_at_start = table.is_monochromatic();
-    while !done_at_start {
-        let Some((now, event)) = queue.pop() else {
-            break;
-        };
+    while let Some((now, event)) = queue.pop() {
         if now > max_time {
             end_time = max_time;
             break;
@@ -415,7 +470,11 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                     clock.next_tick(now, &mut rng),
                     Event::PoolTick { straggler },
                 );
-                let vi = lo + rng.gen_range(0..size);
+                let slot = lo + rng.gen_range(0..size);
+                let vi = match &straggler_ids {
+                    Some(ids) => ids[slot] as usize,
+                    None => slot,
+                };
                 let v = vi as u32;
                 // Line 1: the 0-signal travels one latency, without locking.
                 // Skipped outright once the leader is terminal (the arrival
@@ -430,8 +489,8 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                 if !locked[vi] {
                     good_ticks += 1;
                     locked[vi] = true;
-                    let a = rng.gen_range(0..n) as u32;
-                    let b = rng.gen_range(0..n) as u32;
+                    let a = sampler.sample(v, &mut rng);
+                    let b = sampler.sample(v, &mut rng);
                     let phase = waiting.sample_channel_phase(&mut rng);
                     queue.schedule(now + phase, Event::OpComplete { v, a, b });
                 }
@@ -747,6 +806,53 @@ mod tests {
             slow.outcome.consensus_time.expect("slow converges"),
         );
         assert!(s > f, "stragglers should slow full consensus: {s} ≤ {f}");
+    }
+
+    #[test]
+    fn explicit_complete_topology_is_bitwise_identical_to_default() {
+        let default = quick_config(900, 2, 3.0, 41).run();
+        let explicit = quick_config(900, 2, 3.0, 41)
+            .with_topology(Topology::Complete)
+            .run();
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn sparse_expander_reaches_epsilon_consensus() {
+        // On sparse graphs the protocol ε-converges fast, but a minority
+        // pocket promoted to the top generation can never be converted
+        // afterwards (no strictly higher generation exists to propagate
+        // from), so *full* consensus may never come — see the E17
+        // discussion in EXPERIMENTS.md. The paper's whp full-consensus
+        // claim is specific to the complete graph.
+        let result = quick_config(1_200, 2, 3.0, 42)
+            .with_topology(Topology::Regular { d: 8 })
+            .run();
+        assert!(
+            result.outcome.epsilon_time.is_some(),
+            "no ε-convergence on the expander"
+        );
+        let winner_support = result.outcome.final_counts.support(crate::Opinion::new(0));
+        assert!(
+            winner_support as f64 >= 0.9 * 1_200.0,
+            "plurality did not dominate: {winner_support}/1200"
+        );
+    }
+
+    #[test]
+    fn stragglers_compose_with_sparse_topology() {
+        // Straggler identities on a sparse graph come from a private
+        // seeded permutation: the run must stay deterministic and the
+        // hubs-are-slow bias must not prevent ε-convergence.
+        let mk = || {
+            quick_config(1_000, 2, 3.0, 44)
+                .with_topology(Topology::PreferentialAttachment { m: 4 })
+                .with_stragglers(0.2, 0.2)
+                .run()
+        };
+        let r = mk();
+        assert_eq!(r, mk());
+        assert!(r.outcome.epsilon_time.is_some(), "no ε-convergence");
     }
 
     #[test]

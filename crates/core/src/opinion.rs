@@ -210,7 +210,7 @@ impl OpinionCounts {
     /// empty population).
     pub fn is_monochromatic(&self) -> bool {
         let n = self.n();
-        n > 0 && self.counts.iter().any(|&c| c == n)
+        n > 0 && self.counts.contains(&n)
     }
 
     /// The paper's collision probability
@@ -356,7 +356,8 @@ impl InitialAssignment {
             Self::Exact(counts) => {
                 let mut v = Vec::with_capacity(counts.iter().sum::<u64>() as usize);
                 for (idx, &c) in counts.iter().enumerate() {
-                    v.extend(std::iter::repeat(Opinion::new(idx as u32)).take(c as usize));
+                    let len = v.len() + c as usize;
+                    v.resize(len, Opinion::new(idx as u32));
                 }
                 v
             }
@@ -367,7 +368,8 @@ impl InitialAssignment {
                 let mut v = Vec::with_capacity(*n as usize);
                 for idx in 0..*k {
                     let c = base + u64::from((idx as usize) < rem);
-                    v.extend(std::iter::repeat(Opinion::new(idx)).take(c as usize));
+                    let len = v.len() + c as usize;
+                    v.resize(len, Opinion::new(idx));
                 }
                 v
             }
@@ -471,7 +473,7 @@ mod tests {
         assert_eq!(ops.len(), 10_000);
         let counts = OpinionCounts::tally(&ops, 10);
         let bias = counts.bias().unwrap();
-        assert!(bias >= 2.0 && bias < 2.2, "bias {bias}");
+        assert!((2.0..2.2).contains(&bias), "bias {bias}");
         assert_eq!(counts.winner(), Some(Opinion::new(0)));
     }
 

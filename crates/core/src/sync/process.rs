@@ -11,9 +11,9 @@ use crate::genstate::GenerationTable;
 use crate::opinion::InitialAssignment;
 use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcome};
 use crate::sync::schedule::{generations_needed, lifecycle_length, Schedule, GENERATION_CAP};
-use plurality_dist::rng::Xoshiro256PlusPlus;
+use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
 use plurality_sim::Series;
-use rand::Rng;
+use plurality_topology::{Topology, TOPOLOGY_STREAM};
 
 /// How two-choices rounds are chosen.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +54,7 @@ pub struct SyncConfig {
     max_rounds: Option<u64>,
     alpha_hint: Option<f64>,
     max_generations: Option<u32>,
+    topology: Topology,
 }
 
 impl SyncConfig {
@@ -70,7 +71,33 @@ impl SyncConfig {
             max_rounds: None,
             alpha_hint: None,
             max_generations: None,
+            topology: Topology::Complete,
         }
+    }
+
+    /// Sets the communication topology (default [`Topology::Complete`],
+    /// the paper's model). Both per-round samples of every node are
+    /// drawn as uniform neighbors on the given graph; isolated nodes
+    /// sample themselves. The graph of a random family is rebuilt per
+    /// run from `derive_seed(seed, TOPOLOGY_STREAM)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use plurality_core::sync::SyncConfig;
+    /// use plurality_core::InitialAssignment;
+    /// use plurality_topology::Topology;
+    ///
+    /// let assignment = InitialAssignment::with_bias(1_024, 2, 3.0).unwrap();
+    /// let result = SyncConfig::new(assignment)
+    ///     .with_topology(Topology::Regular { d: 8 })
+    ///     .with_seed(1)
+    ///     .run();
+    /// assert!(result.outcome.plurality_preserved());
+    /// ```
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
     }
 
     /// Sets the generation-density threshold `γ ∈ (0, 1)` (default 1/2).
@@ -137,7 +164,9 @@ impl SyncConfig {
     ///
     /// # Panics
     ///
-    /// Panics if the assignment materializes fewer than 2 nodes.
+    /// Panics if the assignment materializes fewer than 2 nodes, or if
+    /// the configured topology cannot be built for that population size
+    /// (see [`Topology::build`]).
     pub fn run(&self) -> SyncResult {
         run_sync(self)
     }
@@ -196,6 +225,14 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
     let n = opinions.len();
     assert!(n >= 2, "synchronous run needs at least 2 nodes");
     let k = cfg.assignment.k() as usize;
+
+    // The topology RNG is private to the build: complete-graph runs do
+    // not touch it at all, and the process stream below is unaffected
+    // either way.
+    let sampler = cfg
+        .topology
+        .build(n, derive_seed(cfg.seed, TOPOLOGY_STREAM))
+        .expect("topology must be buildable for this population size");
 
     let mut col: Vec<u32> = opinions.iter().map(|o| o.index()).collect();
     let mut gen: Vec<u32> = vec![0; n];
@@ -275,8 +312,8 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
             let parent_collision = table.collision_in(parent_gen);
 
             for v in 0..n {
-                let a = rng.gen_range(0..n);
-                let b = rng.gen_range(0..n);
+                let a = sampler.sample(v as u32, &mut rng) as usize;
+                let b = sampler.sample(v as u32, &mut rng) as usize;
                 let (g, c) = step_node(gen[v], col[v], gen[a], col[a], gen[b], col[b], two_choices);
                 new_gen[v] = g;
                 new_col[v] = c;
@@ -477,6 +514,40 @@ mod tests {
         assert!(growth.len() as u64 >= result.rounds);
         let wf = result.winner_fraction.expect("series");
         assert!(wf.last_value().unwrap() > 0.99);
+    }
+
+    #[test]
+    fn explicit_complete_topology_is_bitwise_identical_to_default() {
+        let assignment = InitialAssignment::with_bias(1_500, 3, 2.5).unwrap();
+        let default = SyncConfig::new(assignment.clone()).with_seed(21).run();
+        let explicit = SyncConfig::new(assignment)
+            .with_seed(21)
+            .with_topology(Topology::Complete)
+            .run();
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn sparse_expander_converges_to_plurality() {
+        let assignment = InitialAssignment::with_bias(2_048, 2, 3.0).unwrap();
+        let result = SyncConfig::new(assignment)
+            .with_seed(22)
+            .with_topology(Topology::Regular { d: 8 })
+            .run();
+        assert!(result.outcome.consensus_time.is_some(), "did not converge");
+        assert!(result.outcome.plurality_preserved());
+    }
+
+    #[test]
+    fn sparse_runs_are_deterministic_per_seed() {
+        let mk = || {
+            let assignment = InitialAssignment::with_bias(600, 2, 3.0).unwrap();
+            SyncConfig::new(assignment)
+                .with_seed(23)
+                .with_topology(Topology::ErdosRenyi { p: 0.02 })
+                .run()
+        };
+        assert_eq!(mk(), mk());
     }
 
     #[test]

@@ -13,6 +13,15 @@
 //!
 //! This makes runs with `n = 10⁹` take milliseconds, which experiment E5
 //! uses to check the bias-squaring chain deep into the asymptotic regime.
+//!
+//! **Topology.** Urn mode is definitionally mean-field: the multinomial
+//! split is exact *because* nodes inside a `(generation, color)` cell are
+//! exchangeable, which requires every node to sample every other node
+//! with equal probability — i.e. the complete graph. On a sparse
+//! topology a node's update law depends on its neighborhood, the cell
+//! symmetry breaks, and no `O((G·k)²)` reduction exists; use the
+//! agent-based [`crate::sync::SyncConfig::with_topology`] engine for
+//! graphs. `UrnConfig` therefore deliberately has no topology knob.
 
 use crate::opinion::OpinionCounts;
 use crate::outcome::{ConvergenceTracker, GenerationBirth, RunOutcome};
@@ -215,7 +224,7 @@ fn run_urn(cfg: &UrnConfig) -> UrnResult {
     };
 
     let mut rounds = 0u64;
-    let is_mono = |sums: &[u64]| -> bool { sums.iter().any(|&c| c == n) };
+    let is_mono = |sums: &[u64]| -> bool { sums.contains(&n) };
 
     if !is_mono(&color_sums) {
         for round in 1..=max_rounds {
@@ -248,12 +257,11 @@ fn run_urn(cfg: &UrnConfig) -> UrnResult {
                         continue;
                     }
                     let (ga, ca) = (a / k, a % k);
-                    for b in 0..total_cells {
-                        let fb = fracs[b];
+                    for (b, &fb) in fracs.iter().enumerate().take(total_cells) {
                         if fb == 0.0 {
                             continue;
                         }
-                        let (gb, _cb) = (b / k, b % k);
+                        let gb = b / k;
                         let p = fa * fb;
                         if two_choices && a == b && ga >= g {
                             probs[cell(ga + 1, ca, k)] += p;

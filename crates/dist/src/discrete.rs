@@ -30,7 +30,7 @@ use rand::Rng;
 /// assert_eq!(sample_binomial(10, 1.0, &mut rng), 10);
 /// ```
 pub fn sample_binomial<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
-    if n == 0 || !(p > 0.0) {
+    if n == 0 || p.is_nan() || p <= 0.0 {
         return 0;
     }
     if p >= 1.0 {
@@ -171,7 +171,7 @@ fn binomial_btpe<R: Rng + ?Sized>(n: u64, p: f64, rng: &mut R) -> u64 {
 /// assert_eq!(sample_poisson(0.0, &mut rng), 0);
 /// ```
 pub fn sample_poisson<R: Rng + ?Sized>(lambda: f64, rng: &mut R) -> u64 {
-    if !(lambda > 0.0) || !lambda.is_finite() {
+    if !lambda.is_finite() || lambda <= 0.0 {
         return 0;
     }
     if lambda < 10.0 {

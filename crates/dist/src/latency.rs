@@ -362,7 +362,10 @@ impl WaitingTime {
     ///
     /// Panics if `samples == 0`.
     pub fn time_unit_cached(&self, samples: usize) -> f64 {
-        static CACHE: OnceLock<Mutex<HashMap<(u8, u64, u64, u8, usize), f64>>> = OnceLock::new();
+        /// Cache key: latency family tag, its two parameter bit patterns,
+        /// the channel pattern, and the sample count.
+        type TimeUnitKey = (u8, u64, u64, u8, usize);
+        static CACHE: OnceLock<Mutex<HashMap<TimeUnitKey, f64>>> = OnceLock::new();
         let key = self.cache_key(samples);
         let mut cache = CACHE
             .get_or_init(|| Mutex::new(HashMap::new()))
@@ -382,7 +385,7 @@ impl WaitingTime {
     /// tests can verify the memoized value equals a fresh estimate.
     pub fn time_unit_cache_seed(&self) -> u64 {
         let (tag, p0, p1, pattern, _) = self.cache_key(0);
-        let mut seed = derive_seed(0xC1_CA_C4E, u64::from(tag));
+        let mut seed = derive_seed(0x0C1C_AC4E, u64::from(tag));
         seed = derive_seed(seed, p0);
         seed = derive_seed(seed, p1);
         derive_seed(seed, u64::from(pattern))

@@ -144,7 +144,7 @@ pub fn fmt_f64(x: f64) -> String {
     let ax = x.abs();
     if ax == 0.0 {
         "0".to_string()
-    } else if ax >= 1e6 || ax < 1e-3 {
+    } else if !(1e-3..1e6).contains(&ax) {
         format!("{x:.3e}")
     } else if ax >= 100.0 {
         format!("{x:.1}")

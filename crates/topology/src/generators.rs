@@ -1,0 +1,614 @@
+//! Seeded graph-family generators behind the declarative [`Topology`]
+//! spec.
+//!
+//! Every generator is a pure function of `(n, seed)`: the same pair
+//! always yields the identical [`Graph`], on any platform and thread
+//! count, because all randomness flows through a private
+//! `Xoshiro256PlusPlus` instance seeded by the caller.
+
+use crate::graph::Graph;
+use crate::sampler::PeerSampler;
+use plurality_dist::rng::Xoshiro256PlusPlus;
+use plurality_dist::InvalidParameterError;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// A declarative communication-topology spec, attached to engine configs
+/// via their `with_topology` setters and materialized by [`Topology::build`].
+///
+/// Cheap to copy and comparable, so configs stay `Clone + PartialEq`.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_topology::Topology;
+///
+/// let sampler = Topology::Torus2D.build(36, 0).unwrap();
+/// let g = sampler.graph().unwrap();
+/// assert_eq!((g.min_degree(), g.max_degree()), (4, 4));
+/// assert!(g.is_connected());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Topology {
+    /// The complete graph — the paper's model. Peer draws are uniform
+    /// over all nodes (self-draws allowed, matching the historical
+    /// engines); no adjacency is materialized.
+    #[default]
+    Complete,
+    /// The cycle on `n ≥ 3` nodes (degree 2, diameter `⌊n/2⌋`) — the
+    /// slowest-mixing connected benchmark.
+    Ring,
+    /// The 2-D torus on `r × c = n` nodes with `r, c ≥ 3` (degree 4).
+    /// `r` is the largest divisor of `n` with `r ≤ √n`; build fails if no
+    /// factorization with both sides ≥ 3 exists (e.g. prime `n`).
+    Torus2D,
+    /// Erdős–Rényi `G(n, p)`: each of the `n(n−1)/2` pairs is an edge
+    /// independently with probability `p`. May be disconnected (isolated
+    /// nodes sample themselves); connected whp. for `p > ln n / n`.
+    ErdosRenyi {
+        /// The independent edge probability, in `[0, 1]`.
+        p: f64,
+    },
+    /// A uniformly random simple `d`-regular graph via the configuration
+    /// model with simple-graph rejection (Steger–Wormald pairing: stub
+    /// pairs that would create a self-loop or multi-edge are rejected and
+    /// redrawn; a stuck pairing restarts). Requires `n·d` even and
+    /// `d < n`. Connected whp. for `d ≥ 3` — an expander.
+    Regular {
+        /// The common degree `d ≥ 1`.
+        d: usize,
+    },
+    /// Barabási–Albert preferential attachment: a complete seed graph on
+    /// `m + 1` nodes, then each arriving node attaches `m` edges to
+    /// distinct existing nodes with probability proportional to degree.
+    /// Heavy-tailed degrees; always connected.
+    PreferentialAttachment {
+        /// Edges per arriving node, `m ≥ 1`; requires `n ≥ m + 2`.
+        m: usize,
+    },
+}
+
+impl Topology {
+    /// A short stable label (with parameters) for tables and CSV rows.
+    pub fn label(&self) -> String {
+        match self {
+            Self::Complete => "complete".into(),
+            Self::Ring => "ring".into(),
+            Self::Torus2D => "torus2d".into(),
+            Self::ErdosRenyi { p } => {
+                // 4 decimals, trailing zeros trimmed: p near the
+                // connectivity threshold ln n / n stays readable.
+                let rounded = format!("{p:.4}");
+                let trimmed = rounded.trim_end_matches('0').trim_end_matches('.');
+                format!("er(p={trimmed})")
+            }
+            Self::Regular { d } => format!("regular(d={d})"),
+            Self::PreferentialAttachment { m } => format!("pa(m={m})"),
+        }
+    }
+
+    /// Whether this spec is the complete graph (the zero-allocation
+    /// engine fast path).
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Self::Complete)
+    }
+
+    /// Checks the family's parameter constraints against a population
+    /// size without materializing anything — O(√n) worst case (the
+    /// torus factorization), no allocation. [`Topology::build`] runs the
+    /// same checks first, so `validate` is the cheap front door for
+    /// callers (e.g. the CLI) that want early errors without paying for
+    /// a throwaway graph construction.
+    ///
+    /// A passing `validate` does not guarantee `build` succeeds in one
+    /// corner case: [`Topology::Regular`] can still exhaust its pairing
+    /// restart budget (practically unreachable for `d ≤ √n`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] if the constraints are
+    /// violated (see the variant docs).
+    pub fn validate(&self, n: usize) -> Result<(), InvalidParameterError> {
+        if n == 0 {
+            return Err(InvalidParameterError::new(
+                "topology needs at least one node",
+            ));
+        }
+        if u32::try_from(n).is_err() {
+            // Peer draws travel as u32 node ids throughout the
+            // workspace; a larger population would silently truncate.
+            return Err(InvalidParameterError::new(format!(
+                "population {n} exceeds the u32 node-id space"
+            )));
+        }
+        match *self {
+            Self::Complete => Ok(()),
+            Self::Ring => {
+                if n < 3 {
+                    return Err(InvalidParameterError::new(format!(
+                        "ring needs n ≥ 3, got {n}"
+                    )));
+                }
+                Ok(())
+            }
+            Self::Torus2D => {
+                let r = near_square_factor(n);
+                if r < 3 {
+                    return Err(InvalidParameterError::new(format!(
+                        "2-D torus needs n = r·c with r, c ≥ 3; n = {n} only factors as {r}×{}",
+                        n / r
+                    )));
+                }
+                Ok(())
+            }
+            Self::ErdosRenyi { p } => {
+                if !(0.0..=1.0).contains(&p) {
+                    return Err(InvalidParameterError::new(format!(
+                        "G(n, p) needs p ∈ [0, 1], got {p}"
+                    )));
+                }
+                if n < 2 {
+                    return Err(InvalidParameterError::new(format!(
+                        "G(n, p) needs n ≥ 2, got {n}"
+                    )));
+                }
+                Ok(())
+            }
+            Self::Regular { d } => {
+                if d == 0 || d >= n {
+                    return Err(InvalidParameterError::new(format!(
+                        "d-regular graph needs 1 ≤ d < n, got d = {d}, n = {n}"
+                    )));
+                }
+                if n * d % 2 != 0 {
+                    return Err(InvalidParameterError::new(format!(
+                        "d-regular graph needs n·d even, got n = {n}, d = {d}"
+                    )));
+                }
+                Ok(())
+            }
+            Self::PreferentialAttachment { m } => {
+                if m == 0 {
+                    return Err(InvalidParameterError::new(
+                        "preferential attachment needs m ≥ 1",
+                    ));
+                }
+                if n < m + 2 {
+                    return Err(InvalidParameterError::new(format!(
+                        "preferential attachment needs n ≥ m + 2, got n = {n}, m = {m}"
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Materializes the spec for a population of `n` nodes into a
+    /// [`PeerSampler`]. Random families draw all randomness from a
+    /// generator seeded with `seed`; [`Topology::Complete`], [`Topology::Ring`]
+    /// and [`Topology::Torus2D`] are deterministic and ignore it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] if [`Topology::validate`]
+    /// rejects `(n, parameters)`, or — for [`Topology::Regular`] — if no
+    /// simple pairing was found after the internal restart budget
+    /// (practically unreachable for `d ≤ √n`).
+    pub fn build(&self, n: usize, seed: u64) -> Result<PeerSampler, InvalidParameterError> {
+        self.validate(n)?;
+        let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+        let graph = match *self {
+            Self::Complete => return Ok(PeerSampler::complete(n)),
+            Self::Ring => ring(n)?,
+            Self::Torus2D => torus2d(n)?,
+            Self::ErdosRenyi { p } => erdos_renyi(n, p, &mut rng)?,
+            Self::Regular { d } => random_regular(n, d, &mut rng)?,
+            Self::PreferentialAttachment { m } => preferential_attachment(n, m, &mut rng)?,
+        };
+        Ok(PeerSampler::sparse(graph))
+    }
+}
+
+// The generator functions below assume [`Topology::validate`] already
+// accepted `(n, parameters)` — `build` always runs it first, so the
+// constraints live in exactly one place; the `debug_assert!`s restate
+// the preconditions for readers and debug builds.
+
+/// The cycle on `n ≥ 3` nodes.
+fn ring(n: usize) -> Result<Graph, InvalidParameterError> {
+    debug_assert!(n >= 3, "validate enforces n ≥ 3");
+    let edges: Vec<(u32, u32)> = (0..n as u32)
+        .map(|i| (i, if i as usize + 1 == n { 0 } else { i + 1 }))
+        .collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// The largest divisor of `n` that is at most `⌊√n⌋`.
+fn near_square_factor(n: usize) -> usize {
+    let mut r = 1;
+    let mut i = 1;
+    while i * i <= n {
+        if n % i == 0 {
+            r = i;
+        }
+        i += 1;
+    }
+    r
+}
+
+/// The `r × c` torus with 4-neighborhoods, `r` the near-square factor.
+fn torus2d(n: usize) -> Result<Graph, InvalidParameterError> {
+    let r = near_square_factor(n);
+    let c = n / r;
+    debug_assert!(r >= 3, "validate enforces r, c ≥ 3");
+    let mut edges = Vec::with_capacity(2 * n);
+    for row in 0..r {
+        for col in 0..c {
+            let v = (row * c + col) as u32;
+            let right = (row * c + (col + 1) % c) as u32;
+            let down = (((row + 1) % r) * c + col) as u32;
+            edges.push((v, right));
+            edges.push((v, down));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// `G(n, p)` via geometric gap-skipping over the linearized pair space:
+/// expected cost `O(n²p + n)` instead of `O(n²)`.
+fn erdos_renyi(
+    n: usize,
+    p: f64,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Result<Graph, InvalidParameterError> {
+    debug_assert!((0.0..=1.0).contains(&p) && n >= 2, "validate enforces this");
+    let total = n as u64 * (n as u64 - 1) / 2;
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    if p >= 1.0 {
+        for u in 0..n as u32 {
+            for v in u + 1..n as u32 {
+                edges.push((u, v));
+            }
+        }
+        return Graph::from_edges(n, &edges);
+    }
+    if p > 0.0 {
+        // ln(1 − p) via ln_1p: exact for tiny p, where `(1.0 - p).ln()`
+        // rounds to +0.0 below p ≈ 1.1e-16 and the gap quotient would
+        // degenerate (−∞ → every pair emitted — the complete graph).
+        let ln_q = (-p).ln_1p(); // < 0 for every p > 0
+        let mut idx: u64 = 0;
+        loop {
+            // Geometric gap: #pairs skipped before the next edge.
+            let u: f64 = rng.gen();
+            let gap = ((1.0 - u).ln() / ln_q).floor();
+            if gap >= (total - idx) as f64 {
+                break;
+            }
+            idx += gap as u64;
+            if idx >= total {
+                break;
+            }
+            edges.push(unrank_pair(idx, n as u64));
+            idx += 1;
+            if idx >= total {
+                break;
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Inverse of the row-major upper-triangular pair ranking: maps
+/// `t ∈ [0, n(n−1)/2)` to the pair `(i, j)`, `i < j`, with rank
+/// `t = i·n − i(i+1)/2 + (j − i − 1)`.
+fn unrank_pair(t: u64, n: u64) -> (u32, u32) {
+    // Initial guess from the quadratic formula, then adjust (f64 rounding
+    // stays within ±1 for any n that fits the u32 id space).
+    let tf = t as f64;
+    let nf = n as f64;
+    let disc = (2.0 * nf - 1.0) * (2.0 * nf - 1.0) - 8.0 * tf;
+    let mut i = ((2.0 * nf - 1.0 - disc.max(0.0).sqrt()) / 2.0).floor() as u64;
+    i = i.min(n - 2);
+    let row_start = |i: u64| i * n - i * (i + 1) / 2;
+    while i > 0 && row_start(i) > t {
+        i -= 1;
+    }
+    while row_start(i + 1) <= t {
+        i += 1;
+    }
+    let j = i + 1 + (t - row_start(i));
+    (i as u32, j as u32)
+}
+
+/// Uniform-ish random simple `d`-regular graph: configuration-model stub
+/// pairing with pair-level rejection of self-loops and multi-edges
+/// (Steger–Wormald), restarting a stuck pairing from scratch.
+fn random_regular(
+    n: usize,
+    d: usize,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Result<Graph, InvalidParameterError> {
+    debug_assert!(
+        d >= 1 && d < n && n * d % 2 == 0,
+        "validate enforces 1 ≤ d < n and n·d even"
+    );
+    const MAX_ATTEMPTS: usize = 200;
+    for _ in 0..MAX_ATTEMPTS {
+        if let Some(edges) = try_stub_pairing(n, d, rng) {
+            return Graph::from_edges(n, &edges);
+        }
+    }
+    Err(InvalidParameterError::new(format!(
+        "no simple {d}-regular pairing on {n} nodes found after {MAX_ATTEMPTS} restarts"
+    )))
+}
+
+/// One Steger–Wormald pairing attempt: repeatedly draw two random free
+/// stubs and accept the pair unless it would create a self-loop or
+/// multi-edge; give up (→ restart) after too many consecutive
+/// rejections, which happens only when the few remaining stubs admit no
+/// simple completion.
+fn try_stub_pairing(n: usize, d: usize, rng: &mut Xoshiro256PlusPlus) -> Option<Vec<(u32, u32)>> {
+    let mut stubs: Vec<u32> = Vec::with_capacity(n * d);
+    for v in 0..n as u32 {
+        stubs.extend(std::iter::repeat(v).take(d));
+    }
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(n * d / 2);
+    let mut present: HashSet<(u32, u32)> = HashSet::with_capacity(n * d / 2);
+    let mut consecutive_rejections = 0usize;
+    while stubs.len() > 1 {
+        let i = rng.gen_range(0..stubs.len());
+        let j = {
+            let r = rng.gen_range(0..stubs.len() - 1);
+            if r >= i {
+                r + 1
+            } else {
+                r
+            }
+        };
+        let (u, v) = (stubs[i], stubs[j]);
+        let key = (u.min(v), u.max(v));
+        if u == v || present.contains(&key) {
+            consecutive_rejections += 1;
+            // The tail of the pairing can get stuck (e.g. all remaining
+            // stubs on one node); 64 + |stubs|² failed draws make a
+            // simple completion overwhelmingly unlikely.
+            if consecutive_rejections > 64 + stubs.len() * stubs.len() {
+                return None;
+            }
+            continue;
+        }
+        consecutive_rejections = 0;
+        present.insert(key);
+        edges.push(key);
+        // Remove the larger index first so the smaller stays valid.
+        let (hi, lo) = (i.max(j), i.min(j));
+        stubs.swap_remove(hi);
+        stubs.swap_remove(lo);
+    }
+    Some(edges)
+}
+
+/// Barabási–Albert preferential attachment via the repeated-endpoints
+/// list (each node appears once per incident edge, so a uniform draw
+/// from the list is exactly a degree-proportional node draw).
+fn preferential_attachment(
+    n: usize,
+    m: usize,
+    rng: &mut Xoshiro256PlusPlus,
+) -> Result<Graph, InvalidParameterError> {
+    debug_assert!(m >= 1 && n >= m + 2, "validate enforces m ≥ 1, n ≥ m + 2");
+    let seed_nodes = m + 1;
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(seed_nodes * m / 2 + (n - seed_nodes) * m);
+    let mut endpoints: Vec<u32> = Vec::with_capacity(2 * edges.capacity());
+    for u in 0..seed_nodes as u32 {
+        for v in u + 1..seed_nodes as u32 {
+            edges.push((u, v));
+            endpoints.push(u);
+            endpoints.push(v);
+        }
+    }
+    let mut targets: Vec<u32> = Vec::with_capacity(m);
+    for v in seed_nodes as u32..n as u32 {
+        targets.clear();
+        while targets.len() < m {
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !targets.contains(&t) {
+                targets.push(t);
+            }
+        }
+        for &t in &targets {
+            edges.push((t, v));
+            endpoints.push(t);
+            endpoints.push(v);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Topology::Complete.label(), "complete");
+        assert_eq!(Topology::ErdosRenyi { p: 0.25 }.label(), "er(p=0.25)");
+        assert_eq!(Topology::Regular { d: 4 }.label(), "regular(d=4)");
+        assert_eq!(Topology::PreferentialAttachment { m: 2 }.label(), "pa(m=2)");
+        assert!(Topology::Complete.is_complete());
+        assert!(!Topology::Ring.is_complete());
+        assert_eq!(Topology::default(), Topology::Complete);
+    }
+
+    #[test]
+    fn validate_agrees_with_build() {
+        let cases: &[(Topology, usize, bool)] = &[
+            (Topology::Complete, 10, true),
+            (Topology::Ring, 2, false),
+            (Topology::Torus2D, 13, false),
+            (Topology::Torus2D, 36, true),
+            (Topology::ErdosRenyi { p: 1.5 }, 10, false),
+            (Topology::Regular { d: 3 }, 7, false),
+            (Topology::Regular { d: 4 }, 20, true),
+            (Topology::PreferentialAttachment { m: 4 }, 5, false),
+        ];
+        for &(topology, n, ok) in cases {
+            assert_eq!(
+                topology.validate(n).is_ok(),
+                ok,
+                "validate({}, {n})",
+                topology.label()
+            );
+            assert_eq!(
+                topology.build(n, 1).is_ok(),
+                ok,
+                "build({}, {n})",
+                topology.label()
+            );
+        }
+    }
+
+    #[test]
+    fn validate_rejects_populations_beyond_u32() {
+        if usize::BITS >= 64 {
+            let n = u32::MAX as usize + 2;
+            assert!(Topology::Complete.validate(n).is_err());
+            assert!(Topology::Ring.validate(n).is_err());
+        }
+    }
+
+    #[test]
+    fn ring_is_a_cycle() {
+        let g = Topology::Ring.build(7, 0).unwrap().into_graph().unwrap();
+        assert_eq!(g.edge_count(), 7);
+        assert_eq!((g.min_degree(), g.max_degree()), (2, 2));
+        assert!(g.is_connected());
+        assert!(g.has_edge(6, 0), "wrap-around edge missing");
+        assert!(Topology::Ring.build(2, 0).is_err());
+    }
+
+    #[test]
+    fn torus_factors_near_square() {
+        assert_eq!(near_square_factor(36), 6);
+        assert_eq!(near_square_factor(48), 6);
+        assert_eq!(near_square_factor(13), 1);
+        let g = Topology::Torus2D
+            .build(48, 0)
+            .unwrap()
+            .into_graph()
+            .unwrap();
+        assert_eq!((g.min_degree(), g.max_degree()), (4, 4));
+        assert_eq!(g.edge_count(), 2 * 48);
+        assert!(g.is_connected());
+        // Prime n has no valid factorization; 8 = 2×4 has a side < 3.
+        assert!(Topology::Torus2D.build(13, 0).is_err());
+        assert!(Topology::Torus2D.build(8, 0).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_edge_count_concentrates() {
+        let n = 400usize;
+        let p = 0.05;
+        let g = Topology::ErdosRenyi { p }
+            .build(n, 9)
+            .unwrap()
+            .into_graph()
+            .unwrap();
+        let expected = (n * (n - 1) / 2) as f64 * p;
+        let sd = (expected * (1.0 - p)).sqrt();
+        assert!(
+            (g.edge_count() as f64 - expected).abs() < 6.0 * sd,
+            "edge count {} vs expected {expected}",
+            g.edge_count()
+        );
+        assert!(Topology::ErdosRenyi { p: -0.1 }.build(10, 0).is_err());
+        assert!(Topology::ErdosRenyi { p: 1.5 }.build(10, 0).is_err());
+    }
+
+    #[test]
+    fn erdos_renyi_subnormal_p_is_almost_surely_empty() {
+        // Regression: `(1.0 - p).ln()` rounds to +0.0 for p ≲ 1.1e-16,
+        // which used to degenerate the geometric gap into "emit every
+        // pair" — the complete graph instead of an empty one.
+        let g = Topology::ErdosRenyi { p: 1e-17 }
+            .build(100, 0)
+            .unwrap()
+            .into_graph()
+            .unwrap();
+        assert_eq!(g.edge_count(), 0, "expected ~5e-15 edges, not a clique");
+    }
+
+    #[test]
+    fn erdos_renyi_extreme_probabilities() {
+        let empty = Topology::ErdosRenyi { p: 0.0 }
+            .build(20, 1)
+            .unwrap()
+            .into_graph()
+            .unwrap();
+        assert_eq!(empty.edge_count(), 0);
+        let full = Topology::ErdosRenyi { p: 1.0 }
+            .build(20, 1)
+            .unwrap()
+            .into_graph()
+            .unwrap();
+        assert_eq!(full.edge_count(), 20 * 19 / 2);
+    }
+
+    #[test]
+    fn unrank_pair_inverts_the_ranking() {
+        for n in [2u64, 3, 5, 17, 100] {
+            let mut t = 0u64;
+            for i in 0..n as u32 - 1 {
+                for j in i + 1..n as u32 {
+                    assert_eq!(unrank_pair(t, n), (i, j), "t = {t}, n = {n}");
+                    t += 1;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn regular_graph_is_regular_and_simple() {
+        for d in [1usize, 2, 4, 8] {
+            let g = Topology::Regular { d }
+                .build(200, 5)
+                .unwrap()
+                .into_graph()
+                .unwrap();
+            assert_eq!((g.min_degree(), g.max_degree()), (d, d), "d = {d}");
+            assert_eq!(g.edge_count(), 200 * d / 2);
+        }
+        // n·d odd, d ≥ n, d = 0 all rejected.
+        assert!(Topology::Regular { d: 3 }.build(7, 0).is_err());
+        assert!(Topology::Regular { d: 10 }.build(10, 0).is_err());
+        assert!(Topology::Regular { d: 0 }.build(10, 0).is_err());
+    }
+
+    #[test]
+    fn preferential_attachment_shape() {
+        let (n, m) = (500usize, 3usize);
+        let g = Topology::PreferentialAttachment { m }
+            .build(n, 11)
+            .unwrap()
+            .into_graph()
+            .unwrap();
+        let seed_edges = (m + 1) * m / 2;
+        assert_eq!(g.edge_count(), seed_edges + (n - m - 1) * m);
+        assert!(g.min_degree() >= m);
+        assert!(g.is_connected());
+        // Heavy tail: some early node ends far above the mean degree.
+        assert!(
+            g.max_degree() >= 4 * m,
+            "max degree {} suspiciously flat",
+            g.max_degree()
+        );
+        assert!(Topology::PreferentialAttachment { m: 0 }
+            .build(10, 0)
+            .is_err());
+        assert!(Topology::PreferentialAttachment { m: 4 }
+            .build(5, 0)
+            .is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! # plurality-topology
+//!
+//! Communication topologies for the `plurality` workspace.
+//!
+//! The paper — and every engine this workspace reproduced before this
+//! crate existed — assumes the **complete graph**: each peer draw is a
+//! uniform sample over the whole population. Related work (*Rapid
+//! Asynchronous Plurality Consensus*, Elsässer et al.; *Asynchronous
+//! 3-Majority Dynamics with Many Opinions*, Cooper et al.) studies the
+//! same dynamics on restricted interaction structures, and topology is
+//! the single biggest scenario axis the protocols can be probed on. This
+//! crate provides:
+//!
+//! * [`Graph`] — a compressed-sparse-row (CSR) adjacency representation
+//!   with O(1) uniform-neighbor sampling and degree-proportional node
+//!   sampling backed by the Vose alias tables of `plurality-dist`;
+//! * [`Topology`] — declarative graph-family specs (complete, ring, 2-D
+//!   torus, Erdős–Rényi `G(n, p)`, random `d`-regular, preferential
+//!   attachment) with seeded, reproducible builders;
+//! * [`PeerSampler`] — the sampling interface every engine draws its
+//!   interaction partners through. The complete graph is a dedicated
+//!   zero-allocation variant whose draws consume the **identical RNG
+//!   stream** as the historical `gen_range(0..n)` calls, so threading
+//!   the sampler through the engines changed no complete-graph result
+//!   bitwise.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use plurality_dist::rng::Xoshiro256PlusPlus;
+//! use plurality_topology::{PeerSampler, Topology};
+//!
+//! // A random 4-regular graph on 1000 nodes, reproducible from its seed.
+//! let sampler = Topology::Regular { d: 4 }.build(1000, 7).unwrap();
+//! let mut rng = Xoshiro256PlusPlus::from_u64(1);
+//! let peer = sampler.sample(0, &mut rng);
+//! assert!(sampler.graph().unwrap().neighbors(0).contains(&peer));
+//!
+//! // The complete graph needs no adjacency storage at all.
+//! let complete = PeerSampler::complete(1000);
+//! assert!(complete.is_complete());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod generators;
+mod graph;
+mod sampler;
+
+pub use generators::Topology;
+pub use graph::Graph;
+pub use sampler::PeerSampler;
+
+/// Seed-stream tag the engines use to derive a topology-construction seed
+/// from a run seed (`derive_seed(run_seed, TOPOLOGY_STREAM)`), so the
+/// graph RNG never touches the process RNG stream.
+pub const TOPOLOGY_STREAM: u64 = 0x544F_504F;

@@ -1,0 +1,216 @@
+//! The peer-sampling interface the engines draw interaction partners
+//! through.
+
+use crate::graph::Graph;
+use rand::Rng;
+
+/// How a node draws interaction partners — the one abstraction threaded
+/// through every engine in the workspace.
+///
+/// Two variants:
+///
+/// * [`PeerSampler::Complete`] — the paper's model. A peer draw is
+///   `gen_range(0..n)` (self-draws allowed), **the byte-identical RNG
+///   consumption of the engines before topology support existed**, so
+///   complete-graph runs reproduce historical results bitwise and pay no
+///   allocation and no indirection beyond one predictable branch.
+/// * [`PeerSampler::Sparse`] — a CSR [`Graph`]; a peer draw is a uniform
+///   neighbor (isolated nodes draw themselves and consume no
+///   randomness).
+///
+/// # Examples
+///
+/// ```
+/// use plurality_dist::rng::Xoshiro256PlusPlus;
+/// use plurality_topology::{PeerSampler, Topology};
+/// use rand::Rng;
+///
+/// // Complete-graph draws are exactly `gen_range(0..n)`.
+/// let sampler = PeerSampler::complete(10);
+/// let mut a = Xoshiro256PlusPlus::from_u64(3);
+/// let mut b = Xoshiro256PlusPlus::from_u64(3);
+/// assert_eq!(sampler.sample(0, &mut a), b.gen_range(0..10usize) as u32);
+///
+/// // Sparse draws stay on the graph.
+/// let ring = Topology::Ring.build(10, 0).unwrap();
+/// let peer = ring.sample(4, &mut a);
+/// assert!(peer == 3 || peer == 5);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum PeerSampler {
+    /// Uniform draws over the whole population (the complete graph).
+    Complete {
+        /// The population size.
+        n: usize,
+    },
+    /// Uniform-neighbor draws on an explicit graph.
+    Sparse(Graph),
+}
+
+impl PeerSampler {
+    /// The complete-graph sampler for `n` nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` exceeds the `u32` node-id space: draws are
+    /// returned as `u32`, so a larger population would silently
+    /// truncate peer indices. ([`crate::Topology::build`] surfaces the
+    /// same constraint as an error instead.)
+    pub fn complete(n: usize) -> Self {
+        assert!(
+            u32::try_from(n).is_ok(),
+            "population {n} exceeds the u32 node-id space"
+        );
+        Self::Complete { n }
+    }
+
+    /// A sampler backed by an explicit graph.
+    pub fn sparse(graph: Graph) -> Self {
+        Self::Sparse(graph)
+    }
+
+    /// The population size.
+    pub fn n(&self) -> usize {
+        match self {
+            Self::Complete { n } => *n,
+            Self::Sparse(g) => g.n(),
+        }
+    }
+
+    /// Whether this is the complete-graph fast path.
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Self::Complete { .. })
+    }
+
+    /// The underlying graph, if any.
+    pub fn graph(&self) -> Option<&Graph> {
+        match self {
+            Self::Complete { .. } => None,
+            Self::Sparse(g) => Some(g),
+        }
+    }
+
+    /// Consumes the sampler, returning the underlying graph if any.
+    pub fn into_graph(self) -> Option<Graph> {
+        match self {
+            Self::Complete { .. } => None,
+            Self::Sparse(g) => Some(g),
+        }
+    }
+
+    /// Draws one interaction partner for node `v`.
+    ///
+    /// Complete graph: a uniform node (possibly `v` itself — the
+    /// historical engine semantics). Sparse graph: a uniform neighbor of
+    /// `v`; isolated nodes return `v` without consuming randomness.
+    #[inline(always)]
+    pub fn sample<R: Rng + ?Sized>(&self, v: u32, rng: &mut R) -> u32 {
+        match self {
+            Self::Complete { n } => rng.gen_range(0..*n) as u32,
+            Self::Sparse(g) => g.sample_neighbor(v, rng),
+        }
+    }
+
+    /// Draws an ordered pair of *distinct* interacting agents, as the
+    /// sequential population-protocol scheduler needs.
+    ///
+    /// Complete graph: initiator uniform, responder uniform among the
+    /// remaining `n − 1` agents — the byte-identical RNG consumption of
+    /// the historical scheduler. Sparse graph: a uniformly random
+    /// directed edge (initiator degree-proportional via the Vose alias
+    /// table, responder a uniform neighbor); `None` iff the graph has no
+    /// edges, in which case no interaction can ever fire.
+    #[inline]
+    pub fn sample_interaction_pair<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<(u32, u32)> {
+        match self {
+            Self::Complete { n } => {
+                let i = rng.gen_range(0..*n);
+                let j = {
+                    let r = rng.gen_range(0..*n - 1);
+                    if r >= i {
+                        r + 1
+                    } else {
+                        r
+                    }
+                };
+                Some((i as u32, j as u32))
+            }
+            Self::Sparse(g) => g.sample_directed_edge(rng),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+    use plurality_dist::rng::Xoshiro256PlusPlus;
+
+    #[test]
+    fn complete_draw_matches_raw_gen_range_stream() {
+        let sampler = PeerSampler::complete(1234);
+        let mut a = Xoshiro256PlusPlus::from_u64(99);
+        let mut b = Xoshiro256PlusPlus::from_u64(99);
+        for v in 0..64u32 {
+            assert_eq!(sampler.sample(v, &mut a), b.gen_range(0..1234usize) as u32);
+        }
+    }
+
+    #[test]
+    fn complete_pair_matches_population_scheduler_stream() {
+        let sampler = PeerSampler::complete(300);
+        let mut a = Xoshiro256PlusPlus::from_u64(5);
+        let mut b = Xoshiro256PlusPlus::from_u64(5);
+        for _ in 0..64 {
+            let (i, j) = sampler.sample_interaction_pair(&mut a).unwrap();
+            // The historical scheduler, verbatim.
+            let ei = b.gen_range(0..300usize);
+            let ej = {
+                let r = b.gen_range(0..299usize);
+                if r >= ei {
+                    r + 1
+                } else {
+                    r
+                }
+            };
+            assert_eq!((i as usize, j as usize), (ei, ej));
+            assert_ne!(i, j);
+        }
+    }
+
+    #[test]
+    fn sparse_draws_stay_on_edges() {
+        let sampler = Topology::Regular { d: 4 }.build(100, 3).unwrap();
+        let g = sampler.graph().unwrap().clone();
+        let mut rng = Xoshiro256PlusPlus::from_u64(8);
+        for v in 0..100u32 {
+            let peer = sampler.sample(v, &mut rng);
+            assert!(g.has_edge(v, peer));
+        }
+        for _ in 0..200 {
+            let (u, v) = sampler.sample_interaction_pair(&mut rng).unwrap();
+            assert!(g.has_edge(u, v));
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_admits_no_interaction_pair() {
+        let sampler = Topology::ErdosRenyi { p: 0.0 }.build(10, 0).unwrap();
+        let mut rng = Xoshiro256PlusPlus::from_u64(1);
+        assert_eq!(sampler.sample_interaction_pair(&mut rng), None);
+        // Peer draws degenerate to self-draws.
+        assert_eq!(sampler.sample(7, &mut rng), 7);
+    }
+
+    #[test]
+    fn accessors() {
+        let complete = PeerSampler::complete(42);
+        assert_eq!(complete.n(), 42);
+        assert!(complete.is_complete());
+        assert!(complete.graph().is_none());
+        let ring = Topology::Ring.build(12, 0).unwrap();
+        assert_eq!(ring.n(), 12);
+        assert!(!ring.is_complete());
+        assert_eq!(ring.graph().unwrap().edge_count(), 12);
+    }
+}

@@ -1,0 +1,126 @@
+//! Property tests for the graph generators: structural invariants every
+//! family must satisfy for arbitrary sizes, parameters, and seeds.
+
+use plurality_topology::{Graph, Topology};
+use proptest::prelude::*;
+
+/// All invariants [`Graph::from_edges`] promises, re-checked from the
+/// public accessors: handshake lemma, simplicity (no self-loops, no
+/// multi-edges), and adjacency symmetry.
+fn assert_simple_undirected(g: &Graph) {
+    let degree_sum: usize = (0..g.n() as u32).map(|v| g.degree(v)).sum();
+    assert_eq!(degree_sum, 2 * g.edge_count(), "handshake lemma violated");
+    assert_eq!(degree_sum % 2, 0, "degree sum must be even");
+    for v in 0..g.n() as u32 {
+        let row = g.neighbors(v);
+        for &w in row {
+            assert_ne!(w, v, "self-loop at {v}");
+            assert!(g.has_edge(w, v), "edge ({v}, {w}) missing its reverse");
+        }
+        for pair in row.windows(2) {
+            assert!(
+                pair[0] < pair[1],
+                "row of {v} not strictly sorted: multi-edge or disorder"
+            );
+        }
+    }
+}
+
+fn build(topology: Topology, n: usize, seed: u64) -> Graph {
+    topology
+        .build(n, seed)
+        .unwrap_or_else(|e| panic!("{} on n = {n}: {e}", topology.label()))
+        .into_graph()
+        .expect("non-complete topology carries a graph")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn ring_invariants(n in 3usize..400, seed in 0u64..1u64 << 40) {
+        let g = build(Topology::Ring, n, seed);
+        assert_simple_undirected(&g);
+        prop_assert_eq!(g.edge_count(), n);
+        prop_assert_eq!((g.min_degree(), g.max_degree()), (2, 2));
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn torus_invariants(r in 3usize..16, c in 3usize..16, seed in 0u64..1u64 << 40) {
+        let n = r * c;
+        let g = build(Topology::Torus2D, n, seed);
+        assert_simple_undirected(&g);
+        prop_assert_eq!((g.min_degree(), g.max_degree()), (4, 4));
+        prop_assert_eq!(g.edge_count(), 2 * n);
+        prop_assert!(g.is_connected(), "torus on {}x{} disconnected", r, c);
+    }
+
+    #[test]
+    fn erdos_renyi_invariants(n in 2usize..300, p in 0.0f64..1.0, seed in 0u64..1u64 << 40) {
+        let g = build(Topology::ErdosRenyi { p }, n, seed);
+        assert_simple_undirected(&g);
+        prop_assert!(g.edge_count() <= n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn regular_invariants(half_nd in 2usize..300, d in 1usize..9, seed in 0u64..1u64 << 40) {
+        // Force n·d even by construction and n > d.
+        let n = (2 * half_nd / d.max(1)).max(d + 1);
+        let n = if n * d % 2 == 1 { n + 1 } else { n };
+        let g = build(Topology::Regular { d }, n, seed);
+        assert_simple_undirected(&g);
+        prop_assert_eq!((g.min_degree(), g.max_degree()), (d, d));
+        prop_assert_eq!(g.edge_count(), n * d / 2);
+        // Connectivity holds whp. for d ≥ 3 at these sizes; the bounded
+        // seed range keeps this a fixed, reproducible family of cases.
+        if d >= 3 {
+            prop_assert!(g.is_connected(), "d = {} on n = {} disconnected", d, n);
+        }
+    }
+
+    #[test]
+    fn preferential_attachment_invariants(n in 4usize..300, m in 1usize..6, seed in 0u64..1u64 << 40) {
+        prop_assume!(n >= m + 2);
+        let g = build(Topology::PreferentialAttachment { m }, n, seed);
+        assert_simple_undirected(&g);
+        prop_assert_eq!(g.edge_count(), (m + 1) * m / 2 + (n - m - 1) * m);
+        prop_assert!(g.min_degree() >= m);
+        prop_assert!(g.is_connected());
+    }
+
+    #[test]
+    fn random_families_are_seed_reproducible(n in 20usize..200, seed in 0u64..1u64 << 40) {
+        for topology in [
+            Topology::ErdosRenyi { p: 0.1 },
+            Topology::Regular { d: 4 },
+            Topology::PreferentialAttachment { m: 2 },
+        ] {
+            let n = if n % 2 == 1 { n + 1 } else { n };
+            let a = build(topology, n, seed);
+            let b = build(topology, n, seed);
+            prop_assert_eq!(&a, &b, "{} not reproducible", topology.label());
+            // A different seed must change the graph (the families above
+            // have astronomically many outcomes at these sizes).
+            let c = build(topology, n, seed ^ 0x5EED_5EED);
+            prop_assert!(a != c, "{} ignores its seed", topology.label());
+        }
+    }
+}
+
+#[test]
+fn deterministic_families_ignore_the_seed() {
+    for topology in [Topology::Ring, Topology::Torus2D] {
+        let a = build(topology, 36, 0);
+        let b = build(topology, 36, 0xFFFF_FFFF);
+        assert_eq!(a, b, "{} should not depend on the seed", topology.label());
+    }
+}
+
+#[test]
+fn complete_topology_builds_the_fast_path() {
+    let sampler = Topology::Complete.build(1_000, 0).unwrap();
+    assert!(sampler.is_complete());
+    assert!(sampler.graph().is_none());
+    assert_eq!(sampler.n(), 1_000);
+}

@@ -1,0 +1,62 @@
+//! Ring vs expander: why the communication graph is the biggest
+//! scenario axis.
+//!
+//! Runs the synchronous protocol on the same population (same `n`, `k`,
+//! bias, seed) over three topologies: the complete graph (the paper's
+//! model), a random 8-regular graph (an expander), and the ring. The
+//! expander tracks the complete graph to within a small constant; the
+//! ring — diameter `n/2`, no global mixing — needs orders of magnitude
+//! more rounds and coarsens into local blocks instead of converging.
+//!
+//! ```sh
+//! cargo run --release --example ring_vs_expander
+//! ```
+
+use plurality::core::sync::SyncConfig;
+use plurality::core::InitialAssignment;
+use plurality::topology::Topology;
+
+fn main() {
+    let n = 1_024u64;
+    let k = 2;
+    let alpha = 3.0;
+    println!("n = {n}, k = {k}, α₀ = {alpha}, synchronous protocol\n");
+
+    for (name, topology, cap) in [
+        ("complete graph", Topology::Complete, 2_000),
+        (
+            "random 8-regular (expander)",
+            Topology::Regular { d: 8 },
+            2_000,
+        ),
+        ("ring", Topology::Ring, 60_000),
+    ] {
+        let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid parameters");
+        let result = SyncConfig::new(assignment)
+            .with_seed(7)
+            .with_topology(topology)
+            .with_max_rounds(cap)
+            .run();
+        let winner_fraction = result
+            .outcome
+            .final_counts
+            .fraction(result.outcome.initial_winner);
+        match result.outcome.consensus_time {
+            Some(t) => println!(
+                "{name:<28} consensus in {t:>8.0} rounds (plurality preserved: {})",
+                result.outcome.plurality_preserved()
+            ),
+            None => println!(
+                "{name:<28} NO consensus within {cap} rounds \
+                 (winner holds {:.1}% — local blocks survive)",
+                100.0 * winner_fraction
+            ),
+        }
+    }
+
+    println!(
+        "\nthe expander pays a small constant over the complete graph; the ring's\n\
+         diameter makes generation spreading linear in n, and opposite-colored\n\
+         blocks at the same generation can never flip each other."
+    );
+}

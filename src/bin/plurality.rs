@@ -4,6 +4,7 @@
 //! plurality run --protocol leader --n 10000 --k 4 --alpha 2.0 --seed 7
 //! plurality run --protocol cluster --n 20000 --k 8 --alpha 1.5 --latency weibull:1.5:1.0
 //! plurality run --protocol 3-majority --n 30000 --k 16 --alpha 2.0
+//! plurality run --protocol sync --topology regular:8
 //! plurality time-unit --latency exp:0.1 --pattern single
 //! ```
 //!
@@ -17,6 +18,7 @@ use plurality::core::leader::LeaderConfig;
 use plurality::core::sync::SyncConfig;
 use plurality::core::{InitialAssignment, RunOutcome};
 use plurality::dist::{ChannelPattern, Latency, WaitingTime};
+use plurality::topology::Topology;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -102,6 +104,33 @@ fn parse_latency(spec: &str) -> Result<Latency, String> {
     latency.map_err(|e| e.to_string())
 }
 
+/// Parses a topology spec: `complete`, `ring`, `torus`, `er:P`,
+/// `regular:D`, `pa:M`.
+fn parse_topology(spec: &str) -> Result<Topology, String> {
+    let parts: Vec<&str> = spec.split(':').collect();
+    match parts.as_slice() {
+        ["complete"] => Ok(Topology::Complete),
+        ["ring"] => Ok(Topology::Ring),
+        ["torus"] => Ok(Topology::Torus2D),
+        ["er", p] => {
+            let p: f64 = p.parse().map_err(|_| format!("`{p}` is not a number"))?;
+            Ok(Topology::ErdosRenyi { p })
+        }
+        ["regular", d] => {
+            let d: usize = d.parse().map_err(|_| format!("`{d}` is not an integer"))?;
+            Ok(Topology::Regular { d })
+        }
+        ["pa", m] => {
+            let m: usize = m.parse().map_err(|_| format!("`{m}` is not an integer"))?;
+            Ok(Topology::PreferentialAttachment { m })
+        }
+        _ => Err(format!(
+            "unknown topology spec `{spec}` (expected complete, ring, torus, er:P, \
+             regular:D, or pa:M)"
+        )),
+    }
+}
+
 fn print_outcome(protocol: &str, outcome: &RunOutcome) {
     println!("protocol:            {protocol}");
     println!("population:          n = {}, k = {}", outcome.n, outcome.k);
@@ -140,6 +169,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let seed = args.get_u64("seed", 0)?;
     let epsilon = args.get_f64("epsilon", 0.05)?;
     let latency = parse_latency(&args.get_str("latency", "exp:1.0"))?;
+    let topology = parse_topology(&args.get_str("topology", "complete"))?;
+    // Surface topology parameter errors (prime n for a torus, odd n·d, …)
+    // as CLI errors instead of run-time panics. `validate` checks the
+    // constraints without materializing a throwaway graph.
+    topology.validate(n as usize).map_err(|e| e.to_string())?;
     let assignment = InitialAssignment::with_bias(n, k, alpha)?;
 
     match protocol.as_str() {
@@ -149,6 +183,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 .with_seed(seed)
                 .with_gamma(gamma)
                 .with_epsilon(epsilon)
+                .with_topology(topology)
                 .run();
             print_outcome("synchronous (Algorithm 1)", &r.outcome);
             println!("rounds:              {}", r.rounds);
@@ -158,6 +193,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 .with_seed(seed)
                 .with_latency(latency)
                 .with_epsilon(epsilon)
+                .with_topology(topology)
                 .run();
             print_outcome("async single-leader (Algorithms 2+3)", &r.outcome);
             println!(
@@ -170,6 +206,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 .with_seed(seed)
                 .with_latency(latency)
                 .with_epsilon(epsilon)
+                .with_topology(topology)
                 .run();
             print_outcome("async multi-leader (Algorithms 4+5)", &r.outcome);
             println!(
@@ -189,6 +226,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             let r = DynamicsConfig::new(dynamics, assignment)
                 .with_seed(seed)
                 .with_epsilon(epsilon)
+                .with_topology(topology)
                 .run();
             print_outcome(dynamics.name(), &r.outcome);
             println!("rounds:              {}", r.rounds);
@@ -229,10 +267,11 @@ fn cmd_time_unit(args: &Args) -> Result<(), String> {
 const USAGE: &str = "usage:
   plurality run [--protocol sync|leader|cluster|pull|two-choices|3-majority|undecided]
                 [--n N] [--k K] [--alpha A] [--seed S] [--epsilon E]
-                [--gamma G] [--latency SPEC]
+                [--gamma G] [--latency SPEC] [--topology SPEC]
   plurality time-unit [--latency SPEC] [--pattern single|multi] [--samples M] [--seed S]
 
-latency SPEC: exp:RATE | erlang:SHAPE:RATE | weibull:SHAPE:MEAN | uniform:LO:HI | det:VALUE";
+latency SPEC:  exp:RATE | erlang:SHAPE:RATE | weibull:SHAPE:MEAN | uniform:LO:HI | det:VALUE
+topology SPEC: complete | ring | torus | er:P | regular:D | pa:M";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -291,6 +330,25 @@ mod tests {
         assert!(args.get_u64("n", 0).is_err());
         let args = parse_args(&raw(&["run", "--alpha", "big"])).unwrap();
         assert!(args.get_f64("alpha", 1.0).is_err());
+    }
+
+    #[test]
+    fn parses_topology_specs() {
+        assert_eq!(parse_topology("complete"), Ok(Topology::Complete));
+        assert_eq!(parse_topology("ring"), Ok(Topology::Ring));
+        assert_eq!(parse_topology("torus"), Ok(Topology::Torus2D));
+        assert_eq!(
+            parse_topology("er:0.01"),
+            Ok(Topology::ErdosRenyi { p: 0.01 })
+        );
+        assert_eq!(parse_topology("regular:8"), Ok(Topology::Regular { d: 8 }));
+        assert_eq!(
+            parse_topology("pa:3"),
+            Ok(Topology::PreferentialAttachment { m: 3 })
+        );
+        assert!(parse_topology("hypercube").is_err());
+        assert!(parse_topology("er:x").is_err());
+        assert!(parse_topology("regular").is_err());
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //! * [`baselines`] — comparison dynamics (`plurality-baselines`)
 //! * [`stats`] — statistics and reporting (`plurality-stats`)
 //! * [`par`] — deterministic parallel execution (`plurality-par`)
+//! * [`topology`] — communication graphs and peer samplers
+//!   (`plurality-topology`)
 //!
 //! ## Quick start
 //!
@@ -42,3 +44,4 @@ pub use plurality_dist as dist;
 pub use plurality_par as par;
 pub use plurality_sim as sim;
 pub use plurality_stats as stats;
+pub use plurality_topology as topology;

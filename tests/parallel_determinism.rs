@@ -11,6 +11,7 @@ use plurality::core::leader::LeaderConfig;
 use plurality::core::sync::{SyncConfig, UrnConfig};
 use plurality::core::{InitialAssignment, RunOutcome};
 use plurality::par::{configured_threads, par_map_seeded, par_map_seeded_with, THREADS_ENV};
+use plurality::topology::Topology;
 
 const REPS: usize = 4;
 const PAR_THREADS: usize = 4;
@@ -72,6 +73,53 @@ fn cluster_engine_is_thread_invariant() {
         ClusterConfig::new(assignment)
             .with_seed(seed)
             .with_steps_per_unit(12.0)
+            .run()
+    });
+}
+
+#[test]
+fn sync_engine_on_sparse_topologies_is_thread_invariant() {
+    // The tentpole acceptance check of the topology subsystem: graph
+    // construction happens inside each repetition (from a seed derived
+    // off the repetition's own seed), so sparse runs must stay bitwise
+    // thread-invariant exactly like complete-graph runs.
+    for topology in [
+        Topology::Regular { d: 8 },
+        Topology::ErdosRenyi { p: 0.01 },
+        Topology::Torus2D,
+    ] {
+        assert_thread_invariant("sync/sparse", |_, seed| {
+            let assignment = InitialAssignment::with_bias(2_500, 2, 3.0).unwrap();
+            SyncConfig::new(assignment)
+                .with_seed(seed)
+                .with_topology(topology)
+                .with_max_rounds(400)
+                .run()
+        });
+    }
+}
+
+#[test]
+fn leader_engine_on_sparse_topology_is_thread_invariant() {
+    assert_thread_invariant("leader/sparse", |_, seed| {
+        let assignment = InitialAssignment::with_bias(600, 2, 3.0).unwrap();
+        LeaderConfig::new(assignment)
+            .with_seed(seed)
+            .with_steps_per_unit(9.3)
+            .with_max_time(200.0)
+            .with_topology(Topology::Regular { d: 8 })
+            .run()
+    });
+}
+
+#[test]
+fn cluster_engine_on_sparse_topology_is_thread_invariant() {
+    assert_thread_invariant("cluster/sparse", |_, seed| {
+        let assignment = InitialAssignment::with_bias(800, 2, 3.0).unwrap();
+        ClusterConfig::new(assignment)
+            .with_seed(seed)
+            .with_steps_per_unit(12.0)
+            .with_topology(Topology::PreferentialAttachment { m: 4 })
             .run()
     });
 }
