@@ -18,6 +18,7 @@
 
 use plurality_core::{ConvergenceTracker, InitialAssignment, OpinionCounts, RunOutcome};
 use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
+use plurality_scenario::{Effect, Environment, Scenario};
 use plurality_topology::{Topology, TOPOLOGY_STREAM};
 use rand::Rng;
 
@@ -81,24 +82,40 @@ pub struct DynamicsConfig {
     assignment: InitialAssignment,
     epsilon: f64,
     seed: u64,
-    max_rounds: u64,
+    max_rounds: Option<u64>,
     topology: Topology,
+    scenario: Scenario,
 }
 
 impl DynamicsConfig {
-    /// Creates a configuration with `ε = 0.05`, seed 0, and a round cap of
-    /// `200·log₂n + 200` (pull voting needs `Ω(n)` and will usually hit the
-    /// cap — that is part of the measurement).
+    /// Creates a configuration with `ε = 0.05`, seed 0, and a default
+    /// round cap of `200·log₂n + 200` (pull voting needs `Ω(n)` and will
+    /// usually hit the cap — that is part of the measurement). With a
+    /// scenario attached, the default cap additionally stretches past
+    /// the scenario horizon so scripted events actually fire.
     pub fn new(dynamics: Dynamics, assignment: InitialAssignment) -> Self {
-        let n = assignment.n().max(2);
         Self {
             dynamics,
             assignment,
             epsilon: 0.05,
             seed: 0,
-            max_rounds: (200.0 * (n as f64).log2()).ceil() as u64 + 200,
+            max_rounds: None,
             topology: Topology::Complete,
+            scenario: Scenario::new(),
         }
+    }
+
+    /// Attaches a time-scripted environment (default: the empty
+    /// scenario). Event times are in *rounds*, like the synchronous
+    /// engine: crashed nodes freeze and interactions that sample them
+    /// (or lose a channel during a `burst-loss` window) keep the node's
+    /// own opinion; `corrupt` re-colors decided and undecided nodes
+    /// alike; `latency:` shifts are no-ops in round-based dynamics. The
+    /// empty scenario consumes the byte-identical process RNG stream as
+    /// before the subsystem existed.
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
     }
 
     /// Sets the communication topology (default [`Topology::Complete`]):
@@ -128,9 +145,9 @@ impl DynamicsConfig {
         self
     }
 
-    /// Sets the round cap.
+    /// Sets the round cap, overriding the default formula.
     pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
-        self.max_rounds = max_rounds;
+        self.max_rounds = Some(max_rounds);
         self
     }
 
@@ -169,10 +186,17 @@ fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
 
     // Private RNG stream: complete-graph runs reproduce the historical
     // results bitwise.
-    let sampler = cfg
+    let mut sampler = cfg
         .topology
         .build(n, derive_seed(cfg.seed, TOPOLOGY_STREAM))
         .expect("topology must be buildable for this population size");
+
+    // `None` for the empty scenario: the zero-cost fast path.
+    let mut env: Option<Environment> = cfg.scenario.for_run(n, k as u32, cfg.seed);
+    let max_rounds = cfg.max_rounds.unwrap_or_else(|| {
+        let derived = (200.0 * (n as f64).log2()).ceil() as u64 + 200;
+        derived.max(cfg.scenario.horizon().ceil() as u64 + 200)
+    });
 
     let mut col: Vec<u32> = opinions.iter().map(|o| o.index()).collect();
     let mut counts = OpinionCounts::tally(&opinions, k);
@@ -195,45 +219,101 @@ fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
     // node is undecided.
     let mono = |counts: &OpinionCounts, undecided: u64| undecided == 0 && counts.is_monochromatic();
 
+    // A sampled channel is unusable if the peer is crashed or the draw
+    // falls inside a loss burst; the node then keeps its own opinion.
+    fn blocked(env: &mut Option<Environment>, peer: u32) -> bool {
+        match env.as_mut() {
+            Some(e) => e.is_crashed(peer) || e.message_lost(),
+            None => false,
+        }
+    }
+
     if !mono(&counts, undecided_count) {
-        for round in 1..=cfg.max_rounds {
+        for round in 1..=max_rounds {
             rounds = round;
+            if let Some(e) = env.as_mut() {
+                for effect in e.poll(round as f64) {
+                    match effect {
+                        Effect::Joined(joins) => {
+                            for (v, c) in joins {
+                                col[v as usize] = c;
+                            }
+                        }
+                        Effect::Corrupt { budget, mode } => {
+                            // Undecided nodes carry the sentinel (≥ k) and
+                            // are skipped by the adversary's support count;
+                            // victims always end up decided.
+                            for (v, c) in e.corruption_targets(budget, mode, &col, k as u32) {
+                                col[v as usize] = c;
+                            }
+                        }
+                        Effect::Rewired(s) => sampler = s,
+                        _ => {}
+                    }
+                }
+            }
             for v in 0..n {
                 let own = col[v];
                 let vu = v as u32;
+                if env.as_ref().is_some_and(|e| e.is_crashed(vu)) {
+                    new_col[v] = own;
+                    continue;
+                }
                 new_col[v] = match cfg.dynamics {
-                    Dynamics::PullVoting => col[sampler.sample(vu, &mut rng) as usize],
-                    Dynamics::TwoChoices => {
-                        let a = col[sampler.sample(vu, &mut rng) as usize];
-                        let b = col[sampler.sample(vu, &mut rng) as usize];
-                        if a == b {
-                            a
-                        } else {
+                    Dynamics::PullVoting => {
+                        let s = sampler.sample(vu, &mut rng);
+                        if blocked(&mut env, s) {
                             own
+                        } else {
+                            col[s as usize]
+                        }
+                    }
+                    Dynamics::TwoChoices => {
+                        let sa = sampler.sample(vu, &mut rng);
+                        let sb = sampler.sample(vu, &mut rng);
+                        if blocked(&mut env, sa) || blocked(&mut env, sb) {
+                            own
+                        } else {
+                            let (a, b) = (col[sa as usize], col[sb as usize]);
+                            if a == b {
+                                a
+                            } else {
+                                own
+                            }
                         }
                     }
                     Dynamics::ThreeMajority => {
-                        let a = col[sampler.sample(vu, &mut rng) as usize];
-                        let b = col[sampler.sample(vu, &mut rng) as usize];
-                        let c = col[sampler.sample(vu, &mut rng) as usize];
-                        if a == b || a == c {
-                            a
-                        } else if b == c {
-                            b
+                        let sa = sampler.sample(vu, &mut rng);
+                        let sb = sampler.sample(vu, &mut rng);
+                        let sc = sampler.sample(vu, &mut rng);
+                        if blocked(&mut env, sa) || blocked(&mut env, sb) || blocked(&mut env, sc) {
+                            own
                         } else {
-                            // All distinct: uniform tie-break among them.
-                            [a, b, c][rng.gen_range(0..3usize)]
+                            let (a, b, c) = (col[sa as usize], col[sb as usize], col[sc as usize]);
+                            if a == b || a == c {
+                                a
+                            } else if b == c {
+                                b
+                            } else {
+                                // All distinct: uniform tie-break among them.
+                                [a, b, c][rng.gen_range(0..3usize)]
+                            }
                         }
                     }
                     Dynamics::Undecided => {
-                        let s = col[sampler.sample(vu, &mut rng) as usize];
-                        if own == UNDECIDED {
-                            s // adopt whatever the sample holds (or stay
-                              // undecided if the sample is undecided too)
-                        } else if s == UNDECIDED || s == own {
+                        let su = sampler.sample(vu, &mut rng);
+                        if blocked(&mut env, su) {
                             own
                         } else {
-                            UNDECIDED
+                            let s = col[su as usize];
+                            if own == UNDECIDED {
+                                s // adopt whatever the sample holds (or stay
+                                  // undecided if the sample is undecided too)
+                            } else if s == UNDECIDED || s == own {
+                                own
+                            } else {
+                                UNDECIDED
+                            }
                         }
                     }
                 };
@@ -398,6 +478,53 @@ mod tests {
             assert!(r.outcome.consensus_time.is_some(), "{} stalled", d.name());
             assert!(r.outcome.plurality_preserved(), "{}", d.name());
         }
+    }
+
+    #[test]
+    fn empty_scenario_is_bitwise_identical_to_default() {
+        let a = biased(900, 3, 2.5);
+        let default = DynamicsConfig::new(Dynamics::ThreeMajority, a.clone())
+            .with_seed(21)
+            .run();
+        let explicit = DynamicsConfig::new(Dynamics::ThreeMajority, a)
+            .with_seed(21)
+            .with_scenario(Scenario::new())
+            .run();
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn scenario_churn_and_corruption_run_deterministically() {
+        for dynamics in [Dynamics::ThreeMajority, Dynamics::Undecided] {
+            let mk = || {
+                DynamicsConfig::new(dynamics, biased(1_000, 3, 3.0))
+                    .with_seed(22)
+                    .with_scenario(
+                        Scenario::parse("crash:0.3@2;corrupt:0.15:adaptive@4;join:0.3@8").unwrap(),
+                    )
+                    .run()
+            };
+            let r = mk();
+            assert_eq!(r, mk(), "{}", dynamics.name());
+            assert!(
+                r.outcome.consensus_time.is_some(),
+                "{} did not converge",
+                dynamics.name()
+            );
+        }
+    }
+
+    #[test]
+    fn oblivious_corruption_perturbs_the_trajectory() {
+        let a = biased(2_000, 2, 3.0);
+        let clean = DynamicsConfig::new(Dynamics::TwoChoices, a.clone())
+            .with_seed(23)
+            .run();
+        let attacked = DynamicsConfig::new(Dynamics::TwoChoices, a)
+            .with_seed(23)
+            .with_scenario(Scenario::parse("corrupt:0.2@3").unwrap())
+            .run();
+        assert_ne!(clean, attacked, "corruption left the run untouched");
     }
 
     #[test]

@@ -15,6 +15,7 @@
 
 use plurality_core::{InitialAssignment, Opinion, OpinionCounts, RunOutcome};
 use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
+use plurality_scenario::{Effect, Environment, Scenario};
 use plurality_topology::{Topology, TOPOLOGY_STREAM};
 use rand::Rng;
 
@@ -81,6 +82,7 @@ pub struct PopulationConfig {
     seed: u64,
     max_interactions: Option<u64>,
     topology: Topology,
+    scenario: Scenario,
 }
 
 impl PopulationConfig {
@@ -100,7 +102,24 @@ impl PopulationConfig {
             seed: 0,
             max_interactions: None,
             topology: Topology::Complete,
+            scenario: Scenario::new(),
         }
+    }
+
+    /// Attaches a time-scripted environment (default: the empty
+    /// scenario). Event times are in *parallel time* (interactions
+    /// divided by `n`, the protocols' native clock). Scheduler draws
+    /// that pick a crashed agent — or fall inside a `burst-loss`
+    /// window — consume a step without an interaction; `corrupt` and
+    /// `join` overwrite agent states with fresh strong opinions (note
+    /// that corruption voids the 4-state protocol's exactness guarantee,
+    /// which is precisely what E18 measures); `latency:` shifts are
+    /// no-ops in the sequential scheduler. The empty scenario consumes
+    /// the byte-identical process RNG stream as before the subsystem
+    /// existed.
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
     }
 
     /// Sets the communication topology (default [`Topology::Complete`]).
@@ -170,10 +189,12 @@ fn run_population(cfg: &PopulationConfig) -> PopulationResult {
     let n = cfg.n as usize;
     // Private RNG stream: complete-graph runs reproduce the historical
     // results bitwise.
-    let sampler = cfg
+    let mut sampler = cfg
         .topology
         .build(n, derive_seed(cfg.seed, TOPOLOGY_STREAM))
         .expect("topology must be buildable for this population size");
+    // `None` for the empty scenario: the zero-cost fast path.
+    let mut env: Option<Environment> = cfg.scenario.for_run(n, 2, cfg.seed);
     let mut rng = Xoshiro256PlusPlus::from_u64(cfg.seed);
     let mut states: Vec<State> = (0..n)
         .map(|i| {
@@ -204,12 +225,16 @@ fn run_population(cfg: &PopulationConfig) -> PopulationResult {
     };
 
     let nf = cfg.n as f64;
-    let max_interactions = cfg.max_interactions.unwrap_or_else(|| match cfg.protocol {
-        PopulationProtocol::ApproximateMajority => (500.0 * nf * nf.ln()).ceil() as u64,
-        PopulationProtocol::ExactMajority => {
-            let gap = initial_a.abs_diff(initial_b).max(1) as f64;
-            ((50.0 * nf * nf * nf.ln()) / gap).ceil() as u64
-        }
+    let max_interactions = cfg.max_interactions.unwrap_or_else(|| {
+        let derived = match cfg.protocol {
+            PopulationProtocol::ApproximateMajority => (500.0 * nf * nf.ln()).ceil() as u64,
+            PopulationProtocol::ExactMajority => {
+                let gap = initial_a.abs_diff(initial_b).max(1) as f64;
+                ((50.0 * nf * nf * nf.ln()) / gap).ceil() as u64
+            }
+        };
+        // Scripted events (in parallel time) must actually fire.
+        derived.max(((cfg.scenario.horizon() + 50.0) * nf).ceil() as u64)
     });
 
     // Incremental count of outputs per opinion, and of "unstable" agents
@@ -238,6 +263,52 @@ fn run_population(cfg: &PopulationConfig) -> PopulationResult {
     let mut interactions = 0u64;
 
     while !converged_now(sa, sb, wa, wb, blank) && interactions < max_interactions {
+        if let Some(e) = env.as_mut() {
+            let effects = e.poll(interactions as f64 / nf);
+            if !effects.is_empty() {
+                for effect in effects {
+                    match effect {
+                        Effect::Joined(joins) => {
+                            for (v, c) in joins {
+                                states[v as usize] = if c == 0 {
+                                    State::StrongA
+                                } else {
+                                    State::StrongB
+                                };
+                            }
+                        }
+                        Effect::Corrupt { budget, mode } => {
+                            // Blank agents map to the out-of-range color 2,
+                            // hiding them from the *adaptive* adversary's
+                            // support count (oblivious victims are uniform
+                            // over all alive agents, Blank included);
+                            // victims come back as strong opinions.
+                            let colors: Vec<u32> = states
+                                .iter()
+                                .map(|s| match s {
+                                    State::StrongA | State::WeakA => 0,
+                                    State::StrongB | State::WeakB => 1,
+                                    State::Blank => 2,
+                                })
+                                .collect();
+                            for (v, c) in e.corruption_targets(budget, mode, &colors, 2) {
+                                states[v as usize] = if c == 0 {
+                                    State::StrongA
+                                } else {
+                                    State::StrongB
+                                };
+                            }
+                        }
+                        Effect::Rewired(s) => sampler = s,
+                        _ => {}
+                    }
+                }
+                // Bulk state edits: recompute the counters, then re-check
+                // convergence before the next interaction.
+                (sa, sb, wa, wb, blank) = count(&states);
+                continue;
+            }
+        }
         // Ordered pair of distinct agents (initiator, responder); on a
         // graph: a uniformly random directed edge. An edgeless graph
         // admits no interaction — ever — so the run ends unconverged.
@@ -245,6 +316,14 @@ fn run_population(cfg: &PopulationConfig) -> PopulationResult {
             break;
         };
         interactions += 1;
+        if let Some(e) = env.as_mut() {
+            // A step whose initiator or responder is crashed — or that
+            // falls inside a loss burst — consumes scheduler time
+            // without an interaction.
+            if e.is_crashed(iu) || e.is_crashed(ju) || e.message_lost() {
+                continue;
+            }
+        }
         let (i, j) = (iu as usize, ju as usize);
         let (x, y) = (states[i], states[j]);
         let (nx, ny) = match cfg.protocol {
@@ -442,6 +521,53 @@ mod tests {
     fn from_assignment_rejects_k3() {
         let a = InitialAssignment::Uniform { n: 30, k: 3 };
         let _ = PopulationConfig::from_assignment(PopulationProtocol::ExactMajority, &a, 1);
+    }
+
+    #[test]
+    fn empty_scenario_is_bitwise_identical_to_default() {
+        let default = PopulationConfig::new(PopulationProtocol::ApproximateMajority, 400, 260)
+            .with_seed(13)
+            .run();
+        let explicit = PopulationConfig::new(PopulationProtocol::ApproximateMajority, 400, 260)
+            .with_seed(13)
+            .with_scenario(Scenario::new())
+            .run();
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn corruption_can_defeat_exact_majority() {
+        // The 4-state protocol's exactness rests on |A| − |B| being
+        // conserved; a large adaptive corruption wave breaks the
+        // conservation law, so the output may flip — deterministically
+        // reproducible either way.
+        let mk = || {
+            PopulationConfig::new(PopulationProtocol::ExactMajority, 300, 160)
+                .with_seed(14)
+                .with_scenario(Scenario::parse("corrupt:0.4:adaptive@2").unwrap())
+                .run()
+        };
+        let r = mk();
+        assert_eq!(r, mk());
+        assert!(r.converged, "did not converge");
+        assert_eq!(
+            r.outcome.winner(),
+            Some(Opinion::new(1)),
+            "a 40% adaptive flip of a 160/140 split must hand B the win"
+        );
+    }
+
+    #[test]
+    fn crash_churn_runs_deterministically_and_converges() {
+        let mk = || {
+            PopulationConfig::new(PopulationProtocol::ApproximateMajority, 500, 350)
+                .with_seed(15)
+                .with_scenario(Scenario::parse("crash:0.3@1;join:1@5;burst-loss:0.5@2..4").unwrap())
+                .run()
+        };
+        let r = mk();
+        assert_eq!(r, mk());
+        assert!(r.converged, "did not converge");
     }
 
     #[test]

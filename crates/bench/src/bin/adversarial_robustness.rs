@@ -1,0 +1,256 @@
+//! **Experiment E18 — adversarial robustness**: the aging protocols vs
+//! the classic dynamics under matched churn and corruption budgets.
+//!
+//! The paper's model is failure-free; the related work probes exactly
+//! this axis (adversarial corruptions in *Fast Consensus via the
+//! Unconstrained Undecided State Dynamics*, weak-scheduler stress in
+//! *Asynchronous 3-Majority Dynamics with Many Opinions*). Every engine
+//! now takes a time-scripted [`plurality_scenario::Scenario`], so the
+//! *same* script — same budgets, same clock — can be replayed against
+//! the generation protocol and each baseline:
+//!
+//! 1. **Corruption sweep** (round-based engines): a state-adaptive
+//!    adversary spends budget `B·n` either early (three waves during
+//!    the squaring phase) or late (one wave mid-endgame).
+//! 2. **Churn** (round-based engines): crash + recover/join-churn
+//!    combinations, with and without a corruption wave on top.
+//! 3. **Async single-leader**: loss bursts, latency regime shifts,
+//!    crash/recover and corruption on the event clock.
+
+use plurality_baselines::{Dynamics, DynamicsConfig};
+use plurality_bench::{is_full, results_dir, run_many};
+use plurality_core::leader::LeaderConfig;
+use plurality_core::sync::SyncConfig;
+use plurality_core::InitialAssignment;
+use plurality_scenario::Scenario;
+use plurality_stats::{fmt_f64, OnlineStats, Table};
+
+/// The baselines raced in the round-based tables (pull voting is
+/// excluded: it hits the round cap with or without an adversary).
+const BASELINES: [Dynamics; 3] = [
+    Dynamics::ThreeMajority,
+    Dynamics::TwoChoices,
+    Dynamics::Undecided,
+];
+
+/// Per-protocol cell: mean ε-time, mean full-consensus rounds, and how
+/// many repetitions fully converged on the initial plurality —
+/// `"ε21.0 f28.0 [4/4]"`. ε and full are reported separately because
+/// corruption splits them: residual corrupted pockets routinely block
+/// full consensus while ε-convergence stays intact.
+fn cell(eps: &OnlineStats, full: &OnlineStats, wins: u64, reps: usize) -> String {
+    let fmt = |s: &OnlineStats| {
+        if s.count() > 0 {
+            fmt_f64(s.mean())
+        } else {
+            "-".into()
+        }
+    };
+    format!("ε{} f{} [{wins}/{reps}]", fmt(eps), fmt(full))
+}
+
+/// Races the sync generation protocol and the three baselines over the
+/// same scenario script and seeds; returns one table row of
+/// [`cell`]-formatted entries (ours first).
+fn race_round_based(
+    master: u64,
+    reps: usize,
+    n: u64,
+    k: u32,
+    alpha: f64,
+    scenario: &Scenario,
+) -> Vec<String> {
+    let cap = 2_000u64;
+    let runs = run_many(master, reps, |rep| {
+        let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+        let ours = SyncConfig::new(assignment.clone())
+            .with_seed(rep.seed)
+            .with_scenario(scenario.clone())
+            .run()
+            .outcome;
+        let baselines = BASELINES.map(|dynamics| {
+            DynamicsConfig::new(dynamics, assignment.clone())
+                .with_seed(rep.seed)
+                .with_max_rounds(cap)
+                .with_scenario(scenario.clone())
+                .run()
+                .outcome
+        });
+        (ours, baselines)
+    });
+    let mut row = Vec::with_capacity(4);
+    for idx in 0..=BASELINES.len() {
+        let mut eps = OnlineStats::new();
+        let mut full = OnlineStats::new();
+        let mut wins = 0u64;
+        for (ours, baselines) in &runs {
+            let outcome = if idx == 0 { ours } else { &baselines[idx - 1] };
+            if let Some(t) = outcome.epsilon_time {
+                eps.push(t);
+            }
+            if let Some(t) = outcome.consensus_time {
+                full.push(t);
+            }
+            if outcome.plurality_preserved() {
+                wins += 1;
+            }
+        }
+        row.push(cell(&eps, &full, wins, reps));
+    }
+    row
+}
+
+fn main() {
+    let full = is_full();
+    let reps = if full { 8 } else { 4 };
+    let n: u64 = if full { 50_000 } else { 20_000 };
+    let k = 4u32;
+    let alpha = 2.0;
+    let dir = results_dir();
+
+    // --- Table 1: matched adaptive-corruption budgets, early vs late.
+    let mut t1 = Table::new(
+        format!(
+            "E18a · adaptive corruption, matched budgets (n = {n}, k = {k}, α₀ = {alpha}); \
+             cells: ε-time · full-consensus rounds [plurality kept]"
+        ),
+        &[
+            "budget",
+            "timing",
+            "generations (ours)",
+            "3-majority",
+            "two-choices",
+            "undecided",
+        ],
+    );
+    let budgets = [0.0, 0.05, 0.1, 0.2];
+    for &budget in &budgets {
+        let schedules: &[(&str, Scenario)] = if budget == 0.0 {
+            &[("—", Scenario::new())]
+        } else {
+            &[
+                (
+                    "early ×3",
+                    Scenario::parse(&format!(
+                        "corrupt:{budget}:adaptive@2;corrupt:{budget}:adaptive@5;\
+                         corrupt:{budget}:adaptive@8"
+                    ))
+                    .expect("valid scenario"),
+                ),
+                (
+                    "late ×1",
+                    Scenario::parse(&format!("corrupt:{budget}:adaptive@15"))
+                        .expect("valid scenario"),
+                ),
+            ]
+        };
+        for (label, scenario) in schedules {
+            let mut row = vec![fmt_f64(budget), label.to_string()];
+            row.extend(race_round_based(0xE18A, reps, n, k, alpha, scenario));
+            t1.row(&row);
+        }
+    }
+    println!("{}", t1.render());
+    println!(
+        "matched budgets: the same scenario script (round clock) replays against every engine.\n"
+    );
+    t1.write_csv(dir.join("adversarial_robustness_corruption.csv"))
+        .expect("write csv");
+
+    // --- Table 2: churn (crash / recover / join) with and without
+    // corruption on top.
+    let mut t2 = Table::new(
+        format!(
+            "E18b · churn, matched scripts (n = {n}, k = {k}, α₀ = {alpha}); \
+             cells: ε-time · full-consensus rounds [plurality kept]"
+        ),
+        &[
+            "script",
+            "generations (ours)",
+            "3-majority",
+            "two-choices",
+            "undecided",
+        ],
+    );
+    let churn_scripts = [
+        "crash:0.25@2;recover:1@10",
+        "crash:0.25@2;join:1@10",
+        "crash:0.25@2;corrupt:0.1:adaptive@6;join:1@10",
+        "crash:0.5@2;join:1@12",
+    ];
+    for script in churn_scripts {
+        let scenario = Scenario::parse(script).expect("valid scenario");
+        let mut row = vec![script.to_string()];
+        row.extend(race_round_based(0xE18B, reps, n, k, alpha, &scenario));
+        t2.row(&row);
+    }
+    println!("{}", t2.render());
+    t2.write_csv(dir.join("adversarial_robustness_churn.csv"))
+        .expect("write csv");
+
+    // --- Table 3: the async single-leader engine on the event clock.
+    let leader_n: u64 = if full { 8_000 } else { 4_000 };
+    let mut t3 = Table::new(
+        format!("E18c · async single-leader under scripted environments (n = {leader_n}, k = 2, α₀ = 3)"),
+        &["script", "ε-time", "full time", "success", "generations"],
+    );
+    let leader_scripts = [
+        "",
+        "burst-loss:0.4@10..30",
+        "latency:3@10..30",
+        "crash:0.3@10;recover:1@40",
+        "corrupt:0.1:adaptive@30",
+        "crash:0.2@8;burst-loss:0.3@10..25;corrupt:0.1:adaptive@30;join:1@40",
+    ];
+    for script in leader_scripts {
+        let scenario = Scenario::parse(script).expect("valid scenario");
+        let mut eps_t = OnlineStats::new();
+        let mut full_t = OnlineStats::new();
+        let mut gens = OnlineStats::new();
+        let mut wins = 0u64;
+        let runs = run_many(0xE18C, reps, |rep| {
+            let assignment =
+                InitialAssignment::with_bias(leader_n, 2, 3.0).expect("valid assignment");
+            LeaderConfig::new(assignment)
+                .with_seed(rep.seed)
+                .with_scenario(scenario.clone())
+                .run()
+        });
+        for r in &runs {
+            if let Some(e) = r.outcome.epsilon_time {
+                eps_t.push(e);
+            }
+            if let Some(f) = r.outcome.consensus_time {
+                full_t.push(f);
+            }
+            gens.push(r.phases.len() as f64);
+            if r.outcome.plurality_preserved() {
+                wins += 1;
+            }
+        }
+        t3.row(&[
+            if script.is_empty() { "(clean)" } else { script }.to_string(),
+            if eps_t.count() > 0 {
+                fmt_f64(eps_t.mean())
+            } else {
+                "-".into()
+            },
+            if full_t.count() > 0 {
+                fmt_f64(full_t.mean())
+            } else {
+                "-".into()
+            },
+            format!("{wins}/{reps}"),
+            fmt_f64(gens.mean()),
+        ]);
+    }
+    println!("{}", t3.render());
+    t3.write_csv(dir.join("adversarial_robustness_leader.csv"))
+        .expect("write csv");
+
+    println!(
+        "wrote {}",
+        dir.join("adversarial_robustness_{corruption,churn,leader}.csv")
+            .display()
+    );
+}

@@ -1,25 +1,36 @@
-//! **Extension experiment — failure injection**: how much signal loss and
+//! **Experiment E19 — failure injection**: how much signal loss and
 //! clock heterogeneity does the single-leader protocol absorb?
 //!
-//! The paper's model is failure-free. Two perturbations probe the slack in
-//! its thresholds:
+//! The paper's model is failure-free. Two engine-level perturbations
+//! probe the slack in its thresholds, plus the scenario-subsystem
+//! equivalent for calibration:
 //!
-//! * **Signal loss**: each 0-/gen-signal towards the leader is dropped
-//!   independently with probability `p`. The gen-size threshold `n/2` keeps
-//!   firing while `(1 − p) > 1/2`, so the predicted cliff is at `p = 1/2`.
-//! * **Stragglers**: a fraction of nodes tick at a slower rate; ε-convergence
-//!   should degrade smoothly (the fast majority carries the generations),
-//!   while full consensus waits for the slowest clocks.
+//! * **Signal loss** (`with_signal_loss`, also `--loss` on the CLI):
+//!   each 0-/gen-signal towards the leader is dropped independently
+//!   with probability `p`. The gen-size threshold `n/2` keeps firing
+//!   while `(1 − p) > 1/2`, so the predicted cliff is at `p = 1/2`.
+//! * **Stragglers** (`with_stragglers` / `--stragglers`): a fraction of
+//!   nodes tick at a slower rate; ε-convergence should degrade smoothly
+//!   (the fast majority carries the generations), while full consensus
+//!   waits for the slowest clocks.
+//! * **Scenario burst loss** (`--scenario "burst-loss:P@0..H"`): the
+//!   scripted environment drops *every* message — peer channels as well
+//!   as leader signals — so the same nominal `p` is a strictly stronger
+//!   perturbation; the cliff must sit at or below the signal-only one.
 
 use plurality_bench::{is_full, results_dir, run_many};
 use plurality_core::leader::LeaderConfig;
 use plurality_core::InitialAssignment;
+use plurality_scenario::Scenario;
 use plurality_stats::{fmt_f64, OnlineStats, Table};
 
 fn main() {
     let full = is_full();
     let reps = if full { 8 } else { 4 };
-    let n: u64 = if full { 20_000 } else { 8_000 };
+    // Quick scale is kept small: the sweep deliberately includes
+    // stalling regimes (loss past the 50% cliff, 10×-slow stragglers)
+    // that run to their time caps, and cap-bound run time grows ~n².
+    let n: u64 = if full { 20_000 } else { 4_000 };
     let k = 2u32;
     let alpha = 3.0;
 
@@ -103,11 +114,62 @@ fn main() {
     }
     println!("{}", t2.render());
 
+    // --- Scenario-driven whole-run burst loss: same nominal p, but the
+    // environment drops peer channels too, not just leader signals.
+    let mut t3 = Table::new(
+        format!("Scenario burst-loss sweep, all messages (n = {n}, k = {k}, α₀ = {alpha})"),
+        &["loss", "ε-time", "consensus rate", "generations allowed"],
+    );
+    for &loss in &[0.0, 0.2, 0.4, 0.55] {
+        let scenario = if loss == 0.0 {
+            Scenario::new()
+        } else {
+            // The window outlives any run: effectively a permanent regime.
+            Scenario::parse(&format!("burst-loss:{loss}@0..1000000")).expect("valid scenario")
+        };
+        let mut eps_t = OnlineStats::new();
+        let mut gens = OnlineStats::new();
+        let mut converged = 0u64;
+        let runs = run_many(0xB0B3, reps, |rep| {
+            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
+            LeaderConfig::new(assignment)
+                .with_seed(rep.seed)
+                .with_scenario(scenario.clone())
+                .run()
+        });
+        for r in &runs {
+            if let Some(e) = r.outcome.epsilon_time {
+                eps_t.push(e);
+            }
+            gens.push(r.phases.len() as f64);
+            if r.outcome.consensus_time.is_some() && r.outcome.plurality_preserved() {
+                converged += 1;
+            }
+        }
+        t3.row(&[
+            fmt_f64(loss),
+            if eps_t.count() > 0 {
+                fmt_f64(eps_t.mean())
+            } else {
+                "-".into()
+            },
+            format!("{converged}/{reps}"),
+            fmt_f64(gens.mean()),
+        ]);
+    }
+    println!("{}", t3.render());
+
     let dir = results_dir();
     t1.write_csv(dir.join("robustness_signal_loss.csv"))
         .expect("write csv");
     t2.write_csv(dir.join("robustness_stragglers.csv"))
         .expect("write csv");
+    t3.write_csv(dir.join("robustness_scenario_loss.csv"))
+        .expect("write csv");
     println!("wrote {}", dir.join("robustness_signal_loss.csv").display());
     println!("wrote {}", dir.join("robustness_stragglers.csv").display());
+    println!(
+        "wrote {}",
+        dir.join("robustness_scenario_loss.csv").display()
+    );
 }

@@ -30,6 +30,7 @@ use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcom
 use crate::sync::{generations_needed, GENERATION_CAP};
 use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
 use plurality_dist::{ChannelPattern, Latency, WaitingTime};
+use plurality_scenario::{Effect, Environment, Scenario};
 use plurality_sim::{EventLog, EventQueue, PoissonClock};
 use plurality_topology::{PeerSampler, Topology, TOPOLOGY_STREAM};
 use rand::Rng;
@@ -71,6 +72,7 @@ pub struct ClusterConfig {
     generation_cap: Option<u32>,
     alpha_hint: Option<f64>,
     topology: Topology,
+    scenario: Scenario,
 }
 
 impl ClusterConfig {
@@ -97,7 +99,26 @@ impl ClusterConfig {
             generation_cap: None,
             alpha_hint: None,
             topology: Topology::Complete,
+            scenario: Scenario::new(),
         }
+    }
+
+    /// Attaches a time-scripted environment (default: the empty
+    /// scenario, the paper's failure-free static model). Event times are
+    /// in time *steps*. Crashed nodes tick inertly and abort
+    /// interactions that sample them; joined slots come back fresh
+    /// (generation 0, random opinion, `finished` cleared) but keep their
+    /// cluster membership, so cluster size counters stay consistent;
+    /// `burst-loss` drops member signals and peer channels; `latency:`
+    /// shifts scale every drawn latency; `rewire:` swaps the peer
+    /// sampler. Cluster-leader counter state is engine-side bookkeeping,
+    /// not a node, and is unaffected by crashes. Scenario randomness
+    /// lives on a private stream, so the empty scenario consumes the
+    /// byte-identical process RNG stream as before the subsystem
+    /// existed.
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
     }
 
     /// Sets the communication topology for the *peer-sampling* step
@@ -356,6 +377,10 @@ enum Event {
         s1: u32,
         s2: u32,
         s3: u32,
+        /// The initiator's slot epoch at scheduling time; a join-churn
+        /// event bumps the slot's epoch, voiding in-flight interactions
+        /// of the node the joiner replaced.
+        epoch: u32,
     },
     MemberZero {
         cluster: u32,
@@ -376,12 +401,16 @@ struct Engine<'cfg> {
     cols: Vec<u32>,
     gens: Vec<u32>,
     locked: Vec<bool>,
+    /// Slot epochs: bumped by join churn to void the replaced node's
+    /// in-flight interaction (stays all-zero without a scenario).
+    op_epoch: Vec<u32>,
     finished: Vec<bool>,
     stored_gen: Vec<u32>,
     stored_phase: Vec<u8>,
     cluster_of: Vec<u32>,
     clusters: Vec<Cluster>,
     sampler: PeerSampler,
+    env: Option<Environment>,
     table: GenerationTable,
     tracker: ConvergenceTracker,
     births: Vec<GenerationBirth>,
@@ -407,6 +436,10 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
         .topology
         .build(n, derive_seed(cfg.seed, TOPOLOGY_STREAM))
         .expect("topology must be buildable for this population size");
+
+    // `None` for the empty scenario: the zero-cost fast path, one branch
+    // per event, process RNG stream untouched.
+    let env: Option<Environment> = cfg.scenario.for_run(n, cfg.assignment.k(), cfg.seed);
 
     let cols: Vec<u32> = opinions.iter().map(|o| o.index()).collect();
     let gens: Vec<u32> = vec![0; n];
@@ -475,7 +508,10 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
         let clustering = c1 * (cfg.pause_units + cfg.accept_units + 8.0);
         let per_gen =
             2.0 * (k as f64 + 2.0).log2() + cfg.two_choices_units + cfg.sleep_units + 12.0;
-        clustering + c1 * (cap as f64 + 2.0) * per_gen + 12.0 * nf.ln() + 200.0
+        let derived = clustering + c1 * (cap as f64 + 2.0) * per_gen + 12.0 * nf.ln() + 200.0;
+        // Scripted events must actually fire: stretch the default cap
+        // past the scenario horizon plus a recovery tail.
+        derived.max(cfg.scenario.horizon() + 12.0 * nf.ln() + 200.0)
     });
 
     let mut tracker = ConvergenceTracker::new(n as u64, initial_winner, cfg.epsilon);
@@ -503,12 +539,14 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
         cols,
         gens,
         locked: vec![false; n],
+        op_epoch: vec![0; n],
         finished: vec![false; n],
         stored_gen: vec![0; n],
         stored_phase: vec![0; n],
         cluster_of,
         clusters,
         sampler,
+        env,
         table,
         tracker,
         births: Vec::new(),
@@ -529,9 +567,18 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
                 break;
             }
             end_time = now;
+            if engine.env.is_some() && engine.apply_effects(now) {
+                break;
+            }
             let done = match event {
                 Event::Tick => engine.on_tick(now),
-                Event::OpDone { v, s1, s2, s3 } => engine.on_op_done(now, v, s1, s2, s3),
+                Event::OpDone {
+                    v,
+                    s1,
+                    s2,
+                    s3,
+                    epoch,
+                } => engine.on_op_done(now, v, s1, s2, s3, epoch),
                 Event::MemberZero { cluster } => engine.on_member_zero(now, cluster),
                 Event::MemberPromoted { cluster, gen } => {
                     engine.on_member_promoted(now, cluster, gen)
@@ -601,6 +648,50 @@ impl Engine<'_> {
         }
     }
 
+    /// Applies every scenario effect due at `now`. Returns true if an
+    /// effect made the population monochromatic (run finished).
+    fn apply_effects(&mut self, now: f64) -> bool {
+        // Taken out and restored so effect application can borrow the
+        // rest of the engine mutably (`adopt` touches table + tracker).
+        let Some(mut env) = self.env.take() else {
+            return false;
+        };
+        let mut mono = false;
+        for effect in env.poll(now) {
+            match effect {
+                Effect::Joined(joins) => {
+                    for (v, c) in joins {
+                        let vi = v as usize;
+                        // Fresh node in a reused slot: protocol flags
+                        // cleared, cluster membership (a slot property)
+                        // kept so cluster sizes stay consistent. The
+                        // epoch bump voids any interaction the replaced
+                        // node still had in flight; the slot unlocks so
+                        // the fresh node starts unentangled.
+                        self.finished[vi] = false;
+                        self.stored_gen[vi] = 0;
+                        self.stored_phase[vi] = 0;
+                        self.op_epoch[vi] = self.op_epoch[vi].wrapping_add(1);
+                        self.locked[vi] = false;
+                        mono |= self.adopt(now, vi, 0, c);
+                    }
+                }
+                Effect::Corrupt { budget, mode } => {
+                    let k = self.table.k() as u32;
+                    let targets = env.corruption_targets(budget, mode, &self.cols, k);
+                    for (v, c) in targets {
+                        let vi = v as usize;
+                        mono |= self.adopt(now, vi, self.gens[vi], c);
+                    }
+                }
+                Effect::Rewired(s) => self.sampler = s,
+                _ => {}
+            }
+        }
+        self.env = Some(env);
+        mono
+    }
+
     /// Handles a tick of the superposed population clock. Returns true
     /// when the run is finished.
     fn on_tick(&mut self, now: f64) -> bool {
@@ -609,22 +700,39 @@ impl Engine<'_> {
         self.queue.schedule(next, Event::Tick);
         let vi = self.rng.gen_range(0..self.n);
         let v = vi as u32;
+        // A crashed node's tick is inert (Poisson thinning): no member
+        // signal, no interaction.
+        let crashed = self.env.as_ref().is_some_and(|e| e.is_crashed(v));
+        let scale = self.env.as_ref().map_or(1.0, |e| e.latency_scale());
         let c = self.cluster_of[vi];
-        if c != UNCLUSTERED && !self.cluster_absorbed(c) {
+        if c != UNCLUSTERED
+            && !crashed
+            && !self.cluster_absorbed(c)
+            && !self.env.as_mut().is_some_and(|e| e.message_lost())
+        {
             // Line 1 of Algorithm 4: the 0-signal to the own leader, subject
             // to one travel latency. Also drives the clustering counters.
-            let travel = self.cfg.latency.sample(&mut self.rng);
+            let travel = self.cfg.latency.sample(&mut self.rng) * scale;
             self.queue
                 .schedule(now + travel, Event::MemberZero { cluster: c });
         }
-        if !self.locked[vi] {
+        if !crashed && !self.locked[vi] {
             self.locked[vi] = true;
             let s1 = self.sampler.sample(v, &mut self.rng);
             let s2 = self.sampler.sample(v, &mut self.rng);
             let s3 = self.sampler.sample(v, &mut self.rng);
-            let phase = self.waiting.sample_channel_phase(&mut self.rng);
-            self.queue
-                .schedule(now + phase, Event::OpDone { v, s1, s2, s3 });
+            let phase = self.waiting.sample_channel_phase(&mut self.rng) * scale;
+            let epoch = self.op_epoch[vi];
+            self.queue.schedule(
+                now + phase,
+                Event::OpDone {
+                    v,
+                    s1,
+                    s2,
+                    s3,
+                    epoch,
+                },
+            );
         }
         false
     }
@@ -883,9 +991,31 @@ impl Engine<'_> {
 
     /// Handles channel completion for node `v` with samples `s1, s2, s3`.
     /// Returns true when the run is finished.
-    fn on_op_done(&mut self, now: f64, v: u32, s1: u32, s2: u32, s3: u32) -> bool {
+    fn on_op_done(&mut self, now: f64, v: u32, s1: u32, s2: u32, s3: u32, epoch: u32) -> bool {
         let vi = v as usize;
+        if epoch != self.op_epoch[vi] {
+            // The initiating node was replaced by join churn while this
+            // interaction was in flight; the fresh node in the slot must
+            // not inherit it (its lock was already released at join
+            // time).
+            return false;
+        }
         self.locked[vi] = false;
+        if let Some(env) = self.env.as_mut() {
+            // The interaction aborts if anyone on the line is crashed at
+            // completion time, or if any of the three peer channels falls
+            // inside a loss burst.
+            if env.is_crashed(v)
+                || env.is_crashed(s1)
+                || env.is_crashed(s2)
+                || env.is_crashed(s3)
+                || env.message_lost()
+                || env.message_lost()
+                || env.message_lost()
+            {
+                return false;
+            }
+        }
 
         // Lines 5–7 of Algorithm 4: finished-flag exchange (push + pull).
         if self.finished[vi] {
@@ -1019,10 +1149,15 @@ impl Engine<'_> {
                 if done {
                     return true;
                 }
-                if increased && !self.cluster_absorbed(own) {
+                if increased
+                    && !self.cluster_absorbed(own)
+                    && !self.env.as_mut().is_some_and(|e| e.message_lost())
+                {
                     // Lines 12/16: notify the own leader (travel latency);
-                    // skipped when the leader is provably past reacting.
-                    let travel = self.cfg.latency.sample(&mut self.rng);
+                    // skipped when the leader is provably past reacting or
+                    // the signal falls inside a loss burst.
+                    let scale = self.env.as_ref().map_or(1.0, |e| e.latency_scale());
+                    let travel = self.cfg.latency.sample(&mut self.rng) * scale;
                     self.queue
                         .schedule(now + travel, Event::MemberPromoted { cluster: own, gen });
                 }
@@ -1184,5 +1319,38 @@ mod tests {
             .with_max_time(10.0)
             .run();
         assert!(result.outcome.duration <= 10.0 + 1e-9);
+    }
+
+    #[test]
+    fn empty_scenario_is_bitwise_identical_to_default() {
+        let default = quick(900, 2, 3.0, 11).run();
+        let explicit = quick(900, 2, 3.0, 11)
+            .with_scenario(plurality_scenario::Scenario::new())
+            .run();
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn crash_join_churn_still_converges() {
+        // 25% of the population crashes during clustering and comes back
+        // as fresh nodes mid-consensus; the finished-flag mechanism must
+        // still pull everyone over.
+        let scenario = plurality_scenario::Scenario::parse("crash:0.25@20;join:1@80").unwrap();
+        let result = quick(1_200, 2, 3.0, 12).with_scenario(scenario).run();
+        assert!(result.outcome.consensus_time.is_some(), "did not converge");
+    }
+
+    #[test]
+    fn scenario_runs_are_deterministic_per_seed() {
+        let mk = || {
+            let scenario = plurality_scenario::Scenario::parse(
+                "burst-loss:0.3@10..40;corrupt:0.1:adaptive@60;latency:2@50..90",
+            )
+            .unwrap();
+            quick(800, 2, 3.0, 13).with_scenario(scenario).run()
+        };
+        let r = mk();
+        assert_eq!(r, mk());
+        assert!(r.outcome.epsilon_time.is_some(), "no ε-convergence");
     }
 }

@@ -34,6 +34,7 @@ use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcom
 use crate::sync::{generations_needed, GENERATION_CAP};
 use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
 use plurality_dist::{ChannelPattern, Latency, WaitingTime};
+use plurality_scenario::{Effect, Environment, Scenario};
 use plurality_sim::{EventQueue, PoissonClock, Series};
 use plurality_topology::{Topology, TOPOLOGY_STREAM};
 use rand::Rng;
@@ -77,6 +78,7 @@ pub struct LeaderConfig {
     straggler_fraction: f64,
     straggler_rate: f64,
     topology: Topology,
+    scenario: Scenario,
 }
 
 impl LeaderConfig {
@@ -100,7 +102,25 @@ impl LeaderConfig {
             straggler_fraction: 0.0,
             straggler_rate: 1.0,
             topology: Topology::Complete,
+            scenario: Scenario::new(),
         }
+    }
+
+    /// Attaches a time-scripted environment (default: the empty
+    /// scenario, the paper's failure-free static model). Event times are
+    /// in time *steps* (the event clock). Crashed nodes tick inertly —
+    /// no 0-signal, no interaction — and interactions whose initiator or
+    /// sampled peers are crashed at channel completion abort.
+    /// `burst-loss` drops each 0-/gen-signal and each peer channel
+    /// independently (composing with
+    /// [`LeaderConfig::with_signal_loss`]); `latency:` shifts multiply
+    /// every drawn travel and channel latency; `rewire:` swaps the peer
+    /// sampler mid-run. Scenario randomness lives on a private stream,
+    /// so the empty scenario consumes the byte-identical process RNG
+    /// stream as before the subsystem existed.
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
     }
 
     /// Sets the communication topology for the *peer-sampling* step
@@ -312,6 +332,10 @@ enum Event {
         v: u32,
         a: u32,
         b: u32,
+        /// The initiator's slot epoch at scheduling time; a join-churn
+        /// event bumps the slot's epoch, voiding in-flight interactions
+        /// of the node the joiner replaced.
+        epoch: u32,
     },
     LeaderSignal(Signal),
 }
@@ -325,14 +349,21 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
 
     // Built from a private RNG stream; complete-graph runs consume no
     // topology randomness and keep the historical process stream intact.
-    let sampler = cfg
+    let mut sampler = cfg
         .topology
         .build(n, derive_seed(cfg.seed, TOPOLOGY_STREAM))
         .expect("topology must be buildable for this population size");
 
+    // `None` for the empty scenario: the zero-cost fast path, one branch
+    // per event, process RNG stream untouched.
+    let mut env: Option<Environment> = cfg.scenario.for_run(n, cfg.assignment.k(), cfg.seed);
+
     let mut cols: Vec<u32> = opinions.iter().map(|o| o.index()).collect();
     let mut gens: Vec<u32> = vec![0; n];
     let mut locked: Vec<bool> = vec![false; n];
+    // Slot epochs: bumped by join churn to void the replaced node's
+    // in-flight interaction (stays all-zero without a scenario).
+    let mut op_epoch: Vec<u32> = vec![0; n];
     // Stored leader state; starts stale (leader starts at gen 1).
     let mut seen_gen: Vec<u32> = vec![0; n];
     let mut seen_prop: Vec<bool> = vec![false; n];
@@ -370,7 +401,10 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
 
     let max_time = cfg.max_time.unwrap_or_else(|| {
         let units = (cap as f64 + 2.0) * (2.0 * (k as f64 + 2.0).log2() + 12.0);
-        c1 * units + 10.0 * nf.ln() + 100.0
+        let derived = c1 * units + 10.0 * nf.ln() + 100.0;
+        // Scripted events must actually fire: stretch the default cap
+        // past the scenario horizon plus a recovery tail.
+        derived.max(cfg.scenario.horizon() + 10.0 * nf.ln() + 100.0)
     });
 
     let mut tracker = ConvergenceTracker::new(n as u64, initial_winner, cfg.epsilon);
@@ -452,6 +486,51 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
             break;
         }
         end_time = now;
+        if let Some(env) = env.as_mut() {
+            let effects = env.poll(now);
+            if !effects.is_empty() {
+                for effect in effects {
+                    match effect {
+                        Effect::Joined(joins) => {
+                            for (v, c) in joins {
+                                let vi = v as usize;
+                                seen_gen[vi] = 0;
+                                seen_prop[vi] = false;
+                                // Void any interaction the replaced node
+                                // still had in flight and free the slot:
+                                // the fresh node starts unentangled.
+                                op_epoch[vi] = op_epoch[vi].wrapping_add(1);
+                                locked[vi] = false;
+                                if (gens[vi], cols[vi]) != (0, c) {
+                                    table.transfer(gens[vi], cols[vi], 0, c);
+                                    gens[vi] = 0;
+                                    cols[vi] = c;
+                                }
+                            }
+                        }
+                        Effect::Corrupt { budget, mode } => {
+                            for (v, c) in env.corruption_targets(budget, mode, &cols, k as u32) {
+                                let vi = v as usize;
+                                if cols[vi] != c {
+                                    table.transfer(gens[vi], cols[vi], gens[vi], c);
+                                    cols[vi] = c;
+                                }
+                            }
+                        }
+                        Effect::Rewired(s) => sampler = s,
+                        _ => {}
+                    }
+                }
+                tracker.observe(
+                    now,
+                    table.color_support(initial_winner),
+                    table.max_color_support(),
+                );
+                if table.is_monochromatic() {
+                    break;
+                }
+            }
+        }
         if let Some(series) = winner_series.as_mut() {
             if now >= next_sample {
                 series.push(now, table.color_support(initial_winner) as f64 / nf);
@@ -476,27 +555,56 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                     None => slot,
                 };
                 let v = vi as u32;
+                // A crashed node's tick is inert (Poisson thinning): no
+                // 0-signal, no interaction.
+                let crashed = env.as_ref().is_some_and(|e| e.is_crashed(v));
+                let scale = env.as_ref().map_or(1.0, |e| e.latency_scale());
                 // Line 1: the 0-signal travels one latency, without locking.
                 // Skipped outright once the leader is terminal (the arrival
-                // would be unobservable); injected failure may also lose the
-                // signal in transit.
-                if !leader.is_terminal()
+                // would be unobservable); injected failure — the persistent
+                // `signal_loss` knob or an active scenario burst — may also
+                // lose the signal in transit.
+                if !crashed
+                    && !leader.is_terminal()
                     && (cfg.signal_loss == 0.0 || rng.gen::<f64>() >= cfg.signal_loss)
+                    && !env.as_mut().is_some_and(|e| e.message_lost())
                 {
-                    let travel = cfg.latency.sample(&mut rng);
+                    let travel = cfg.latency.sample(&mut rng) * scale;
                     queue.schedule(now + travel, Event::LeaderSignal(Signal::Zero));
                 }
-                if !locked[vi] {
+                if !crashed && !locked[vi] {
                     good_ticks += 1;
                     locked[vi] = true;
                     let a = sampler.sample(v, &mut rng);
                     let b = sampler.sample(v, &mut rng);
-                    let phase = waiting.sample_channel_phase(&mut rng);
-                    queue.schedule(now + phase, Event::OpComplete { v, a, b });
+                    let phase = waiting.sample_channel_phase(&mut rng) * scale;
+                    let epoch = op_epoch[vi];
+                    queue.schedule(now + phase, Event::OpComplete { v, a, b, epoch });
                 }
             }
-            Event::OpComplete { v, a, b } => {
+            Event::OpComplete { v, a, b, epoch } => {
                 let vi = v as usize;
+                if epoch != op_epoch[vi] {
+                    // The initiating node was replaced by join churn
+                    // while this interaction was in flight; the fresh
+                    // node in the slot must not inherit it (its lock was
+                    // already released at join time).
+                    continue;
+                }
+                if let Some(env) = env.as_mut() {
+                    // The interaction aborts if anyone on the line is
+                    // crashed at completion time, or if either peer
+                    // channel falls inside a loss burst.
+                    if env.is_crashed(v)
+                        || env.is_crashed(a)
+                        || env.is_crashed(b)
+                        || env.message_lost()
+                        || env.message_lost()
+                    {
+                        locked[vi] = false;
+                        continue;
+                    }
+                }
                 let node = NodeView {
                     gen: gens[vi],
                     col: cols[vi],
@@ -566,8 +674,10 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                         if gen > old_gen
                             && !leader.is_terminal()
                             && (cfg.signal_loss == 0.0 || rng.gen::<f64>() >= cfg.signal_loss)
+                            && !env.as_mut().is_some_and(|e| e.message_lost())
                         {
-                            let travel = cfg.latency.sample(&mut rng);
+                            let scale = env.as_ref().map_or(1.0, |e| e.latency_scale());
+                            let travel = cfg.latency.sample(&mut rng) * scale;
                             queue.schedule(
                                 now + travel,
                                 Event::LeaderSignal(Signal::Generation(gen)),
@@ -848,6 +958,55 @@ mod tests {
             quick_config(1_000, 2, 3.0, 44)
                 .with_topology(Topology::PreferentialAttachment { m: 4 })
                 .with_stragglers(0.2, 0.2)
+                .run()
+        };
+        let r = mk();
+        assert_eq!(r, mk());
+        assert!(r.outcome.epsilon_time.is_some(), "no ε-convergence");
+    }
+
+    #[test]
+    fn empty_scenario_is_bitwise_identical_to_default() {
+        let default = quick_config(900, 2, 3.0, 61).run();
+        let explicit = quick_config(900, 2, 3.0, 61)
+            .with_scenario(plurality_scenario::Scenario::new())
+            .run();
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn crash_then_recover_still_converges() {
+        let scenario = plurality_scenario::Scenario::parse("crash:0.3@5;recover:1@30").unwrap();
+        let result = quick_config(1_200, 2, 3.0, 62)
+            .with_scenario(scenario)
+            .run();
+        assert!(result.outcome.consensus_time.is_some(), "did not converge");
+        assert!(result.outcome.plurality_preserved());
+    }
+
+    #[test]
+    fn burst_loss_and_latency_shift_runs_are_deterministic() {
+        let mk = || {
+            let scenario = plurality_scenario::Scenario::parse(
+                "burst-loss:0.4@5..20;latency:3@10..40;corrupt:0.1:adaptive@25",
+            )
+            .unwrap();
+            quick_config(800, 2, 3.0, 63).with_scenario(scenario).run()
+        };
+        let r = mk();
+        assert_eq!(r, mk());
+        assert!(r.outcome.epsilon_time.is_some(), "no ε-convergence");
+    }
+
+    #[test]
+    fn scenario_composes_with_sparse_topology_and_rewire() {
+        let mk = || {
+            let scenario =
+                plurality_scenario::Scenario::parse("rewire:er:0.02@10;crash:0.2@15;join:0.2@40")
+                    .unwrap();
+            quick_config(1_000, 2, 3.0, 64)
+                .with_topology(Topology::Regular { d: 8 })
+                .with_scenario(scenario)
                 .run()
         };
         let r = mk();

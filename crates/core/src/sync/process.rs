@@ -12,6 +12,7 @@ use crate::opinion::InitialAssignment;
 use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcome};
 use crate::sync::schedule::{generations_needed, lifecycle_length, Schedule, GENERATION_CAP};
 use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
+use plurality_scenario::{Effect, Environment, Scenario};
 use plurality_sim::Series;
 use plurality_topology::{Topology, TOPOLOGY_STREAM};
 
@@ -55,6 +56,7 @@ pub struct SyncConfig {
     alpha_hint: Option<f64>,
     max_generations: Option<u32>,
     topology: Topology,
+    scenario: Scenario,
 }
 
 impl SyncConfig {
@@ -72,7 +74,40 @@ impl SyncConfig {
             alpha_hint: None,
             max_generations: None,
             topology: Topology::Complete,
+            scenario: Scenario::new(),
         }
+    }
+
+    /// Attaches a time-scripted environment (default: the empty
+    /// scenario, the paper's failure-free static model). Event times are
+    /// in *rounds*; an event at time `t` takes effect just before the
+    /// updates of the first round ≥ `t`. Crashed nodes freeze and
+    /// interactions that sample them (or lose a channel during a
+    /// `burst-loss` window) abort without a state change; `latency:`
+    /// shifts are no-ops in this round-based engine. All scenario
+    /// randomness comes from a private stream
+    /// (`plurality_scenario::SCENARIO_STREAM`), so the empty scenario
+    /// consumes the byte-identical process RNG stream as before the
+    /// subsystem existed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use plurality_core::sync::SyncConfig;
+    /// use plurality_core::InitialAssignment;
+    /// use plurality_scenario::Scenario;
+    ///
+    /// let assignment = InitialAssignment::with_bias(2_000, 3, 3.0).unwrap();
+    /// let scenario = Scenario::parse("crash:0.3@2;recover:0.3@6").unwrap();
+    /// let result = SyncConfig::new(assignment)
+    ///     .with_scenario(scenario)
+    ///     .with_seed(5)
+    ///     .run();
+    /// assert!(result.outcome.plurality_preserved());
+    /// ```
+    pub fn with_scenario(mut self, scenario: Scenario) -> Self {
+        self.scenario = scenario;
+        self
     }
 
     /// Sets the communication topology (default [`Topology::Complete`],
@@ -229,10 +264,14 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
     // The topology RNG is private to the build: complete-graph runs do
     // not touch it at all, and the process stream below is unaffected
     // either way.
-    let sampler = cfg
+    let mut sampler = cfg
         .topology
         .build(n, derive_seed(cfg.seed, TOPOLOGY_STREAM))
         .expect("topology must be buildable for this population size");
+
+    // `None` for the empty scenario: the zero-cost fast path, one branch
+    // per round and per node, process RNG stream untouched.
+    let mut env: Option<Environment> = cfg.scenario.for_run(n, cfg.assignment.k(), cfg.seed);
 
     let mut col: Vec<u32> = opinions.iter().map(|o| o.index()).collect();
     let mut gen: Vec<u32> = vec![0; n];
@@ -264,10 +303,13 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
             .ceil()
             .max(1.0) as u64;
         let tail = 4 * (n as f64).log2().ceil() as u64 + 100;
-        match &schedule {
+        let derived = match &schedule {
             Some(s) => s.final_round() + tail,
             None => g_star as u64 * (x1 + 4) + tail,
-        }
+        };
+        // Scripted events must actually fire: stretch the default cap
+        // past the scenario horizon plus a recovery tail.
+        derived.max(cfg.scenario.horizon().ceil() as u64 + tail)
     });
 
     let mut tracker = ConvergenceTracker::new(n as u64, initial_winner, cfg.epsilon);
@@ -297,6 +339,33 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
     if !table.is_monochromatic() {
         for round in 1..=max_rounds {
             rounds_run = round;
+            if let Some(env) = env.as_mut() {
+                for effect in env.poll(round as f64) {
+                    match effect {
+                        Effect::Joined(joins) => {
+                            for (v, c) in joins {
+                                let vi = v as usize;
+                                if (gen[vi], col[vi]) != (0, c) {
+                                    table.transfer(gen[vi], col[vi], 0, c);
+                                    gen[vi] = 0;
+                                    col[vi] = c;
+                                }
+                            }
+                        }
+                        Effect::Corrupt { budget, mode } => {
+                            for (v, c) in env.corruption_targets(budget, mode, &col, k as u32) {
+                                let vi = v as usize;
+                                if col[vi] != c {
+                                    table.transfer(gen[vi], col[vi], gen[vi], c);
+                                    col[vi] = c;
+                                }
+                            }
+                        }
+                        Effect::Rewired(s) => sampler = s,
+                        _ => {}
+                    }
+                }
+            }
             let created = table.max_generation();
             let two_choices = match &schedule {
                 Some(s) => s.is_two_choices_round(round),
@@ -312,8 +381,29 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
             let parent_collision = table.collision_in(parent_gen);
 
             for v in 0..n {
+                if let Some(env) = env.as_mut() {
+                    // A crashed node freezes; a node whose samples hit a
+                    // crashed peer or a lost channel aborts this round's
+                    // interaction and keeps its state.
+                    if env.is_crashed(v as u32) {
+                        new_gen[v] = gen[v];
+                        new_col[v] = col[v];
+                        continue;
+                    }
+                }
                 let a = sampler.sample(v as u32, &mut rng) as usize;
                 let b = sampler.sample(v as u32, &mut rng) as usize;
+                if let Some(env) = env.as_mut() {
+                    if env.is_crashed(a as u32)
+                        || env.is_crashed(b as u32)
+                        || env.message_lost()
+                        || env.message_lost()
+                    {
+                        new_gen[v] = gen[v];
+                        new_col[v] = col[v];
+                        continue;
+                    }
+                }
                 let (g, c) = step_node(gen[v], col[v], gen[a], col[a], gen[b], col[b], two_choices);
                 new_gen[v] = g;
                 new_col[v] = c;
@@ -555,5 +645,112 @@ mod tests {
     fn bad_gamma_panics() {
         let assignment = InitialAssignment::with_bias(100, 2, 2.0).unwrap();
         let _ = SyncConfig::new(assignment).with_gamma(1.5);
+    }
+
+    #[test]
+    fn empty_scenario_is_bitwise_identical_to_default() {
+        // The tentpole acceptance check: attaching an explicitly empty
+        // scenario must leave the process RNG stream byte-identical.
+        let assignment = InitialAssignment::with_bias(1_500, 3, 2.5).unwrap();
+        let default = SyncConfig::new(assignment.clone()).with_seed(51).run();
+        let explicit = SyncConfig::new(assignment)
+            .with_seed(51)
+            .with_scenario(Scenario::new())
+            .run();
+        assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn crash_then_recover_still_converges_to_plurality() {
+        let assignment = InitialAssignment::with_bias(2_000, 3, 3.0).unwrap();
+        let scenario = Scenario::new().crash(0.3, 2.0).recover(1.0, 6.0);
+        let result = SyncConfig::new(assignment)
+            .with_seed(52)
+            .with_scenario(scenario)
+            .run();
+        assert!(result.outcome.consensus_time.is_some(), "did not converge");
+        assert!(result.outcome.plurality_preserved());
+    }
+
+    #[test]
+    fn early_adaptive_corruption_perturbs_but_is_absorbed() {
+        // Two 20% adaptive waves during the squaring phase visibly
+        // perturb the trajectory, yet the generation machinery absorbs
+        // them — the aging robustness E18 measures at scale.
+        let assignment = InitialAssignment::with_bias(3_000, 2, 1.5).unwrap();
+        let clean = SyncConfig::new(assignment.clone()).with_seed(53).run();
+        let attacked = SyncConfig::new(assignment)
+            .with_seed(53)
+            .with_scenario(
+                Scenario::parse("corrupt:0.2:adaptive@2;corrupt:0.2:adaptive@4").unwrap(),
+            )
+            .run();
+        assert_ne!(clean, attacked, "corruption left the run untouched");
+        assert!(attacked.outcome.plurality_preserved());
+    }
+
+    #[test]
+    fn late_adaptive_corruption_costs_rounds() {
+        // The same budget spent near the end of the run (round 20 of a
+        // 22-round clean trajectory) must do real damage: cost rounds,
+        // steal the win, or prevent consensus outright.
+        let assignment = InitialAssignment::with_bias(3_000, 2, 1.5).unwrap();
+        let clean = SyncConfig::new(assignment.clone()).with_seed(53).run();
+        let attacked = SyncConfig::new(assignment)
+            .with_seed(53)
+            .with_scenario(Scenario::parse("corrupt:0.2:adaptive@20").unwrap())
+            .run();
+        let clean_t = clean.outcome.consensus_time.expect("clean run converges");
+        let damaged = match attacked.outcome.consensus_time {
+            None => true,
+            Some(t) => t > clean_t || !attacked.outcome.plurality_preserved(),
+        };
+        assert!(
+            damaged,
+            "a late 20% adaptive adversary left the run untouched (clean {clean_t}, attacked {:?})",
+            attacked.outcome.consensus_time
+        );
+    }
+
+    #[test]
+    fn join_churn_resets_generations_and_converges() {
+        let assignment = InitialAssignment::with_bias(2_000, 2, 3.0).unwrap();
+        let scenario = Scenario::parse("crash:0.25@1;join:0.25@3").unwrap();
+        let result = SyncConfig::new(assignment)
+            .with_seed(54)
+            .with_scenario(scenario)
+            .run();
+        assert!(result.outcome.consensus_time.is_some(), "did not converge");
+    }
+
+    #[test]
+    fn burst_loss_and_rewire_runs_are_deterministic_per_seed() {
+        let mk = || {
+            let assignment = InitialAssignment::with_bias(900, 2, 3.0).unwrap();
+            SyncConfig::new(assignment)
+                .with_seed(55)
+                .with_scenario(
+                    Scenario::parse("burst-loss:0.5@1..3;rewire:regular:8@4;rewire:complete@8")
+                        .unwrap(),
+                )
+                .run()
+        };
+        let r = mk();
+        assert_eq!(r, mk());
+        assert!(r.outcome.consensus_time.is_some(), "did not converge");
+    }
+
+    #[test]
+    fn full_crash_freezes_the_population() {
+        // Everyone crashes at round 1 and never recovers: no state can
+        // change, so the run must time out without converging.
+        let assignment = InitialAssignment::with_bias(400, 2, 2.0).unwrap();
+        let result = SyncConfig::new(assignment)
+            .with_seed(56)
+            .with_scenario(Scenario::new().crash(1.0, 1.0))
+            .with_max_rounds(50)
+            .run();
+        assert_eq!(result.outcome.consensus_time, None);
+        assert_eq!(result.rounds, 50);
     }
 }

@@ -77,6 +77,13 @@ impl InvalidParameterError {
             message: message.into(),
         }
     }
+
+    /// The bare description, without the `Display` prefix — for callers
+    /// that wrap this error with their own context and must not stack
+    /// prefixes.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
 }
 
 impl fmt::Display for InvalidParameterError {

@@ -93,6 +93,70 @@ impl Topology {
         matches!(self, Self::Complete)
     }
 
+    /// Renders the spec in the compact grammar shared by the CLI's
+    /// `--topology` flag and the scenario DSL's `rewire:` action:
+    /// `complete | ring | torus | er:P | regular:D | pa:M`. Numeric
+    /// parameters use Rust's shortest round-trip formatting, so
+    /// `Topology::parse_spec(&t.spec()) == Ok(t)` for every spec.
+    pub fn spec(&self) -> String {
+        match self {
+            Self::Complete => "complete".into(),
+            Self::Ring => "ring".into(),
+            Self::Torus2D => "torus".into(),
+            Self::ErdosRenyi { p } => format!("er:{p}"),
+            Self::Regular { d } => format!("regular:{d}"),
+            Self::PreferentialAttachment { m } => format!("pa:{m}"),
+        }
+    }
+
+    /// Parses the compact spec grammar (the inverse of
+    /// [`Topology::spec`]). Only the grammar is checked here; population
+    /// constraints are [`Topology::validate`]'s job.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use plurality_topology::Topology;
+    /// assert_eq!(Topology::parse_spec("er:0.01"), Ok(Topology::ErdosRenyi { p: 0.01 }));
+    /// assert_eq!(Topology::parse_spec("regular:8"), Ok(Topology::Regular { d: 8 }));
+    /// assert!(Topology::parse_spec("hypercube").is_err());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] for unknown families or
+    /// malformed parameters.
+    pub fn parse_spec(spec: &str) -> Result<Self, InvalidParameterError> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        match parts.as_slice() {
+            ["complete"] => Ok(Self::Complete),
+            ["ring"] => Ok(Self::Ring),
+            ["torus"] => Ok(Self::Torus2D),
+            ["er", p] => {
+                let p: f64 = p
+                    .parse()
+                    .map_err(|_| InvalidParameterError::new(format!("`{p}` is not a number")))?;
+                Ok(Self::ErdosRenyi { p })
+            }
+            ["regular", d] => {
+                let d: usize = d
+                    .parse()
+                    .map_err(|_| InvalidParameterError::new(format!("`{d}` is not an integer")))?;
+                Ok(Self::Regular { d })
+            }
+            ["pa", m] => {
+                let m: usize = m
+                    .parse()
+                    .map_err(|_| InvalidParameterError::new(format!("`{m}` is not an integer")))?;
+                Ok(Self::PreferentialAttachment { m })
+            }
+            _ => Err(InvalidParameterError::new(format!(
+                "unknown topology spec `{spec}` (expected complete, ring, torus, er:P, \
+                 regular:D, or pa:M)"
+            ))),
+        }
+    }
+
     /// Checks the family's parameter constraints against a population
     /// size without materializing anything — O(√n) worst case (the
     /// torus factorization), no allocation. [`Topology::build`] runs the
@@ -610,5 +674,23 @@ mod tests {
         assert!(Topology::PreferentialAttachment { m: 4 }
             .build(5, 0)
             .is_err());
+    }
+
+    #[test]
+    fn spec_round_trips_every_family() {
+        for t in [
+            Topology::Complete,
+            Topology::Ring,
+            Topology::Torus2D,
+            Topology::ErdosRenyi { p: 0.0047 },
+            Topology::Regular { d: 8 },
+            Topology::PreferentialAttachment { m: 3 },
+        ] {
+            assert_eq!(Topology::parse_spec(&t.spec()), Ok(t), "{}", t.spec());
+        }
+        assert!(Topology::parse_spec("hypercube").is_err());
+        assert!(Topology::parse_spec("er:x").is_err());
+        assert!(Topology::parse_spec("regular").is_err());
+        assert!(Topology::parse_spec("pa:1:2").is_err());
     }
 }

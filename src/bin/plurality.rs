@@ -5,6 +5,8 @@
 //! plurality run --protocol cluster --n 20000 --k 8 --alpha 1.5 --latency weibull:1.5:1.0
 //! plurality run --protocol 3-majority --n 30000 --k 16 --alpha 2.0
 //! plurality run --protocol sync --topology regular:8
+//! plurality run --protocol sync --scenario "crash:0.2@5;burst-loss:0.5@8..12;rewire:er:0.01@20"
+//! plurality run --protocol leader --loss 0.3 --stragglers 0.2:0.1
 //! plurality time-unit --latency exp:0.1 --pattern single
 //! ```
 //!
@@ -18,6 +20,7 @@ use plurality::core::leader::LeaderConfig;
 use plurality::core::sync::SyncConfig;
 use plurality::core::{InitialAssignment, RunOutcome};
 use plurality::dist::{ChannelPattern, Latency, WaitingTime};
+use plurality::scenario::Scenario;
 use plurality::topology::Topology;
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -105,30 +108,38 @@ fn parse_latency(spec: &str) -> Result<Latency, String> {
 }
 
 /// Parses a topology spec: `complete`, `ring`, `torus`, `er:P`,
-/// `regular:D`, `pa:M`.
+/// `regular:D`, `pa:M` — the shared grammar of
+/// [`Topology::parse_spec`], also used by the scenario DSL's `rewire:`.
 fn parse_topology(spec: &str) -> Result<Topology, String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    match parts.as_slice() {
-        ["complete"] => Ok(Topology::Complete),
-        ["ring"] => Ok(Topology::Ring),
-        ["torus"] => Ok(Topology::Torus2D),
-        ["er", p] => {
-            let p: f64 = p.parse().map_err(|_| format!("`{p}` is not a number"))?;
-            Ok(Topology::ErdosRenyi { p })
-        }
-        ["regular", d] => {
-            let d: usize = d.parse().map_err(|_| format!("`{d}` is not an integer"))?;
-            Ok(Topology::Regular { d })
-        }
-        ["pa", m] => {
-            let m: usize = m.parse().map_err(|_| format!("`{m}` is not an integer"))?;
-            Ok(Topology::PreferentialAttachment { m })
-        }
-        _ => Err(format!(
-            "unknown topology spec `{spec}` (expected complete, ring, torus, er:P, \
-             regular:D, or pa:M)"
-        )),
+    Topology::parse_spec(spec).map_err(|e| e.to_string())
+}
+
+/// Parses a straggler spec: `FRAC` (rate defaults to 0.1) or
+/// `FRAC:RATE`. Ranges are checked here so bad values surface as CLI
+/// errors, not engine panics.
+fn parse_stragglers(spec: &str) -> Result<(f64, f64), String> {
+    let num = |what: &str, s: &str| -> Result<f64, String> {
+        s.parse()
+            .map_err(|_| format!("{what}: `{s}` is not a number"))
+    };
+    let (fraction, rate) = match spec.split_once(':') {
+        None => (num("straggler fraction", spec)?, 0.1),
+        Some((frac, rate)) => (
+            num("straggler fraction", frac)?,
+            num("straggler rate", rate)?,
+        ),
+    };
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(format!(
+            "straggler fraction must lie in [0, 1], got {fraction}"
+        ));
     }
+    if !(rate > 0.0 && rate.is_finite()) {
+        return Err(format!(
+            "straggler rate must be positive and finite, got {rate}"
+        ));
+    }
+    Ok((fraction, rate))
 }
 
 fn print_outcome(protocol: &str, outcome: &RunOutcome) {
@@ -161,6 +172,18 @@ fn print_outcome(protocol: &str, outcome: &RunOutcome) {
     }
 }
 
+/// The one protocol list: the early unknown-protocol check, its error
+/// message, and the dispatch match in [`cmd_run`] all key off it.
+const PROTOCOLS: [&str; 7] = [
+    "sync",
+    "leader",
+    "cluster",
+    "pull",
+    "two-choices",
+    "3-majority",
+    "undecided",
+];
+
 fn cmd_run(args: &Args) -> Result<(), String> {
     let protocol = args.get_str("protocol", "sync");
     let n = args.get_u64("n", 10_000)?;
@@ -174,6 +197,42 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     // as CLI errors instead of run-time panics. `validate` checks the
     // constraints without materializing a throwaway graph.
     topology.validate(n as usize).map_err(|e| e.to_string())?;
+    let scenario = Scenario::parse(&args.get_str("scenario", "")).map_err(|e| e.to_string())?;
+    scenario.validate(n as usize).map_err(|e| e.to_string())?;
+    // Reject unknown protocols before any flag-compatibility diagnosis,
+    // so a typo'd protocol never gets flag advice addressed to it.
+    if !PROTOCOLS.contains(&protocol.as_str()) {
+        return Err(format!(
+            "unknown protocol `{protocol}` (expected {})",
+            PROTOCOLS.join(", ")
+        ));
+    }
+    // Engine-API failure knobs of the single-leader engine; every other
+    // protocol expresses failures through `--scenario` instead. Ranges
+    // are checked here so bad values surface as CLI errors, not engine
+    // panics.
+    let loss = args.get_f64("loss", 0.0)?;
+    if !(0.0..=1.0).contains(&loss) {
+        return Err(format!("--loss must lie in [0, 1], got {loss}"));
+    }
+    let stragglers = args
+        .options
+        .get("stragglers")
+        .map(|s| parse_stragglers(s))
+        .transpose()?;
+    if protocol != "leader" {
+        if loss != 0.0 {
+            return Err(format!(
+                "--loss is leader-only (persistent 0-/gen-signal loss); for `{protocol}` \
+                 script a burst instead: --scenario \"burst-loss:{loss}@0..1000000\""
+            ));
+        }
+        if stragglers.is_some() {
+            return Err(
+                "--stragglers is leader-only (heterogeneous Poisson clock rates)".to_string(),
+            );
+        }
+    }
     let assignment = InitialAssignment::with_bias(n, k, alpha)?;
 
     match protocol.as_str() {
@@ -184,17 +243,23 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 .with_gamma(gamma)
                 .with_epsilon(epsilon)
                 .with_topology(topology)
+                .with_scenario(scenario)
                 .run();
             print_outcome("synchronous (Algorithm 1)", &r.outcome);
             println!("rounds:              {}", r.rounds);
         }
         "leader" => {
-            let r = LeaderConfig::new(assignment)
+            let mut config = LeaderConfig::new(assignment)
                 .with_seed(seed)
                 .with_latency(latency)
                 .with_epsilon(epsilon)
                 .with_topology(topology)
-                .run();
+                .with_scenario(scenario)
+                .with_signal_loss(loss);
+            if let Some((fraction, rate)) = stragglers {
+                config = config.with_stragglers(fraction, rate);
+            }
+            let r = config.run();
             print_outcome("async single-leader (Algorithms 2+3)", &r.outcome);
             println!(
                 "time unit:           C1 = {:.3} steps ({} ticks processed)",
@@ -207,6 +272,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 .with_latency(latency)
                 .with_epsilon(epsilon)
                 .with_topology(topology)
+                .with_scenario(scenario)
                 .run();
             print_outcome("async multi-leader (Algorithms 4+5)", &r.outcome);
             println!(
@@ -227,16 +293,12 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                 .with_seed(seed)
                 .with_epsilon(epsilon)
                 .with_topology(topology)
+                .with_scenario(scenario)
                 .run();
             print_outcome(dynamics.name(), &r.outcome);
             println!("rounds:              {}", r.rounds);
         }
-        other => {
-            return Err(format!(
-                "unknown protocol `{other}` (expected sync, leader, cluster, pull, \
-                 two-choices, 3-majority, or undecided)"
-            ))
-        }
+        _ => unreachable!("protocol validated against PROTOCOLS above"),
     }
     Ok(())
 }
@@ -267,11 +329,15 @@ fn cmd_time_unit(args: &Args) -> Result<(), String> {
 const USAGE: &str = "usage:
   plurality run [--protocol sync|leader|cluster|pull|two-choices|3-majority|undecided]
                 [--n N] [--k K] [--alpha A] [--seed S] [--epsilon E]
-                [--gamma G] [--latency SPEC] [--topology SPEC]
+                [--gamma G] [--latency SPEC] [--topology SPEC] [--scenario SPEC]
+                [--loss P] [--stragglers FRAC[:RATE]]        (leader only)
   plurality time-unit [--latency SPEC] [--pattern single|multi] [--samples M] [--seed S]
 
 latency SPEC:  exp:RATE | erlang:SHAPE:RATE | weibull:SHAPE:MEAN | uniform:LO:HI | det:VALUE
-topology SPEC: complete | ring | torus | er:P | regular:D | pa:M";
+topology SPEC: complete | ring | torus | er:P | regular:D | pa:M
+scenario SPEC: ACTION@TIME[..UNTIL] joined by ';' — e.g. \"crash:0.2@5;burst-loss:0.5@8..12\"
+               actions: crash:F | recover:F | join:F | corrupt:F[:oblivious|:adaptive]
+                        | burst-loss:P (window req.) | latency:FACTOR | rewire:TOPOLOGY";
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -349,6 +415,14 @@ mod tests {
         assert!(parse_topology("hypercube").is_err());
         assert!(parse_topology("er:x").is_err());
         assert!(parse_topology("regular").is_err());
+    }
+
+    #[test]
+    fn parses_straggler_specs() {
+        assert_eq!(parse_stragglers("0.2"), Ok((0.2, 0.1)));
+        assert_eq!(parse_stragglers("0.2:0.5"), Ok((0.2, 0.5)));
+        assert!(parse_stragglers("x").is_err());
+        assert!(parse_stragglers("0.2:y").is_err());
     }
 
     #[test]

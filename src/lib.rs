@@ -23,6 +23,8 @@
 //! * [`par`] — deterministic parallel execution (`plurality-par`)
 //! * [`topology`] — communication graphs and peer samplers
 //!   (`plurality-topology`)
+//! * [`scenario`] — time-scripted adversaries and dynamic environments
+//!   (`plurality-scenario`)
 //!
 //! ## Quick start
 //!
@@ -42,6 +44,7 @@ pub use plurality_baselines as baselines;
 pub use plurality_core as core;
 pub use plurality_dist as dist;
 pub use plurality_par as par;
+pub use plurality_scenario as scenario;
 pub use plurality_sim as sim;
 pub use plurality_stats as stats;
 pub use plurality_topology as topology;

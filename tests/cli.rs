@@ -83,3 +83,136 @@ fn help_prints_usage() {
     assert!(out.status.success());
     assert!(String::from_utf8_lossy(&out.stdout).contains("usage:"));
 }
+
+#[test]
+fn run_sync_with_scenario_spec() {
+    let out = plurality(&[
+        "run",
+        "--protocol",
+        "sync",
+        "--n",
+        "800",
+        "--k",
+        "2",
+        "--alpha",
+        "3.0",
+        "--seed",
+        "2",
+        "--scenario",
+        "crash:0.2@2;recover:1@5;corrupt:0.05:adaptive@3",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("synchronous"));
+}
+
+#[test]
+fn bad_scenario_spec_fails_with_event_context() {
+    let out = plurality(&[
+        "run",
+        "--protocol",
+        "sync",
+        "--scenario",
+        "crash:0.2@2;burst-loss:0.5@8",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("event #2"), "stderr: {stderr}");
+    assert!(stderr.contains("window"), "stderr: {stderr}");
+}
+
+#[test]
+fn scenario_rewire_is_validated_against_n() {
+    // A 64-regular rewire cannot be built on 20 nodes; must fail before
+    // the run starts, not panic mid-run.
+    let out = plurality(&[
+        "run",
+        "--protocol",
+        "sync",
+        "--n",
+        "20",
+        "--scenario",
+        "rewire:regular:64@5",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("regular"), "stderr: {stderr}");
+}
+
+#[test]
+fn run_leader_with_loss_and_stragglers() {
+    let out = plurality(&[
+        "run",
+        "--protocol",
+        "leader",
+        "--n",
+        "600",
+        "--k",
+        "2",
+        "--alpha",
+        "3.0",
+        "--seed",
+        "3",
+        "--loss",
+        "0.2",
+        "--stragglers",
+        "0.1:0.5",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(String::from_utf8_lossy(&out.stdout).contains("single-leader"));
+}
+
+#[test]
+fn loss_and_stragglers_are_rejected_for_non_leader_protocols() {
+    let out = plurality(&["run", "--protocol", "sync", "--loss", "0.2"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("leader-only"), "stderr: {stderr}");
+    // The error teaches the scenario equivalent.
+    assert!(stderr.contains("burst-loss"), "stderr: {stderr}");
+
+    let out = plurality(&["run", "--protocol", "cluster", "--stragglers", "0.2"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("leader-only"));
+}
+
+#[test]
+fn out_of_range_loss_and_stragglers_are_cli_errors_not_panics() {
+    let out = plurality(&["run", "--protocol", "leader", "--loss", "1.5"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--loss must lie in [0, 1]"),
+        "stderr: {stderr}"
+    );
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+
+    let out = plurality(&["run", "--protocol", "leader", "--stragglers", "1.5"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("straggler fraction"), "stderr: {stderr}");
+    assert!(!stderr.contains("panicked"), "stderr: {stderr}");
+
+    let out = plurality(&["run", "--protocol", "leader", "--stragglers", "0.2:0"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("straggler rate"));
+}
+
+#[test]
+fn unknown_protocol_wins_over_flag_compatibility_advice() {
+    // A typo'd protocol must get the unknown-protocol error, not advice
+    // about which flags the (nonexistent) protocol supports.
+    let out = plurality(&["run", "--protocol", "sink", "--loss", "0.2"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown protocol"), "stderr: {stderr}");
+    assert!(!stderr.contains("leader-only"), "stderr: {stderr}");
+}

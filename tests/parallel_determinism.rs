@@ -11,6 +11,7 @@ use plurality::core::leader::LeaderConfig;
 use plurality::core::sync::{SyncConfig, UrnConfig};
 use plurality::core::{InitialAssignment, RunOutcome};
 use plurality::par::{configured_threads, par_map_seeded, par_map_seeded_with, THREADS_ENV};
+use plurality::scenario::Scenario;
 use plurality::topology::Topology;
 
 const REPS: usize = 4;
@@ -154,6 +155,79 @@ fn population_protocols_are_thread_invariant() {
                 .run()
         });
     }
+}
+
+#[test]
+fn sync_engine_with_scenario_is_thread_invariant() {
+    // The scenario-subsystem acceptance check: all environment
+    // randomness (crash draws, adversary victims, joiner opinions, loss
+    // coins, rewired graphs) comes from a stream derived off the
+    // repetition's own seed, so scenario-enabled runs must stay bitwise
+    // thread-invariant exactly like plain runs.
+    assert_thread_invariant("sync/scenario", |_, seed| {
+        let assignment = InitialAssignment::with_bias(5_000, 4, 2.0).unwrap();
+        let scenario = Scenario::parse(
+            "crash:0.2@2;burst-loss:0.5@3..6;corrupt:0.1:adaptive@5;rewire:regular:8@7;join:1@9",
+        )
+        .unwrap();
+        SyncConfig::new(assignment)
+            .with_seed(seed)
+            .with_scenario(scenario)
+            .run()
+    });
+}
+
+#[test]
+fn leader_engine_with_scenario_is_thread_invariant() {
+    assert_thread_invariant("leader/scenario", |_, seed| {
+        let assignment = InitialAssignment::with_bias(600, 2, 3.0).unwrap();
+        let scenario = Scenario::parse(
+            "crash:0.2@5;latency:2@8..20;corrupt:0.1@15;recover:1@25;burst-loss:0.3@30..40",
+        )
+        .unwrap();
+        LeaderConfig::new(assignment)
+            .with_seed(seed)
+            .with_steps_per_unit(9.3)
+            .with_scenario(scenario)
+            .run()
+    });
+}
+
+#[test]
+fn cluster_engine_with_scenario_is_thread_invariant() {
+    assert_thread_invariant("cluster/scenario", |_, seed| {
+        let assignment = InitialAssignment::with_bias(800, 2, 3.0).unwrap();
+        let scenario =
+            Scenario::parse("crash:0.15@20;burst-loss:0.3@30..60;join:1@80;corrupt:0.05@90")
+                .unwrap();
+        ClusterConfig::new(assignment)
+            .with_seed(seed)
+            .with_steps_per_unit(12.0)
+            .with_scenario(scenario)
+            .run()
+    });
+}
+
+#[test]
+fn baselines_with_scenario_are_thread_invariant() {
+    let scenario = Scenario::parse("crash:0.3@2;corrupt:0.2:adaptive@4;join:1@8").unwrap();
+    for dynamics in [Dynamics::ThreeMajority, Dynamics::Undecided] {
+        let scenario = scenario.clone();
+        assert_thread_invariant("dynamics/scenario", move |_, seed| {
+            let assignment = InitialAssignment::with_bias(2_000, 4, 2.0).unwrap();
+            DynamicsConfig::new(dynamics, assignment)
+                .with_seed(seed)
+                .with_max_rounds(300)
+                .with_scenario(scenario.clone())
+                .run()
+        });
+    }
+    assert_thread_invariant("population/scenario", move |_, seed| {
+        PopulationConfig::new(PopulationProtocol::ApproximateMajority, 2_000, 1_200)
+            .with_seed(seed)
+            .with_scenario(Scenario::parse("crash:0.2@1;burst-loss:0.4@2..5;join:1@8").unwrap())
+            .run()
+    });
 }
 
 #[test]
