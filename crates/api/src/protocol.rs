@@ -1,0 +1,512 @@
+//! The [`Protocol`] trait and its six engine implementations.
+//!
+//! Each implementation is a plain-data handle carrying only the
+//! genuinely protocol-specific parameters; everything every protocol
+//! has (assignment, ε, seed, record level, topology, scenario, cap)
+//! arrives through the shared [`RunConfig`]. Unset knobs (`None`)
+//! delegate to the engine builder's own default, so a facade run is
+//! indistinguishable — bitwise, including the RNG stream — from the
+//! direct builder call it stands for.
+
+use crate::config::RunConfig;
+use crate::report::Report;
+use plurality_baselines::{Dynamics, DynamicsConfig, PopulationConfig, PopulationProtocol};
+use plurality_core::cluster::ClusterConfig;
+use plurality_core::leader::LeaderConfig;
+use plurality_core::sync::{ScheduleMode, SyncConfig, UrnConfig};
+use plurality_core::{InitialAssignment, OpinionCounts};
+use plurality_dist::rng::Xoshiro256PlusPlus;
+use plurality_dist::{InvalidParameterError, Latency};
+use plurality_topology::Topology;
+
+/// One protocol, runnable from the shared [`RunConfig`].
+///
+/// The contract mirrors the engine builders: [`Protocol::run`] panics on
+/// configurations the engine itself would panic on (too-small
+/// populations, unbuildable topologies); [`Protocol::check`] is the
+/// non-panicking gate front ends call first to turn those — and
+/// protocol/config incompatibilities like a topology on the mean-field
+/// urn — into teaching errors.
+pub trait Protocol: Send + Sync {
+    /// The canonical registry name (`"sync"`, `"leader"`, …).
+    fn name(&self) -> &'static str;
+
+    /// Checks that `cfg` is compatible with this protocol. The default
+    /// validates the common axes ([`RunConfig::validate`]); protocols
+    /// with extra constraints (urn's mean-field exemption, the binary
+    /// population protocols) layer theirs on top.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] describing the first violated
+    /// constraint.
+    fn check(&self, cfg: &RunConfig) -> Result<(), InvalidParameterError> {
+        cfg.validate()
+    }
+
+    /// Runs the protocol. Consumes the byte-identical RNG stream of the
+    /// corresponding direct engine-builder call.
+    ///
+    /// # Panics
+    ///
+    /// Panics exactly where the underlying engine builder's `run` does
+    /// (see each engine's documentation); call [`Protocol::check`] first
+    /// to surface those as errors instead.
+    fn run(&self, cfg: &RunConfig) -> Report;
+}
+
+/// The synchronous generation protocol (Algorithm 1) — see
+/// [`SyncConfig`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SyncEngine {
+    /// Generation-density threshold `γ` (engine default 1/2).
+    pub gamma: Option<f64>,
+    /// How two-choices rounds are chosen (default
+    /// [`ScheduleMode::Predefined`]).
+    pub mode: ScheduleMode,
+    /// Overrides the `α₀` used to build the predefined schedule.
+    pub alpha_hint: Option<f64>,
+    /// Caps the number of generations.
+    pub max_generations: Option<u32>,
+}
+
+impl Protocol for SyncEngine {
+    fn name(&self) -> &'static str {
+        "sync"
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let mut c = SyncConfig::new(cfg.assignment().clone())
+            .with_seed(cfg.seed())
+            .with_epsilon(cfg.epsilon())
+            .with_record(cfg.record())
+            .with_topology(cfg.topology())
+            .with_scenario(cfg.scenario().clone())
+            .with_mode(self.mode);
+        if let Some(gamma) = self.gamma {
+            c = c.with_gamma(gamma);
+        }
+        if let Some(alpha) = self.alpha_hint {
+            c = c.with_alpha_hint(alpha);
+        }
+        if let Some(cap) = self.max_generations {
+            c = c.with_max_generations(cap);
+        }
+        if let Some(max) = cfg.max_duration() {
+            c = c.with_max_rounds(max.ceil() as u64);
+        }
+        c.run().into()
+    }
+}
+
+/// The urn-mode (mean-field) synchronous protocol — see [`UrnConfig`].
+///
+/// Urn mode is definitionally mean-field: the exact multinomial
+/// reduction requires every node to sample every other node with equal
+/// probability, so [`Protocol::check`] rejects non-complete topologies
+/// and non-empty scenarios with a pointer at the agent-based
+/// [`SyncEngine`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct UrnEngine {
+    /// Generation-density threshold `γ` (engine default 1/2).
+    pub gamma: Option<f64>,
+    /// Overrides the `α₀` used for the schedule.
+    pub alpha_hint: Option<f64>,
+}
+
+/// The exact per-opinion counts an assignment stands for, computed
+/// without consuming the process RNG stream where the recipe is
+/// deterministic (`Exact`, `Uniform`); the `Zipf` recipe is sampled on a
+/// throwaway RNG seeded from `seed`.
+fn assignment_counts(assignment: &InitialAssignment, seed: u64) -> Vec<u64> {
+    match assignment {
+        InitialAssignment::Exact(counts) => counts.clone(),
+        InitialAssignment::Uniform { n, k } => {
+            let base = n / u64::from(*k);
+            let rem = n % u64::from(*k);
+            (0..*k)
+                .map(|idx| base + u64::from(u64::from(idx) < rem))
+                .collect()
+        }
+        zipf @ InitialAssignment::Zipf { k, .. } => {
+            let mut rng = Xoshiro256PlusPlus::from_u64(seed);
+            OpinionCounts::tally(&zipf.materialize(&mut rng), *k as usize)
+                .as_slice()
+                .to_vec()
+        }
+    }
+}
+
+impl Protocol for UrnEngine {
+    fn name(&self) -> &'static str {
+        "urn"
+    }
+
+    fn check(&self, cfg: &RunConfig) -> Result<(), InvalidParameterError> {
+        cfg.validate()?;
+        if cfg.topology() != Topology::Complete {
+            return Err(InvalidParameterError::new(format!(
+                "urn mode is definitionally mean-field (= complete graph); \
+                 run `sync` with topology {} instead",
+                cfg.topology().spec()
+            )));
+        }
+        if !cfg.scenario().is_empty() {
+            return Err(InvalidParameterError::new(
+                "urn mode tracks anonymous cell counts, so per-node scenario events \
+                 do not apply; run `sync` with the scenario instead",
+            ));
+        }
+        Ok(())
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        self.check(cfg)
+            .expect("urn run config must pass UrnEngine::check");
+        let mut c = UrnConfig::from_counts(assignment_counts(cfg.assignment(), cfg.seed()))
+            .with_seed(cfg.seed())
+            .with_epsilon(cfg.epsilon());
+        if let Some(gamma) = self.gamma {
+            c = c.with_gamma(gamma);
+        }
+        if let Some(alpha) = self.alpha_hint {
+            c = c.with_alpha_hint(alpha);
+        }
+        if let Some(max) = cfg.max_duration() {
+            c = c.with_max_rounds(max.ceil() as u64);
+        }
+        c.run().into()
+    }
+}
+
+/// The asynchronous single-leader protocol (Algorithms 2 + 3) — see
+/// [`LeaderConfig`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LeaderEngine {
+    /// Channel-establishment latency law (engine default `Exp(1)`).
+    pub latency: Option<Latency>,
+    /// Overrides the time-unit length `C1` in steps (default:
+    /// memoized Monte-Carlo estimate).
+    pub steps_per_unit: Option<f64>,
+    /// Length of the two-choices window in time units (engine default
+    /// 2).
+    pub two_choices_units: Option<f64>,
+    /// Overrides the generation cap `⌈log log_α n⌉`.
+    pub generation_cap: Option<u32>,
+    /// Overrides the bias `α₀` used for the generation cap.
+    pub alpha_hint: Option<f64>,
+    /// Gen-size threshold as a fraction of `n` (engine default 1/2).
+    pub gen_size_fraction: Option<f64>,
+    /// Persistent 0-/gen-signal loss probability (default 0).
+    pub signal_loss: f64,
+    /// Straggler injection `(fraction, rate)` (default none).
+    pub stragglers: Option<(f64, f64)>,
+}
+
+impl Protocol for LeaderEngine {
+    fn name(&self) -> &'static str {
+        "leader"
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let mut c = LeaderConfig::new(cfg.assignment().clone())
+            .with_seed(cfg.seed())
+            .with_epsilon(cfg.epsilon())
+            .with_record(cfg.record())
+            .with_topology(cfg.topology())
+            .with_scenario(cfg.scenario().clone())
+            .with_signal_loss(self.signal_loss);
+        if let Some(latency) = self.latency {
+            c = c.with_latency(latency);
+        }
+        if let Some(c1) = self.steps_per_unit {
+            c = c.with_steps_per_unit(c1);
+        }
+        if let Some(units) = self.two_choices_units {
+            c = c.with_two_choices_units(units);
+        }
+        if let Some(cap) = self.generation_cap {
+            c = c.with_generation_cap(cap);
+        }
+        if let Some(alpha) = self.alpha_hint {
+            c = c.with_alpha_hint(alpha);
+        }
+        if let Some(fraction) = self.gen_size_fraction {
+            c = c.with_gen_size_fraction(fraction);
+        }
+        if let Some((fraction, rate)) = self.stragglers {
+            c = c.with_stragglers(fraction, rate);
+        }
+        if let Some(max) = cfg.max_duration() {
+            c = c.with_max_time(max);
+        }
+        c.run().into()
+    }
+}
+
+/// The decentralized multi-leader protocol (Algorithms 4 + 5) — see
+/// [`ClusterConfig`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ClusterEngine {
+    /// Channel-establishment latency law (engine default `Exp(1)`).
+    pub latency: Option<Latency>,
+    /// Overrides the time-unit length `C1` in steps.
+    pub steps_per_unit: Option<f64>,
+    /// Participation size — the paper's `log^{c−1} n`.
+    pub participation_size: Option<u64>,
+    /// Probability of a node declaring itself a leader.
+    pub leader_probability: Option<f64>,
+    /// Counting pause after a cluster fills, in time units.
+    pub pause_units: Option<f64>,
+    /// Post-pause accepting window, in time units.
+    pub accept_units: Option<f64>,
+    /// Two-choices window per generation, in time units.
+    pub two_choices_units: Option<f64>,
+    /// Sleeping window per generation, in time units.
+    pub sleep_units: Option<f64>,
+    /// Overrides the generation cap `⌈log log_α n⌉`.
+    pub generation_cap: Option<u32>,
+    /// Overrides the bias `α₀` used for the generation cap.
+    pub alpha_hint: Option<f64>,
+}
+
+impl Protocol for ClusterEngine {
+    fn name(&self) -> &'static str {
+        "cluster"
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let mut c = ClusterConfig::new(cfg.assignment().clone())
+            .with_seed(cfg.seed())
+            .with_epsilon(cfg.epsilon())
+            .with_record(cfg.record())
+            .with_topology(cfg.topology())
+            .with_scenario(cfg.scenario().clone());
+        if let Some(latency) = self.latency {
+            c = c.with_latency(latency);
+        }
+        if let Some(c1) = self.steps_per_unit {
+            c = c.with_steps_per_unit(c1);
+        }
+        if let Some(size) = self.participation_size {
+            c = c.with_participation_size(size);
+        }
+        if let Some(p) = self.leader_probability {
+            c = c.with_leader_probability(p);
+        }
+        if let Some(units) = self.pause_units {
+            c = c.with_pause_units(units);
+        }
+        if let Some(units) = self.accept_units {
+            c = c.with_accept_units(units);
+        }
+        if let Some(units) = self.two_choices_units {
+            c = c.with_two_choices_units(units);
+        }
+        if let Some(units) = self.sleep_units {
+            c = c.with_sleep_units(units);
+        }
+        if let Some(cap) = self.generation_cap {
+            c = c.with_generation_cap(cap);
+        }
+        if let Some(alpha) = self.alpha_hint {
+            c = c.with_alpha_hint(alpha);
+        }
+        if let Some(max) = cfg.max_duration() {
+            c = c.with_max_time(max);
+        }
+        c.run().into()
+    }
+}
+
+/// A synchronous gossip baseline dynamic (pull voting, two-choices,
+/// 3-majority, undecided-state) — see [`DynamicsConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GossipEngine {
+    /// Which dynamic to run.
+    pub dynamics: Dynamics,
+}
+
+impl GossipEngine {
+    /// A handle for the given dynamic.
+    pub fn new(dynamics: Dynamics) -> Self {
+        Self { dynamics }
+    }
+}
+
+impl Protocol for GossipEngine {
+    fn name(&self) -> &'static str {
+        crate::report::dynamics_protocol_name(self.dynamics)
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let mut c = DynamicsConfig::new(self.dynamics, cfg.assignment().clone())
+            .with_seed(cfg.seed())
+            .with_epsilon(cfg.epsilon())
+            .with_topology(cfg.topology())
+            .with_scenario(cfg.scenario().clone());
+        if let Some(max) = cfg.max_duration() {
+            c = c.with_max_rounds(max.ceil() as u64);
+        }
+        c.run().into()
+    }
+}
+
+/// A two-opinion population protocol (3-state approximate majority or
+/// 4-state exact majority) — see [`PopulationConfig`].
+///
+/// The sequential scheduler has no ε knob: the reported ε-time equals
+/// the consensus time. [`RunConfig::max_duration`] is in the protocols'
+/// native *parallel time* (interactions divided by `n`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopulationEngine {
+    /// Which protocol to run.
+    pub protocol: PopulationProtocol,
+    /// Explicit initial support of opinion A (index 0). `None` derives
+    /// the split from the [`RunConfig`] assignment via
+    /// [`PopulationConfig::from_assignment`].
+    pub initial_a: Option<u64>,
+}
+
+impl PopulationEngine {
+    /// A handle for the given protocol, deriving the A/B split from the
+    /// run configuration's assignment.
+    pub fn new(protocol: PopulationProtocol) -> Self {
+        Self {
+            protocol,
+            initial_a: None,
+        }
+    }
+}
+
+impl Protocol for PopulationEngine {
+    fn name(&self) -> &'static str {
+        crate::report::population_protocol_name(self.protocol)
+    }
+
+    fn check(&self, cfg: &RunConfig) -> Result<(), InvalidParameterError> {
+        cfg.validate()?;
+        if self.initial_a.is_none() && cfg.k() != 2 {
+            return Err(InvalidParameterError::new(format!(
+                "population protocols are binary: k must be 2, got {} \
+                 (or pass the explicit A-count parameter `a`)",
+                cfg.k()
+            )));
+        }
+        if let Some(a) = self.initial_a {
+            if a > cfg.n() {
+                return Err(InvalidParameterError::new(format!(
+                    "initial A-count {a} exceeds the population size {}",
+                    cfg.n()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        let mut c = match self.initial_a {
+            Some(a) => PopulationConfig::new(self.protocol, cfg.n(), a).with_seed(cfg.seed()),
+            None => PopulationConfig::from_assignment(self.protocol, cfg.assignment(), cfg.seed()),
+        }
+        .with_topology(cfg.topology())
+        .with_scenario(cfg.scenario().clone());
+        if let Some(max) = cfg.max_duration() {
+            c = c.with_max_interactions((max * cfg.n() as f64).ceil() as u64);
+        }
+        c.run().into()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Telemetry;
+    use plurality_scenario::Scenario;
+
+    #[test]
+    fn every_engine_runs_from_one_config() {
+        let cfg = RunConfig::with_bias(600, 2, 3.0).unwrap().with_seed(7);
+        let engines: Vec<Box<dyn Protocol>> = vec![
+            Box::new(SyncEngine::default()),
+            Box::new(UrnEngine::default()),
+            Box::new(LeaderEngine {
+                steps_per_unit: Some(9.3),
+                ..Default::default()
+            }),
+            Box::new(ClusterEngine {
+                steps_per_unit: Some(12.0),
+                ..Default::default()
+            }),
+            Box::new(GossipEngine::new(Dynamics::ThreeMajority)),
+            Box::new(PopulationEngine::new(
+                PopulationProtocol::ApproximateMajority,
+            )),
+        ];
+        for engine in engines {
+            engine.check(&cfg).expect("config compatible");
+            let report = engine.run(&cfg);
+            assert_eq!(report.protocol, engine.name());
+            assert_eq!(report.outcome.n, 600);
+            assert!(
+                report.outcome.epsilon_time.is_some(),
+                "{} did not ε-converge",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn urn_rejects_topology_and_scenario_with_teaching_errors() {
+        let urn = UrnEngine::default();
+        let cfg = RunConfig::with_bias(1_000, 2, 2.0)
+            .unwrap()
+            .with_topology(Topology::Ring);
+        let err = urn.check(&cfg).unwrap_err();
+        assert!(err.to_string().contains("mean-field"), "{err}");
+        assert!(err.to_string().contains("sync"), "{err}");
+
+        let cfg = RunConfig::with_bias(1_000, 2, 2.0)
+            .unwrap()
+            .with_scenario(Scenario::new().crash(0.2, 5.0));
+        assert!(urn.check(&cfg).is_err());
+    }
+
+    #[test]
+    fn population_rejects_non_binary_assignments() {
+        let engine = PopulationEngine::new(PopulationProtocol::ExactMajority);
+        let cfg = RunConfig::with_bias(300, 3, 2.0).unwrap();
+        let err = engine.check(&cfg).unwrap_err();
+        assert!(err.to_string().contains("binary"), "{err}");
+        // An explicit A-count sidesteps the k = 2 requirement.
+        let with_a = PopulationEngine {
+            protocol: PopulationProtocol::ExactMajority,
+            initial_a: Some(200),
+        };
+        assert!(with_a.check(&cfg).is_ok());
+    }
+
+    #[test]
+    fn urn_counts_match_the_direct_constructor() {
+        // RunConfig::with_bias and UrnConfig::new share the count
+        // formula, so the facade urn run equals the direct one.
+        let direct = UrnConfig::new(50_000, 3, 2.0).unwrap().with_seed(7).run();
+        let cfg = RunConfig::with_bias(50_000, 3, 2.0).unwrap().with_seed(7);
+        let facade = UrnEngine::default().run(&cfg);
+        assert_eq!(facade.outcome, direct.outcome);
+        match facade.telemetry {
+            Telemetry::Urn(t) => {
+                assert_eq!(t.rounds, direct.rounds);
+                assert_eq!(t.g_star, direct.g_star);
+            }
+            other => panic!("wrong telemetry variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn uniform_assignment_counts_are_exact() {
+        let counts = assignment_counts(&InitialAssignment::Uniform { n: 103, k: 10 }, 0);
+        assert_eq!(counts.iter().sum::<u64>(), 103);
+        assert!(counts.iter().all(|&c| c == 10 || c == 11));
+    }
+}

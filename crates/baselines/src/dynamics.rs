@@ -63,7 +63,10 @@ impl Dynamics {
     }
 }
 
-/// Configuration for a baseline run.
+/// Configuration for a baseline run. Also runnable through the unified
+/// facade (`plurality-api`'s `GossipEngine`; spec names `"pull"`,
+/// `"two-choices"`, `"3-majority"`, `"undecided"`), which consumes the
+/// byte-identical RNG stream.
 ///
 /// # Examples
 ///

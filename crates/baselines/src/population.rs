@@ -63,7 +63,10 @@ impl State {
     }
 }
 
-/// Configuration for a population-protocol run.
+/// Configuration for a population-protocol run. Also runnable through
+/// the unified facade (`plurality-api`'s `PopulationEngine`; spec names
+/// `"approx-majority"`, `"exact-majority"`), which consumes the
+/// byte-identical RNG stream.
 ///
 /// # Examples
 ///

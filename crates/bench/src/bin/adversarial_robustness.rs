@@ -5,9 +5,9 @@
 //! this axis (adversarial corruptions in *Fast Consensus via the
 //! Unconstrained Undecided State Dynamics*, weak-scheduler stress in
 //! *Asynchronous 3-Majority Dynamics with Many Opinions*). Every engine
-//! now takes a time-scripted [`plurality_scenario::Scenario`], so the
-//! *same* script — same budgets, same clock — can be replayed against
-//! the generation protocol and each baseline:
+//! runs behind the unified facade, so the *same* scenario script — same
+//! budgets, same clock — races against the generation protocol and each
+//! baseline as one [`plurality_api::RunSpec`] string per contender:
 //!
 //! 1. **Corruption sweep** (round-based engines): a state-adaptive
 //!    adversary spends budget `B·n` either early (three waves during
@@ -17,21 +17,14 @@
 //! 3. **Async single-leader**: loss bursts, latency regime shifts,
 //!    crash/recover and corruption on the event clock.
 
-use plurality_baselines::{Dynamics, DynamicsConfig};
-use plurality_bench::{is_full, results_dir, run_many};
-use plurality_core::leader::LeaderConfig;
-use plurality_core::sync::SyncConfig;
-use plurality_core::InitialAssignment;
+use plurality_api::RunSpec;
+use plurality_bench::{is_full, results_dir, run_spec_many};
 use plurality_scenario::Scenario;
 use plurality_stats::{fmt_f64, OnlineStats, Table};
 
-/// The baselines raced in the round-based tables (pull voting is
-/// excluded: it hits the round cap with or without an adversary).
-const BASELINES: [Dynamics; 3] = [
-    Dynamics::ThreeMajority,
-    Dynamics::TwoChoices,
-    Dynamics::Undecided,
-];
+/// The round-based contenders, ours first (pull voting is excluded: it
+/// hits the round cap with or without an adversary).
+const RACERS: [&str; 4] = ["sync", "3-majority", "two-choices", "undecided"];
 
 /// Per-protocol cell: mean ε-time, mean full-consensus rounds, and how
 /// many repetitions fully converged on the initial plurality —
@@ -61,37 +54,29 @@ fn race_round_based(
     scenario: &Scenario,
 ) -> Vec<String> {
     let cap = 2_000u64;
-    let runs = run_many(master, reps, |rep| {
-        let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-        let ours = SyncConfig::new(assignment.clone())
-            .with_seed(rep.seed)
-            .with_scenario(scenario.clone())
-            .run()
-            .outcome;
-        let baselines = BASELINES.map(|dynamics| {
-            DynamicsConfig::new(dynamics, assignment.clone())
-                .with_seed(rep.seed)
-                .with_max_rounds(cap)
-                .with_scenario(scenario.clone())
-                .run()
-                .outcome
-        });
-        (ours, baselines)
-    });
-    let mut row = Vec::with_capacity(4);
-    for idx in 0..=BASELINES.len() {
+    let mut row = Vec::with_capacity(RACERS.len());
+    for racer in RACERS {
+        let mut spec = RunSpec::new(racer)
+            .with("n", n)
+            .with("k", k)
+            .with("alpha", alpha);
+        if racer != "sync" {
+            spec = spec.with("max", cap);
+        }
+        if !scenario.is_empty() {
+            spec = spec.with("scenario", scenario);
+        }
         let mut eps = OnlineStats::new();
         let mut full = OnlineStats::new();
         let mut wins = 0u64;
-        for (ours, baselines) in &runs {
-            let outcome = if idx == 0 { ours } else { &baselines[idx - 1] };
-            if let Some(t) = outcome.epsilon_time {
+        for report in run_spec_many(&spec.to_string(), master, reps) {
+            if let Some(t) = report.outcome.epsilon_time {
                 eps.push(t);
             }
-            if let Some(t) = outcome.consensus_time {
+            if let Some(t) = report.outcome.consensus_time {
                 full.push(t);
             }
-            if outcome.plurality_preserved() {
+            if report.outcome.plurality_preserved() {
                 wins += 1;
             }
         }
@@ -203,27 +188,25 @@ fn main() {
         "crash:0.2@8;burst-loss:0.3@10..25;corrupt:0.1:adaptive@30;join:1@40",
     ];
     for script in leader_scripts {
-        let scenario = Scenario::parse(script).expect("valid scenario");
+        let mut spec = RunSpec::new("leader")
+            .with("n", leader_n)
+            .with("k", 2)
+            .with("alpha", 3.0);
+        if !script.is_empty() {
+            spec = spec.with("scenario", script);
+        }
         let mut eps_t = OnlineStats::new();
         let mut full_t = OnlineStats::new();
         let mut gens = OnlineStats::new();
         let mut wins = 0u64;
-        let runs = run_many(0xE18C, reps, |rep| {
-            let assignment =
-                InitialAssignment::with_bias(leader_n, 2, 3.0).expect("valid assignment");
-            LeaderConfig::new(assignment)
-                .with_seed(rep.seed)
-                .with_scenario(scenario.clone())
-                .run()
-        });
-        for r in &runs {
+        for r in run_spec_many(&spec.to_string(), 0xE18C, reps) {
             if let Some(e) = r.outcome.epsilon_time {
                 eps_t.push(e);
             }
             if let Some(f) = r.outcome.consensus_time {
                 full_t.push(f);
             }
-            gens.push(r.phases.len() as f64);
+            gens.push(r.phases().expect("leader telemetry").len() as f64);
             if r.outcome.plurality_preserved() {
                 wins += 1;
             }

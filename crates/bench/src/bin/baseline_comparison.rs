@@ -6,11 +6,13 @@
 //! `O(log k · log log_α k + log log n)`. We race them on identical
 //! instances across `k` (where the separation grows) and also run the
 //! two-opinion population protocols for the parallel-time comparison.
+//!
+//! Every race goes through the unified facade: one [`plurality_api::RunSpec`]
+//! string per contender, no per-engine dispatch. Repetition seeds come
+//! from the same `derive_seed` stream as before the conversion, so the
+//! recorded numbers are unchanged.
 
-use plurality_baselines::{Dynamics, DynamicsConfig, PopulationConfig, PopulationProtocol};
-use plurality_bench::{is_full, results_dir, run_many};
-use plurality_core::sync::SyncConfig;
-use plurality_core::InitialAssignment;
+use plurality_bench::{is_full, results_dir, run_spec_many};
 use plurality_stats::{fmt_f64, OnlineStats, Table};
 
 fn main() {
@@ -33,58 +35,34 @@ fn main() {
     );
     // Cap baselines so pull voting does not dominate the wall-clock.
     let cap = 4_000u64;
-    const KINDS: [Dynamics; 4] = [
-        Dynamics::ThreeMajority,
-        Dynamics::TwoChoices,
-        Dynamics::Undecided,
-        Dynamics::PullVoting,
-    ];
+    const BASELINES: [&str; 4] = ["3-majority", "two-choices", "undecided", "pull"];
     for &k in ks {
-        let mut ours = OnlineStats::new();
-        let mut per_dyn = KINDS.map(|dynamics| (dynamics, OnlineStats::new(), 0u32));
-        let runs = run_many(0xB12, reps, |rep| {
-            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            let ours_time = SyncConfig::new(assignment.clone())
-                .with_seed(rep.seed)
-                .run()
-                .outcome
-                .consensus_time;
-            let dyn_times = KINDS.map(|dynamics| {
-                DynamicsConfig::new(dynamics, assignment.clone())
-                    .with_seed(rep.seed)
-                    .with_max_rounds(cap)
-                    .run()
-                    .outcome
-                    .consensus_time
-            });
-            (ours_time, dyn_times)
-        });
-        for (ours_time, dyn_times) in &runs {
-            if let Some(t) = ours_time {
-                ours.push(*t);
-            }
-            for (time, (_, stats, timeouts)) in dyn_times.iter().zip(per_dyn.iter_mut()) {
-                match time {
-                    Some(t) => stats.push(*t),
-                    None => *timeouts += 1,
+        let cell_for = |spec: &str, master: u64| -> String {
+            let mut stats = OnlineStats::new();
+            let mut timeouts = 0u32;
+            for report in run_spec_many(spec, master, reps) {
+                match report.outcome.consensus_time {
+                    Some(t) => stats.push(t),
+                    None => timeouts += 1,
                 }
             }
-        }
-        let cell = |stats: &OnlineStats, timeouts: u32| -> String {
             if timeouts > 0 {
                 format!("- ({timeouts}/{reps} capped)")
             } else {
                 fmt_f64(stats.mean())
             }
         };
-        table.row(&[
+        let mut row = vec![
             k.to_string(),
-            fmt_f64(ours.mean()),
-            cell(&per_dyn[0].1, per_dyn[0].2),
-            cell(&per_dyn[1].1, per_dyn[1].2),
-            cell(&per_dyn[2].1, per_dyn[2].2),
-            cell(&per_dyn[3].1, per_dyn[3].2),
-        ]);
+            cell_for(&format!("sync?n={n}&k={k}&alpha={alpha}"), 0xB12),
+        ];
+        for baseline in BASELINES {
+            row.push(cell_for(
+                &format!("{baseline}?n={n}&k={k}&alpha={alpha}&max={cap}"),
+                0xB12,
+            ));
+        }
+        table.row(&row);
     }
     println!("{}", table.render());
     println!(
@@ -106,28 +84,21 @@ fn main() {
     );
     for &(frac, label) in &[(0.6f64, "60/40"), (0.52f64, "52/48")] {
         let a = (pop_n as f64 * frac) as u64;
-        for protocol in [
-            PopulationProtocol::ApproximateMajority,
-            PopulationProtocol::ExactMajority,
-        ] {
+        for protocol in ["approx-majority", "exact-majority"] {
             let mut time = OnlineStats::new();
             let mut inter = OnlineStats::new();
             let mut correct = 0u64;
-            let runs = run_many(0xB15, reps, |rep| {
-                PopulationConfig::new(protocol, pop_n, a)
-                    .with_seed(rep.seed)
-                    .run()
-            });
+            let runs = run_spec_many(&format!("{protocol}?n={pop_n}&a={a}"), 0xB15, reps);
             for r in &runs {
                 time.push(r.outcome.duration);
-                inter.push(r.interactions as f64);
-                if r.converged && r.outcome.plurality_preserved() {
+                inter.push(r.interactions().expect("population telemetry") as f64);
+                if r.outcome.plurality_preserved() {
                     correct += 1;
                 }
             }
             t2.row(&[
                 label.to_string(),
-                protocol.name().to_string(),
+                r_name(&runs),
                 fmt_f64(time.mean()),
                 fmt_f64(inter.mean()),
                 format!("{correct}/{reps}"),
@@ -144,4 +115,13 @@ fn main() {
         .expect("write csv");
     println!("wrote {}", dir.join("baseline_comparison.csv").display());
     println!("wrote {}", dir.join("baseline_population.csv").display());
+}
+
+/// The descriptive protocol name of a batch of population reports (all
+/// repetitions ran the same protocol).
+fn r_name(runs: &[plurality_api::Report]) -> String {
+    match &runs[0].telemetry {
+        plurality_api::Telemetry::Population(t) => t.protocol.name().to_string(),
+        other => panic!("expected population telemetry, got {other:?}"),
+    }
 }

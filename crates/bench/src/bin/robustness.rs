@@ -3,25 +3,23 @@
 //!
 //! The paper's model is failure-free. Two engine-level perturbations
 //! probe the slack in its thresholds, plus the scenario-subsystem
-//! equivalent for calibration:
+//! equivalent for calibration — all three sweeps are single
+//! [`plurality_api::RunSpec`] strings through the unified facade:
 //!
-//! * **Signal loss** (`with_signal_loss`, also `--loss` on the CLI):
-//!   each 0-/gen-signal towards the leader is dropped independently
-//!   with probability `p`. The gen-size threshold `n/2` keeps firing
-//!   while `(1 − p) > 1/2`, so the predicted cliff is at `p = 1/2`.
-//! * **Stragglers** (`with_stragglers` / `--stragglers`): a fraction of
-//!   nodes tick at a slower rate; ε-convergence should degrade smoothly
-//!   (the fast majority carries the generations), while full consensus
-//!   waits for the slowest clocks.
-//! * **Scenario burst loss** (`--scenario "burst-loss:P@0..H"`): the
+//! * **Signal loss** (`loss=P`, also `--loss` on the CLI): each
+//!   0-/gen-signal towards the leader is dropped independently with
+//!   probability `p`. The gen-size threshold `n/2` keeps firing while
+//!   `(1 − p) > 1/2`, so the predicted cliff is at `p = 1/2`.
+//! * **Stragglers** (`stragglers=FRAC:RATE` / `--stragglers`): a
+//!   fraction of nodes tick at a slower rate; ε-convergence should
+//!   degrade smoothly (the fast majority carries the generations),
+//!   while full consensus waits for the slowest clocks.
+//! * **Scenario burst loss** (`scenario=burst-loss:P@0..H`): the
 //!   scripted environment drops *every* message — peer channels as well
 //!   as leader signals — so the same nominal `p` is a strictly stronger
 //!   perturbation; the cliff must sit at or below the signal-only one.
 
-use plurality_bench::{is_full, results_dir, run_many};
-use plurality_core::leader::LeaderConfig;
-use plurality_core::InitialAssignment;
-use plurality_scenario::Scenario;
+use plurality_bench::{is_full, results_dir, run_spec_many};
 use plurality_stats::{fmt_f64, OnlineStats, Table};
 
 fn main() {
@@ -44,19 +42,17 @@ fn main() {
         let mut eps_t = OnlineStats::new();
         let mut gens = OnlineStats::new();
         let mut converged = 0u64;
-        let runs = run_many(0xB0B1, reps, |rep| {
-            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            LeaderConfig::new(assignment)
-                .with_seed(rep.seed)
-                .with_signal_loss(loss)
-                .run()
-        });
+        let runs = run_spec_many(
+            &format!("leader?n={n}&k={k}&alpha={alpha}&loss={loss}"),
+            0xB0B1,
+            reps,
+        );
         for r in &runs {
             if let Some(e) = r.outcome.epsilon_time {
                 eps_t.push(e);
             }
-            gens.push(r.phases.len() as f64);
-            if r.outcome.consensus_time.is_some() && r.outcome.plurality_preserved() {
+            gens.push(r.phases().expect("leader telemetry").len() as f64);
+            if r.outcome.plurality_preserved() {
                 converged += 1;
             }
         }
@@ -83,13 +79,11 @@ fn main() {
         let mut eps_t = OnlineStats::new();
         let mut full_t = OnlineStats::new();
         let mut wins = 0u64;
-        let runs = run_many(0xB0B2, reps, |rep| {
-            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            LeaderConfig::new(assignment)
-                .with_seed(rep.seed)
-                .with_stragglers(frac, 0.1)
-                .run()
-        });
+        let runs = run_spec_many(
+            &format!("leader?n={n}&k={k}&alpha={alpha}&stragglers={frac}:0.1"),
+            0xB0B2,
+            reps,
+        );
         for r in &runs {
             if let Some(e) = r.outcome.epsilon_time {
                 eps_t.push(e);
@@ -121,28 +115,26 @@ fn main() {
         &["loss", "ε-time", "consensus rate", "generations allowed"],
     );
     for &loss in &[0.0, 0.2, 0.4, 0.55] {
-        let scenario = if loss == 0.0 {
-            Scenario::new()
+        let scenario_param = if loss == 0.0 {
+            String::new()
         } else {
             // The window outlives any run: effectively a permanent regime.
-            Scenario::parse(&format!("burst-loss:{loss}@0..1000000")).expect("valid scenario")
+            format!("&scenario=burst-loss:{loss}@0..1000000")
         };
         let mut eps_t = OnlineStats::new();
         let mut gens = OnlineStats::new();
         let mut converged = 0u64;
-        let runs = run_many(0xB0B3, reps, |rep| {
-            let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-            LeaderConfig::new(assignment)
-                .with_seed(rep.seed)
-                .with_scenario(scenario.clone())
-                .run()
-        });
+        let runs = run_spec_many(
+            &format!("leader?n={n}&k={k}&alpha={alpha}{scenario_param}"),
+            0xB0B3,
+            reps,
+        );
         for r in &runs {
             if let Some(e) = r.outcome.epsilon_time {
                 eps_t.push(e);
             }
-            gens.push(r.phases.len() as f64);
-            if r.outcome.consensus_time.is_some() && r.outcome.plurality_preserved() {
+            gens.push(r.phases().expect("leader telemetry").len() as f64);
+            if r.outcome.plurality_preserved() {
                 converged += 1;
             }
         }

@@ -6,7 +6,9 @@
 //! 3-Majority Dynamics with Many Opinions*, Cooper et al.) studies the
 //! same dynamics on restricted interaction structures; this sweep runs
 //! the synchronous protocol (rounds) and the asynchronous single-leader
-//! protocol (time steps) across graph families and densities:
+//! protocol (time steps) across graph families and densities — each
+//! cell one [`plurality_api::RunSpec`] string through the unified
+//! facade:
 //!
 //! * complete (baseline), random `d`-regular (expanders), `G(n, p)` at
 //!   two densities, preferential attachment (heavy-tailed), 2-D torus
@@ -21,10 +23,7 @@
 //! forever (the whp full-consensus claim is complete-graph-specific), so
 //! ε-convergence is the honest success metric off the complete graph.
 
-use plurality_bench::{is_full, results_dir, run_many};
-use plurality_core::leader::LeaderConfig;
-use plurality_core::sync::SyncConfig;
-use plurality_core::InitialAssignment;
+use plurality_bench::{is_full, results_dir, run_spec_many};
 use plurality_stats::{fmt_f64, OnlineStats, Table};
 use plurality_topology::Topology;
 
@@ -37,14 +36,19 @@ struct FamilyRow {
     full_time: OnlineStats,
 }
 
-fn sweep<F>(topologies: &[Topology], reps: usize, master: u64, run: F) -> Vec<FamilyRow>
-where
-    F: Fn(Topology, u64) -> plurality_core::RunOutcome + Sync,
-{
+/// Runs one spec template (`{}` marks the topology slot) across the
+/// graph families; rates and times come from the shared outcome, so no
+/// per-engine result handling is needed.
+fn sweep(
+    topologies: &[Topology],
+    reps: usize,
+    master: u64,
+    spec_for: impl Fn(&Topology) -> String,
+) -> Vec<FamilyRow> {
     topologies
         .iter()
-        .map(|&topology| {
-            let runs = run_many(master, reps, |rep| run(topology, rep.seed));
+        .map(|topology| {
+            let runs = run_spec_many(&spec_for(topology), master, reps);
             let mut row = FamilyRow {
                 label: topology.label(),
                 eps_rate: 0.0,
@@ -53,16 +57,16 @@ where
                 eps_time: OnlineStats::new(),
                 full_time: OnlineStats::new(),
             };
-            for outcome in &runs {
-                if let Some(e) = outcome.epsilon_time {
+            for report in &runs {
+                if let Some(e) = report.outcome.epsilon_time {
                     row.eps_rate += 1.0;
                     row.eps_time.push(e);
                 }
-                if let Some(f) = outcome.consensus_time {
+                if let Some(f) = report.outcome.consensus_time {
                     row.full_rate += 1.0;
                     row.full_time.push(f);
                 }
-                if outcome.plurality_preserved() {
+                if report.outcome.plurality_preserved() {
                     row.preserved_rate += 1.0;
                 }
             }
@@ -135,14 +139,11 @@ fn main() {
 
     // --- Synchronous protocol: times are rounds.
     let sync_cap = if full { 3_000 } else { 1_500 };
-    let sync_rows = sweep(&families, reps, 0xE17A, |topology, seed| {
-        let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-        SyncConfig::new(assignment)
-            .with_seed(seed)
-            .with_topology(topology)
-            .with_max_rounds(sync_cap)
-            .run()
-            .outcome
+    let sync_rows = sweep(&families, reps, 0xE17A, |topology| {
+        format!(
+            "sync?n={n}&k={k}&alpha={alpha}&max={sync_cap}&topology={}",
+            topology.spec()
+        )
     });
     let t1 = render(
         format!("E17a: synchronous protocol vs topology (n = {n}, k = {k}, α₀ = {alpha}, cap {sync_cap} rounds)"),
@@ -153,15 +154,11 @@ fn main() {
 
     // --- Asynchronous single-leader protocol: times are steps.
     let leader_cap = if full { 1_200.0 } else { 600.0 };
-    let leader_rows = sweep(&families, reps, 0xE17B, |topology, seed| {
-        let assignment = InitialAssignment::with_bias(n, k, alpha).expect("valid assignment");
-        LeaderConfig::new(assignment)
-            .with_seed(seed)
-            .with_steps_per_unit(9.3)
-            .with_topology(topology)
-            .with_max_time(leader_cap)
-            .run()
-            .outcome
+    let leader_rows = sweep(&families, reps, 0xE17B, |topology| {
+        format!(
+            "leader?n={n}&k={k}&alpha={alpha}&c1=9.3&max={leader_cap}&topology={}",
+            topology.spec()
+        )
     });
     let t2 = render(
         format!("E17b: async single-leader vs topology (n = {n}, k = {k}, α₀ = {alpha}, cap {leader_cap} steps)"),

@@ -95,6 +95,34 @@ where
     plurality_par::par_map(cells, f)
 }
 
+/// Resolves a [`plurality_api::RunSpec`] string once and runs `reps`
+/// seeded repetitions in parallel — [`run_many`] for the unified
+/// facade. Repetition `i` runs with seed `derive_seed(master, i)`, the
+/// same stream [`seeds`] produces, so a converted experiment reproduces
+/// its direct-builder numbers exactly (the facade's bitwise contract).
+///
+/// # Panics
+///
+/// Panics if the spec does not parse or resolve — experiment binaries
+/// hard-code their specs, so a bad spec is a bug, not an input error.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_bench::run_spec_many;
+///
+/// let reports = run_spec_many("two-choices?n=400&k=2&alpha=3.0", 7, 2);
+/// assert_eq!(reports.len(), 2);
+/// assert!(reports.iter().all(|r| r.outcome.plurality_preserved()));
+/// ```
+pub fn run_spec_many(spec: &str, master: u64, reps: usize) -> Vec<plurality_api::Report> {
+    let parsed = plurality_api::RunSpec::parse(spec).expect("valid run spec");
+    let resolved = plurality_api::Registry::standard()
+        .resolve(&parsed)
+        .unwrap_or_else(|e| panic!("unresolvable run spec `{spec}`: {e}"));
+    run_many(master, reps, |rep| resolved.run_seeded(rep.seed))
+}
+
 /// Logarithmically spaced values from `lo` to `hi` (inclusive).
 ///
 /// # Panics

@@ -39,7 +39,9 @@ use rand::Rng;
 const UNCLUSTERED: u32 = u32::MAX;
 
 /// Configuration for a multi-leader run. Construct with
-/// [`ClusterConfig::new`] and chain the `with_*` setters.
+/// [`ClusterConfig::new`] and chain the `with_*` setters — or run
+/// through the unified facade (`plurality-api`'s `ClusterEngine`, spec
+/// name `"cluster"`), which consumes the byte-identical RNG stream.
 ///
 /// # Examples
 ///

@@ -45,7 +45,9 @@ use rand::Rng;
 const STRAGGLER_STREAM: u64 = 0x5752_A661;
 
 /// Configuration for a single-leader asynchronous run. Construct with
-/// [`LeaderConfig::new`] and chain the `with_*` setters.
+/// [`LeaderConfig::new`] and chain the `with_*` setters — or run
+/// through the unified facade (`plurality-api`'s `LeaderEngine`, spec
+/// name `"leader"`), which consumes the byte-identical RNG stream.
 ///
 /// # Examples
 ///

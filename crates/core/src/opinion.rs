@@ -6,7 +6,7 @@
 //! initial vectors used by every protocol and baseline in the workspace;
 //! [`OpinionCounts`] tracks support counts and computes the bias.
 
-use plurality_dist::AliasTable;
+use plurality_dist::{AliasTable, InvalidParameterError};
 use rand::Rng;
 use std::fmt;
 
@@ -279,20 +279,24 @@ impl InitialAssignment {
     ///
     /// # Errors
     ///
-    /// Returns an error message if `k < 2`, `alpha < 1`, or the rounding
-    /// would leave the runner-up empty.
-    pub fn with_bias(n: u64, k: u32, alpha: f64) -> Result<Self, String> {
+    /// Returns [`InvalidParameterError`] if `k < 2`, `alpha < 1`, or the
+    /// rounding would leave the runner-up empty.
+    pub fn with_bias(n: u64, k: u32, alpha: f64) -> Result<Self, InvalidParameterError> {
         if k < 2 {
-            return Err(format!("with_bias requires k ≥ 2, got {k}"));
+            return Err(InvalidParameterError::new(format!(
+                "with_bias requires k ≥ 2, got {k}"
+            )));
         }
         if !(alpha >= 1.0 && alpha.is_finite()) {
-            return Err(format!("with_bias requires finite alpha ≥ 1, got {alpha}"));
+            return Err(InvalidParameterError::new(format!(
+                "with_bias requires finite alpha ≥ 1, got {alpha}"
+            )));
         }
         let cb = (n as f64 / (alpha + k as f64 - 1.0)).floor() as u64;
         if cb == 0 {
-            return Err(format!(
+            return Err(InvalidParameterError::new(format!(
                 "population n = {n} too small for k = {k}, alpha = {alpha}: runner-up would be empty"
-            ));
+            )));
         }
         let mut counts = vec![cb; k as usize];
         counts[0] = n - cb * (k as u64 - 1);
@@ -307,21 +311,25 @@ impl InitialAssignment {
     ///
     /// # Errors
     ///
-    /// Returns an error message if `k < 2` or the gap exceeds what `n`
-    /// admits (every opinion must keep non-negative support and the
-    /// runner-up must be non-empty).
-    pub fn with_additive_gap(n: u64, k: u32, gap: u64) -> Result<Self, String> {
+    /// Returns [`InvalidParameterError`] if `k < 2` or the gap exceeds
+    /// what `n` admits (every opinion must keep non-negative support and
+    /// the runner-up must be non-empty).
+    pub fn with_additive_gap(n: u64, k: u32, gap: u64) -> Result<Self, InvalidParameterError> {
         if k < 2 {
-            return Err(format!("with_additive_gap requires k ≥ 2, got {k}"));
+            return Err(InvalidParameterError::new(format!(
+                "with_additive_gap requires k ≥ 2, got {k}"
+            )));
         }
         if gap >= n {
-            return Err(format!("gap {gap} must be smaller than n = {n}"));
+            return Err(InvalidParameterError::new(format!(
+                "gap {gap} must be smaller than n = {n}"
+            )));
         }
         let others = (n - gap) / k as u64;
         if others == 0 {
-            return Err(format!(
+            return Err(InvalidParameterError::new(format!(
                 "gap {gap} leaves no support for the runner-up at n = {n}, k = {k}"
-            ));
+            )));
         }
         let mut counts = vec![others; k as usize];
         // counts[0] − others = n − others·k ≥ gap by construction.

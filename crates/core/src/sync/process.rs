@@ -30,7 +30,9 @@ pub enum ScheduleMode {
 }
 
 /// Configuration for a synchronous run. Construct with
-/// [`SyncConfig::new`] and chain the `with_*` setters.
+/// [`SyncConfig::new`] and chain the `with_*` setters — or run through
+/// the unified facade (`plurality-api`'s `SyncEngine`, spec name
+/// `"sync"`), which consumes the byte-identical RNG stream.
 ///
 /// # Examples
 ///

@@ -27,9 +27,12 @@ use crate::opinion::OpinionCounts;
 use crate::outcome::{ConvergenceTracker, GenerationBirth, RunOutcome};
 use crate::sync::schedule::{generations_needed, Schedule, GENERATION_CAP};
 use plurality_dist::rng::Xoshiro256PlusPlus;
-use plurality_dist::sample_binomial;
+use plurality_dist::{sample_binomial, InvalidParameterError};
 
-/// Configuration for an urn-mode synchronous run.
+/// Configuration for an urn-mode synchronous run. Also runnable
+/// through the unified facade (`plurality-api`'s `UrnEngine`, spec name
+/// `"urn"`), which enforces the mean-field exemption above as a
+/// teaching error.
 ///
 /// # Examples
 ///
@@ -56,17 +59,24 @@ impl UrnConfig {
     ///
     /// # Errors
     ///
-    /// Returns an error message for invalid `(n, k, alpha)` combinations.
-    pub fn new(n: u64, k: u32, alpha: f64) -> Result<Self, String> {
+    /// Returns [`InvalidParameterError`] for invalid `(n, k, alpha)`
+    /// combinations.
+    pub fn new(n: u64, k: u32, alpha: f64) -> Result<Self, InvalidParameterError> {
         if k < 2 {
-            return Err(format!("urn mode requires k ≥ 2, got {k}"));
+            return Err(InvalidParameterError::new(format!(
+                "urn mode requires k ≥ 2, got {k}"
+            )));
         }
         if !(alpha >= 1.0 && alpha.is_finite()) {
-            return Err(format!("alpha must be finite and ≥ 1, got {alpha}"));
+            return Err(InvalidParameterError::new(format!(
+                "alpha must be finite and ≥ 1, got {alpha}"
+            )));
         }
         let cb = (n as f64 / (alpha + k as f64 - 1.0)).floor() as u64;
         if cb == 0 {
-            return Err(format!("n = {n} too small for k = {k}, alpha = {alpha}"));
+            return Err(InvalidParameterError::new(format!(
+                "n = {n} too small for k = {k}, alpha = {alpha}"
+            )));
         }
         let mut counts = vec![cb; k as usize];
         counts[0] = n - cb * (k as u64 - 1);

@@ -216,6 +216,69 @@ impl Latency {
             Self::Deterministic { .. } => true,
         }
     }
+
+    /// The machine-readable spec of this law, in the grammar of
+    /// [`Latency::parse_spec`]. The CLI, the scenario DSL ecosystem, and
+    /// the `plurality-api` run specs all share this one grammar.
+    ///
+    /// `Latency::parse_spec(&l.spec())` reproduces `l` exactly for the
+    /// exponential, Erlang, uniform, and deterministic families; the
+    /// Weibull family is mean-parameterized in the grammar, so its
+    /// round-trip is exact up to the floating-point `scale ↔ mean`
+    /// conversion.
+    pub fn spec(&self) -> String {
+        match *self {
+            Self::Exponential { rate } => format!("exp:{rate}"),
+            Self::Erlang { shape, rate } => format!("erlang:{shape}:{rate}"),
+            Self::Weibull { shape, .. } => format!("weibull:{shape}:{}", self.mean()),
+            Self::Uniform { lo, hi } => format!("uniform:{lo}:{hi}"),
+            Self::Deterministic { value } => format!("det:{value}"),
+        }
+    }
+
+    /// Parses a latency spec:
+    ///
+    /// ```text
+    /// exp:RATE | erlang:SHAPE:RATE | weibull:SHAPE:MEAN
+    ///          | uniform:LO:HI     | det:VALUE
+    /// ```
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use plurality_dist::Latency;
+    /// assert_eq!(Latency::parse_spec("exp:2.0"), Latency::exponential(2.0));
+    /// assert_eq!(Latency::parse_spec("erlang:3:1.5"), Latency::erlang(3, 1.5));
+    /// assert!(Latency::parse_spec("cauchy:1").is_err());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] for unknown families, malformed
+    /// numbers, or parameters the family constructors reject.
+    pub fn parse_spec(spec: &str) -> Result<Self, InvalidParameterError> {
+        let parts: Vec<&str> = spec.split(':').collect();
+        let num = |s: &str| -> Result<f64, InvalidParameterError> {
+            s.parse()
+                .map_err(|_| InvalidParameterError::new(format!("`{s}` is not a number")))
+        };
+        match parts.as_slice() {
+            ["exp", rate] => Self::exponential(num(rate)?),
+            ["erlang", shape, rate] => {
+                let shape: u32 = shape.parse().map_err(|_| {
+                    InvalidParameterError::new(format!("`{shape}` is not an integer"))
+                })?;
+                Self::erlang(shape, num(rate)?)
+            }
+            ["weibull", shape, mean] => Self::weibull_with_mean(num(shape)?, num(mean)?),
+            ["uniform", lo, hi] => Self::uniform(num(lo)?, num(hi)?),
+            ["det", value] => Self::deterministic(num(value)?),
+            _ => Err(InvalidParameterError::new(format!(
+                "unknown latency spec `{spec}` (expected exp:RATE, erlang:SHAPE:RATE, \
+                 weibull:SHAPE:MEAN, uniform:LO:HI, or det:VALUE)"
+            ))),
+        }
+    }
 }
 
 impl fmt::Display for Latency {
@@ -605,5 +668,36 @@ mod tests {
         assert_eq!(wt.sample_channel_phase(&mut rng), 4.0);
         assert_eq!(wt.sample_t3(&mut rng), 5.0);
         assert_eq!(wt.time_unit(100, 0), 5.0);
+    }
+
+    #[test]
+    fn spec_round_trips_for_exactly_parameterized_families() {
+        for latency in [
+            Latency::exponential(0.5).unwrap(),
+            Latency::erlang(3, 1.5).unwrap(),
+            Latency::uniform(0.25, 2.0).unwrap(),
+            Latency::deterministic(1.25).unwrap(),
+        ] {
+            assert_eq!(
+                Latency::parse_spec(&latency.spec()),
+                Ok(latency),
+                "{}",
+                latency.spec()
+            );
+        }
+        // Weibull is mean-parameterized: round-trip up to scale ↔ mean
+        // conversion error.
+        let w = Latency::weibull_with_mean(1.5, 2.0).unwrap();
+        let back = Latency::parse_spec(&w.spec()).unwrap();
+        assert!((back.mean() - w.mean()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_spec_rejects_malformed_input() {
+        assert!(Latency::parse_spec("exp").is_err());
+        assert!(Latency::parse_spec("exp:-1").is_err());
+        assert!(Latency::parse_spec("erlang:x:1").is_err());
+        assert!(Latency::parse_spec("cauchy:1").is_err());
+        assert!(Latency::parse_spec("uniform:2:1").is_err());
     }
 }

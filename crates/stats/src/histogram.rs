@@ -2,6 +2,8 @@
 //! (e.g. the spread of per-cluster phase-change times, or waiting-time
 //! distributions behind Figure 1).
 
+use plurality_dist::InvalidParameterError;
+
 /// A histogram over `[lo, hi)` with equally wide bins, plus underflow and
 /// overflow counters.
 ///
@@ -32,14 +34,18 @@ impl Histogram {
     ///
     /// # Errors
     ///
-    /// Returns a message if the bounds are not finite and ordered or
-    /// `bins == 0`.
-    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, String> {
+    /// Returns [`InvalidParameterError`] if the bounds are not finite
+    /// and ordered or `bins == 0`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Result<Self, InvalidParameterError> {
         if !(lo.is_finite() && hi.is_finite() && lo < hi) {
-            return Err(format!("invalid histogram range [{lo}, {hi})"));
+            return Err(InvalidParameterError::new(format!(
+                "invalid histogram range [{lo}, {hi})"
+            )));
         }
         if bins == 0 {
-            return Err("histogram needs at least one bin".to_string());
+            return Err(InvalidParameterError::new(
+                "histogram needs at least one bin",
+            ));
         }
         Ok(Self {
             lo,

@@ -1,6 +1,9 @@
-//! `plurality` — command-line front end for the consensus simulators.
+//! `plurality` — command-line front end for the consensus simulators,
+//! driven by the unified protocol facade of `plurality-api`.
 //!
 //! ```text
+//! plurality --spec "leader?n=4096&k=8&topology=er:0.01&scenario=crash:0.2@5"
+//! plurality --list
 //! plurality run --protocol leader --n 10000 --k 4 --alpha 2.0 --seed 7
 //! plurality run --protocol cluster --n 20000 --k 8 --alpha 1.5 --latency weibull:1.5:1.0
 //! plurality run --protocol 3-majority --n 30000 --k 16 --alpha 2.0
@@ -10,18 +13,17 @@
 //! plurality time-unit --latency exp:0.1 --pattern single
 //! ```
 //!
-//! Argument parsing is hand-rolled (the workspace keeps its dependency set
-//! to `rand` + dev-tools); every flag has a default, so
+//! `run --protocol P --key value …` and `--spec "P?key=value&…"` are the
+//! same thing: every flag is a run-spec parameter, validated by the
+//! protocol registry with teaching errors. Argument parsing is
+//! hand-rolled (the workspace keeps its dependency set to `rand` +
+//! dev-tools); every parameter has a default, so
 //! `plurality run --protocol sync` already works.
 
-use plurality::baselines::{Dynamics, DynamicsConfig};
-use plurality::core::cluster::ClusterConfig;
-use plurality::core::leader::LeaderConfig;
-use plurality::core::sync::SyncConfig;
-use plurality::core::{InitialAssignment, RunOutcome};
+use plurality::api::{
+    parse_stragglers, Registry, Report, Resolved, RunSpec, SpecError, Telemetry, COMMON_KEYS,
+};
 use plurality::dist::{ChannelPattern, Latency, WaitingTime};
-use plurality::scenario::Scenario;
-use plurality::topology::Topology;
 use std::collections::HashMap;
 use std::process::ExitCode;
 
@@ -38,7 +40,7 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
     let command = iter
         .next()
         .cloned()
-        .ok_or_else(|| "missing subcommand (try `run` or `time-unit`)".to_string())?;
+        .ok_or_else(|| "missing subcommand (try `run`, `list`, or `time-unit`)".to_string())?;
     let mut options = HashMap::new();
     while let Some(flag) = iter.next() {
         let key = flag
@@ -53,15 +55,6 @@ fn parse_args(raw: &[String]) -> Result<Args, String> {
 }
 
 impl Args {
-    fn get_f64(&self, key: &str, default: f64) -> Result<f64, String> {
-        match self.options.get(key) {
-            None => Ok(default),
-            Some(v) => v
-                .parse()
-                .map_err(|_| format!("--{key}: `{v}` is not a number")),
-        }
-    }
-
     fn get_u64(&self, key: &str, default: u64) -> Result<u64, String> {
         match self.options.get(key) {
             None => Ok(default),
@@ -79,70 +72,7 @@ impl Args {
     }
 }
 
-/// Parses a latency spec: `exp:RATE`, `erlang:SHAPE:RATE`,
-/// `weibull:SHAPE:MEAN`, `uniform:LO:HI`, `det:VALUE`.
-fn parse_latency(spec: &str) -> Result<Latency, String> {
-    let parts: Vec<&str> = spec.split(':').collect();
-    let num = |s: &str| -> Result<f64, String> {
-        s.parse().map_err(|_| format!("`{s}` is not a number"))
-    };
-    let latency = match parts.as_slice() {
-        ["exp", rate] => Latency::exponential(num(rate)?),
-        ["erlang", shape, rate] => {
-            let shape: u32 = shape
-                .parse()
-                .map_err(|_| format!("`{shape}` is not an integer"))?;
-            Latency::erlang(shape, num(rate)?)
-        }
-        ["weibull", shape, mean] => Latency::weibull_with_mean(num(shape)?, num(mean)?),
-        ["uniform", lo, hi] => Latency::uniform(num(lo)?, num(hi)?),
-        ["det", value] => Latency::deterministic(num(value)?),
-        _ => {
-            return Err(format!(
-                "unknown latency spec `{spec}` (expected exp:RATE, erlang:SHAPE:RATE, \
-                 weibull:SHAPE:MEAN, uniform:LO:HI, or det:VALUE)"
-            ))
-        }
-    };
-    latency.map_err(|e| e.to_string())
-}
-
-/// Parses a topology spec: `complete`, `ring`, `torus`, `er:P`,
-/// `regular:D`, `pa:M` — the shared grammar of
-/// [`Topology::parse_spec`], also used by the scenario DSL's `rewire:`.
-fn parse_topology(spec: &str) -> Result<Topology, String> {
-    Topology::parse_spec(spec).map_err(|e| e.to_string())
-}
-
-/// Parses a straggler spec: `FRAC` (rate defaults to 0.1) or
-/// `FRAC:RATE`. Ranges are checked here so bad values surface as CLI
-/// errors, not engine panics.
-fn parse_stragglers(spec: &str) -> Result<(f64, f64), String> {
-    let num = |what: &str, s: &str| -> Result<f64, String> {
-        s.parse()
-            .map_err(|_| format!("{what}: `{s}` is not a number"))
-    };
-    let (fraction, rate) = match spec.split_once(':') {
-        None => (num("straggler fraction", spec)?, 0.1),
-        Some((frac, rate)) => (
-            num("straggler fraction", frac)?,
-            num("straggler rate", rate)?,
-        ),
-    };
-    if !(0.0..=1.0).contains(&fraction) {
-        return Err(format!(
-            "straggler fraction must lie in [0, 1], got {fraction}"
-        ));
-    }
-    if !(rate > 0.0 && rate.is_finite()) {
-        return Err(format!(
-            "straggler rate must be positive and finite, got {rate}"
-        ));
-    }
-    Ok((fraction, rate))
-}
-
-fn print_outcome(protocol: &str, outcome: &RunOutcome) {
+fn print_outcome(protocol: &str, outcome: &plurality::core::RunOutcome) {
     println!("protocol:            {protocol}");
     println!("population:          n = {}, k = {}", outcome.n, outcome.k);
     println!(
@@ -172,139 +102,156 @@ fn print_outcome(protocol: &str, outcome: &RunOutcome) {
     }
 }
 
-/// The one protocol list: the early unknown-protocol check, its error
-/// message, and the dispatch match in [`cmd_run`] all key off it.
-const PROTOCOLS: [&str; 7] = [
-    "sync",
-    "leader",
-    "cluster",
-    "pull",
-    "two-choices",
-    "3-majority",
-    "undecided",
-];
+/// Prints the unified report: the shared outcome plus the telemetry
+/// lines each engine family earns.
+fn print_report(report: &Report) {
+    let display_name = match &report.telemetry {
+        Telemetry::Sync(_) => "synchronous (Algorithm 1)".to_string(),
+        Telemetry::Urn(_) => "urn mode (mean-field Algorithm 1)".to_string(),
+        Telemetry::Leader(_) => "async single-leader (Algorithms 2+3)".to_string(),
+        Telemetry::Cluster(_) => "async multi-leader (Algorithms 4+5)".to_string(),
+        Telemetry::Gossip(t) => t.dynamics.name().to_string(),
+        Telemetry::Population(t) => t.protocol.name().to_string(),
+    };
+    print_outcome(&display_name, &report.outcome);
+    match &report.telemetry {
+        Telemetry::Sync(t) => println!("rounds:              {}", t.rounds),
+        Telemetry::Urn(t) => println!("rounds:              {} (G* = {})", t.rounds, t.g_star),
+        Telemetry::Leader(t) => println!(
+            "time unit:           C1 = {:.3} steps ({} ticks processed)",
+            t.steps_per_unit, t.ticks
+        ),
+        Telemetry::Cluster(t) => println!(
+            "clusters:            {} ({} participating, {:.1}% of nodes)",
+            t.cluster_count,
+            t.participating_clusters,
+            100.0 * t.participating_fraction
+        ),
+        Telemetry::Gossip(t) => println!("rounds:              {}", t.rounds),
+        Telemetry::Population(t) => println!(
+            "interactions:        {} (converged: {})",
+            t.interactions, t.converged
+        ),
+    }
+}
+
+fn resolve_spec(spec: &RunSpec) -> Result<Resolved, String> {
+    Registry::standard()
+        .resolve(spec)
+        .map_err(|e: SpecError| e.message().to_string())
+}
+
+fn cmd_spec(raw: &str) -> Result<(), String> {
+    let spec = RunSpec::parse(raw).map_err(|e| e.message().to_string())?;
+    let resolved = resolve_spec(&spec)?;
+    print_report(&resolved.run());
+    Ok(())
+}
+
+fn cmd_list() -> Result<(), String> {
+    println!("registered protocols (run with --spec \"NAME?key=value&…\"):\n");
+    for entry in Registry::standard().entries() {
+        let aliases = if entry.aliases().is_empty() {
+            String::new()
+        } else {
+            format!(" (aliases: {})", entry.aliases().join(", "))
+        };
+        println!("  {:<16} {}{aliases}", entry.name(), entry.summary());
+        for (key, help) in entry.keys() {
+            println!("      {key:<14} {help}");
+        }
+    }
+    println!("\ncommon parameters (every protocol):");
+    for (key, help) in COMMON_KEYS {
+        println!("      {key:<14} {help}");
+    }
+    Ok(())
+}
 
 fn cmd_run(args: &Args) -> Result<(), String> {
+    if let Some(raw) = args.options.get("spec") {
+        if args.options.len() > 1 {
+            return Err(
+                "--spec is self-contained; pass parameters inside the spec string \
+                 instead of as extra flags"
+                    .to_string(),
+            );
+        }
+        return cmd_spec(raw);
+    }
     let protocol = args.get_str("protocol", "sync");
-    let n = args.get_u64("n", 10_000)?;
-    let k = args.get_u64("k", 4)? as u32;
-    let alpha = args.get_f64("alpha", 2.0)?;
-    let seed = args.get_u64("seed", 0)?;
-    let epsilon = args.get_f64("epsilon", 0.05)?;
-    let latency = parse_latency(&args.get_str("latency", "exp:1.0"))?;
-    let topology = parse_topology(&args.get_str("topology", "complete"))?;
-    // Surface topology parameter errors (prime n for a torus, odd n·d, …)
-    // as CLI errors instead of run-time panics. `validate` checks the
-    // constraints without materializing a throwaway graph.
-    topology.validate(n as usize).map_err(|e| e.to_string())?;
-    let scenario = Scenario::parse(&args.get_str("scenario", "")).map_err(|e| e.to_string())?;
-    scenario.validate(n as usize).map_err(|e| e.to_string())?;
     // Reject unknown protocols before any flag-compatibility diagnosis,
     // so a typo'd protocol never gets flag advice addressed to it.
-    if !PROTOCOLS.contains(&protocol.as_str()) {
+    let Some(entry) = Registry::standard().find(&protocol) else {
         return Err(format!(
             "unknown protocol `{protocol}` (expected {})",
-            PROTOCOLS.join(", ")
+            Registry::standard().names().join(", ")
         ));
-    }
+    };
     // Engine-API failure knobs of the single-leader engine; every other
     // protocol expresses failures through `--scenario` instead. Ranges
-    // are checked here so bad values surface as CLI errors, not engine
-    // panics.
-    let loss = args.get_f64("loss", 0.0)?;
-    if !(0.0..=1.0).contains(&loss) {
-        return Err(format!("--loss must lie in [0, 1], got {loss}"));
-    }
-    let stragglers = args
-        .options
-        .get("stragglers")
-        .map(|s| parse_stragglers(s))
-        .transpose()?;
-    if protocol != "leader" {
-        if loss != 0.0 {
-            return Err(format!(
-                "--loss is leader-only (persistent 0-/gen-signal loss); for `{protocol}` \
-                 script a burst instead: --scenario \"burst-loss:{loss}@0..1000000\""
-            ));
+    // are checked here so the advice cites the flag, not a spec key.
+    let mut drop_zero_loss = false;
+    if let Some(raw) = args.options.get("loss") {
+        let loss: f64 = raw
+            .parse()
+            .map_err(|_| format!("--loss: `{raw}` is not a number"))?;
+        if !(0.0..=1.0).contains(&loss) {
+            return Err(format!("--loss must lie in [0, 1], got {loss}"));
         }
-        if stragglers.is_some() {
+        if entry.name() != "leader" {
+            if loss != 0.0 {
+                return Err(format!(
+                    "--loss is leader-only (persistent 0-/gen-signal loss); for `{protocol}` \
+                     script a burst instead: --scenario \"burst-loss:{loss}@0..1000000\""
+                ));
+            }
+            // An explicit zero is a no-op everywhere; don't forward it.
+            drop_zero_loss = true;
+        }
+    }
+    if let Some(raw) = args.options.get("stragglers") {
+        parse_stragglers(raw).map_err(|e| e.message().to_string())?;
+        if entry.name() != "leader" {
             return Err(
                 "--stragglers is leader-only (heterogeneous Poisson clock rates)".to_string(),
             );
         }
     }
-    let assignment = InitialAssignment::with_bias(n, k, alpha)?;
-
-    match protocol.as_str() {
-        "sync" => {
-            let gamma = args.get_f64("gamma", 0.5)?;
-            let r = SyncConfig::new(assignment)
-                .with_seed(seed)
-                .with_gamma(gamma)
-                .with_epsilon(epsilon)
-                .with_topology(topology)
-                .with_scenario(scenario)
-                .run();
-            print_outcome("synchronous (Algorithm 1)", &r.outcome);
-            println!("rounds:              {}", r.rounds);
+    // Every remaining flag is a run-spec parameter — one grammar, one
+    // validator, one set of teaching errors shared with `--spec`.
+    let mut spec = RunSpec::new(entry.name());
+    let mut keys: Vec<&String> = args.options.keys().collect();
+    keys.sort(); // deterministic parameter order in errors and Display
+    for key in keys {
+        if key == "protocol" || (key == "loss" && drop_zero_loss) {
+            continue;
         }
-        "leader" => {
-            let mut config = LeaderConfig::new(assignment)
-                .with_seed(seed)
-                .with_latency(latency)
-                .with_epsilon(epsilon)
-                .with_topology(topology)
-                .with_scenario(scenario)
-                .with_signal_loss(loss);
-            if let Some((fraction, rate)) = stragglers {
-                config = config.with_stragglers(fraction, rate);
+        let value = &args.options[key];
+        if value.is_empty() {
+            // Only the historical `--scenario ""` idiom means "default";
+            // an empty value anywhere else is a mistake (typically an
+            // unset shell variable), not a request for the default.
+            if key == "scenario" {
+                continue;
             }
-            let r = config.run();
-            print_outcome("async single-leader (Algorithms 2+3)", &r.outcome);
-            println!(
-                "time unit:           C1 = {:.3} steps ({} ticks processed)",
-                r.steps_per_unit, r.ticks
-            );
+            return Err(format!("flag --{key} has an empty value"));
         }
-        "cluster" => {
-            let r = ClusterConfig::new(assignment)
-                .with_seed(seed)
-                .with_latency(latency)
-                .with_epsilon(epsilon)
-                .with_topology(topology)
-                .with_scenario(scenario)
-                .run();
-            print_outcome("async multi-leader (Algorithms 4+5)", &r.outcome);
-            println!(
-                "clusters:            {} ({} participating, {:.1}% of nodes)",
-                r.cluster_count,
-                r.participating_clusters,
-                100.0 * r.participating_fraction
-            );
+        if key.contains(['?', '&', '=']) || value.contains(['?', '&', '=']) {
+            return Err(format!(
+                "flag --{key} {value}: `?`, `&`, and `=` are reserved by the spec grammar"
+            ));
         }
-        "pull" | "two-choices" | "3-majority" | "undecided" => {
-            let dynamics = match protocol.as_str() {
-                "pull" => Dynamics::PullVoting,
-                "two-choices" => Dynamics::TwoChoices,
-                "3-majority" => Dynamics::ThreeMajority,
-                _ => Dynamics::Undecided,
-            };
-            let r = DynamicsConfig::new(dynamics, assignment)
-                .with_seed(seed)
-                .with_epsilon(epsilon)
-                .with_topology(topology)
-                .with_scenario(scenario)
-                .run();
-            print_outcome(dynamics.name(), &r.outcome);
-            println!("rounds:              {}", r.rounds);
-        }
-        _ => unreachable!("protocol validated against PROTOCOLS above"),
+        spec = spec.with(key, value);
     }
+    let resolved = resolve_spec(&spec)?;
+    print_report(&resolved.run());
     Ok(())
 }
 
 fn cmd_time_unit(args: &Args) -> Result<(), String> {
-    let latency = parse_latency(&args.get_str("latency", "exp:1.0"))?;
+    let latency =
+        Latency::parse_spec(&args.get_str("latency", "exp:1.0")).map_err(|e| e.to_string())?;
     let pattern = match args.get_str("pattern", "single").as_str() {
         "single" => ChannelPattern::SingleLeader,
         "multi" => ChannelPattern::MultiLeader,
@@ -327,11 +274,16 @@ fn cmd_time_unit(args: &Args) -> Result<(), String> {
 }
 
 const USAGE: &str = "usage:
-  plurality run [--protocol sync|leader|cluster|pull|two-choices|3-majority|undecided]
-                [--n N] [--k K] [--alpha A] [--seed S] [--epsilon E]
-                [--gamma G] [--latency SPEC] [--topology SPEC] [--scenario SPEC]
-                [--loss P] [--stragglers FRAC[:RATE]]        (leader only)
+  plurality --spec \"PROTOCOL?key=value&key=value…\"
+  plurality --list                        (registered protocols and their parameters)
+  plurality run --protocol PROTOCOL [--key value …]
   plurality time-unit [--latency SPEC] [--pattern single|multi] [--samples M] [--seed S]
+
+`run` flags and `--spec` parameters are the same grammar. Common keys:
+  n, k, alpha, epsilon, seed, record, topology, scenario, max
+protocol-specific keys (see --list): gamma, mode (sync/urn);
+  latency, c1, loss, stragglers (leader); latency, c1, participation,
+  leader-prob (cluster); a (population protocols)
 
 latency SPEC:  exp:RATE | erlang:SHAPE:RATE | weibull:SHAPE:MEAN | uniform:LO:HI | det:VALUE
 topology SPEC: complete | ring | torus | er:P | regular:D | pa:M
@@ -341,21 +293,26 @@ scenario SPEC: ACTION@TIME[..UNTIL] joined by ';' — e.g. \"crash:0.2@5;burst-l
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
-    let args = match parse_args(&raw) {
-        Ok(args) => args,
-        Err(e) => {
-            eprintln!("error: {e}\n{USAGE}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let result = match args.command.as_str() {
-        "run" => cmd_run(&args),
-        "time-unit" => cmd_time_unit(&args),
-        "help" | "--help" | "-h" => {
-            println!("{USAGE}");
-            Ok(())
-        }
-        other => Err(format!("unknown subcommand `{other}`")),
+    // `--spec` and `--list` work as top-level commands: the facade makes
+    // a whole run a single string, so no subcommand is needed.
+    let result = match raw.first().map(String::as_str) {
+        Some("--spec") => match raw.get(1) {
+            Some(spec) if raw.len() == 2 => cmd_spec(spec),
+            _ => Err("--spec takes exactly one argument (the spec string)".to_string()),
+        },
+        Some("--list") | Some("list") => cmd_list(),
+        _ => match parse_args(&raw) {
+            Err(e) => Err(e),
+            Ok(args) => match args.command.as_str() {
+                "run" => cmd_run(&args),
+                "time-unit" => cmd_time_unit(&args),
+                "help" | "--help" | "-h" => {
+                    println!("{USAGE}");
+                    Ok(())
+                }
+                other => Err(format!("unknown subcommand `{other}`")),
+            },
+        },
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -369,6 +326,7 @@ fn main() -> ExitCode {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use plurality::topology::Topology;
 
     fn raw(parts: &[&str]) -> Vec<String> {
         parts.iter().map(|s| s.to_string()).collect()
@@ -380,7 +338,7 @@ mod tests {
         assert_eq!(args.command, "run");
         assert_eq!(args.get_u64("n", 0).unwrap(), 100);
         assert_eq!(args.get_str("protocol", "sync"), "leader");
-        assert_eq!(args.get_f64("alpha", 2.0).unwrap(), 2.0); // default
+        assert_eq!(args.get_str("alpha", "2.0"), "2.0"); // default
     }
 
     #[test]
@@ -392,49 +350,38 @@ mod tests {
 
     #[test]
     fn rejects_non_numeric_values() {
-        let args = parse_args(&raw(&["run", "--n", "many"])).unwrap();
-        assert!(args.get_u64("n", 0).is_err());
-        let args = parse_args(&raw(&["run", "--alpha", "big"])).unwrap();
-        assert!(args.get_f64("alpha", 1.0).is_err());
+        let args = parse_args(&raw(&["run", "--samples", "many"])).unwrap();
+        assert!(args.get_u64("samples", 0).is_err());
     }
 
     #[test]
-    fn parses_topology_specs() {
-        assert_eq!(parse_topology("complete"), Ok(Topology::Complete));
-        assert_eq!(parse_topology("ring"), Ok(Topology::Ring));
-        assert_eq!(parse_topology("torus"), Ok(Topology::Torus2D));
+    fn topology_specs_share_the_library_grammar() {
+        assert_eq!(Topology::parse_spec("complete"), Ok(Topology::Complete));
         assert_eq!(
-            parse_topology("er:0.01"),
+            Topology::parse_spec("er:0.01"),
             Ok(Topology::ErdosRenyi { p: 0.01 })
         );
-        assert_eq!(parse_topology("regular:8"), Ok(Topology::Regular { d: 8 }));
-        assert_eq!(
-            parse_topology("pa:3"),
-            Ok(Topology::PreferentialAttachment { m: 3 })
-        );
-        assert!(parse_topology("hypercube").is_err());
-        assert!(parse_topology("er:x").is_err());
-        assert!(parse_topology("regular").is_err());
+        assert!(Topology::parse_spec("hypercube").is_err());
     }
 
     #[test]
-    fn parses_straggler_specs() {
-        assert_eq!(parse_stragglers("0.2"), Ok((0.2, 0.1)));
-        assert_eq!(parse_stragglers("0.2:0.5"), Ok((0.2, 0.5)));
+    fn straggler_specs_share_the_facade_grammar() {
+        assert_eq!(parse_stragglers("0.2").unwrap(), (0.2, 0.1));
+        assert_eq!(parse_stragglers("0.2:0.5").unwrap(), (0.2, 0.5));
         assert!(parse_stragglers("x").is_err());
         assert!(parse_stragglers("0.2:y").is_err());
     }
 
     #[test]
-    fn parses_latency_specs() {
-        assert!(parse_latency("exp:2.0").is_ok());
-        assert!(parse_latency("erlang:3:1.5").is_ok());
-        assert!(parse_latency("weibull:1.5:1.0").is_ok());
-        assert!(parse_latency("uniform:0:2").is_ok());
-        assert!(parse_latency("det:1").is_ok());
-        assert!(parse_latency("exp").is_err());
-        assert!(parse_latency("cauchy:1").is_err());
-        assert!(parse_latency("exp:-1").is_err());
-        assert!(parse_latency("erlang:x:1").is_err());
+    fn latency_specs_share_the_library_grammar() {
+        assert!(Latency::parse_spec("exp:2.0").is_ok());
+        assert!(Latency::parse_spec("erlang:3:1.5").is_ok());
+        assert!(Latency::parse_spec("weibull:1.5:1.0").is_ok());
+        assert!(Latency::parse_spec("uniform:0:2").is_ok());
+        assert!(Latency::parse_spec("det:1").is_ok());
+        assert!(Latency::parse_spec("exp").is_err());
+        assert!(Latency::parse_spec("cauchy:1").is_err());
+        assert!(Latency::parse_spec("exp:-1").is_err());
+        assert!(Latency::parse_spec("erlang:x:1").is_err());
     }
 }

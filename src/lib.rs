@@ -15,6 +15,9 @@
 //!
 //! This crate re-exports the member crates under stable names:
 //!
+//! * [`api`] — the unified protocol facade: `Protocol` trait,
+//!   `RunConfig`, `Report`, and the `RunSpec` grammar
+//!   (`plurality-api`)
 //! * [`dist`] — probability substrate (`plurality-dist`)
 //! * [`sim`] — discrete-event engine (`plurality-sim`)
 //! * [`core`] — the paper's protocols (`plurality-core`)
@@ -28,6 +31,16 @@
 //!
 //! ## Quick start
 //!
+//! One spec string runs any protocol through the unified facade:
+//!
+//! ```
+//! let report = plurality::api::run_spec("sync?n=2000&k=4&alpha=2.0&seed=1").unwrap();
+//! assert!(report.outcome.plurality_preserved());
+//! ```
+//!
+//! The direct engine builders remain available for protocol-specific
+//! knobs the spec grammar does not expose:
+//!
 //! ```
 //! use plurality::core::sync::SyncConfig;
 //! use plurality::core::InitialAssignment;
@@ -40,6 +53,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use plurality_api as api;
 pub use plurality_baselines as baselines;
 pub use plurality_core as core;
 pub use plurality_dist as dist;

@@ -216,3 +216,137 @@ fn unknown_protocol_wins_over_flag_compatibility_advice() {
     assert!(stderr.contains("unknown protocol"), "stderr: {stderr}");
     assert!(!stderr.contains("leader-only"), "stderr: {stderr}");
 }
+
+#[test]
+fn spec_runs_accept_every_registered_protocol() {
+    // The acceptance criterion: `plurality --spec <s>` works for every
+    // protocol `--list` shows. Event-driven engines get an explicit C1
+    // so the smoke stays fast.
+    for (protocol, extra) in [
+        ("sync", ""),
+        ("urn", ""),
+        ("leader", "&c1=9.3"),
+        ("cluster", "&c1=12.0"),
+        ("pull", "&max=50"),
+        ("two-choices", ""),
+        ("3-majority", ""),
+        ("undecided", ""),
+        ("approx-majority", ""),
+        ("exact-majority", ""),
+    ] {
+        let spec = format!("{protocol}?n=600&k=2&alpha=3.0&seed=1{extra}");
+        let out = plurality(&["--spec", &spec]);
+        assert!(
+            out.status.success(),
+            "`{spec}` failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("protocol:"), "`{spec}`: {stdout}");
+    }
+}
+
+#[test]
+fn list_names_every_protocol_the_spec_grammar_accepts() {
+    let out = plurality(&["--list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in [
+        "sync",
+        "urn",
+        "leader",
+        "cluster",
+        "pull",
+        "two-choices",
+        "3-majority",
+        "undecided",
+        "approx-majority",
+        "exact-majority",
+    ] {
+        assert!(stdout.contains(name), "missing `{name}` in: {stdout}");
+    }
+    // Common parameters are documented too.
+    assert!(stdout.contains("topology"));
+    assert!(stdout.contains("scenario"));
+}
+
+#[test]
+fn spec_and_flags_produce_identical_output() {
+    let by_flags = plurality(&[
+        "run",
+        "--protocol",
+        "sync",
+        "--n",
+        "800",
+        "--k",
+        "2",
+        "--alpha",
+        "3.0",
+        "--seed",
+        "1",
+    ]);
+    let by_spec = plurality(&["--spec", "sync?n=800&k=2&alpha=3.0&seed=1"]);
+    assert!(by_flags.status.success() && by_spec.status.success());
+    assert_eq!(by_flags.stdout, by_spec.stdout);
+}
+
+#[test]
+fn spec_errors_teach_the_valid_keys() {
+    let out = plurality(&["--spec", "leader?gamma=0.4"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("is not a parameter"), "stderr: {stderr}");
+    assert!(stderr.contains("leader-specific"), "stderr: {stderr}");
+}
+
+#[test]
+fn urn_rejects_topology_with_a_teaching_error() {
+    let out = plurality(&["--spec", "urn?topology=ring"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("mean-field"), "stderr: {stderr}");
+    assert!(stderr.contains("sync"), "stderr: {stderr}");
+}
+
+#[test]
+fn empty_scenario_selects_the_default_but_other_empty_values_error() {
+    // The historical `--scenario ""` idiom: an explicit empty scenario
+    // is the same as not passing the flag at all…
+    let explicit = plurality(&[
+        "run",
+        "--protocol",
+        "sync",
+        "--n",
+        "800",
+        "--seed",
+        "1",
+        "--scenario",
+        "",
+    ]);
+    let implicit = plurality(&["run", "--protocol", "sync", "--n", "800", "--seed", "1"]);
+    assert!(
+        explicit.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&explicit.stderr)
+    );
+    assert_eq!(explicit.stdout, implicit.stdout);
+    // …but an empty value anywhere else (an unset shell variable, say)
+    // must fail loudly instead of silently running with the default.
+    for flag in ["n", "alpha", "topology", "seed"] {
+        let out = plurality(&["run", "--protocol", "sync", &format!("--{flag}"), ""]);
+        assert!(!out.status.success(), "--{flag} '' was accepted");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("empty value"), "stderr: {stderr}");
+    }
+}
+
+#[test]
+fn unknown_flags_get_spec_teaching_errors() {
+    // Flags are spec parameters: a typo'd flag is caught by the
+    // registry instead of being silently ignored.
+    let out = plurality(&["run", "--protocol", "sync", "--gama", "0.4"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("`gama`"), "stderr: {stderr}");
+    assert!(stderr.contains("sync-specific"), "stderr: {stderr}");
+}
