@@ -111,6 +111,9 @@ pub struct LeaderTelemetry {
     /// Winner-fraction time series (only at
     /// [`plurality_core::RecordLevel::Full`]).
     pub winner_fraction: Option<Series>,
+    /// Per-node `(generation, color)` at run end (only at
+    /// [`plurality_core::RecordLevel::Full`]).
+    pub final_node_states: Option<Vec<(u32, u32)>>,
 }
 
 /// Telemetry of a [`ClusterResult`] beyond the shared outcome.
@@ -297,6 +300,7 @@ impl From<LeaderResult> for Report {
             two_choices_promotions,
             propagation_promotions,
             winner_fraction,
+            final_node_states,
         } = r;
         Report {
             protocol: "leader",
@@ -309,6 +313,7 @@ impl From<LeaderResult> for Report {
                 two_choices_promotions,
                 propagation_promotions,
                 winner_fraction,
+                final_node_states,
             }),
         }
     }

@@ -1,0 +1,636 @@
+//! Generic exhaustive state-space exploration over a [`StepOracle`].
+//!
+//! The explorer enumerates every state reachable from the oracle's
+//! initial state under *all* schedules, deduplicating states by their
+//! canonical key (the oracle's symmetry-reduced, dead-counter-normalized
+//! encoding). It stores only parent links and the action that discovered
+//! each state — full states are reconstructed on demand through
+//! [`StepOracle::decode`], and counterexample traces are *concretized* by
+//! replaying actions from the genuine initial state, so every printed
+//! trace is a real execution of the protocol, not a quotient artifact.
+//!
+//! Two search orders are supported: breadth-first (default — discovered
+//! witnesses are minimal in the number of actions) and depth-first (a
+//! smaller frontier for pure invariant sweeps).
+
+use std::collections::{HashSet, VecDeque};
+use std::fmt;
+use std::fmt::Write as _;
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// The rustc-hash multiply-rotate construction. The visited set does a
+/// hash lookup on every examined transition (hundreds of millions for a
+/// cluster instance); SipHash's DoS resistance buys nothing on
+/// checker-internal keys, so trade it for speed.
+#[derive(Default)]
+struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(Self::SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("chunk of 8")));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+}
+
+type KeySet = HashSet<Box<[u8]>, BuildHasherDefault<FxHasher>>;
+
+/// The contract between the explorer and a protocol model.
+///
+/// Implementations must guarantee, for every state `s` reachable from
+/// [`initial`](Self::initial):
+///
+/// * `canonicalize(decode(&canonicalize(s))) == canonicalize(s)` — decode
+///   returns *some* representative of the key's equivalence class;
+/// * equivalent states (equal keys) have equivalent futures: for every
+///   action enabled in one representative there is an action in any other
+///   leading to an equivalent successor;
+/// * properties passed to [`explore`] are invariant under the equivalence
+///   (they may not depend on node labels or normalized-away counters).
+pub trait StepOracle {
+    /// A full protocol configuration (all node and leader state).
+    type State: Clone;
+    /// One atomic scheduler choice (a delivery or an interaction).
+    type Action: Clone + fmt::Display;
+
+    /// The initial configuration.
+    fn initial(&self) -> Self::State;
+    /// Appends every action enabled in `state` to `out`.
+    fn actions(&self, state: &Self::State, out: &mut Vec<Self::Action>);
+    /// Writes the successor of `state` under `action` into `succ` (pure;
+    /// no hidden state). Implementations start with
+    /// `succ.clone_from(state)` so the explorer's hot loop reuses one
+    /// successor's allocations across all transitions.
+    fn step_into(&self, state: &Self::State, action: &Self::Action, succ: &mut Self::State);
+
+    /// Allocating convenience successor for cold paths.
+    fn step(&self, state: &Self::State, action: &Self::Action) -> Self::State {
+        let mut succ = state.clone();
+        self.step_into(state, action, &mut succ);
+        succ
+    }
+    /// Writes the canonical key — the symmetry-reduced, normalized
+    /// encoding — into `key` (cleared first). Buffer-based so the
+    /// explorer's per-transition duplicate test never allocates.
+    fn canonicalize(&self, state: &Self::State, key: &mut Vec<u8>);
+    /// A representative state of the class encoded by `key`.
+    fn decode(&self, key: &[u8]) -> Self::State;
+    /// A one-line human-readable rendering of `state` for traces.
+    fn describe(&self, state: &Self::State) -> String;
+}
+
+/// Allocating convenience wrapper over [`StepOracle::canonicalize`] for
+/// cold paths (trace replay, tests).
+pub fn canonical_key<O: StepOracle>(oracle: &O, state: &O::State) -> Box<[u8]> {
+    let mut key = Vec::new();
+    oracle.canonicalize(state, &mut key);
+    key.into_boxed_slice()
+}
+
+/// A property checked during exploration.
+pub struct Property<S> {
+    /// Stable property name (reported in verdicts and used by the CLI).
+    pub name: &'static str,
+    /// What to check.
+    pub check: PropertyCheck<S>,
+}
+
+/// The two property shapes the explorer understands.
+pub enum PropertyCheck<S> {
+    /// An edge invariant, checked on every explored transition
+    /// `(pre, post)`; returns a violation description on failure.
+    Invariant(fn(&S, &S) -> Result<(), String>),
+    /// A reachability query: is any reachable state satisfying the
+    /// predicate? (Answered definitively when exploration is exhaustive.)
+    Reachable(fn(&S) -> bool),
+}
+
+/// A concretized counterexample or witness: a genuine execution from the
+/// initial state.
+pub struct Trace<A> {
+    /// The scheduler choices, in order, from the initial state.
+    pub actions: Vec<A>,
+    /// A pre-rendered step-by-step listing (actions interleaved with the
+    /// states they produce).
+    pub pretty: String,
+}
+
+/// Per-property outcome of an exploration.
+pub enum Verdict<A> {
+    /// Invariant: held on every explored edge.
+    Holds,
+    /// Invariant: violated on some edge; `trace` ends with the violating
+    /// action.
+    Violated {
+        /// The violation description from the invariant function.
+        detail: String,
+        /// Minimal (under BFS) trace to the violating edge.
+        trace: Trace<A>,
+    },
+    /// Reachability: a satisfying state exists; `trace` reaches one.
+    Reachable {
+        /// Minimal (under BFS) witness trace.
+        trace: Trace<A>,
+    },
+    /// Reachability: no explored state satisfies the predicate. Definitive
+    /// only when the exploration was exhaustive.
+    Unreachable,
+}
+
+/// Frontier discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchOrder {
+    /// Layer by layer — witnesses and counterexamples are minimal in the
+    /// number of actions.
+    BreadthFirst,
+    /// Stack order — smaller frontier, no minimality guarantee.
+    DepthFirst,
+}
+
+/// Exploration limits.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Stop expanding once this many distinct states have been seen; the
+    /// result is then marked truncated and verdicts lose their
+    /// definitiveness.
+    pub max_states: usize,
+    /// Frontier discipline.
+    pub order: SearchOrder,
+}
+
+impl Default for Limits {
+    fn default() -> Self {
+        Self {
+            max_states: 20_000_000,
+            order: SearchOrder::BreadthFirst,
+        }
+    }
+}
+
+/// The result of [`explore`].
+pub struct Exploration<A> {
+    /// Distinct canonical states discovered.
+    pub states: usize,
+    /// Transitions examined (edges, counting re-visits).
+    pub transitions: u64,
+    /// True when the state budget was exhausted before the frontier
+    /// emptied: `Holds`/`Unreachable` verdicts are then only valid for the
+    /// explored prefix.
+    pub truncated: bool,
+    /// One verdict per property, in input order.
+    pub verdicts: Vec<(&'static str, Verdict<A>)>,
+}
+
+impl<A> Exploration<A> {
+    /// Whether every invariant held (reachability verdicts are answers,
+    /// not failures).
+    pub fn invariants_hold(&self) -> bool {
+        !self
+            .verdicts
+            .iter()
+            .any(|(_, v)| matches!(v, Verdict::Violated { .. }))
+    }
+
+    /// The verdict for a property by name.
+    pub fn verdict(&self, name: &str) -> Option<&Verdict<A>> {
+        self.verdicts
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v)
+    }
+}
+
+/// Exhaustively explores the oracle's reachable state space and evaluates
+/// `properties` over it.
+pub fn explore<O: StepOracle>(
+    oracle: &O,
+    properties: &[Property<O::State>],
+    limits: &Limits,
+) -> Exploration<O::Action> {
+    // Arena entry i: (parent index, action that discovered state i).
+    // State 0 is the canonical root; its key is recomputed on demand.
+    let mut arena: Vec<(u32, Option<O::Action>)> = Vec::new();
+    let mut visited: KeySet = KeySet::default();
+    let mut frontier: VecDeque<(u32, Box<[u8]>)> = VecDeque::new();
+
+    let root_key = canonical_key(oracle, &oracle.initial());
+    visited.insert(root_key.clone());
+    arena.push((0, None));
+    frontier.push_back((0, root_key.clone()));
+
+    // First hit per property: (arena index, invariant detail).
+    let mut inv_hit: Vec<Option<(u32, String)>> = properties.iter().map(|_| None).collect();
+    let mut target_hit: Vec<Option<u32>> = properties.iter().map(|_| None).collect();
+
+    let root_rep = oracle.decode(&root_key);
+    for (pi, p) in properties.iter().enumerate() {
+        if let PropertyCheck::Reachable(f) = &p.check {
+            if f(&root_rep) {
+                target_hit[pi] = Some(0);
+            }
+        }
+    }
+
+    let mut transitions = 0u64;
+    let mut truncated = false;
+    let mut acts: Vec<O::Action> = Vec::new();
+    let mut keybuf: Vec<u8> = Vec::new();
+    let mut succ = oracle.initial();
+    loop {
+        let popped = match limits.order {
+            SearchOrder::BreadthFirst => frontier.pop_front(),
+            SearchOrder::DepthFirst => frontier.pop_back(),
+        };
+        let Some((idx, key)) = popped else { break };
+        if visited.len() >= limits.max_states {
+            truncated = true;
+            break;
+        }
+        let state = oracle.decode(&key);
+        debug_assert_eq!(
+            canonical_key(oracle, &state),
+            key,
+            "decode must return a representative of its own key"
+        );
+        acts.clear();
+        oracle.actions(&state, &mut acts);
+        for a in &acts {
+            oracle.step_into(&state, a, &mut succ);
+            transitions += 1;
+            for (pi, p) in properties.iter().enumerate() {
+                if let PropertyCheck::Invariant(f) = &p.check {
+                    if inv_hit[pi].is_none() {
+                        if let Err(detail) = f(&state, &succ) {
+                            inv_hit[pi] = Some((idx, detail));
+                        }
+                    }
+                }
+            }
+            oracle.canonicalize(&succ, &mut keybuf);
+            if keybuf.as_slice() == &*key || visited.contains(keybuf.as_slice()) {
+                continue;
+            }
+            let skey: Box<[u8]> = keybuf.as_slice().into();
+            let nid = arena.len() as u32;
+            arena.push((idx, Some(a.clone())));
+            visited.insert(skey.clone());
+            for (pi, p) in properties.iter().enumerate() {
+                if let PropertyCheck::Reachable(f) = &p.check {
+                    if target_hit[pi].is_none() && f(&succ) {
+                        target_hit[pi] = Some(nid);
+                    }
+                }
+            }
+            frontier.push_back((nid, skey));
+        }
+    }
+
+    let verdicts = properties
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| {
+            let verdict = match &p.check {
+                PropertyCheck::Invariant(f) => match &inv_hit[pi] {
+                    None => Verdict::Holds,
+                    Some((pre_idx, detail)) => {
+                        let trace = concretize_violation(oracle, &arena, *pre_idx, *f);
+                        Verdict::Violated {
+                            detail: detail.clone(),
+                            trace,
+                        }
+                    }
+                },
+                PropertyCheck::Reachable(_) => match target_hit[pi] {
+                    None => Verdict::Unreachable,
+                    Some(idx) => Verdict::Reachable {
+                        trace: concretize_path(oracle, &arena, idx),
+                    },
+                },
+            };
+            (p.name, verdict)
+        })
+        .collect();
+
+    Exploration {
+        states: visited.len(),
+        transitions,
+        truncated,
+        verdicts,
+    }
+}
+
+/// The canonical-key chain from the root to `idx`, recomputed from the
+/// arena's parent links and stored actions (keys are not retained during
+/// exploration to keep memory at one key per *visited-set* entry).
+fn key_chain<O: StepOracle>(
+    oracle: &O,
+    arena: &[(u32, Option<O::Action>)],
+    idx: u32,
+) -> Vec<Box<[u8]>> {
+    let mut path = Vec::new();
+    let mut at = idx;
+    loop {
+        path.push(at);
+        if at == 0 {
+            break;
+        }
+        at = arena[at as usize].0;
+    }
+    path.reverse();
+
+    let mut keys = Vec::with_capacity(path.len());
+    let root_key = canonical_key(oracle, &oracle.initial());
+    let mut rep = oracle.decode(&root_key);
+    keys.push(root_key);
+    for &node in &path[1..] {
+        let action = arena[node as usize]
+            .1
+            .as_ref()
+            .expect("non-root arena entries store their discovering action");
+        let succ = oracle.step(&rep, action);
+        let key = canonical_key(oracle, &succ);
+        rep = oracle.decode(&key);
+        keys.push(key);
+    }
+    keys
+}
+
+/// Replays a key chain as a *genuine* execution from the canonical root
+/// representative: at each step the first enabled action whose successor
+/// canonicalizes to the next key is taken. Such an action always exists
+/// because the canonical equivalence commutes with the transition
+/// relation. The walk starts from `decode(keys[0])`, not from
+/// [`StepOracle::initial`] — the recorded actions index nodes in the
+/// *canonical* layout, which may be a relabeling of the initial one.
+fn replay_keys<O: StepOracle>(oracle: &O, keys: &[Box<[u8]>]) -> (Vec<O::Action>, Vec<O::State>) {
+    let mut state = oracle.decode(&keys[0]);
+    debug_assert_eq!(canonical_key(oracle, &state), keys[0]);
+    let mut actions = Vec::with_capacity(keys.len() - 1);
+    let mut states = vec![state.clone()];
+    let mut acts: Vec<O::Action> = Vec::new();
+    for key in &keys[1..] {
+        acts.clear();
+        oracle.actions(&state, &mut acts);
+        let step = acts
+            .iter()
+            .map(|a| (a, oracle.step(&state, a)))
+            .find(|(_, succ)| canonical_key(oracle, succ) == *key)
+            .expect("canonical successor must be replayable from a concrete state");
+        actions.push(step.0.clone());
+        state = step.1;
+        states.push(state.clone());
+    }
+    (actions, states)
+}
+
+fn render<O: StepOracle>(oracle: &O, actions: &[O::Action], states: &[O::State]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "  init  {}", oracle.describe(&states[0]));
+    for (i, (a, s)) in actions.iter().zip(&states[1..]).enumerate() {
+        let _ = writeln!(out, "  {:>4}  {a}", i + 1);
+        let _ = writeln!(out, "        {}", oracle.describe(s));
+    }
+    out
+}
+
+/// A genuine trace from the initial state to the state at arena `idx`.
+fn concretize_path<O: StepOracle>(
+    oracle: &O,
+    arena: &[(u32, Option<O::Action>)],
+    idx: u32,
+) -> Trace<O::Action> {
+    let keys = key_chain(oracle, arena, idx);
+    let (actions, states) = replay_keys(oracle, &keys);
+    let pretty = render(oracle, &actions, &states);
+    Trace { actions, pretty }
+}
+
+/// A genuine trace to the state at `pre_idx` extended by one action that
+/// violates the invariant. The stored violating edge was found on a
+/// decoded representative; because the invariant is label-invariant, a
+/// violating action also exists at the concretely replayed state and is
+/// re-discovered here.
+fn concretize_violation<O: StepOracle>(
+    oracle: &O,
+    arena: &[(u32, Option<O::Action>)],
+    pre_idx: u32,
+    invariant: fn(&O::State, &O::State) -> Result<(), String>,
+) -> Trace<O::Action> {
+    let keys = key_chain(oracle, arena, pre_idx);
+    let (mut actions, mut states) = replay_keys(oracle, &keys);
+    let pre = states
+        .last()
+        .expect("replay yields at least the root")
+        .clone();
+    let mut acts: Vec<O::Action> = Vec::new();
+    oracle.actions(&pre, &mut acts);
+    let violating = acts
+        .iter()
+        .map(|a| (a, oracle.step(&pre, a)))
+        .find(|(_, succ)| invariant(&pre, succ).is_err())
+        .expect("a violating action must exist at the replayed pre-state");
+    actions.push(violating.0.clone());
+    states.push(violating.1);
+    let pretty = render(oracle, &actions, &states);
+    Trace { actions, pretty }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bounded counter: `Inc` up to `max`, plus a `Skip { by: 2 }` edge
+    /// from even states. Used to exercise search order, minimality, and
+    /// truncation without any protocol machinery.
+    struct Counter {
+        max: u8,
+    }
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Act {
+        Inc,
+        Skip,
+    }
+
+    impl fmt::Display for Act {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Act::Inc => write!(f, "inc"),
+                Act::Skip => write!(f, "skip"),
+            }
+        }
+    }
+
+    impl StepOracle for Counter {
+        type State = u8;
+        type Action = Act;
+
+        fn initial(&self) -> u8 {
+            0
+        }
+
+        fn actions(&self, s: &u8, out: &mut Vec<Act>) {
+            if *s < self.max {
+                out.push(Act::Inc);
+            }
+            if *s % 2 == 0 && *s + 2 <= self.max {
+                out.push(Act::Skip);
+            }
+        }
+
+        fn step_into(&self, s: &u8, a: &Act, succ: &mut u8) {
+            *succ = match a {
+                Act::Inc => s + 1,
+                Act::Skip => s + 2,
+            };
+        }
+
+        fn canonicalize(&self, s: &u8, key: &mut Vec<u8>) {
+            key.clear();
+            key.push(*s);
+        }
+
+        fn decode(&self, key: &[u8]) -> u8 {
+            key[0]
+        }
+
+        fn describe(&self, s: &u8) -> String {
+            format!("counter={s}")
+        }
+    }
+
+    fn reach_max(max: u8) -> Property<u8> {
+        let _ = max;
+        Property {
+            name: "reach-max",
+            check: PropertyCheck::Reachable(|s| *s == 6),
+        }
+    }
+
+    #[test]
+    fn bfs_finds_minimal_witness() {
+        let oracle = Counter { max: 6 };
+        let props = vec![
+            Property {
+                name: "monotone",
+                check: PropertyCheck::Invariant(|pre, post| {
+                    if post >= pre {
+                        Ok(())
+                    } else {
+                        Err(format!("{pre} -> {post}"))
+                    }
+                }),
+            },
+            reach_max(6),
+        ];
+        let out = explore(&oracle, &props, &Limits::default());
+        assert_eq!(out.states, 7);
+        assert!(!out.truncated);
+        assert!(out.invariants_hold());
+        match out.verdict("reach-max").unwrap() {
+            Verdict::Reachable { trace } => {
+                // Skip-by-2 three times is the minimal schedule.
+                assert_eq!(trace.actions, vec![Act::Skip, Act::Skip, Act::Skip]);
+                assert!(trace.pretty.contains("counter=6"));
+            }
+            _ => panic!("expected reachable"),
+        }
+    }
+
+    #[test]
+    fn dfs_explores_the_same_set() {
+        let oracle = Counter { max: 6 };
+        let limits = Limits {
+            order: SearchOrder::DepthFirst,
+            ..Limits::default()
+        };
+        let out = explore(&oracle, &[reach_max(6)], &limits);
+        assert_eq!(out.states, 7);
+        assert!(matches!(
+            out.verdict("reach-max"),
+            Some(Verdict::Reachable { .. })
+        ));
+    }
+
+    #[test]
+    fn unreachable_is_definitive_when_exhaustive() {
+        let oracle = Counter { max: 4 };
+        let props = vec![Property {
+            name: "reach-nine",
+            check: PropertyCheck::Reachable(|s| *s == 9),
+        }];
+        let out = explore(&oracle, &props, &Limits::default());
+        assert!(!out.truncated);
+        assert!(matches!(
+            out.verdict("reach-nine"),
+            Some(Verdict::Unreachable)
+        ));
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        let oracle = Counter { max: 200 };
+        let limits = Limits {
+            max_states: 10,
+            order: SearchOrder::BreadthFirst,
+        };
+        let out = explore(&oracle, &[], &limits);
+        assert!(out.truncated);
+        assert!(out.states >= 10);
+    }
+
+    #[test]
+    fn invariant_violation_carries_a_concrete_trace() {
+        let oracle = Counter { max: 3 };
+        let props = vec![Property {
+            name: "below-three",
+            check: PropertyCheck::Invariant(|_pre, post| {
+                if *post < 3 {
+                    Ok(())
+                } else {
+                    Err("hit three".into())
+                }
+            }),
+        }];
+        let out = explore(&oracle, &props, &Limits::default());
+        match out.verdict("below-three").unwrap() {
+            Verdict::Violated { detail, trace } => {
+                assert_eq!(detail, "hit three");
+                // The trace ends with the violating action; replaying it
+                // from 0 must land on 3.
+                let end: u8 = trace.actions.iter().fold(0, |s, a| oracle.step(&s, a));
+                assert_eq!(end, 3);
+            }
+            _ => panic!("expected violation"),
+        }
+    }
+}

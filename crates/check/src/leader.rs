@@ -1,0 +1,606 @@
+//! Exhaustive model of the single-leader protocol (Algorithms 2–3).
+//!
+//! The model is a thin adapter over the *engine's own* transition logic:
+//! node updates go through [`plurality_core::leader::decide`] /
+//! [`plurality_core::leader::apply`] and the leader through
+//! [`LeaderState::on_signal`] — the checker owns no protocol rules, only
+//! the scheduler. Three action kinds capture every adversarial schedule:
+//!
+//! * `DeliverZero` — a 0-signal reaches the leader. Nodes tick forever,
+//!   so this is enabled whenever the delivery is observable (propagation
+//!   closed); delaying it models arbitrary signal latency and loss.
+//! * `DeliverGen` — one in-flight gen-signal for the *current* generation
+//!   reaches the leader. In-flight signals collapse to a single counter:
+//!   a gen-signal is observable only while its generation is still the
+//!   leader's current one, making all pending signals interchangeable —
+//!   and stale ones (from before a birth) permanently silent, so the
+//!   counter resets on birth. It is capped at the birth threshold, past
+//!   which extra signals cannot add observable behavior before the reset.
+//! * `Interact { v, a, b }` — node `v` completes a two-choices
+//!   interaction with samples `a, b` read at completion time. The engine
+//!   separates tick (sampling) from completion (reading state); the
+//!   atomic version is a sound superset because the adversary choosing
+//!   `(a, b)` freely at completion subsumes any earlier draw.
+//!
+//! States are canonicalized modulo the topology's automorphisms (full
+//! symmetric group on the complete graph — node states become a sorted
+//! multiset — and the dihedral group on the ring) and modulo dead
+//! counters: the leader's zero-counter is unobservable while propagation
+//! is open, and its generation-size counter and the pending counter are
+//! unobservable at the generation cap.
+
+use std::fmt;
+
+use plurality_core::leader::{apply, decide, LeaderParams, LeaderState, NodeState, Signal};
+
+use crate::explore::{Property, PropertyCheck, StepOracle};
+use crate::CheckTopology;
+
+/// Instance description for a leader-protocol check.
+#[derive(Debug, Clone)]
+pub struct LeaderCheckConfig {
+    /// Initial color per node (`init.len()` is `n`).
+    pub init: Vec<u32>,
+    /// Number of opinions (colors are `0..k`).
+    pub k: u32,
+    /// Communication topology.
+    pub topology: CheckTopology,
+    /// Leader thresholds. Checker-scale values — the engine's asymptotic
+    /// formulas produce thresholds that only make sense for large `n`.
+    pub params: LeaderParams,
+}
+
+impl LeaderCheckConfig {
+    /// A standard small instance: `n/2 + 1` nodes of color 0, the rest
+    /// round-robin over the remaining colors; two zero-signals open
+    /// propagation, `⌈n/2⌉` promotions birth a generation, cap 2.
+    pub fn new(n: usize, k: u32, topology: CheckTopology) -> Self {
+        let majority = n / 2 + 1;
+        let mut init = vec![0u32; n];
+        for (i, slot) in init.iter_mut().enumerate().skip(majority) {
+            *slot = 1 + ((i - majority) as u32 % (k.max(2) - 1));
+        }
+        Self {
+            init,
+            k,
+            topology,
+            params: LeaderParams {
+                zero_signal_threshold: 2,
+                gen_size_threshold: n.div_ceil(2) as u64,
+                generation_cap: 2,
+            },
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.init.len()
+    }
+
+    /// Validates instance bounds (the canonical encoding packs fields
+    /// into nibbles and `u8` counters).
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.n();
+        if !(2..=8).contains(&n) {
+            return Err(format!("n = {n} out of the checkable range 2..=8"));
+        }
+        if self.topology == CheckTopology::Ring && n < 3 {
+            return Err("ring topology needs n >= 3".into());
+        }
+        if !(2..=15).contains(&self.k) {
+            return Err(format!("k = {} out of range 2..=15", self.k));
+        }
+        if let Some(c) = self.init.iter().find(|c| **c >= self.k) {
+            return Err(format!("initial color {c} out of range 0..{}", self.k));
+        }
+        if !(1..=15).contains(&self.params.generation_cap) {
+            return Err(format!(
+                "generation cap {} out of range 1..=15",
+                self.params.generation_cap
+            ));
+        }
+        if !(1..=200).contains(&self.params.zero_signal_threshold) {
+            return Err("zero_signal_threshold out of range 1..=200".into());
+        }
+        if !(1..=200).contains(&self.params.gen_size_threshold) {
+            return Err("gen_size_threshold out of range 1..=200".into());
+        }
+        Ok(())
+    }
+
+    /// Builds the oracle, validating first.
+    pub fn oracle(self) -> Result<LeaderOracle, String> {
+        self.validate()?;
+        let n = self.n();
+        let neighbors = self.topology.neighbor_sets(n);
+        Ok(LeaderOracle {
+            cfg: self,
+            neighbors,
+        })
+    }
+}
+
+/// A full configuration of the modeled system.
+#[derive(Clone)]
+pub struct LeaderModel {
+    /// Per-node protocol state.
+    pub nodes: Vec<NodeState>,
+    /// The leader (the engine's own state machine).
+    pub leader: LeaderState,
+    /// In-flight gen-signals for the leader's current generation.
+    pub pending: u8,
+}
+
+/// One scheduler choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LeaderAction {
+    /// A 0-signal arrives at the leader.
+    DeliverZero,
+    /// A pending gen-signal (for the current generation) arrives.
+    DeliverGen,
+    /// Node `v` completes an interaction with samples `a, b`.
+    Interact {
+        /// The initiating node.
+        v: u8,
+        /// First sampled node.
+        a: u8,
+        /// Second sampled node.
+        b: u8,
+    },
+}
+
+impl fmt::Display for LeaderAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeaderAction::DeliverZero => write!(f, "deliver 0-signal"),
+            LeaderAction::DeliverGen => write!(f, "deliver gen-signal"),
+            LeaderAction::Interact { v, a, b } => {
+                write!(f, "node {v} interacts with samples ({a}, {b})")
+            }
+        }
+    }
+}
+
+/// The leader-protocol [`StepOracle`].
+pub struct LeaderOracle {
+    cfg: LeaderCheckConfig,
+    neighbors: Vec<Vec<u8>>,
+}
+
+impl LeaderOracle {
+    /// The instance configuration.
+    pub fn config(&self) -> &LeaderCheckConfig {
+        &self.cfg
+    }
+
+    fn pack_node(node: &NodeState) -> u16 {
+        ((node.gen as u16) << 12)
+            | ((node.col as u16) << 8)
+            | ((node.seen_gen as u16) << 4)
+            | u16::from(node.seen_prop)
+    }
+
+    fn unpack_node(word: u16) -> NodeState {
+        NodeState {
+            gen: u32::from(word >> 12),
+            col: u32::from((word >> 8) & 0xf),
+            seen_gen: u32::from((word >> 4) & 0xf),
+            seen_prop: word & 1 == 1,
+        }
+    }
+
+    /// Rebuilds a leader in state `(gen, prop, zero, size)` purely through
+    /// its public transition function, so the checker cannot fabricate a
+    /// leader state the engine's machine could not reach.
+    fn replay_leader(&self, gen: u32, prop: bool, zero: u64, size: u64) -> LeaderState {
+        let params = self.cfg.params;
+        let mut leader = LeaderState::new(params);
+        for g in 1..gen {
+            for _ in 0..params.gen_size_threshold {
+                leader.on_signal(Signal::Generation(g));
+            }
+        }
+        let zeros = if prop {
+            params.zero_signal_threshold
+        } else {
+            zero
+        };
+        for _ in 0..zeros {
+            leader.on_signal(Signal::Zero);
+        }
+        for _ in 0..size {
+            leader.on_signal(Signal::Generation(gen));
+        }
+        debug_assert_eq!(leader.generation(), gen);
+        debug_assert_eq!(leader.propagation(), prop);
+        leader
+    }
+}
+
+impl StepOracle for LeaderOracle {
+    type State = LeaderModel;
+    type Action = LeaderAction;
+
+    fn initial(&self) -> LeaderModel {
+        LeaderModel {
+            nodes: self
+                .cfg
+                .init
+                .iter()
+                .map(|&col| NodeState {
+                    gen: 0,
+                    col,
+                    seen_gen: 0,
+                    seen_prop: false,
+                })
+                .collect(),
+            leader: LeaderState::new(self.cfg.params),
+            pending: 0,
+        }
+    }
+
+    fn actions(&self, s: &LeaderModel, out: &mut Vec<LeaderAction>) {
+        if !s.leader.propagation() {
+            out.push(LeaderAction::DeliverZero);
+        }
+        if s.pending > 0 && s.leader.generation() < self.cfg.params.generation_cap {
+            out.push(LeaderAction::DeliverGen);
+        }
+        if self.cfg.topology == CheckTopology::Complete {
+            // Symmetry-reduced enumeration: on the complete graph, nodes
+            // with equal state are interchangeable (the within-state
+            // permutation is an automorphism), and sampled nodes are only
+            // read — so two interactions with the same (v, a, b) *state*
+            // triple have canonically identical successors. Emit one
+            // representative per triple.
+            let mut words = [0u16; 8];
+            for (w, node) in words.iter_mut().zip(&s.nodes) {
+                *w = Self::pack_node(node);
+            }
+            let n = s.nodes.len();
+            let mut combos: Vec<(u64, LeaderAction)> = Vec::with_capacity(n * n * n);
+            for v in 0..n {
+                for a in 0..n {
+                    for b in 0..n {
+                        let key = (u64::from(words[v]) << 32)
+                            | (u64::from(words[a]) << 16)
+                            | u64::from(words[b]);
+                        combos.push((
+                            key,
+                            LeaderAction::Interact {
+                                v: v as u8,
+                                a: a as u8,
+                                b: b as u8,
+                            },
+                        ));
+                    }
+                }
+            }
+            combos.sort_unstable_by_key(|c| c.0);
+            combos.dedup_by_key(|c| c.0);
+            out.extend(combos.into_iter().map(|c| c.1));
+        } else {
+            for (v, nbrs) in self.neighbors.iter().enumerate() {
+                for &a in nbrs {
+                    for &b in nbrs {
+                        out.push(LeaderAction::Interact { v: v as u8, a, b });
+                    }
+                }
+            }
+        }
+    }
+
+    fn step_into(&self, s: &LeaderModel, action: &LeaderAction, st: &mut LeaderModel) {
+        st.clone_from(s);
+        match *action {
+            LeaderAction::DeliverZero => {
+                st.leader.on_signal(Signal::Zero);
+            }
+            LeaderAction::DeliverGen => {
+                st.pending -= 1;
+                let g = st.leader.generation();
+                if st.leader.on_signal(Signal::Generation(g)).is_some() {
+                    // A birth: every still-pending signal is now stale.
+                    st.pending = 0;
+                }
+            }
+            LeaderAction::Interact { v, a, b } => {
+                let s1 = st.nodes[a as usize].sample();
+                let s2 = st.nodes[b as usize].sample();
+                let leader_gen = st.leader.generation();
+                let leader_prop = st.leader.propagation();
+                let node = &mut st.nodes[v as usize];
+                let decision = decide(node.view(), s1, s2, leader_gen, leader_prop);
+                if let Some(Signal::Generation(g)) = apply(node, decision, leader_gen, leader_prop)
+                {
+                    // Observable only while its generation is current and a
+                    // birth is still possible; the engine's send-side gate
+                    // (`!leader.is_terminal()`) is implied by `gen < cap`.
+                    if g == leader_gen && leader_gen < self.cfg.params.generation_cap {
+                        let cap = self.cfg.params.gen_size_threshold.min(200) as u8;
+                        st.pending = (st.pending + 1).min(cap);
+                    }
+                }
+            }
+        }
+    }
+
+    fn canonicalize(&self, s: &LeaderModel, key: &mut Vec<u8>) {
+        key.clear();
+        let n = s.nodes.len();
+        let mut words = [0u16; 8];
+        for (w, node) in words.iter_mut().zip(&s.nodes) {
+            *w = Self::pack_node(node);
+        }
+        let words = &mut words[..n];
+        match self.cfg.topology {
+            CheckTopology::Complete => words.sort_unstable(),
+            CheckTopology::Ring => dihedral_min(words),
+        }
+        let cap = self.cfg.params.generation_cap;
+        let at_cap = s.leader.generation() >= cap;
+        let zero_norm = if s.leader.propagation() {
+            0
+        } else {
+            s.leader.zero_count() as u8
+        };
+        let size_norm = if at_cap { 0 } else { s.leader.gen_size() as u8 };
+        let pending_norm = if at_cap { 0 } else { s.pending };
+        key.push(s.leader.generation() as u8);
+        key.push(u8::from(s.leader.propagation()));
+        key.push(zero_norm);
+        key.push(size_norm);
+        key.push(pending_norm);
+        for w in words {
+            key.extend_from_slice(&w.to_be_bytes());
+        }
+    }
+
+    fn decode(&self, key: &[u8]) -> LeaderModel {
+        let leader = self.replay_leader(
+            u32::from(key[0]),
+            key[1] == 1,
+            u64::from(key[2]),
+            u64::from(key[3]),
+        );
+        let nodes = key[5..]
+            .chunks_exact(2)
+            .map(|c| Self::unpack_node(u16::from_be_bytes([c[0], c[1]])))
+            .collect();
+        LeaderModel {
+            nodes,
+            leader,
+            pending: key[4],
+        }
+    }
+
+    fn describe(&self, s: &LeaderModel) -> String {
+        let nodes: Vec<String> = s
+            .nodes
+            .iter()
+            .map(|n| format!("g{}c{}{}", n.gen, n.col, if n.seen_prop { "*" } else { "" }))
+            .collect();
+        format!(
+            "leader(gen={}, prop={}, zero={}, size={}) pending={} nodes=[{}]",
+            s.leader.generation(),
+            s.leader.propagation(),
+            s.leader.zero_count(),
+            s.leader.gen_size(),
+            s.pending,
+            nodes.join(" ")
+        )
+    }
+}
+
+/// Replaces `words` (in place, allocation-free) with its lexicographic
+/// minimum over the dihedral group — all rotations of the original and of
+/// the reversed sequence, the automorphisms of the ring.
+fn dihedral_min(words: &mut [u16]) {
+    let n = words.len();
+    let mut orig = [0u16; 8];
+    orig[..n].copy_from_slice(words);
+    let mut rev = orig;
+    rev[..n].reverse();
+    let mut candidate = [0u16; 8];
+    for base in [orig, rev] {
+        for shift in 0..n {
+            for (i, slot) in candidate[..n].iter_mut().enumerate() {
+                *slot = base[(i + shift) % n];
+            }
+            // `words` always holds the best candidate seen so far (it
+            // starts as `orig`, the shift-0 candidate of the first base).
+            if candidate[..n] < *words {
+                words.copy_from_slice(&candidate[..n]);
+            }
+        }
+    }
+}
+
+/// The four checked properties of the leader protocol (plus two
+/// sanity/reachability probes).
+pub fn leader_properties() -> Vec<Property<LeaderModel>> {
+    vec![
+        Property {
+            name: "generation-monotonicity",
+            check: PropertyCheck::Invariant(|pre, post| {
+                for (i, (a, b)) in pre.nodes.iter().zip(&post.nodes).enumerate() {
+                    if b.gen < a.gen {
+                        return Err(format!("node {i} generation fell {} -> {}", a.gen, b.gen));
+                    }
+                }
+                let lp = (pre.leader.generation(), pre.leader.propagation());
+                let ln = (post.leader.generation(), post.leader.propagation());
+                if ln < lp {
+                    return Err(format!("leader lattice fell {lp:?} -> {ln:?}"));
+                }
+                Ok(())
+            }),
+        },
+        Property {
+            name: "decided-stability",
+            check: PropertyCheck::Invariant(|pre, post| {
+                if !pre.leader.is_terminal() {
+                    return Ok(());
+                }
+                let cap = pre.leader.params().generation_cap;
+                for (i, (a, b)) in pre.nodes.iter().zip(&post.nodes).enumerate() {
+                    if a.gen >= cap && (b.gen, b.col) != (a.gen, a.col) {
+                        return Err(format!(
+                            "decided node {i} changed ({}, {}) -> ({}, {})",
+                            a.gen, a.col, b.gen, b.col
+                        ));
+                    }
+                }
+                Ok(())
+            }),
+        },
+        Property {
+            name: "terminal-absorption",
+            check: PropertyCheck::Invariant(|pre, post| {
+                if pre.leader.is_terminal() && !post.leader.is_terminal() {
+                    return Err("leader left its terminal state".into());
+                }
+                Ok(())
+            }),
+        },
+        Property {
+            name: "node-gen-bounded",
+            check: PropertyCheck::Invariant(|_pre, post| {
+                let lg = post.leader.generation();
+                for (i, n) in post.nodes.iter().enumerate() {
+                    if n.gen > lg {
+                        return Err(format!("node {i} at gen {} outran leader {lg}", n.gen));
+                    }
+                }
+                Ok(())
+            }),
+        },
+        Property {
+            name: "pocket",
+            check: PropertyCheck::Reachable(|s| {
+                if !s.leader.is_terminal() {
+                    return false;
+                }
+                let cap = s.leader.params().generation_cap;
+                let mut decided_col = None;
+                for n in &s.nodes {
+                    if n.gen >= cap {
+                        match decided_col {
+                            None => decided_col = Some(n.col),
+                            Some(c) if c != n.col => return true,
+                            Some(_) => {}
+                        }
+                    }
+                }
+                false
+            }),
+        },
+        Property {
+            name: "monochrome",
+            check: PropertyCheck::Reachable(|s| s.nodes.iter().all(|n| n.col == s.nodes[0].col)),
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explore::canonical_key;
+
+    fn oracle(n: usize, topology: CheckTopology) -> LeaderOracle {
+        LeaderCheckConfig::new(n, 2, topology).oracle().unwrap()
+    }
+
+    #[test]
+    fn initial_state_round_trips_through_key() {
+        for topology in [CheckTopology::Complete, CheckTopology::Ring] {
+            let o = oracle(4, topology);
+            let init = o.initial();
+            let key = canonical_key(&o, &init);
+            let rep = o.decode(&key);
+            assert_eq!(canonical_key(&o, &rep), key);
+            assert_eq!(rep.leader, init.leader);
+        }
+    }
+
+    #[test]
+    fn interact_promotion_feeds_pending() {
+        let o = oracle(4, CheckTopology::Complete);
+        let mut s = o.initial();
+        // Two-choices: samples agree at gen 0, leader gen 1, prop closed;
+        // node 0 needs a refreshed view first (line 5 guard).
+        s = o.step(&s, &LeaderAction::Interact { v: 0, a: 1, b: 2 });
+        let s2 = o.step(&s, &LeaderAction::Interact { v: 0, a: 1, b: 2 });
+        assert_eq!(s2.nodes[0].gen, 1);
+        assert_eq!(s2.pending, 1);
+    }
+
+    #[test]
+    fn deliver_gen_births_and_clears_pending() {
+        let o = oracle(4, CheckTopology::Complete);
+        let mut s = o.initial();
+        // Promote nodes 0 and 1 into generation 1 (threshold is 2); the
+        // repeated sample (2, 2) matches the engine's with-replacement
+        // complete-graph sampler.
+        for v in [0, 1] {
+            s = o.step(&s, &LeaderAction::Interact { v, a: 2, b: 2 });
+            s = o.step(&s, &LeaderAction::Interact { v, a: 2, b: 2 });
+        }
+        assert_eq!(s.pending, 2);
+        s = o.step(&s, &LeaderAction::DeliverGen);
+        assert_eq!(s.leader.generation(), 1);
+        assert_eq!(s.pending, 1);
+        s = o.step(&s, &LeaderAction::DeliverGen);
+        assert_eq!(s.leader.generation(), 2, "threshold 2 births generation 2");
+        assert_eq!(s.pending, 0, "birth makes leftovers stale");
+    }
+
+    #[test]
+    fn complete_canonicalization_sorts_nodes() {
+        let o = oracle(4, CheckTopology::Complete);
+        let s = o.initial();
+        let mut permuted = s.clone();
+        permuted.nodes.swap(0, 3);
+        assert_eq!(canonical_key(&o, &s), canonical_key(&o, &permuted));
+    }
+
+    #[test]
+    fn ring_canonicalization_respects_rotation_only() {
+        let o = oracle(4, CheckTopology::Ring);
+        let s = o.initial(); // colors [0, 0, 0, 1]
+        let mut rotated = s.clone();
+        rotated.nodes.rotate_left(1);
+        assert_eq!(canonical_key(&o, &s), canonical_key(&o, &rotated));
+        // An arbitrary transposition is NOT a ring automorphism: colors
+        // [0, 0, 0, 1] vs [0, 1, 0, 0]... both lie on one dihedral orbit
+        // for this tiny pattern, so use a pattern with a genuine
+        // asymmetry instead.
+        let mut a = s.clone();
+        a.nodes[0].gen = 1;
+        a.nodes[1].gen = 1;
+        let mut b = s.clone();
+        b.nodes[0].gen = 1;
+        b.nodes[2].gen = 1;
+        assert_ne!(
+            canonical_key(&o, &a),
+            canonical_key(&o, &b),
+            "adjacent vs opposite raised pairs are distinct on the ring"
+        );
+    }
+
+    #[test]
+    fn dead_counters_are_normalized() {
+        let o = oracle(4, CheckTopology::Complete);
+        let mut s = o.initial();
+        // Open propagation: zero counter differences must vanish.
+        s = o.step(&s, &LeaderAction::DeliverZero);
+        let t = o.step(&s, &LeaderAction::DeliverZero);
+        assert!(t.leader.propagation());
+        let u = o.step(&t, &LeaderAction::DeliverZero);
+        assert_eq!(
+            canonical_key(&o, &t),
+            canonical_key(&o, &u),
+            "zero counter is dead once propagation is open"
+        );
+    }
+}

@@ -1,0 +1,131 @@
+//! # plurality-check
+//!
+//! Exhaustive scheduler-interleaving model checking for small instances
+//! of the paper's leader (Algorithms 2–3) and cluster (Algorithms 4–5)
+//! protocols.
+//!
+//! The asynchronous engines in `plurality-core` *sample* schedules: Poisson
+//! clocks, random latencies, and random peers produce one execution per
+//! seed. This crate instead enumerates **every** schedule of a small
+//! instance (`n = 4..=8`, bounded generations) and verifies safety
+//! properties over the full reachable state space — or produces a concrete
+//! counterexample trace. It answers questions sampling cannot, e.g.
+//! whether a surviving top-generation minority pocket is *reachable* (a
+//! possibility) rather than merely *probable* (experiment E17's open
+//! question, recorded as E20 in `EXPERIMENTS.md`).
+//!
+//! The models own no protocol rules. Node transitions go through the same
+//! pure functions the engines call ([`plurality_core::leader::decide`] /
+//! [`plurality_core::leader::apply`], [`plurality_core::cluster::decide_member`] /
+//! [`plurality_core::cluster::finished_exchange`]) and leader transitions
+//! through the engine state machines themselves
+//! ([`plurality_core::leader::LeaderState`],
+//! [`plurality_core::cluster::ClusterLeaderState`]); the checker
+//! contributes only the adversarial scheduler and the state-space
+//! bookkeeping, so checker and simulator cannot drift.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use plurality_check::{check_leader, CheckTopology, LeaderCheckConfig, Limits};
+//!
+//! let cfg = LeaderCheckConfig::new(4, 2, CheckTopology::Complete);
+//! let report = check_leader(cfg, &Limits::default()).unwrap();
+//! assert!(report.exhaustive);
+//! assert!(report.invariants_hold());
+//! // The pocket question gets a definitive answer:
+//! assert!(report.property("pocket").is_some());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cluster;
+pub mod explore;
+pub mod leader;
+mod report;
+
+pub use cluster::{
+    cluster_properties, ClusterAction, ClusterCheckConfig, ClusterModel, ClusterOracle,
+    ClusterUnit, Member,
+};
+pub use explore::{
+    canonical_key, explore, Exploration, Limits, Property, PropertyCheck, SearchOrder, StepOracle,
+    Trace, Verdict,
+};
+pub use leader::{leader_properties, LeaderAction, LeaderCheckConfig, LeaderModel, LeaderOracle};
+pub use report::{check_cluster, check_leader, CheckReport, PropertyReport, VerdictSummary};
+
+use std::fmt;
+use std::str::FromStr;
+
+/// The communication graphs the checker explores.
+///
+/// `Complete` mirrors the engine's default with-replacement uniform
+/// sampler (self-draws and repeated draws included); `Ring` restricts each
+/// node's samples to its two cycle neighbors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckTopology {
+    /// Uniform sampling over all `n` nodes (including the sampler itself).
+    Complete,
+    /// The cycle graph: node `v` samples only `v ± 1 (mod n)`.
+    Ring,
+}
+
+impl CheckTopology {
+    /// The per-node sample universe under this topology.
+    pub fn neighbor_sets(self, n: usize) -> Vec<Vec<u8>> {
+        match self {
+            CheckTopology::Complete => {
+                let all: Vec<u8> = (0..n as u8).collect();
+                vec![all; n]
+            }
+            CheckTopology::Ring => (0..n)
+                .map(|v| vec![((v + n - 1) % n) as u8, ((v + 1) % n) as u8])
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for CheckTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckTopology::Complete => write!(f, "complete"),
+            CheckTopology::Ring => write!(f, "ring"),
+        }
+    }
+}
+
+impl FromStr for CheckTopology {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "complete" => Ok(CheckTopology::Complete),
+            "ring" => Ok(CheckTopology::Ring),
+            other => Err(format!("unknown check topology '{other}' (complete|ring)")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbor_sets_shapes() {
+        let complete = CheckTopology::Complete.neighbor_sets(4);
+        assert!(complete.iter().all(|nbrs| nbrs.len() == 4));
+        let ring = CheckTopology::Ring.neighbor_sets(5);
+        assert_eq!(ring[0], vec![4, 1]);
+        assert_eq!(ring[4], vec![3, 0]);
+    }
+
+    #[test]
+    fn topology_round_trips_through_str() {
+        for t in [CheckTopology::Complete, CheckTopology::Ring] {
+            assert_eq!(t.to_string().parse::<CheckTopology>().unwrap(), t);
+        }
+        assert!("torus".parse::<CheckTopology>().is_err());
+    }
+}

@@ -1,0 +1,272 @@
+//! Protocol-level check entry points and the serializable-ish report
+//! type the CLI and CI consume.
+
+use std::fmt::Write as _;
+
+use crate::cluster::{cluster_properties, ClusterCheckConfig};
+use crate::explore::{explore, Limits, Verdict};
+use crate::leader::{leader_properties, LeaderCheckConfig};
+use crate::CheckTopology;
+
+/// A property verdict stripped of generic action types (traces are
+/// pre-rendered).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerdictSummary {
+    /// Invariant held on every explored edge.
+    Holds,
+    /// Invariant violated.
+    Violated {
+        /// Violation description.
+        detail: String,
+    },
+    /// Reachability: a witness exists at the given trace length.
+    Reachable {
+        /// Number of scheduler actions in the minimal witness.
+        depth: usize,
+    },
+    /// Reachability: no reachable state satisfies the predicate.
+    Unreachable,
+}
+
+/// One property's outcome.
+#[derive(Debug, Clone)]
+pub struct PropertyReport {
+    /// Property name.
+    pub name: &'static str,
+    /// The verdict.
+    pub verdict: VerdictSummary,
+    /// Rendered counterexample/witness trace, when one exists.
+    pub trace: Option<String>,
+}
+
+/// The result of checking one protocol instance.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// `"leader"` or `"cluster"`.
+    pub protocol: &'static str,
+    /// Number of nodes.
+    pub n: usize,
+    /// Topology checked.
+    pub topology: CheckTopology,
+    /// Distinct canonical states explored.
+    pub states: usize,
+    /// Transitions examined.
+    pub transitions: u64,
+    /// Whether the whole reachable space was covered (false after hitting
+    /// the state budget — verdicts then only cover the explored prefix).
+    pub exhaustive: bool,
+    /// Per-property outcomes.
+    pub properties: Vec<PropertyReport>,
+}
+
+impl CheckReport {
+    /// The report for a property by name.
+    pub fn property(&self, name: &str) -> Option<&PropertyReport> {
+        self.properties.iter().find(|p| p.name == name)
+    }
+
+    /// Whether every invariant held.
+    pub fn invariants_hold(&self) -> bool {
+        !self
+            .properties
+            .iter()
+            .any(|p| matches!(p.verdict, VerdictSummary::Violated { .. }))
+    }
+
+    /// Renders the report; `with_traces` appends witness and
+    /// counterexample traces.
+    pub fn render(&self, with_traces: bool) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "check {}: n={} topology={} states={} transitions={} {}",
+            self.protocol,
+            self.n,
+            self.topology,
+            self.states,
+            self.transitions,
+            if self.exhaustive {
+                "(exhaustive)"
+            } else {
+                "(TRUNCATED — verdicts cover a prefix only)"
+            }
+        );
+        for p in &self.properties {
+            let line = match &p.verdict {
+                VerdictSummary::Holds => format!("  {:<26} holds", p.name),
+                VerdictSummary::Violated { detail } => {
+                    format!("  {:<26} VIOLATED: {detail}", p.name)
+                }
+                VerdictSummary::Reachable { depth } => {
+                    format!(
+                        "  {:<26} reachable (minimal schedule: {depth} actions)",
+                        p.name
+                    )
+                }
+                VerdictSummary::Unreachable => format!(
+                    "  {:<26} unreachable{}",
+                    p.name,
+                    if self.exhaustive { "" } else { " so far" }
+                ),
+            };
+            let _ = writeln!(out, "{line}");
+            if with_traces {
+                if let Some(trace) = &p.trace {
+                    let _ = out.write_str(trace);
+                }
+            }
+        }
+        out
+    }
+}
+
+fn summarize<A>(verdicts: Vec<(&'static str, Verdict<A>)>) -> Vec<PropertyReport> {
+    verdicts
+        .into_iter()
+        .map(|(name, v)| match v {
+            Verdict::Holds => PropertyReport {
+                name,
+                verdict: VerdictSummary::Holds,
+                trace: None,
+            },
+            Verdict::Violated { detail, trace } => PropertyReport {
+                name,
+                verdict: VerdictSummary::Violated { detail },
+                trace: Some(trace.pretty),
+            },
+            Verdict::Reachable { trace } => PropertyReport {
+                name,
+                verdict: VerdictSummary::Reachable {
+                    depth: trace.actions.len(),
+                },
+                trace: Some(trace.pretty),
+            },
+            Verdict::Unreachable => PropertyReport {
+                name,
+                verdict: VerdictSummary::Unreachable,
+                trace: None,
+            },
+        })
+        .collect()
+}
+
+/// Exhaustively checks a leader-protocol instance.
+pub fn check_leader(cfg: LeaderCheckConfig, limits: &Limits) -> Result<CheckReport, String> {
+    let n = cfg.n();
+    let topology = cfg.topology;
+    let oracle = cfg.oracle()?;
+    let exploration = explore(&oracle, &leader_properties(), limits);
+    Ok(CheckReport {
+        protocol: "leader",
+        n,
+        topology,
+        states: exploration.states,
+        transitions: exploration.transitions,
+        exhaustive: !exploration.truncated,
+        properties: summarize(exploration.verdicts),
+    })
+}
+
+/// Exhaustively checks a cluster-protocol instance.
+pub fn check_cluster(cfg: ClusterCheckConfig, limits: &Limits) -> Result<CheckReport, String> {
+    let n = cfg.n();
+    let topology = cfg.topology;
+    let oracle = cfg.oracle()?;
+    let exploration = explore(&oracle, &cluster_properties(), limits);
+    Ok(CheckReport {
+        protocol: "cluster",
+        n,
+        topology,
+        states: exploration.states,
+        transitions: exploration.transitions,
+        exhaustive: !exploration.truncated,
+        properties: summarize(exploration.verdicts),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leader_n4_complete_is_checkable() {
+        let report = check_leader(
+            LeaderCheckConfig::new(4, 2, CheckTopology::Complete),
+            &Limits::default(),
+        )
+        .unwrap();
+        assert!(report.exhaustive);
+        assert!(report.invariants_hold());
+        // All four core properties must be present.
+        for name in [
+            "generation-monotonicity",
+            "decided-stability",
+            "terminal-absorption",
+            "pocket",
+        ] {
+            assert!(report.property(name).is_some(), "missing {name}");
+        }
+        let rendered = report.render(false);
+        assert!(rendered.contains("exhaustive"));
+    }
+
+    #[test]
+    fn cluster_n3_complete_is_checkable() {
+        // n = 3 keeps the default lane fast (~10⁵ states) while still
+        // exercising heterogeneous cluster sizes ([2, 1]) — the case
+        // where canonical block sorting relabels the clusters.
+        let report = check_cluster(
+            ClusterCheckConfig::new(3, 2, CheckTopology::Complete),
+            &Limits::default(),
+        )
+        .unwrap();
+        assert!(report.exhaustive);
+        assert!(report.invariants_hold());
+        assert!(report.property("finished-conflict").is_some());
+    }
+
+    #[test]
+    fn cluster_n5_lopsided_cap1_ring_is_checkable() {
+        // Locks the cap-1 + unit-threshold + heterogeneous-sizes path on
+        // the ring, where cluster blocks are *not* reordered by
+        // canonicalization (contrast with the complete-topology test
+        // above, where they are).
+        let mut cfg = ClusterCheckConfig::new(5, 2, CheckTopology::Ring);
+        cfg.sizes = vec![4, 1];
+        cfg.generation_cap = 1;
+        cfg.sleep_units = 0;
+        cfg.prop_units = 0;
+        let report = check_cluster(cfg, &Limits::default()).unwrap();
+        assert!(report.exhaustive);
+        assert!(report.invariants_hold());
+        assert!(matches!(
+            report.property("finished-conflict").unwrap().verdict,
+            VerdictSummary::Reachable { .. }
+        ));
+    }
+
+    #[test]
+    #[ignore = "tier-2: ~10⁶ states; run with `cargo test -- --ignored`"]
+    fn cluster_n4_complete_is_checkable() {
+        let report = check_cluster(
+            ClusterCheckConfig::new(4, 2, CheckTopology::Complete),
+            &Limits::default(),
+        )
+        .unwrap();
+        assert!(report.exhaustive);
+        assert!(report.invariants_hold());
+        assert!(report.property("finished-conflict").is_some());
+    }
+
+    #[test]
+    fn invalid_instances_are_rejected() {
+        assert!(check_leader(
+            LeaderCheckConfig::new(20, 2, CheckTopology::Complete),
+            &Limits::default(),
+        )
+        .is_err());
+        let mut cfg = ClusterCheckConfig::new(6, 2, CheckTopology::Complete);
+        cfg.sizes = vec![5, 5];
+        assert!(check_cluster(cfg, &Limits::default()).is_err());
+    }
+}

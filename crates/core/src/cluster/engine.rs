@@ -24,6 +24,9 @@
 use crate::cluster::leader::{
     ClusterLeaderParams, ClusterLeaderState, ClusterPhase, ClusterTransition,
 };
+use crate::cluster::node::{
+    decide_member, finished_exchange, FinishedExchange, MemberDecision, MemberSample, MemberView,
+};
 use crate::genstate::GenerationTable;
 use crate::opinion::InitialAssignment;
 use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcome};
@@ -1019,27 +1022,32 @@ impl Engine<'_> {
             }
         }
 
-        // Lines 5–7 of Algorithm 4: finished-flag exchange (push + pull).
-        if self.finished[vi] {
-            let col = self.cols[vi];
-            for s in [s1, s2, s3] {
-                let si = s as usize;
-                if !self.finished[si] {
-                    self.finished[si] = true;
-                    if self.adopt(now, si, self.gens[si], col) {
-                        return true;
+        // Lines 5–7 of Algorithm 4: finished-flag exchange (push + pull),
+        // resolved by the shared rule in `cluster::node` — the same
+        // function the plurality-check model checker drives.
+        let line = [s1, s2, s3];
+        let line_finished = line.map(|s| self.finished[s as usize]);
+        match finished_exchange(self.finished[vi], &line_finished) {
+            FinishedExchange::Push => {
+                let col = self.cols[vi];
+                for s in line {
+                    // Live re-check: a repeated sample is flagged once.
+                    let si = s as usize;
+                    if !self.finished[si] {
+                        self.finished[si] = true;
+                        if self.adopt(now, si, self.gens[si], col) {
+                            return true;
+                        }
                     }
                 }
+                return false;
             }
-            return false;
-        }
-        for s in [s1, s2, s3] {
-            let si = s as usize;
-            if self.finished[si] {
+            FinishedExchange::Pull { from } => {
                 self.finished[vi] = true;
-                let col = self.cols[si];
+                let col = self.cols[line[from] as usize];
                 return self.adopt(now, vi, self.gens[vi], col);
             }
+            FinishedExchange::None => {}
         }
 
         // Unclustered nodes attempt to join a sampled node's cluster.
@@ -1102,51 +1110,25 @@ impl Engine<'_> {
             (s.generation(), s.phase())
         };
         let (l_gen, l_phase) = l_state;
-        let in_sync = self.stored_gen[vi] == l_gen && self.stored_phase[vi] == l_phase.as_state();
-
-        let (g1, c1s) = (self.gens[s1 as usize], self.cols[s1 as usize]);
-        let (g2, c2s) = (self.gens[s2 as usize], self.cols[s2 as usize]);
-        let vg = self.gens[vi];
-
-        let mut promoted_to: Option<(u32, u32)> = None;
-        if in_sync
-            && l_phase == ClusterPhase::TwoChoices
-            && l_gen >= 1
-            && g1 == g2
-            && g1 + 1 == l_gen
-            && c1s == c2s
-            && vg <= g1
-        {
-            // Line 13: two-choices promotion into the newest generation.
-            promoted_to = Some((l_gen, c1s));
-        } else if in_sync && l_phase == ClusterPhase::Propagation {
-            // Line 9: propagation from a sample inside the newest generation.
-            for (g, c) in [(g1, c1s), (g2, c2s)] {
-                if vg < g && g == l_gen {
-                    promoted_to = Some((g, c));
-                    break;
-                }
-            }
-        }
-        if promoted_to.is_none() {
-            // Catch-up from settled generations (mirrors Algorithm 2's
-            // `gen(v̄) < gen` case; stragglers must be able to advance).
-            let mut best: Option<(u32, u32)> = None;
-            for (g, c) in [(g1, c1s), (g2, c2s)] {
-                let improves = match best {
-                    None => true,
-                    Some((bg, _)) => g > bg,
-                };
-                if vg < g && g < l_gen && improves {
-                    best = Some((g, c));
-                }
-            }
-            promoted_to = best;
-        }
-
-        match promoted_to {
-            Some((gen, col)) => {
-                let increased = gen > vg;
+        // Lines 9–19 are the shared member decision rule in `cluster::node`
+        // — the same function the plurality-check model checker drives.
+        let view = MemberView {
+            gen: self.gens[vi],
+            col: self.cols[vi],
+            stored_gen: self.stored_gen[vi],
+            stored_phase: self.stored_phase[vi],
+        };
+        let sample = |s: u32| MemberSample {
+            gen: self.gens[s as usize],
+            col: self.cols[s as usize],
+        };
+        match decide_member(view, sample(s1), sample(s2), l_gen, l_phase, self.cap) {
+            MemberDecision::Promote {
+                gen,
+                col,
+                increased,
+                finished,
+            } => {
                 let done = self.adopt(now, vi, gen, col);
                 if done {
                     return true;
@@ -1164,16 +1146,16 @@ impl Engine<'_> {
                         .schedule(now + travel, Event::MemberPromoted { cluster: own, gen });
                 }
                 // Line 20: reaching the final generation finishes the node.
-                if gen >= self.cap {
+                if finished {
                     self.finished[vi] = true;
                 }
             }
-            None => {
+            MemberDecision::Refresh { gen, phase } => {
                 // Lines 17–19: relay the observed leader state to the own
                 // leader (already covered by sync_leaders above) and refresh
                 // the stored copy.
-                self.stored_gen[vi] = l_gen;
-                self.stored_phase[vi] = l_phase.as_state();
+                self.stored_gen[vi] = gen;
+                self.stored_phase[vi] = phase;
             }
         }
         false

@@ -13,6 +13,10 @@
 
 mod engine;
 mod leader;
+mod node;
 
 pub use engine::{ClusterConfig, ClusterResult, PhaseLogEntry};
 pub use leader::{ClusterLeaderParams, ClusterLeaderState, ClusterPhase, ClusterTransition};
+pub use node::{
+    decide_member, finished_exchange, FinishedExchange, MemberDecision, MemberSample, MemberView,
+};

@@ -1,0 +1,401 @@
+//! A cluster member's per-interaction decision rules (Algorithm 4,
+//! lines 5–20), as pure functions.
+//!
+//! Two rules fire on every completed interaction of a consensus-mode
+//! member: the *finished-flag exchange* (lines 5–7: push the flag and its
+//! color to everyone on the line, or pull it from the first finished
+//! sample) and the *promotion rule* (lines 9–16: two-choices into the
+//! newest generation during its two-choices window, propagation inside it
+//! once propagation opens, catch-up from settled generations otherwise).
+//!
+//! The event-driven engine ([`super::engine`]) and the `plurality-check`
+//! model checker both drive their member updates through these functions,
+//! so the exhaustively checked state machine cannot drift from the
+//! simulated one.
+
+use super::leader::ClusterPhase;
+
+/// What a member sees of itself when deciding: its own `(gen, col)` and the
+/// copy of a leader's `(generation, phase)` it stored at the last
+/// successful communication.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberView {
+    /// Own generation.
+    pub gen: u32,
+    /// Own color.
+    pub col: u32,
+    /// Leader generation stored at the last communication.
+    pub stored_gen: u32,
+    /// Leader phase state (1/2/3) stored at the last communication.
+    pub stored_phase: u8,
+}
+
+/// What a member sees of one sampled peer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberSample {
+    /// Peer generation.
+    pub gen: u32,
+    /// Peer color.
+    pub col: u32,
+}
+
+/// The promotion verdict for one interaction (Algorithm 4, lines 9–19).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberDecision {
+    /// Adopt `(gen, col)`. `finished` is set when the adoption reaches the
+    /// generation cap (line 20), and `increased` when it strictly raised
+    /// the member's generation — exactly the case in which the member
+    /// notifies its own leader (lines 12/16).
+    Promote {
+        /// New generation.
+        gen: u32,
+        /// New color.
+        col: u32,
+        /// Whether this promotion strictly increased the generation.
+        increased: bool,
+        /// Whether the member reaches the cap and sets its finished flag.
+        finished: bool,
+    },
+    /// No promotion: refresh the stored leader copy to `(gen, phase)`
+    /// (lines 17–19).
+    Refresh {
+        /// Observed leader generation.
+        gen: u32,
+        /// Observed leader phase state (1/2/3).
+        phase: u8,
+    },
+}
+
+/// Decides a consensus-mode member's action from its two peer samples and
+/// the *observed* leader state — the sampled node's leader, post
+/// leader-sync (Algorithm 4, lines 9–19).
+///
+/// The in-sync guard (stored copy equals observed state) separates the
+/// two-choices window from the propagation window exactly as in the
+/// single-leader [`crate::leader::decide`]; the catch-up branch admits
+/// adoptions from settled generations regardless of sync, so stragglers
+/// can always advance.
+pub fn decide_member(
+    member: MemberView,
+    s1: MemberSample,
+    s2: MemberSample,
+    leader_gen: u32,
+    leader_phase: ClusterPhase,
+    generation_cap: u32,
+) -> MemberDecision {
+    let in_sync = member.stored_gen == leader_gen && member.stored_phase == leader_phase.as_state();
+    let (g1, c1) = (s1.gen, s1.col);
+    let (g2, c2) = (s2.gen, s2.col);
+    let vg = member.gen;
+
+    let mut promoted_to: Option<(u32, u32)> = None;
+    if in_sync
+        && leader_phase == ClusterPhase::TwoChoices
+        && leader_gen >= 1
+        && g1 == g2
+        && g1 + 1 == leader_gen
+        && c1 == c2
+        && vg <= g1
+    {
+        // Line 13: two-choices promotion into the newest generation.
+        promoted_to = Some((leader_gen, c1));
+    } else if in_sync && leader_phase == ClusterPhase::Propagation {
+        // Line 9: propagation from a sample inside the newest generation.
+        for (g, c) in [(g1, c1), (g2, c2)] {
+            if vg < g && g == leader_gen {
+                promoted_to = Some((g, c));
+                break;
+            }
+        }
+    }
+    if promoted_to.is_none() {
+        // Catch-up from settled generations (mirrors Algorithm 2's
+        // `gen(v̄) < gen` case; stragglers must be able to advance).
+        let mut best: Option<(u32, u32)> = None;
+        for (g, c) in [(g1, c1), (g2, c2)] {
+            let improves = match best {
+                None => true,
+                Some((bg, _)) => g > bg,
+            };
+            if vg < g && g < leader_gen && improves {
+                best = Some((g, c));
+            }
+        }
+        promoted_to = best;
+    }
+
+    match promoted_to {
+        Some((gen, col)) => MemberDecision::Promote {
+            gen,
+            col,
+            increased: gen > vg,
+            finished: gen >= generation_cap,
+        },
+        None => MemberDecision::Refresh {
+            gen: leader_gen,
+            phase: leader_phase.as_state(),
+        },
+    }
+}
+
+/// The finished-flag exchange on one interaction line (Algorithm 4,
+/// lines 5–7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishedExchange {
+    /// The initiator is finished: every non-finished sample becomes
+    /// finished and adopts the initiator's color; the interaction ends.
+    Push,
+    /// The initiator is not finished but sample `from` (an index into the
+    /// sample line) is: the initiator becomes finished, adopting that
+    /// sample's color; the interaction ends.
+    Pull {
+        /// Index of the first finished sample on the line.
+        from: usize,
+    },
+    /// Nobody on the line is finished: the interaction proceeds to the
+    /// promotion rule.
+    None,
+}
+
+/// Resolves the finished-flag exchange for an initiator and its sample
+/// line. Pull takes the *first* finished sample in line order.
+pub fn finished_exchange(initiator_finished: bool, samples_finished: &[bool]) -> FinishedExchange {
+    if initiator_finished {
+        return FinishedExchange::Push;
+    }
+    match samples_finished.iter().position(|&f| f) {
+        Some(from) => FinishedExchange::Pull { from },
+        None => FinishedExchange::None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(gen: u32, col: u32, stored_gen: u32, stored_phase: u8) -> MemberView {
+        MemberView {
+            gen,
+            col,
+            stored_gen,
+            stored_phase,
+        }
+    }
+
+    fn s(gen: u32, col: u32) -> MemberSample {
+        MemberSample { gen, col }
+    }
+
+    #[test]
+    fn out_of_sync_member_refreshes() {
+        // Stored copy (1, TwoChoices) vs observed (2, TwoChoices): the
+        // window mechanisms are blocked, and gen-0 samples offer no
+        // catch-up, so the member only refreshes its stored copy.
+        let d = decide_member(
+            member(0, 7, 1, 1),
+            s(0, 3),
+            s(0, 3),
+            2,
+            ClusterPhase::TwoChoices,
+            4,
+        );
+        assert_eq!(d, MemberDecision::Refresh { gen: 2, phase: 1 });
+    }
+
+    #[test]
+    fn catch_up_applies_even_out_of_sync() {
+        // Same stale stored copy, but a settled-generation sample exists:
+        // stragglers advance regardless of the sync guard.
+        let d = decide_member(
+            member(0, 7, 1, 1),
+            s(1, 3),
+            s(1, 3),
+            2,
+            ClusterPhase::TwoChoices,
+            4,
+        );
+        assert_eq!(
+            d,
+            MemberDecision::Promote {
+                gen: 1,
+                col: 3,
+                increased: true,
+                finished: false
+            }
+        );
+    }
+
+    #[test]
+    fn two_choices_promotes_in_sync_member() {
+        let d = decide_member(
+            member(0, 7, 2, 1),
+            s(1, 3),
+            s(1, 3),
+            2,
+            ClusterPhase::TwoChoices,
+            4,
+        );
+        assert_eq!(
+            d,
+            MemberDecision::Promote {
+                gen: 2,
+                col: 3,
+                increased: true,
+                finished: false
+            }
+        );
+    }
+
+    #[test]
+    fn two_choices_requires_color_agreement_and_level() {
+        // Disagreeing colors: no two-choices, but catch-up from the
+        // settled generation 1 still advances the straggler.
+        let d = decide_member(
+            member(0, 7, 2, 1),
+            s(1, 3),
+            s(1, 4),
+            2,
+            ClusterPhase::TwoChoices,
+            4,
+        );
+        assert_eq!(
+            d,
+            MemberDecision::Promote {
+                gen: 1,
+                col: 3,
+                increased: true,
+                finished: false
+            }
+        );
+        // Samples two below the allowed generation.
+        let d = decide_member(
+            member(0, 7, 3, 1),
+            s(1, 3),
+            s(1, 3),
+            3,
+            ClusterPhase::TwoChoices,
+            4,
+        );
+        // Catch-up applies instead: g = 1 < leader gen 3.
+        assert_eq!(
+            d,
+            MemberDecision::Promote {
+                gen: 1,
+                col: 3,
+                increased: true,
+                finished: false
+            }
+        );
+    }
+
+    #[test]
+    fn sleeping_phase_blocks_newest_generation() {
+        let d = decide_member(
+            member(1, 7, 2, 2),
+            s(2, 3),
+            s(2, 3),
+            2,
+            ClusterPhase::Sleeping,
+            4,
+        );
+        // Samples in the newest generation, but sleeping blocks both
+        // mechanisms and catch-up needs g < leader gen.
+        assert_eq!(d, MemberDecision::Refresh { gen: 2, phase: 2 });
+    }
+
+    #[test]
+    fn propagation_adopts_newest_generation_sample() {
+        let d = decide_member(
+            member(1, 7, 2, 3),
+            s(2, 3),
+            s(0, 9),
+            2,
+            ClusterPhase::Propagation,
+            4,
+        );
+        assert_eq!(
+            d,
+            MemberDecision::Promote {
+                gen: 2,
+                col: 3,
+                increased: true,
+                finished: false
+            }
+        );
+    }
+
+    #[test]
+    fn catch_up_prefers_higher_settled_generation() {
+        let d = decide_member(
+            member(0, 7, 9, 9),
+            s(1, 4),
+            s(2, 5),
+            3,
+            ClusterPhase::TwoChoices,
+            4,
+        );
+        assert_eq!(
+            d,
+            MemberDecision::Promote {
+                gen: 2,
+                col: 5,
+                increased: true,
+                finished: false
+            }
+        );
+    }
+
+    #[test]
+    fn reaching_the_cap_sets_finished() {
+        let d = decide_member(
+            member(1, 7, 2, 3),
+            s(2, 3),
+            s(0, 9),
+            2,
+            ClusterPhase::Propagation,
+            2,
+        );
+        assert_eq!(
+            d,
+            MemberDecision::Promote {
+                gen: 2,
+                col: 3,
+                increased: true,
+                finished: true
+            }
+        );
+    }
+
+    #[test]
+    fn member_at_leader_generation_cannot_flip_color() {
+        // Unlike the single-leader rule (Algorithm 2 line 6, which has no
+        // gen(v) guard), line 13's `gen(v) ≤ gen(v₁)` means a member
+        // already at the leader generation never re-adopts: every cluster
+        // promotion strictly increases the generation.
+        let d = decide_member(
+            member(2, 7, 2, 1),
+            s(1, 3),
+            s(1, 3),
+            2,
+            ClusterPhase::TwoChoices,
+            4,
+        );
+        assert_eq!(d, MemberDecision::Refresh { gen: 2, phase: 1 });
+    }
+
+    #[test]
+    fn finished_exchange_push_pull_order() {
+        assert_eq!(
+            finished_exchange(true, &[false, true, false]),
+            FinishedExchange::Push
+        );
+        assert_eq!(
+            finished_exchange(false, &[false, true, true]),
+            FinishedExchange::Pull { from: 1 }
+        );
+        assert_eq!(
+            finished_exchange(false, &[false, false, false]),
+            FinishedExchange::None
+        );
+    }
+}

@@ -27,7 +27,7 @@
 //!   scheduling 0-/gen-signal events whose arrival would be unobservable.
 
 use crate::genstate::GenerationTable;
-use crate::leader::node::{decide, NodeDecision, NodeView, SampleView};
+use crate::leader::node::{apply, decide, NodeDecision, NodeState, SampleView};
 use crate::leader::state::{LeaderParams, LeaderState, LeaderTransition, Signal};
 use crate::opinion::InitialAssignment;
 use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcome};
@@ -320,6 +320,11 @@ pub struct LeaderResult {
     pub propagation_promotions: u64,
     /// Winner-fraction time series (only at [`RecordLevel::Full`]).
     pub winner_fraction: Option<Series>,
+    /// Per-node `(generation, color)` at run end (only at
+    /// [`RecordLevel::Full`]); lets the plurality-check model checker
+    /// cross-validate that a recorded engine run ends inside the
+    /// exhaustively explored reachable set.
+    pub final_node_states: Option<Vec<(u32, u32)>>,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -607,7 +612,11 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                         continue;
                     }
                 }
-                let node = NodeView {
+                // The node's slot and the decision/apply pair are the shared
+                // transition function (`leader::node`): the plurality-check
+                // model checker drives the identical functions, so the
+                // checked state machine cannot drift from this engine.
+                let mut slot = NodeState {
                     gen: gens[vi],
                     col: cols[vi],
                     seen_gen: seen_gen[vi],
@@ -621,10 +630,23 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                     gen: gens[b as usize],
                     col: cols[b as usize],
                 };
-                match decide(node, s1, s2, leader.generation(), leader.propagation()) {
+                let decision = decide(
+                    slot.view(),
+                    s1,
+                    s2,
+                    leader.generation(),
+                    leader.propagation(),
+                );
+                let signal = apply(
+                    &mut slot,
+                    decision,
+                    leader.generation(),
+                    leader.propagation(),
+                );
+                match decision {
                     NodeDecision::Refresh => {
-                        seen_gen[vi] = leader.generation();
-                        seen_prop[vi] = leader.propagation();
+                        seen_gen[vi] = slot.seen_gen;
+                        seen_prop[vi] = slot.seen_prop;
                     }
                     NodeDecision::Adopt {
                         gen,
@@ -645,8 +667,8 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                         };
                         if (gen, col) != (old_gen, old_col) {
                             table.transfer(old_gen, old_col, gen, col);
-                            gens[vi] = gen;
-                            cols[vi] = col;
+                            gens[vi] = slot.gen;
+                            cols[vi] = slot.col;
                         }
                         if via_two_choices {
                             two_choices_promotions += 1;
@@ -673,17 +695,19 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                                 p.first_promotion_at.get_or_insert(now);
                             }
                         }
-                        if gen > old_gen
-                            && !leader.is_terminal()
-                            && (cfg.signal_loss == 0.0 || rng.gen::<f64>() >= cfg.signal_loss)
-                            && !env.as_mut().is_some_and(|e| e.message_lost())
-                        {
-                            let scale = env.as_ref().map_or(1.0, |e| e.latency_scale());
-                            let travel = cfg.latency.sample(&mut rng) * scale;
-                            queue.schedule(
-                                now + travel,
-                                Event::LeaderSignal(Signal::Generation(gen)),
-                            );
+                        if let Some(sig) = signal {
+                            // `apply` says the adoption increased the node's
+                            // generation, so a gen-signal departs — unless the
+                            // leader is provably past reacting, or loss (the
+                            // persistent knob or a scenario burst) eats it.
+                            if !leader.is_terminal()
+                                && (cfg.signal_loss == 0.0 || rng.gen::<f64>() >= cfg.signal_loss)
+                                && !env.as_mut().is_some_and(|e| e.message_lost())
+                            {
+                                let scale = env.as_ref().map_or(1.0, |e| e.latency_scale());
+                                let travel = cfg.latency.sample(&mut rng) * scale;
+                                queue.schedule(now + travel, Event::LeaderSignal(sig));
+                            }
                         }
                         tracker.observe(
                             now,
@@ -756,6 +780,8 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
         duration: end_time,
         generations: births,
     };
+    let final_node_states = matches!(cfg.record, RecordLevel::Full)
+        .then(|| gens.iter().copied().zip(cols.iter().copied()).collect());
     LeaderResult {
         outcome,
         steps_per_unit: c1,
@@ -765,6 +791,7 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
         two_choices_promotions,
         propagation_promotions,
         winner_fraction: winner_series,
+        final_node_states,
     }
 }
 
@@ -1017,6 +1044,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "tier-2: n = 30 000 sampling run; run with `cargo test -- --ignored`"]
     fn bias_grows_across_generations() {
         let result = quick_config(30_000, 2, 1.5, 9).run();
         let finite: Vec<f64> = result

@@ -13,5 +13,5 @@ mod node;
 mod state;
 
 pub use engine::{GenerationPhase, LeaderConfig, LeaderResult};
-pub use node::{decide, NodeDecision, NodeView, SampleView};
+pub use node::{apply, decide, NodeDecision, NodeState, NodeView, SampleView};
 pub use state::{LeaderParams, LeaderState, LeaderTransition, Signal};

@@ -7,6 +7,14 @@
 //! two-choices window from the propagation window of each generation and
 //! prevents the two promotion mechanisms from interleaving. On a mismatch
 //! the node merely refreshes its stored copy.
+//!
+//! [`decide`] produces the verdict and [`apply`] writes it into a
+//! [`NodeState`]; the pair is the *complete* per-node transition function.
+//! The event-driven engine and the `plurality-check` model checker both
+//! drive their per-node updates through these two functions, so the
+//! exhaustively checked state machine cannot drift from the simulated one.
+
+use super::state::Signal;
 
 /// What a node sees of itself when deciding.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -19,6 +27,40 @@ pub struct NodeView {
     pub seen_gen: u32,
     /// Leader propagation bit stored at the last communication.
     pub seen_prop: bool,
+}
+
+/// A node's full mutable protocol state: the per-node slot both the
+/// event-driven engine and the model checker keep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NodeState {
+    /// Own generation.
+    pub gen: u32,
+    /// Own color.
+    pub col: u32,
+    /// Leader generation stored at the last communication.
+    pub seen_gen: u32,
+    /// Leader propagation bit stored at the last communication.
+    pub seen_prop: bool,
+}
+
+impl NodeState {
+    /// The decision-rule view of this state (what [`decide`] consumes).
+    pub fn view(&self) -> NodeView {
+        NodeView {
+            gen: self.gen,
+            col: self.col,
+            seen_gen: self.seen_gen,
+            seen_prop: self.seen_prop,
+        }
+    }
+
+    /// The sample view a *peer* obtains of this node.
+    pub fn sample(&self) -> SampleView {
+        SampleView {
+            gen: self.gen,
+            col: self.col,
+        }
+    }
 }
 
 /// What a node sees of one sampled peer.
@@ -98,6 +140,34 @@ pub fn decide(
         };
     }
     NodeDecision::Nothing
+}
+
+/// Applies a [`decide`] verdict to the node's state (the state writes of
+/// Algorithm 2, lines 7–8 / 10–11 / 13–14) and returns the gen-signal the
+/// node sends to the leader, if any: `Signal::Generation(gen)` exactly when
+/// the adoption *increased* the node's generation (lines 7/11's "inform the
+/// leader"). Delivery concerns — travel latency, loss, skipping signals to a
+/// terminal leader — belong to the caller.
+pub fn apply(
+    node: &mut NodeState,
+    decision: NodeDecision,
+    leader_gen: u32,
+    leader_prop: bool,
+) -> Option<Signal> {
+    match decision {
+        NodeDecision::Refresh => {
+            node.seen_gen = leader_gen;
+            node.seen_prop = leader_prop;
+            None
+        }
+        NodeDecision::Adopt { gen, col, .. } => {
+            let increased = gen > node.gen;
+            node.gen = gen;
+            node.col = col;
+            increased.then_some(Signal::Generation(gen))
+        }
+        NodeDecision::Nothing => None,
+    }
 }
 
 #[cfg(test)]
@@ -228,5 +298,57 @@ mod tests {
     fn in_sync_no_rule_is_nothing() {
         let d = decide(node(2, 7, 2, true), s(0, 1), s(1, 2), 2, true);
         assert_eq!(d, NodeDecision::Nothing);
+    }
+
+    #[test]
+    fn apply_refresh_updates_stored_leader_copy_only() {
+        let mut st = NodeState {
+            gen: 0,
+            col: 7,
+            seen_gen: 0,
+            seen_prop: false,
+        };
+        let sig = apply(&mut st, NodeDecision::Refresh, 2, true);
+        assert_eq!(sig, None);
+        assert_eq!((st.gen, st.col), (0, 7));
+        assert_eq!((st.seen_gen, st.seen_prop), (2, true));
+    }
+
+    #[test]
+    fn apply_adopt_signals_exactly_on_generation_increase() {
+        let mut st = NodeState {
+            gen: 1,
+            col: 7,
+            seen_gen: 2,
+            seen_prop: false,
+        };
+        let adopt = NodeDecision::Adopt {
+            gen: 2,
+            col: 3,
+            via_two_choices: true,
+        };
+        assert_eq!(apply(&mut st, adopt, 2, false), Some(Signal::Generation(2)));
+        assert_eq!((st.gen, st.col), (2, 3));
+        // Same-generation re-adoption (the color flip of line 6) is silent.
+        let flip = NodeDecision::Adopt {
+            gen: 2,
+            col: 9,
+            via_two_choices: true,
+        };
+        assert_eq!(apply(&mut st, flip, 2, false), None);
+        assert_eq!((st.gen, st.col), (2, 9));
+    }
+
+    #[test]
+    fn apply_nothing_is_inert() {
+        let mut st = NodeState {
+            gen: 1,
+            col: 7,
+            seen_gen: 1,
+            seen_prop: true,
+        };
+        let before = st;
+        assert_eq!(apply(&mut st, NodeDecision::Nothing, 1, true), None);
+        assert_eq!(st, before);
     }
 }

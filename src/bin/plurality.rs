@@ -23,6 +23,10 @@
 use plurality::api::{
     parse_stragglers, Registry, Report, Resolved, RunSpec, SpecError, Telemetry, COMMON_KEYS,
 };
+use plurality::check::{
+    check_cluster, check_leader, CheckReport, CheckTopology, ClusterCheckConfig, LeaderCheckConfig,
+    Limits, SearchOrder, VerdictSummary,
+};
 use plurality::dist::{ChannelPattern, Latency, WaitingTime};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -141,14 +145,14 @@ fn resolve_spec(spec: &RunSpec) -> Result<Resolved, String> {
         .map_err(|e: SpecError| e.message().to_string())
 }
 
-fn cmd_spec(raw: &str) -> Result<(), String> {
+fn cmd_spec(raw: &str) -> Result<ExitCode, String> {
     let spec = RunSpec::parse(raw).map_err(|e| e.message().to_string())?;
     let resolved = resolve_spec(&spec)?;
     print_report(&resolved.run());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_list() -> Result<(), String> {
+fn cmd_list() -> Result<ExitCode, String> {
     println!("registered protocols (run with --spec \"NAME?key=value&…\"):\n");
     for entry in Registry::standard().entries() {
         let aliases = if entry.aliases().is_empty() {
@@ -165,10 +169,10 @@ fn cmd_list() -> Result<(), String> {
     for (key, help) in COMMON_KEYS {
         println!("      {key:<14} {help}");
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
+fn cmd_run(args: &Args) -> Result<ExitCode, String> {
     if let Some(raw) = args.options.get("spec") {
         if args.options.len() > 1 {
             return Err(
@@ -246,10 +250,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     }
     let resolved = resolve_spec(&spec)?;
     print_report(&resolved.run());
-    Ok(())
+    Ok(ExitCode::SUCCESS)
 }
 
-fn cmd_time_unit(args: &Args) -> Result<(), String> {
+fn cmd_time_unit(args: &Args) -> Result<ExitCode, String> {
     let latency =
         Latency::parse_spec(&args.get_str("latency", "exp:1.0")).map_err(|e| e.to_string())?;
     let pattern = match args.get_str("pattern", "single").as_str() {
@@ -270,7 +274,127 @@ fn cmd_time_unit(args: &Args) -> Result<(), String> {
     if let Some(r) = wt.remark14_bound() {
         println!("paper's claimed Remark 14 bound: {r:.4} (see EXPERIMENTS.md E1)");
     }
-    Ok(())
+    Ok(ExitCode::SUCCESS)
+}
+
+/// Parses `reachable` / `unreachable` expectation values for `cmd_check`.
+fn parse_expectation(flag: &str, value: &str) -> Result<bool, String> {
+    match value {
+        "reachable" => Ok(true),
+        "unreachable" => Ok(false),
+        other => Err(format!(
+            "--{flag}: `{other}` is not an expectation (reachable or unreachable)"
+        )),
+    }
+}
+
+/// Collects everything that makes a finished check a failure: truncation,
+/// invariant violations, and expectation mismatches from `--expect-*`.
+fn check_failures(args: &Args, report: &CheckReport) -> Result<Vec<String>, String> {
+    let mut failures = Vec::new();
+    if !report.exhaustive {
+        failures
+            .push("state budget exhausted before full coverage (raise --max-states)".to_string());
+    }
+    for p in &report.properties {
+        if matches!(p.verdict, VerdictSummary::Violated { .. }) {
+            failures.push(format!("invariant `{}` violated", p.name));
+        }
+    }
+    for (flag, prop) in [
+        ("expect-pocket", "pocket"),
+        ("expect-conflict", "finished-conflict"),
+    ] {
+        let Some(want) = args.options.get(flag) else {
+            continue;
+        };
+        let want_reachable = parse_expectation(flag, want)?;
+        let Some(p) = report.property(prop) else {
+            return Err(format!(
+                "--{flag}: property `{prop}` is not checked for protocol `{}`",
+                report.protocol
+            ));
+        };
+        let got_reachable = matches!(p.verdict, VerdictSummary::Reachable { .. });
+        if got_reachable != want_reachable {
+            failures.push(format!(
+                "expected `{prop}` to be {}, found it {}",
+                if want_reachable {
+                    "reachable"
+                } else {
+                    "unreachable"
+                },
+                if got_reachable {
+                    "reachable"
+                } else {
+                    "unreachable"
+                },
+            ));
+        }
+    }
+    Ok(failures)
+}
+
+/// `plurality check` — exhaustive model checking of small instances via
+/// `plurality-check`. Exits nonzero on any violation, truncation, or
+/// `--expect-*` mismatch, so CI can pin verdicts.
+fn cmd_check(args: &Args) -> Result<ExitCode, String> {
+    let protocol = args.get_str("protocol", "leader");
+    let n = args.get_u64("n", 4)? as usize;
+    let k = args.get_u64("k", 2)? as u32;
+    let topology: CheckTopology = args.get_str("topology", "complete").parse()?;
+    let cap = args.get_u64("cap", 2)? as u32;
+    let with_trace = args.options.contains_key("trace");
+    let limits = Limits {
+        max_states: args.get_u64("max-states", Limits::default().max_states as u64)? as usize,
+        order: match args.get_str("order", "bfs").as_str() {
+            "bfs" => SearchOrder::BreadthFirst,
+            "dfs" => SearchOrder::DepthFirst,
+            other => return Err(format!("unknown search order `{other}` (bfs or dfs)")),
+        },
+    };
+    let started = std::time::Instant::now();
+    let report = match protocol.as_str() {
+        "leader" => {
+            let mut cfg = LeaderCheckConfig::new(n, k, topology);
+            cfg.params.generation_cap = cap;
+            check_leader(cfg, &limits)?
+        }
+        "cluster" => {
+            let mut cfg = ClusterCheckConfig::new(n, k, topology);
+            cfg.generation_cap = cap;
+            cfg.sleep_units = args.get_u64("sleep-units", cfg.sleep_units)?;
+            cfg.prop_units = args.get_u64("prop-units", cfg.prop_units)?;
+            if let Some(sizes) = args.options.get("sizes") {
+                cfg.sizes = sizes
+                    .split(',')
+                    .map(|s| {
+                        s.trim()
+                            .parse::<usize>()
+                            .map_err(|_| format!("--sizes: `{s}` is not an integer"))
+                    })
+                    .collect::<Result<Vec<usize>, String>>()?;
+            }
+            check_cluster(cfg, &limits)?
+        }
+        other => {
+            return Err(format!(
+                "check knows protocols `leader` and `cluster`, got `{other}`"
+            ))
+        }
+    };
+    print!("{}", report.render(with_trace));
+    println!("elapsed: {:.2?}", started.elapsed());
+    let failures = check_failures(args, &report)?;
+    if failures.is_empty() {
+        println!("check passed");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for f in &failures {
+            println!("CHECK FAILED: {f}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
 }
 
 const USAGE: &str = "usage:
@@ -278,6 +402,15 @@ const USAGE: &str = "usage:
   plurality --list                        (registered protocols and their parameters)
   plurality run --protocol PROTOCOL [--key value …]
   plurality time-unit [--latency SPEC] [--pattern single|multi] [--samples M] [--seed S]
+  plurality check --protocol leader|cluster [--n N] [--k K] [--topology complete|ring]
+                  [--cap G] [--sizes A,B…] [--max-states M] [--order bfs|dfs] [--trace]
+                  [--expect-pocket reachable|unreachable]
+                  [--expect-conflict reachable|unreachable]
+
+`check` explores EVERY schedule of a small instance (n <= 8) and verifies
+the safety properties of the leader / cluster state machines; --trace
+prints minimal counterexample or witness schedules. Exit status is
+nonzero on any violation, truncation, or --expect-* mismatch.
 
 `run` flags and `--spec` parameters are the same grammar. Common keys:
   n, k, alpha, epsilon, seed, record, topology, scenario, max
@@ -291,6 +424,24 @@ scenario SPEC: ACTION@TIME[..UNTIL] joined by ';' — e.g. \"crash:0.2@5;burst-l
                actions: crash:F | recover:F | join:F | corrupt:F[:oblivious|:adaptive]
                         | burst-loss:P (window req.) | latency:FACTOR | rewire:TOPOLOGY";
 
+/// Gives the boolean `--trace` flag an implicit value so it fits the
+/// parser's strict `--key value` grammar.
+fn expand_boolean_flags(raw: &[String]) -> Vec<String> {
+    let mut out = Vec::with_capacity(raw.len() + 1);
+    let mut iter = raw.iter().peekable();
+    while let Some(tok) = iter.next() {
+        out.push(tok.clone());
+        let next_is_flag = match iter.peek() {
+            None => true,
+            Some(next) => next.starts_with("--"),
+        };
+        if tok == "--trace" && next_is_flag {
+            out.push("1".to_string());
+        }
+    }
+    out
+}
+
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     // `--spec` and `--list` work as top-level commands: the facade makes
@@ -301,21 +452,22 @@ fn main() -> ExitCode {
             _ => Err("--spec takes exactly one argument (the spec string)".to_string()),
         },
         Some("--list") | Some("list") => cmd_list(),
-        _ => match parse_args(&raw) {
+        _ => match parse_args(&expand_boolean_flags(&raw)) {
             Err(e) => Err(e),
             Ok(args) => match args.command.as_str() {
                 "run" => cmd_run(&args),
                 "time-unit" => cmd_time_unit(&args),
+                "check" => cmd_check(&args),
                 "help" | "--help" | "-h" => {
                     println!("{USAGE}");
-                    Ok(())
+                    Ok(ExitCode::SUCCESS)
                 }
                 other => Err(format!("unknown subcommand `{other}`")),
             },
         },
     };
     match result {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(e) => {
             eprintln!("error: {e}\n{USAGE}");
             ExitCode::FAILURE
@@ -352,6 +504,28 @@ mod tests {
     fn rejects_non_numeric_values() {
         let args = parse_args(&raw(&["run", "--samples", "many"])).unwrap();
         assert!(args.get_u64("samples", 0).is_err());
+    }
+
+    #[test]
+    fn bare_trace_flag_gets_an_implicit_value() {
+        let args = parse_args(&expand_boolean_flags(&raw(&[
+            "check", "--trace", "--n", "4",
+        ])))
+        .unwrap();
+        assert!(args.options.contains_key("trace"));
+        assert_eq!(args.get_u64("n", 0).unwrap(), 4);
+        // Trailing position works too.
+        let args = parse_args(&expand_boolean_flags(&raw(&["check", "--trace"]))).unwrap();
+        assert!(args.options.contains_key("trace"));
+        // Other flags still require explicit values.
+        assert!(parse_args(&expand_boolean_flags(&raw(&["check", "--n"]))).is_err());
+    }
+
+    #[test]
+    fn expectations_parse_and_reject() {
+        assert_eq!(parse_expectation("expect-pocket", "reachable"), Ok(true));
+        assert_eq!(parse_expectation("expect-pocket", "unreachable"), Ok(false));
+        assert!(parse_expectation("expect-pocket", "maybe").is_err());
     }
 
     #[test]

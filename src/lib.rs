@@ -18,6 +18,8 @@
 //! * [`api`] — the unified protocol facade: `Protocol` trait,
 //!   `RunConfig`, `Report`, and the `RunSpec` grammar
 //!   (`plurality-api`)
+//! * [`check`] — exhaustive small-`n` model checking of the leader and
+//!   cluster state machines (`plurality-check`)
 //! * [`dist`] — probability substrate (`plurality-dist`)
 //! * [`sim`] — discrete-event engine (`plurality-sim`)
 //! * [`core`] — the paper's protocols (`plurality-core`)
@@ -55,6 +57,7 @@
 
 pub use plurality_api as api;
 pub use plurality_baselines as baselines;
+pub use plurality_check as check;
 pub use plurality_core as core;
 pub use plurality_dist as dist;
 pub use plurality_par as par;

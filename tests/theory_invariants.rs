@@ -64,6 +64,7 @@ fn sync_growth_factor_respects_two_minus_gamma() {
 }
 
 #[test]
+#[ignore = "tier-2: n = 20 000 sampling run; run with `cargo test -- --ignored`"]
 fn leader_phases_follow_the_protocol_order() {
     // Per generation: allowed ≤ first promotion < propagation (when the
     // propagation window opens at all).
@@ -96,6 +97,7 @@ fn leader_phases_follow_the_protocol_order() {
 }
 
 #[test]
+#[ignore = "tier-2: n = 20 000 sampling run; run with `cargo test -- --ignored`"]
 fn async_two_choices_window_is_about_two_units() {
     // Proposition 16: t′ ∈ (2, 2(1 + log n/√n)) time units. Allow slack for
     // the finite-n signal-travel latency the proof ignores.
@@ -169,6 +171,60 @@ fn remark14_discrepancy_is_stable() {
     let c1 = wt.time_unit(60_000, 4);
     assert!(c1 > wt.remark14_bound().unwrap());
     assert!(c1 <= wt.majorant_time_unit().unwrap());
+}
+
+#[test]
+fn e17_pocket_blocks_full_consensus_off_the_complete_graph() {
+    // Regression pin for EXPERIMENTS.md E17: on a sparse expander the
+    // single-leader protocol still ε-converges, but a top-generation
+    // minority pocket survives and full consensus never happens — while
+    // the identical instance on the complete graph finishes cleanly.
+    // Fixed seed; the contrast held for every probed seed.
+    use plurality::api::run_spec;
+    let sparse = run_spec("leader?n=2500&k=2&alpha=3&c1=9.3&max=600&topology=regular:8&seed=1")
+        .expect("valid spec");
+    assert!(
+        sparse.outcome.epsilon_converged(),
+        "regular(8): ε-convergence should still happen"
+    );
+    assert!(
+        sparse.outcome.consensus_time.is_none(),
+        "regular(8): the E17 pocket should block full consensus"
+    );
+    let complete = run_spec("leader?n=2500&k=2&alpha=3&c1=9.3&max=600&seed=1").expect("valid spec");
+    assert!(
+        complete.outcome.plurality_preserved(),
+        "complete graph: the same instance should fully converge"
+    );
+}
+
+#[test]
+fn e18_corruption_response_is_not_monotone_in_budget() {
+    // Regression pin for EXPERIMENTS.md E18a: under the early ×3 adaptive
+    // corruption schedule the *smaller* budget (0.05) leaves residual
+    // pockets that block full consensus, while the larger one (0.10)
+    // triggers enough re-mixing that the run finishes. ε-convergence and
+    // plurality preservation hold either way.
+    use plurality::api::run_spec;
+    let spec_for = |budget: &str| {
+        format!(
+            "sync?n=20000&k=4&alpha=2&seed=7&scenario=corrupt:{budget}:adaptive@2;\
+             corrupt:{budget}:adaptive@5;corrupt:{budget}:adaptive@8"
+        )
+    };
+    let small = run_spec(&spec_for("0.05")).expect("valid spec");
+    assert!(small.outcome.epsilon_converged());
+    assert!(
+        small.outcome.consensus_time.is_none(),
+        "budget 0.05 should strand corrupted pockets"
+    );
+    assert_eq!(small.outcome.winner(), Some(small.outcome.initial_winner));
+
+    let large = run_spec(&spec_for("0.1")).expect("valid spec");
+    assert!(
+        large.outcome.plurality_preserved(),
+        "budget 0.10 should fully converge on the initial plurality"
+    );
 }
 
 #[test]
