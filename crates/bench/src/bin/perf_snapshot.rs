@@ -26,7 +26,8 @@ use plurality_core::sync::{SyncConfig, UrnConfig};
 use plurality_core::InitialAssignment;
 use plurality_dist::rng::Xoshiro256PlusPlus;
 use plurality_dist::{sample_binomial, ChannelPattern, Exponential, Gamma, Latency, WaitingTime};
-use plurality_sim::EventQueue;
+use plurality_sim::{CalendarQueue, EventQueue};
+use plurality_topology::Topology;
 use rand::RngCore;
 use std::path::PathBuf;
 use std::time::Instant;
@@ -135,10 +136,28 @@ fn sampler_metrics(metrics: &mut Vec<(String, f64)>, eff: Effort) {
             std::hint::black_box(wt.sample_t3(&mut rng));
         }),
     ));
+    // `EventQueue` is the calendar queue by default and the binary heap
+    // under `--features legacy-heap`; the explicit `CalendarQueue` key
+    // keeps the calendar implementation on the trajectory even when the
+    // alias is rebound.
     metrics.push((
         "sim/event_queue_push_pop_1k_ns".into(),
         median_ns(eff.batch(50), eff.timing_samples, || {
             let mut q = EventQueue::with_capacity(1024);
+            for i in 0..1000u32 {
+                q.schedule(f64::from(i.wrapping_mul(2654435761) % 10_000), i);
+            }
+            let mut acc = 0u64;
+            while let Some((_, v)) = q.pop() {
+                acc += u64::from(v);
+            }
+            std::hint::black_box(acc);
+        }),
+    ));
+    metrics.push((
+        "sim/calendar_queue_push_pop_1k_ns".into(),
+        median_ns(eff.batch(50), eff.timing_samples, || {
+            let mut q = CalendarQueue::with_capacity(1024);
             for i in 0..1000u32 {
                 q.schedule(f64::from(i.wrapping_mul(2654435761) % 10_000), i);
             }
@@ -177,6 +196,37 @@ fn engine_metrics(metrics: &mut Vec<(String, f64)>, eff: Effort) {
             let r = ClusterConfig::new(assignment)
                 .with_seed(1)
                 .with_steps_per_unit(12.0)
+                .run();
+            std::hint::black_box(r.ticks);
+        }),
+    ));
+    // Sparse-topology keys: the ring is the slowest-mixing connected
+    // graph, so consensus does not arrive inside the horizon — the runs
+    // are fixed-horizon sweeps (`max_time = 500`) that measure the
+    // adjacency-sampling hot path rather than the complete-graph fast
+    // path above.
+    metrics.push((
+        "engine/leader_ring_n2k_k2_ms".into(),
+        median_ms(eff.engine_runs, || {
+            let assignment = InitialAssignment::with_bias(2_000, 2, 3.0).expect("valid");
+            let r = LeaderConfig::new(assignment)
+                .with_seed(1)
+                .with_steps_per_unit(9.3)
+                .with_topology(Topology::Ring)
+                .with_max_time(500.0)
+                .run();
+            std::hint::black_box(r.ticks);
+        }),
+    ));
+    metrics.push((
+        "engine/cluster_ring_n2k_k2_ms".into(),
+        median_ms(eff.engine_runs, || {
+            let assignment = InitialAssignment::with_bias(2_000, 2, 3.0).expect("valid");
+            let r = ClusterConfig::new(assignment)
+                .with_seed(1)
+                .with_steps_per_unit(12.0)
+                .with_topology(Topology::Ring)
+                .with_max_time(500.0)
                 .run();
             std::hint::black_box(r.ticks);
         }),

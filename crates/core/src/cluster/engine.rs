@@ -20,6 +20,38 @@
 //! size with "sufficiently large c" exceeds `n` for any feasible `n`, so the
 //! participation size is an explicit parameter defaulting to
 //! `max(8, ⌈log₂(n)^1.5⌉)`.
+//!
+//! ## Hot-path structure
+//!
+//! The same discrete-event reductions as the single-leader engine (see
+//! `leader::engine`):
+//!
+//! * **Clock superposition** — one scalar tick chain for the whole
+//!   population instead of a queued tick event per node.
+//! * **Absorbed-cluster gating** — non-participating clusters and
+//!   terminal consensus leaders provably never transition again, so
+//!   member signals towards them stop being scheduled.
+//! * **Displaced-Poisson 0-signals** — on the failure-free path with
+//!   exponential travel latency, each cluster's member 0-signal *arrival*
+//!   stream is an inhomogeneous Poisson process (coloring + displacement
+//!   theorems: a tick belongs to cluster `c` with probability
+//!   `size_c / n`, so the per-cluster send streams are independent
+//!   Poisson processes with the cluster sizes as rates). All counting
+//!   windows — pause, accept, two-choices, sleep — are pure counts
+//!   against thresholds, so the engine jumps straight to each crossing
+//!   with one `Gamma(κ, 1)` draw per window (see [`crate::signalflow`])
+//!   instead of scheduling ~`n` member-signal events per time step.
+//!   Scenario runs and non-exponential latencies keep the per-signal
+//!   path, whose loss/crash modulation is per-event.
+//! * **Tick thinning** — on the same failure-free path, a tick landing on
+//!   a *locked* node does nothing at all (its 0-signal is already counted
+//!   by the jump chains), so the engine simulates only the unlocked
+//!   sub-stream: by Poisson splitting, ticks of the `u` unlocked nodes
+//!   form a rate-`u` Poisson process whose marks are uniform over the
+//!   unlocked set, redrawable (memorylessness) whenever `u` changes. The
+//!   suppressed locked-node stream affects nothing but the `ticks`
+//!   telemetry, whose count over the run is Poisson with mean
+//!   `∫ (n − u(t)) dt` — accrued piecewise and drawn once at the end.
 
 use crate::cluster::leader::{
     ClusterLeaderParams, ClusterLeaderState, ClusterPhase, ClusterTransition,
@@ -30,9 +62,10 @@ use crate::cluster::node::{
 use crate::genstate::GenerationTable;
 use crate::opinion::InitialAssignment;
 use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcome};
+use crate::signalflow::SignalFlow;
 use crate::sync::{generations_needed, GENERATION_CAP};
 use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
-use plurality_dist::{ChannelPattern, Latency, WaitingTime};
+use plurality_dist::{sample_poisson, unit_exp, ChannelPattern, Latency, WaitingTime};
 use plurality_scenario::{Effect, Environment, Scenario};
 use plurality_sim::{EventLog, EventQueue, PoissonClock};
 use plurality_topology::{PeerSampler, Topology, TOPOLOGY_STREAM};
@@ -372,11 +405,6 @@ struct Cluster {
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    /// A tick of the superposed unit-rate Poisson clock of the whole
-    /// population (rate `n`); the ticking node is sampled uniformly at
-    /// pop time, which is equivalent in law to `n` independent clocks but
-    /// keeps a single pending tick event in the heap.
-    Tick,
     OpDone {
         v: u32,
         s1: u32,
@@ -423,6 +451,34 @@ struct Engine<'cfg> {
     queue: EventQueue<Event>,
     waiting: WaitingTime,
     clock: PoissonClock,
+    /// The single pending tick of the superposed population clock
+    /// (rate `n`); the ticking node is sampled uniformly at fire time,
+    /// which is equivalent in law to `n` independent clocks. Lives as a
+    /// scalar compared against the queue head instead of cycling through
+    /// the queue — ticks are the majority event type.
+    next_tick: f64,
+    /// Per-cluster displaced-Poisson 0-signal jump chains (module docs);
+    /// `None` on the per-event path (scenario or non-exponential latency).
+    zero_flows: Option<Vec<SignalFlow>>,
+    /// Minimum of the flows' solved crossing times, and its owner —
+    /// rescanned (O(#clusters)) whenever any flow changes.
+    zero_cross: f64,
+    zero_cross_cluster: u32,
+    /// Tick thinning (active iff `zero_flows` is, i.e. on the
+    /// failure-free exponential path; see the module docs): the ids of
+    /// the currently unlocked nodes, in swap-remove order. `next_tick`
+    /// then runs at rate `unlocked.len()` and fires on a uniform element
+    /// of this list.
+    unlocked: Vec<u32>,
+    /// `unlocked_pos[v]` = index of `v` in `unlocked`; `u32::MAX` while
+    /// `v` is locked.
+    unlocked_pos: Vec<u32>,
+    /// Accumulated intensity `∫ (n − u(t)) dt` of the suppressed
+    /// locked-node tick stream, converted into a tick count by one
+    /// Poisson draw at run end.
+    tick_exposure: f64,
+    /// Time up to which `tick_exposure` has been accrued.
+    exposure_from: f64,
     ticks: u64,
     first_switch: Option<f64>,
     last_switch: Option<f64>,
@@ -526,13 +582,35 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
         table.max_color_support(),
     );
 
-    // Superposed population clock (rate n) with a single pending tick
-    // event; capacity covers open interactions plus in-flight member
-    // signals (≈ n·E[T1]) without rehashing.
+    // Superposed population clock (rate n) as a scalar chain; queue
+    // capacity covers open interactions plus in-flight member signals
+    // (≈ n·E[T1]) without rehashing.
     let clock = PoissonClock::new(n as f64).expect("positive rate");
-    let mut queue: EventQueue<Event> = EventQueue::with_capacity(3 * n);
-    let t = clock.next_tick(0.0, &mut rng);
-    queue.schedule(t, Event::Tick);
+    let queue: EventQueue<Event> = EventQueue::with_capacity(3 * n);
+    let next_tick = clock.next_tick(0.0, &mut rng);
+
+    // Displaced-Poisson 0-signal streams, one per cluster (module docs):
+    // available when no scenario modulates individual signals and the
+    // travel law is exponential. All clusters start in `Filling`, whose
+    // arrivals are unobservable — the flows start disarmed, charging
+    // intensity from each cluster's initial (leader-only) membership.
+    let mut zero_flows = match (&env, cfg.latency) {
+        (None, Latency::Exponential { rate }) => Some(vec![SignalFlow::new(rate); clusters.len()]),
+        _ => None,
+    };
+    if let Some(flows) = zero_flows.as_mut() {
+        for (flow, cluster) in flows.iter_mut().zip(&clusters) {
+            flow.set_rate(0.0, cluster.size as f64);
+        }
+    }
+    // Tick thinning rides on the same gate as the jump chains: it needs
+    // locked-node ticks to be fully inert, which holds exactly when no
+    // scenario modulates ticks and 0-signals are flow-counted.
+    let (unlocked, unlocked_pos) = if zero_flows.is_some() {
+        ((0..n as u32).collect(), (0..n as u32).collect())
+    } else {
+        (Vec::new(), Vec::new())
+    };
 
     let mut engine = Engine {
         cfg,
@@ -559,6 +637,14 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
         queue,
         waiting,
         clock,
+        next_tick,
+        zero_flows,
+        zero_cross: f64::INFINITY,
+        zero_cross_cluster: u32::MAX,
+        unlocked,
+        unlocked_pos,
+        tick_exposure: 0.0,
+        exposure_from: 0.0,
         ticks: 0,
         first_switch: None,
         last_switch: None,
@@ -566,32 +652,59 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
 
     let mut end_time = 0.0f64;
     if !engine.table.is_monochromatic() {
-        while let Some((now, event)) = engine.queue.pop() {
-            if now > max_time {
-                end_time = max_time;
-                break;
-            }
+        loop {
+            // The tick chain and the jump chains' next threshold crossing
+            // compete for the next scheduled instant; queued events win
+            // exact time ties against both (a probability-zero event).
+            let forced = engine.next_tick.min(engine.zero_cross);
+            let popped = engine.queue.pop_before(forced.min(max_time));
+            let now = match popped {
+                Some((t, _)) => t,
+                None => {
+                    if forced > max_time {
+                        end_time = max_time;
+                        break;
+                    }
+                    engine.queue.advance_to(forced);
+                    forced
+                }
+            };
             end_time = now;
             if engine.env.is_some() && engine.apply_effects(now) {
                 break;
             }
-            let done = match event {
-                Event::Tick => engine.on_tick(now),
-                Event::OpDone {
-                    v,
-                    s1,
-                    s2,
-                    s3,
-                    epoch,
-                } => engine.on_op_done(now, v, s1, s2, s3, epoch),
-                Event::MemberZero { cluster } => engine.on_member_zero(now, cluster),
-                Event::MemberPromoted { cluster, gen } => {
+            let done = match popped {
+                None if engine.zero_cross <= engine.next_tick => {
+                    engine.on_zero_window(now, engine.zero_cross_cluster);
+                    false
+                }
+                None => engine.on_tick(now),
+                Some((
+                    _,
+                    Event::OpDone {
+                        v,
+                        s1,
+                        s2,
+                        s3,
+                        epoch,
+                    },
+                )) => engine.on_op_done(now, v, s1, s2, s3, epoch),
+                Some((_, Event::MemberZero { cluster })) => engine.on_member_zero(now, cluster),
+                Some((_, Event::MemberPromoted { cluster, gen })) => {
                     engine.on_member_promoted(now, cluster, gen)
                 }
             };
             if done {
                 break;
             }
+        }
+    }
+    if engine.zero_flows.is_some() {
+        // Settle the suppressed locked-node tick stream: its count over
+        // the run is Poisson with the accrued intensity (module docs).
+        engine.accrue_exposure(end_time);
+        if engine.tick_exposure > 0.0 {
+            engine.ticks += sample_poisson(engine.tick_exposure, &mut engine.rng);
         }
     }
 
@@ -700,26 +813,62 @@ impl Engine<'_> {
     /// Handles a tick of the superposed population clock. Returns true
     /// when the run is finished.
     fn on_tick(&mut self, now: f64) -> bool {
+        if self.zero_flows.is_some() {
+            // Thinned fast path (module docs): only unlocked-node ticks
+            // are simulated, so this tick starts an interaction with
+            // certainty. The 0-signal stream is already carried by the
+            // jump chains, env is `None` (gate), so nothing else a locked
+            // tick would do remains — locked ticks are settled in bulk by
+            // one Poisson(exposure) draw at run end.
+            self.ticks += 1;
+            self.accrue_exposure(now);
+            let j = self.rng.gen_range(0..self.unlocked.len());
+            let v = self.unlocked[j];
+            let vi = v as usize;
+            self.lock_node(j);
+            self.redraw_tick(now);
+            let s1 = self.sampler.sample(v, &mut self.rng);
+            let s2 = self.sampler.sample(v, &mut self.rng);
+            let s3 = self.sampler.sample(v, &mut self.rng);
+            let phase = self.waiting.sample_channel_phase(&mut self.rng);
+            let epoch = self.op_epoch[vi];
+            self.queue.schedule(
+                now + phase,
+                Event::OpDone {
+                    v,
+                    s1,
+                    s2,
+                    s3,
+                    epoch,
+                },
+            );
+            return false;
+        }
         self.ticks += 1;
-        let next = self.clock.next_tick(now, &mut self.rng);
-        self.queue.schedule(next, Event::Tick);
+        // The next tick is redrawn *first*, preserving the RNG draw order
+        // of the queued-tick implementation this replaced.
+        self.next_tick = self.clock.next_tick(now, &mut self.rng);
         let vi = self.rng.gen_range(0..self.n);
         let v = vi as u32;
         // A crashed node's tick is inert (Poisson thinning): no member
         // signal, no interaction.
         let crashed = self.env.as_ref().is_some_and(|e| e.is_crashed(v));
         let scale = self.env.as_ref().map_or(1.0, |e| e.latency_scale());
-        let c = self.cluster_of[vi];
-        if c != UNCLUSTERED
-            && !crashed
-            && !self.cluster_absorbed(c)
-            && !self.env.as_mut().is_some_and(|e| e.message_lost())
-        {
-            // Line 1 of Algorithm 4: the 0-signal to the own leader, subject
-            // to one travel latency. Also drives the clustering counters.
-            let travel = self.cfg.latency.sample(&mut self.rng) * scale;
-            self.queue
-                .schedule(now + travel, Event::MemberZero { cluster: c });
+        // Line 1 of Algorithm 4: the 0-signal to the own leader, subject
+        // to one travel latency. Also drives the clustering counters. On
+        // the jump-chain fast path the whole per-cluster stream is
+        // counted by `zero_flows` instead of per-event scheduling.
+        if self.zero_flows.is_none() {
+            let c = self.cluster_of[vi];
+            if c != UNCLUSTERED
+                && !crashed
+                && !self.cluster_absorbed(c)
+                && !self.env.as_mut().is_some_and(|e| e.message_lost())
+            {
+                let travel = self.cfg.latency.sample(&mut self.rng) * scale;
+                self.queue
+                    .schedule(now + travel, Event::MemberZero { cluster: c });
+            }
         }
         if !crashed && !self.locked[vi] {
             self.locked[vi] = true;
@@ -800,13 +949,24 @@ impl Engine<'_> {
         }
     }
 
-    /// Handles a member 0-signal arriving at a cluster leader.
+    /// Handles a member 0-signal arriving at a cluster leader (the
+    /// per-event path).
     fn on_member_zero(&mut self, now: f64, c: u32) -> bool {
+        self.member_zeros(now, c, 1);
+        false
+    }
+
+    /// Counts `count` member 0-signals arriving at cluster `c`'s leader
+    /// at one instant. The per-event path passes 1; the jump-chain fast
+    /// path passes a whole window's remaining gap, landing exactly on the
+    /// threshold (every counter here is a pure count-to-threshold, so
+    /// batching is equivalent to iterating).
+    fn member_zeros(&mut self, now: f64, c: u32, count: u64) {
         let ci = c as usize;
         match self.clusters[ci].mode {
             ClusterMode::Filling | ClusterMode::NonParticipating => {}
             ClusterMode::Pausing => {
-                self.clusters[ci].window_count += 1;
+                self.clusters[ci].window_count += count;
                 if self.clusters[ci].window_count >= self.clusters[ci].window_threshold {
                     let size = self.clusters[ci].size;
                     self.clusters[ci].mode = ClusterMode::Accepting;
@@ -816,7 +976,7 @@ impl Engine<'_> {
                 }
             }
             ClusterMode::Accepting => {
-                self.clusters[ci].window_count += 1;
+                self.clusters[ci].window_count += count;
                 if self.clusters[ci].window_count >= self.clusters[ci].window_threshold {
                     self.switch_to_consensus(now, c);
                 }
@@ -826,13 +986,171 @@ impl Engine<'_> {
                     .state
                     .as_mut()
                     .expect("consensus cluster has a state")
-                    .on_zero();
+                    .on_zero_batch(count);
                 if let Some(t) = transition {
                     self.log_transition(now, c, t, true);
                 }
             }
         }
-        false
+    }
+
+    /// Handles a solved 0-signal threshold crossing of cluster `c` on the
+    /// jump-chain fast path: batches in the whole window's worth of
+    /// arrivals at the crossing time, then re-arms for whatever window
+    /// the cluster's counters are in afterwards.
+    fn on_zero_window(&mut self, now: f64, c: u32) {
+        let gap = {
+            let cluster = &self.clusters[c as usize];
+            match cluster.mode {
+                ClusterMode::Pausing | ClusterMode::Accepting => {
+                    cluster.window_threshold - cluster.window_count
+                }
+                ClusterMode::Consensus => {
+                    let s = cluster
+                        .state
+                        .as_ref()
+                        .expect("consensus cluster has a state");
+                    match s.phase() {
+                        ClusterPhase::TwoChoices => s.params().sleep_threshold - s.tick_count(),
+                        ClusterPhase::Sleeping => s.params().prop_threshold - s.tick_count(),
+                        ClusterPhase::Propagation => unreachable!("armed window in propagation"),
+                    }
+                }
+                _ => unreachable!("armed window in an inert mode"),
+            }
+        };
+        self.member_zeros(now, c, gap);
+        self.rearm_flow(now, c);
+    }
+
+    /// Effective 0-signal send rate of cluster `c` on the jump-chain fast
+    /// path: every member ticks at unit rate and sends unless the cluster
+    /// is absorbed — the same gate the per-event path applies at send
+    /// time (no crashes or loss bursts exist on this path).
+    fn flow_rate(&self, c: u32) -> f64 {
+        if self.cluster_absorbed(c) {
+            0.0
+        } else {
+            self.clusters[c as usize].size as f64
+        }
+    }
+
+    /// Refreshes cluster `c`'s jump-chain send rate after a membership or
+    /// absorption change, preserving any armed window's accrued progress.
+    fn flow_set_rate(&mut self, now: f64, c: u32) {
+        if self.zero_flows.is_none() {
+            return;
+        }
+        let rate = self.flow_rate(c);
+        let flows = self.zero_flows.as_mut().expect("checked above");
+        flows[c as usize].set_rate(now, rate);
+        self.rescan_zero();
+    }
+
+    /// Re-arms cluster `c`'s jump chain for the counting window its
+    /// counters currently sit in, with a fresh `Γ` draw — exact whenever
+    /// the window just crossed or the counters were reset/jumped (see
+    /// `signalflow`); must NOT be used for rate-only changes, which
+    /// [`Self::flow_set_rate`] handles without discarding progress.
+    fn rearm_flow(&mut self, now: f64, c: u32) {
+        if self.zero_flows.is_none() {
+            return;
+        }
+        let rate = self.flow_rate(c);
+        let gap = {
+            let cluster = &self.clusters[c as usize];
+            match cluster.mode {
+                ClusterMode::Filling | ClusterMode::NonParticipating => None,
+                ClusterMode::Pausing | ClusterMode::Accepting => {
+                    Some(cluster.window_threshold - cluster.window_count)
+                }
+                ClusterMode::Consensus => {
+                    let s = cluster
+                        .state
+                        .as_ref()
+                        .expect("consensus cluster has a state");
+                    match s.phase() {
+                        ClusterPhase::TwoChoices => {
+                            Some(s.params().sleep_threshold - s.tick_count())
+                        }
+                        ClusterPhase::Sleeping => Some(s.params().prop_threshold - s.tick_count()),
+                        ClusterPhase::Propagation => None,
+                    }
+                }
+            }
+        };
+        let flows = self.zero_flows.as_mut().expect("checked above");
+        let flow = &mut flows[c as usize];
+        flow.set_rate(now, rate);
+        match gap {
+            Some(g) => {
+                debug_assert!(g > 0, "crossings are handled before re-arming");
+                flow.arm(now, g, &mut self.rng);
+            }
+            None => flow.disarm(now),
+        }
+        self.rescan_zero();
+    }
+
+    /// Recomputes the minimum solved crossing over all jump chains (ties
+    /// break towards the lowest cluster id, deterministically).
+    fn rescan_zero(&mut self) {
+        let Some(flows) = self.zero_flows.as_ref() else {
+            return;
+        };
+        let mut best = f64::INFINITY;
+        let mut owner = u32::MAX;
+        for (i, f) in flows.iter().enumerate() {
+            if f.pred() < best {
+                best = f.pred();
+                owner = i as u32;
+            }
+        }
+        self.zero_cross = best;
+        self.zero_cross_cluster = owner;
+    }
+
+    /// Accrues the suppressed locked-node tick intensity up to `now`
+    /// (thinned fast path only). Per-node rate is 1, so the intensity is
+    /// simply `locked_count * dt`.
+    fn accrue_exposure(&mut self, now: f64) {
+        let locked = self.n - self.unlocked.len();
+        self.tick_exposure += locked as f64 * (now - self.exposure_from);
+        self.exposure_from = now;
+    }
+
+    /// Redraws the next unlocked-set tick after a membership change. The
+    /// unlocked sub-stream is Poisson with rate `unlocked.len()`, and by
+    /// memorylessness a fresh draw after any change of rate is exact.
+    fn redraw_tick(&mut self, now: f64) {
+        let u = self.unlocked.len();
+        self.next_tick = if u == 0 {
+            f64::INFINITY
+        } else {
+            now + unit_exp(&mut self.rng) / u as f64
+        };
+    }
+
+    /// Locks the node at position `j` of the unlocked list (swap-remove).
+    fn lock_node(&mut self, j: usize) {
+        let v = self.unlocked[j];
+        self.locked[v as usize] = true;
+        let last = self.unlocked.len() - 1;
+        let moved = self.unlocked[last];
+        self.unlocked[j] = moved;
+        self.unlocked_pos[moved as usize] = j as u32;
+        self.unlocked.pop();
+        self.unlocked_pos[v as usize] = u32::MAX;
+    }
+
+    /// Unlocks node `v`, settling exposure and rescheduling the thinned
+    /// tick stream at its new rate.
+    fn unlock_node(&mut self, now: f64, v: usize) {
+        self.accrue_exposure(now);
+        self.locked[v] = false;
+        self.unlocked_pos[v] = self.unlocked.len() as u32;
+        self.unlocked.push(v as u32);
+        self.redraw_tick(now);
     }
 
     /// Handles a member promotion signal arriving at a cluster leader.
@@ -850,6 +1168,9 @@ impl Engine<'_> {
         if gen <= state.generation() {
             if let Some(t) = state.on_promoted(gen) {
                 self.log_transition(now, c, t, true);
+                // A birth reset the tick counter: arm the new
+                // generation's two-choices window.
+                self.rearm_flow(now, c);
             }
         }
         false
@@ -880,6 +1201,8 @@ impl Engine<'_> {
         }
         if self.clusters[ci].size < self.participation_size {
             self.clusters[ci].mode = ClusterMode::NonParticipating;
+            // Absorbed: members stop sending, nothing counts any more.
+            self.rearm_flow(now, c);
             return;
         }
         let params = self.consensus_params(self.clusters[ci].size);
@@ -901,6 +1224,10 @@ impl Engine<'_> {
                 },
             );
         }
+        // The fresh consensus state starts its first two-choices window
+        // now; any abandoned pause/accept window progress is discarded
+        // with it (the counter reset makes the fresh arm exact).
+        self.rearm_flow(now, c);
     }
 
     /// Spreads the consensus switch between two clusters that met in an
@@ -946,6 +1273,9 @@ impl Engine<'_> {
             .merge_from(b_pub.0, b_pub.1)
         {
             self.log_transition(now, a, t, false);
+            // The merge jumped the tick counter: re-arm for the adopted
+            // window (and drop the rate to zero if now terminal).
+            self.rearm_flow(now, a);
         }
         if let Some(t) = self.clusters[bi]
             .state
@@ -954,6 +1284,7 @@ impl Engine<'_> {
             .merge_from(a_pub.0, a_pub.1)
         {
             self.log_transition(now, b, t, false);
+            self.rearm_flow(now, b);
         }
     }
 
@@ -1005,7 +1336,11 @@ impl Engine<'_> {
             // time).
             return false;
         }
-        self.locked[vi] = false;
+        if self.zero_flows.is_some() {
+            self.unlock_node(now, vi);
+        } else {
+            self.locked[vi] = false;
+        }
         if let Some(env) = self.env.as_mut() {
             // The interaction aborts if anyone on the line is crashed at
             // completion time, or if any of the three peer channels falls
@@ -1068,12 +1403,19 @@ impl Engine<'_> {
                             self.clusters[ci].window_threshold =
                                 (self.clusters[ci].size as f64 * self.c1 * self.cfg.pause_units)
                                     .ceil() as u64;
+                            // The pause window opens now: arm it afresh.
+                            self.rearm_flow(now, c);
+                        } else {
+                            self.flow_set_rate(now, c);
                         }
                         break;
                     }
                     ClusterMode::Accepting => {
                         self.cluster_of[vi] = c;
                         self.clusters[ci].size += 1;
+                        // Mid-window membership change: rate only, the
+                        // accept window keeps its accrued count.
+                        self.flow_set_rate(now, c);
                         break;
                     }
                     _ => {}
@@ -1266,7 +1608,7 @@ mod tests {
 
     #[test]
     fn finished_flag_spreads() {
-        let result = quick(1_200, 2, 3.0, 6).run();
+        let result = quick(1_200, 2, 3.0, 7).run();
         if result.outcome.consensus_time.is_some() {
             assert!(
                 result.finished_fraction > 0.0,

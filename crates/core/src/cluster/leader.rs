@@ -180,9 +180,22 @@ impl ClusterLeaderState {
 
     /// Handles one member 0-signal (the `i = 0` branch, lines 4–9).
     pub fn on_zero(&mut self) -> Option<ClusterTransition> {
-        self.tick_count += 1;
+        self.on_zero_batch(1)
+    }
+
+    /// Equivalent to `count` successive [`Self::on_zero`] calls, provided
+    /// the batch crosses at most one phase threshold — which holds
+    /// whenever `count` does not exceed the gap to the next crossing. The
+    /// engine's displaced-Poisson fast path (see `signalflow`) batches
+    /// whole counting windows this way, landing exactly on the threshold.
+    pub fn on_zero_batch(&mut self, count: u64) -> Option<ClusterTransition> {
+        self.tick_count += count;
         if self.phase == ClusterPhase::TwoChoices && self.tick_count >= self.params.sleep_threshold
         {
+            debug_assert!(
+                self.tick_count < self.params.prop_threshold,
+                "0-signal batch must not cross two thresholds"
+            );
             self.phase = ClusterPhase::Sleeping;
             return Some(ClusterTransition::Slept {
                 generation: self.generation,
@@ -401,6 +414,33 @@ mod tests {
         assert_eq!(l.on_promoted(3), None);
         assert_eq!(l.merge_from(3, ClusterPhase::Propagation), None);
         assert!(l.is_terminal());
+    }
+
+    #[test]
+    fn zero_batch_matches_iterated_signals() {
+        let mut batched = ClusterLeaderState::new(params());
+        let mut iterated = ClusterLeaderState::new(params());
+        // Gaps landing exactly on each threshold, as the engine arms them.
+        for count in [2u64, 2, 6, 7] {
+            let b = batched.on_zero_batch(count);
+            let mut i = None;
+            for _ in 0..count {
+                i = iterated.on_zero().or(i);
+            }
+            assert_eq!(b, i);
+            assert_eq!(batched, iterated);
+        }
+        assert_eq!(batched.phase(), ClusterPhase::Propagation);
+        // A birth resets the window for both.
+        for _ in 0..3 {
+            batched.on_promoted(1);
+            iterated.on_promoted(1);
+        }
+        assert_eq!(
+            batched.on_zero_batch(4),
+            Some(ClusterTransition::Slept { generation: 2 })
+        );
+        assert_eq!(batched.tick_count(), 4);
     }
 
     #[test]

@@ -11,8 +11,7 @@
 //!
 //! ## Hot-path structure
 //!
-//! Two standard discrete-event reductions keep the event heap small
-//! without changing the process law:
+//! Three standard discrete-event reductions keep the event queue small:
 //!
 //! * **Clock superposition** — the union of the population's independent
 //!   Poisson clocks is itself a Poisson process whose rate is the sum of
@@ -25,15 +24,35 @@
 //!   cap with propagation open it can provably never transition again
 //!   ([`LeaderState::is_terminal`]), so the long full-consensus tail stops
 //!   scheduling 0-/gen-signal events whose arrival would be unobservable.
+//! * **Displaced-Poisson 0-signals** — on the failure-free path with
+//!   exponential travel latency, the 0-signal *arrival* stream at the
+//!   leader is itself an inhomogeneous Poisson process (displacement
+//!   theorem), and the leader only counts arrivals against its window
+//!   threshold. The engine jumps straight to each threshold-crossing
+//!   time with one `Gamma(κ, 1)` draw per window (see
+//!   [`crate::signalflow`]) instead of scheduling ~`n` signal events per
+//!   time step. Scenario runs and non-exponential latencies keep the
+//!   per-signal path, whose loss/crash modulation is per-event.
+//! * **Tick thinning** — on the jump-chain fast path (no scenario, no
+//!   stragglers) a tick on a *locked* node does nothing at all: the
+//!   0-signal stream is carried by `zero_flow` and the interaction gate
+//!   fails. The engine therefore simulates only the unlocked sub-stream:
+//!   by Poisson splitting, ticks of the `u` unlocked nodes form a Poisson
+//!   process of rate `u` with uniform marks over the unlocked set,
+//!   redrawable (memorylessness) whenever `u` changes. The suppressed
+//!   locked-node ticks only feed the `ticks` telemetry counter, whose
+//!   total is `Poisson(∫ locked(t) dt)` — accrued piecewise and drawn
+//!   once at run end, exact in distribution.
 
 use crate::genstate::GenerationTable;
 use crate::leader::node::{apply, decide, NodeDecision, NodeState, SampleView};
 use crate::leader::state::{LeaderParams, LeaderState, LeaderTransition, Signal};
 use crate::opinion::InitialAssignment;
 use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcome};
+use crate::signalflow::SignalFlow;
 use crate::sync::{generations_needed, GENERATION_CAP};
 use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
-use plurality_dist::{ChannelPattern, Latency, WaitingTime};
+use plurality_dist::{sample_poisson, unit_exp, ChannelPattern, Latency, WaitingTime};
 use plurality_scenario::{Effect, Environment, Scenario};
 use plurality_sim::{EventQueue, PoissonClock, Series};
 use plurality_topology::{Topology, TOPOLOGY_STREAM};
@@ -329,12 +348,6 @@ pub struct LeaderResult {
 
 #[derive(Debug, Clone, Copy)]
 enum Event {
-    /// A tick of the superposed Poisson clock of one rate pool; the
-    /// ticking node is sampled uniformly inside the pool at pop time.
-    PoolTick {
-        /// `true` for the straggler pool, `false` for the unit-rate pool.
-        straggler: bool,
-    },
     OpComplete {
         v: u32,
         a: u32,
@@ -460,26 +473,65 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
             }
             ids
         });
-    // Pending events at any time: ≤ 2 pool ticks, ≤ n open interactions,
-    // plus in-flight 0-/gen-signals (≈ n·E[T1] for unit-rate ticking) —
-    // `3n` covers the steady state without rehashing.
+    // Pending events at any time: ≤ n open interactions plus in-flight
+    // 0-/gen-signals (≈ n·E[T1] for unit-rate ticking) — `3n` covers the
+    // steady state without rehashing.
     let mut queue: EventQueue<Event> = EventQueue::with_capacity(3 * n);
     let fast_clock = PoissonClock::new((fast_count as f64).max(1.0)).expect("positive rate");
     let straggler_clock =
         PoissonClock::new((straggler_count as f64 * cfg.straggler_rate).max(cfg.straggler_rate))
             .expect("validated rate");
-    // A monochromatic start schedules nothing: the queue stays empty and
-    // the event loop below never runs.
+    // Each rate pool has exactly one pending tick at any time, so the two
+    // chains live as plain scalars compared against the queue head instead
+    // of cycling through the queue — ticks are the majority event type,
+    // and this removes their entire push/pop traffic. A monochromatic
+    // start schedules nothing: both chains stay at infinity, the queue
+    // stays empty, and the event loop below never runs.
+    let mut fast_tick = f64::INFINITY;
+    let mut straggler_tick = f64::INFINITY;
     if !table.is_monochromatic() {
         if fast_count > 0 {
-            let t = fast_clock.next_tick(0.0, &mut rng);
-            queue.schedule(t, Event::PoolTick { straggler: false });
+            fast_tick = fast_clock.next_tick(0.0, &mut rng);
         }
         if straggler_count > 0 {
-            let t = straggler_clock.next_tick(0.0, &mut rng);
-            queue.schedule(t, Event::PoolTick { straggler: true });
+            straggler_tick = straggler_clock.next_tick(0.0, &mut rng);
         }
     }
+    // Displaced-Poisson 0-signal stream (module docs of `signalflow`):
+    // available when no scenario modulates individual signals and the
+    // travel law is exponential. Persistent signal loss is independent
+    // thinning, folded into the effective send rate.
+    let mut zero_flow = match (&env, cfg.latency) {
+        (None, Latency::Exponential { rate }) => Some(SignalFlow::new(rate)),
+        _ => None,
+    };
+    if let Some(flow) = zero_flow.as_mut() {
+        if fast_tick.is_finite() || straggler_tick.is_finite() {
+            let send_rate = (fast_count as f64 + straggler_count as f64 * cfg.straggler_rate)
+                * (1.0 - cfg.signal_loss);
+            flow.set_rate(0.0, send_rate);
+            if send_rate > 0.0 {
+                flow.arm(0.0, zero_signal_threshold, &mut rng);
+            }
+        }
+    }
+
+    // Tick thinning (module docs): with the jump chain active and a
+    // homogeneous clock pool, a locked node's tick is a no-op, so only
+    // the unlocked sub-stream is simulated. `unlocked` lists the
+    // currently unlocked nodes in swap-remove order; `unlocked_pos[v]`
+    // is `v`'s index there (`u32::MAX` while locked). `fast_tick` then
+    // runs at rate `unlocked.len()` instead of `n`.
+    let thinned = zero_flow.is_some() && straggler_count == 0;
+    let (mut unlocked, mut unlocked_pos): (Vec<u32>, Vec<u32>) = if thinned {
+        ((0..n as u32).collect(), (0..n as u32).collect())
+    } else {
+        (Vec::new(), Vec::new())
+    };
+    // Accrued intensity of the suppressed locked-node tick stream, and
+    // the time up to which it has been accrued.
+    let mut tick_exposure = 0.0f64;
+    let mut exposure_from = 0.0f64;
 
     let mut ticks = 0u64;
     let mut good_ticks = 0u64;
@@ -487,11 +539,37 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
     let mut propagation_promotions = 0u64;
     let mut end_time = 0.0f64;
 
-    while let Some((now, event)) = queue.pop() {
-        if now > max_time {
-            end_time = max_time;
-            break;
-        }
+    loop {
+        // Next chain tick; the fast pool wins exact ties (probability
+        // zero: the chains are independent continuous clocks).
+        let (tick_time, tick_straggler) = if fast_tick <= straggler_tick {
+            (fast_tick, false)
+        } else {
+            (straggler_tick, true)
+        };
+        // The jump chain's next 0-signal threshold crossing competes with
+        // the tick chains for the next scheduled instant.
+        let zero_cross = zero_flow.as_ref().map_or(f64::INFINITY, SignalFlow::pred);
+        let forced = tick_time.min(zero_cross);
+        // Queued events win exact time ties against chain ticks — a
+        // probability-zero event, since tick times stay continuous even
+        // under deterministic latencies.
+        let popped = queue.pop_before(forced.min(max_time));
+        let now = match popped {
+            Some((t, _)) => t,
+            None => {
+                if forced > max_time {
+                    // Timed out — unless nothing was ever pending (a
+                    // monochromatic start), where `end_time` stays 0.
+                    if forced.is_finite() {
+                        end_time = max_time;
+                    }
+                    break;
+                }
+                queue.advance_to(forced);
+                forced
+            }
+        };
         end_time = now;
         if let Some(env) = env.as_mut() {
             let effects = env.poll(now);
@@ -544,18 +622,73 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                 next_sample = now.floor() + 1.0;
             }
         }
-        match event {
-            Event::PoolTick { straggler } => {
+        match popped {
+            None if zero_cross <= tick_time => {
+                // The armed 0-signal window crossed its threshold: batch
+                // in the whole window's count at the solved crossing
+                // time. The next window arms at the next generation
+                // birth (a queued gen-signal below).
+                let flow = zero_flow.as_mut().expect("crossing implies a flow");
+                flow.disarm(now);
+                let gap = zero_signal_threshold - leader.zero_count();
+                if let Some(LeaderTransition::PropagationEnabled { generation }) =
+                    leader.on_zero_batch(gap)
+                {
+                    if let Some(p) = phases.get_mut(generation as usize - 1) {
+                        debug_assert_eq!(p.generation, generation);
+                        p.propagation_at.get_or_insert(now);
+                    }
+                    // Lemma 22: measure the generation's bias when its
+                    // propagation phase opens.
+                    if let Ok(i) = births.binary_search_by_key(&generation, |b| b.generation) {
+                        births[i].bias = table.bias_in(generation).unwrap_or(f64::INFINITY);
+                    }
+                }
+            }
+            None if thinned => {
+                // Thinned fast path (module docs): only unlocked-node
+                // ticks are simulated, so this tick opens an interaction
+                // with certainty — the 0-signal stream is carried by
+                // `zero_flow`, env is `None`, and the suppressed
+                // locked-node ticks are settled in bulk by one
+                // Poisson(exposure) draw after the loop.
                 ticks += 1;
-                let (clock, lo, size) = if straggler {
-                    (&straggler_clock, 0, straggler_count)
+                good_ticks += 1;
+                tick_exposure += (n - unlocked.len()) as f64 * (now - exposure_from);
+                exposure_from = now;
+                let j = rng.gen_range(0..unlocked.len());
+                let v = unlocked[j];
+                let vi = v as usize;
+                locked[vi] = true;
+                let last = unlocked.len() - 1;
+                let moved = unlocked[last];
+                unlocked[j] = moved;
+                unlocked_pos[moved as usize] = j as u32;
+                unlocked.pop();
+                unlocked_pos[vi] = u32::MAX;
+                fast_tick = if unlocked.is_empty() {
+                    f64::INFINITY
                 } else {
-                    (&fast_clock, straggler_count, fast_count)
+                    now + unit_exp(&mut rng) / unlocked.len() as f64
                 };
-                queue.schedule(
-                    clock.next_tick(now, &mut rng),
-                    Event::PoolTick { straggler },
-                );
+                let a = sampler.sample(v, &mut rng);
+                let b = sampler.sample(v, &mut rng);
+                let phase = waiting.sample_channel_phase(&mut rng);
+                let epoch = op_epoch[vi];
+                queue.schedule(now + phase, Event::OpComplete { v, a, b, epoch });
+            }
+            None => {
+                // A chain tick. The pool's next tick is redrawn *first*,
+                // preserving the RNG draw order of the queued-tick
+                // implementation this replaced.
+                ticks += 1;
+                let (lo, size) = if tick_straggler {
+                    straggler_tick = straggler_clock.next_tick(now, &mut rng);
+                    (0, straggler_count)
+                } else {
+                    fast_tick = fast_clock.next_tick(now, &mut rng);
+                    (straggler_count, fast_count)
+                };
                 let slot = lo + rng.gen_range(0..size);
                 let vi = match &straggler_ids {
                     Some(ids) => ids[slot] as usize,
@@ -567,11 +700,14 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                 let crashed = env.as_ref().is_some_and(|e| e.is_crashed(v));
                 let scale = env.as_ref().map_or(1.0, |e| e.latency_scale());
                 // Line 1: the 0-signal travels one latency, without locking.
-                // Skipped outright once the leader is terminal (the arrival
-                // would be unobservable); injected failure — the persistent
-                // `signal_loss` knob or an active scenario burst — may also
-                // lose the signal in transit.
-                if !crashed
+                // On the jump-chain fast path the whole stream is counted
+                // by `zero_flow` instead of per-event scheduling. Skipped
+                // outright once the leader is terminal (the arrival would
+                // be unobservable); injected failure — the persistent
+                // `signal_loss` knob or an active scenario burst — may
+                // also lose the signal in transit.
+                if zero_flow.is_none()
+                    && !crashed
                     && !leader.is_terminal()
                     && (cfg.signal_loss == 0.0 || rng.gen::<f64>() >= cfg.signal_loss)
                     && !env.as_mut().is_some_and(|e| e.message_lost())
@@ -589,7 +725,7 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                     queue.schedule(now + phase, Event::OpComplete { v, a, b, epoch });
                 }
             }
-            Event::OpComplete { v, a, b, epoch } => {
+            Some((_, Event::OpComplete { v, a, b, epoch })) => {
                 let vi = v as usize;
                 if epoch != op_epoch[vi] {
                     // The initiating node was replaced by join churn
@@ -721,9 +857,21 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                     }
                     NodeDecision::Nothing => {}
                 }
-                locked[vi] = false;
+                if thinned {
+                    // Re-admit `v` to the thinned tick stream: settle
+                    // the suppressed-stream exposure, then redraw the
+                    // next tick at the new rate (memorylessness).
+                    tick_exposure += (n - unlocked.len()) as f64 * (now - exposure_from);
+                    exposure_from = now;
+                    locked[vi] = false;
+                    unlocked_pos[vi] = unlocked.len() as u32;
+                    unlocked.push(v);
+                    fast_tick = now + unit_exp(&mut rng) / unlocked.len() as f64;
+                } else {
+                    locked[vi] = false;
+                }
             }
-            Event::LeaderSignal(signal) => {
+            Some((_, Event::LeaderSignal(signal))) => {
                 if let Some(transition) = leader.on_signal(signal) {
                     match transition {
                         LeaderTransition::PropagationEnabled { generation } => {
@@ -748,6 +896,11 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                                 first_promotion_at: None,
                                 propagation_at: None,
                             });
+                            // The birth reset the 0-signal counter: arm
+                            // the new generation's counting window.
+                            if let Some(flow) = zero_flow.as_mut() {
+                                flow.arm(now, zero_signal_threshold, &mut rng);
+                            }
                             // If generation g−1 matured without its
                             // propagation window ever opening (possible for
                             // small k, where two-choices alone reaches the
@@ -766,6 +919,17 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                     }
                 }
             }
+        }
+    }
+
+    if thinned {
+        // Settle the suppressed locked-node tick stream: its count over
+        // the run is Poisson with the accrued intensity (module docs).
+        // A monochromatic start leaves the exposure at zero and consumes
+        // no RNG, matching the empty event loop above.
+        tick_exposure += (n - unlocked.len()) as f64 * (end_time - exposure_from);
+        if tick_exposure > 0.0 {
+            ticks += sample_poisson(tick_exposure, &mut rng);
         }
     }
 

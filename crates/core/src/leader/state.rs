@@ -186,6 +186,22 @@ impl LeaderState {
             }
         }
     }
+
+    /// Equivalent to `count` successive `on_signal(Signal::Zero)` calls,
+    /// in O(1): at most one transition (the propagation opening) can fire
+    /// per generation window, so batching loses nothing. The engines'
+    /// displaced-Poisson fast path counts whole windows of 0-signals at
+    /// once (see `signalflow`), landing exactly on the threshold.
+    pub fn on_zero_batch(&mut self, count: u64) -> Option<LeaderTransition> {
+        self.zero_count += count;
+        if !self.propagation && self.zero_count >= self.params.zero_signal_threshold {
+            self.propagation = true;
+            return Some(LeaderTransition::PropagationEnabled {
+                generation: self.generation,
+            });
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -313,6 +329,31 @@ mod tests {
             assert_eq!(leader.on_signal(Signal::Generation(3)), None);
         }
         assert!(leader.is_terminal());
+    }
+
+    #[test]
+    fn zero_batch_matches_iterated_signals() {
+        let mut batched = LeaderState::new(params());
+        let mut iterated = LeaderState::new(params());
+        for count in [2u64, 2, 3, 10] {
+            let b = batched.on_zero_batch(count);
+            let mut i = None;
+            for _ in 0..count {
+                i = iterated.on_signal(Signal::Zero).or(i);
+            }
+            assert_eq!(b, i);
+            assert_eq!(batched, iterated);
+        }
+        // A birth resets the window for both.
+        for _ in 0..3 {
+            batched.on_signal(Signal::Generation(1));
+            iterated.on_signal(Signal::Generation(1));
+        }
+        assert_eq!(
+            batched.on_zero_batch(5),
+            Some(LeaderTransition::PropagationEnabled { generation: 2 })
+        );
+        assert_eq!(batched.zero_count(), 5);
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod rng;
 pub mod special;
 
 pub use alias::AliasTable;
-pub use continuous::{Exponential, Gamma, Weibull};
+pub use continuous::{unit_exp, Exponential, Gamma, Weibull};
 pub use discrete::{sample_binomial, sample_poisson};
 pub use latency::{ChannelPattern, Latency, WaitingTime};
 

@@ -56,9 +56,14 @@ impl PoissonClock {
     }
 
     /// Returns the absolute time of the next tick after `now`.
+    ///
+    /// Uses the ziggurat sampler ([`Exponential::sample_fast`]): the same
+    /// inter-tick law as inversion sampling, but a different consumption
+    /// of the RNG stream, and ~5× cheaper per draw. The engines draw one
+    /// inter-tick per event, so this is their single hottest sampler.
     #[inline]
     pub fn next_tick<R: Rng + ?Sized>(&self, now: f64, rng: &mut R) -> f64 {
-        now + self.inter_tick.sample(rng)
+        now + self.inter_tick.sample_fast(rng)
     }
 }
 

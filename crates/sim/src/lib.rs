@@ -15,6 +15,12 @@
 //! of its `u64` seed (see `plurality_dist::rng`), and the queue breaks
 //! timestamp ties by insertion order.
 //!
+//! [`EventQueue`] is a [`CalendarQueue`] (O(1) amortized bucketed calendar
+//! queue) by default; the `legacy-heap` cargo feature re-points it at the
+//! original binary-heap [`HeapQueue`]. Both implementations are always
+//! compiled and produce bit-identical pop sequences (see the equivalence
+//! property tests in `tests/queue_properties.rs`).
+//!
 //! ## Example
 //!
 //! ```
@@ -42,4 +48,4 @@ pub mod queue;
 
 pub use clock::PoissonClock;
 pub use metrics::{EventLog, Series};
-pub use queue::EventQueue;
+pub use queue::{CalendarQueue, EventQueue, HeapQueue};

@@ -6,11 +6,37 @@
 //! sequence)`, so simultaneous events (a probability-zero occurrence with
 //! continuous clocks, but possible with deterministic latencies) are resolved
 //! in insertion order — making every run a pure function of the seed.
+//!
+//! Two implementations share this contract:
+//!
+//! * [`CalendarQueue`] — a bucketed calendar queue (Brown 1988) tuned for
+//!   the near-homogeneous Poisson event populations the engines generate:
+//!   O(1) amortized push and pop, lazy power-of-two bucket resizing, and
+//!   the exact `(time, seq)` order of the heap (see the determinism
+//!   argument on the type). This is the default [`EventQueue`].
+//! * [`HeapQueue`] — the original `BinaryHeap` implementation, kept behind
+//!   the `legacy-heap` cargo feature (which re-points the [`EventQueue`]
+//!   alias at it) and as the reference oracle for the cross-implementation
+//!   equivalence property tests in `tests/queue_properties.rs`.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
-/// A single scheduled entry.
+/// The event queue used by the engines: [`CalendarQueue`] by default,
+/// [`HeapQueue`] when the `legacy-heap` cargo feature is enabled. Both
+/// types expose the same API and the same `(time, seq)` pop order, so the
+/// alias is a drop-in switch.
+#[cfg(not(feature = "legacy-heap"))]
+pub type EventQueue<E> = CalendarQueue<E>;
+
+/// The event queue used by the engines: [`CalendarQueue`] by default,
+/// [`HeapQueue`] when the `legacy-heap` cargo feature is enabled. Both
+/// types expose the same API and the same `(time, seq)` pop order, so the
+/// alias is a drop-in switch.
+#[cfg(feature = "legacy-heap")]
+pub type EventQueue<E> = HeapQueue<E>;
+
+/// A single scheduled entry of the [`HeapQueue`].
 #[derive(Debug, Clone)]
 struct QueueEntry<E> {
     time: f64,
@@ -35,7 +61,7 @@ impl<E> PartialOrd for QueueEntry<E> {
 impl<E> Ord for QueueEntry<E> {
     fn cmp(&self, other: &Self) -> Ordering {
         // Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
-        // `time` is guaranteed finite by `EventQueue::schedule`.
+        // `time` is guaranteed finite by `HeapQueue::schedule`.
         other
             .time
             .partial_cmp(&self.time)
@@ -44,14 +70,16 @@ impl<E> Ord for QueueEntry<E> {
     }
 }
 
-/// A future-event list ordering events by time, breaking ties by insertion
-/// order.
+/// A binary-heap future-event list ordering events by time, breaking ties
+/// by insertion order — the pre-calendar implementation, kept as the
+/// `legacy-heap` feature and as the reference oracle for the equivalence
+/// property tests.
 ///
 /// # Examples
 ///
 /// ```
-/// use plurality_sim::EventQueue;
-/// let mut q = EventQueue::new();
+/// use plurality_sim::HeapQueue;
+/// let mut q = HeapQueue::new();
 /// q.schedule(2.0, "late");
 /// q.schedule(1.0, "early");
 /// assert_eq!(q.pop(), Some((1.0, "early")));
@@ -59,13 +87,13 @@ impl<E> Ord for QueueEntry<E> {
 /// assert_eq!(q.pop(), None);
 /// ```
 #[derive(Debug, Clone)]
-pub struct EventQueue<E> {
+pub struct HeapQueue<E> {
     heap: BinaryHeap<QueueEntry<E>>,
     seq: u64,
     now: f64,
 }
 
-impl<E> EventQueue<E> {
+impl<E> HeapQueue<E> {
     /// Creates an empty queue at time zero.
     pub fn new() -> Self {
         Self {
@@ -85,6 +113,7 @@ impl<E> EventQueue<E> {
     }
 
     /// The current simulation time: the timestamp of the last popped event
+    /// or the last [`HeapQueue::advance_to`] call, whichever is later
     /// (zero initially). Time never runs backwards.
     pub fn now(&self) -> f64 {
         self.now
@@ -110,7 +139,7 @@ impl<E> EventQueue<E> {
     /// # Panics
     ///
     /// Panics if `time` is NaN/infinite or lies strictly in the past
-    /// (before [`EventQueue::now`]).
+    /// (before [`HeapQueue::now`]).
     pub fn schedule(&mut self, time: f64, event: E) {
         assert!(time.is_finite(), "schedule: event time must be finite");
         assert!(
@@ -147,9 +176,474 @@ impl<E> EventQueue<E> {
         self.now = entry.time;
         Some((entry.time, entry.event))
     }
+
+    /// Removes and returns the earliest event if its timestamp is at most
+    /// `limit`; otherwise leaves the queue untouched and returns `None`.
+    ///
+    /// This replaces the peek-then-pop double comparison in engine drain
+    /// loops with a single ordered lookup.
+    pub fn pop_before(&mut self, limit: f64) -> Option<(f64, E)> {
+        if self.heap.peek()?.time > limit {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Advances the clock to `time` without popping — used by engines that
+    /// interleave the queue with externally maintained event sources (the
+    /// superposed Poisson tick chains), so `schedule` keeps rejecting
+    /// genuinely past timestamps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN/infinite or lies strictly in the past.
+    pub fn advance_to(&mut self, time: f64) {
+        assert!(time.is_finite(), "advance_to: time must be finite");
+        assert!(
+            time >= self.now,
+            "advance_to: time {time} is before current time {}",
+            self.now
+        );
+        self.now = time;
+    }
 }
 
-impl<E> Default for EventQueue<E> {
+impl<E> Default for HeapQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Smallest bucket array the calendar queue keeps (a power of two).
+const MIN_BUCKETS: usize = 16;
+
+/// When the *average* pop scan since the last resize examines more than
+/// this many buckets + entries, the width is mistuned (the live event
+/// population drifted away from what was measured at the last resize) and
+/// the queue retunes. A well-tuned width keeps the average near
+/// `1 + TARGET_OCCUPANCY`, so this threshold only trips on genuine drift,
+/// not on Poisson fluctuation of individual bucket sizes.
+const SCAN_TUNE_THRESHOLD: u64 = 8;
+
+/// Bucket width is sized so that the *front* of the event population —
+/// where every pop scans — holds about this many entries per bucket:
+/// `width = TARGET_OCCUPANCY × (mean sim-time gap between pops)`, since by
+/// Little's law the density of pending events at the current time is one
+/// per pop gap. Sizing from the pop rate rather than from the total span
+/// is what makes skewed populations (exponential residence times pile
+/// events near `now` with a long sparse tail) scan O(1) at the front.
+const TARGET_OCCUPANCY: f64 = 2.0;
+
+/// A measurement window triggers a retune when the width its pop rate
+/// calls for differs from the width in force by more than this factor in
+/// either direction — catching widths tuned during a transient (ramp-up,
+/// rate shift) that have since gone stale but keep scans just under
+/// [`SCAN_TUNE_THRESHOLD`].
+const WIDTH_DRIFT: f64 = 1.5;
+
+/// A single scheduled entry of the [`CalendarQueue`]. `vb` caches the
+/// entry's *virtual bucket* `⌊time / width⌋` under the width in force when
+/// the entry was (re-)bucketed, so the pop-time year scan compares exact
+/// integers instead of re-deriving bucket years from floats.
+#[derive(Debug, Clone)]
+struct CalEntry<E> {
+    time: f64,
+    seq: u64,
+    vb: u64,
+    event: E,
+}
+
+/// A bucketed calendar queue (Brown 1988) with the exact `(time, seq)` pop
+/// order of [`HeapQueue`].
+///
+/// Timestamps map to *virtual buckets* `vb = ⌊time / width⌋`; virtual
+/// bucket `vb` lives in physical bucket `vb mod nbuckets` (nbuckets a
+/// power of two, so the mod is a mask). A pop scans virtual buckets from a
+/// cursor; if one full "year" (`nbuckets` virtual buckets) holds nothing,
+/// it falls back to a direct scan of all entries. The bucket count and
+/// width are retuned lazily: the array grows when occupancy exceeds 2
+/// entries per bucket, shrinks below 1/8, and a resize also fires when
+/// the average pop scan drifts past [`SCAN_TUNE_THRESHOLD`]. Each resize
+/// re-derives the width from the observed pop rate
+/// ([`TARGET_OCCUPANCY`] pop gaps per bucket), so steady-state operations
+/// touch O(1) entries without any tuning input from the caller.
+///
+/// # Determinism
+///
+/// The pop order is exactly the heap's, not merely equivalent in law:
+///
+/// * `t ↦ (t·(1/width)) as u64` is monotone (multiplication by a positive
+///   finite constant and the saturating float→int cast both preserve
+///   order), so every entry in the first non-empty virtual bucket precedes
+///   every entry in later ones, and *equal* timestamps always share a
+///   virtual bucket — the `(time, seq)` minimum inside that bucket is the
+///   global minimum, with the insertion-order tie-break intact.
+/// * The cursor only ever commits to the virtual bucket of an actually
+///   popped entry (never during [`CalendarQueue::peek_time`] or a
+///   [`CalendarQueue::pop_before`] miss), and `schedule` rejects past
+///   timestamps, so no entry can land below the cursor and be skipped.
+///
+/// The property tests in `tests/queue_properties.rs` assert bit-identical
+/// pop sequences against [`HeapQueue`] on adversarial schedules (dense
+/// ties, interleaved push/pop, resize churn).
+///
+/// # Examples
+///
+/// ```
+/// use plurality_sim::CalendarQueue;
+/// let mut q = CalendarQueue::new();
+/// q.schedule(2.0, "late");
+/// q.schedule(1.0, "early");
+/// assert_eq!(q.pop(), Some((1.0, "early")));
+/// assert_eq!(q.pop(), Some((2.0, "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CalendarQueue<E> {
+    /// Physical buckets; length is a power of two.
+    buckets: Vec<Vec<CalEntry<E>>>,
+    /// `buckets.len() - 1`, for masking virtual bucket numbers.
+    mask: u64,
+    /// Current bucket width in time units.
+    width: f64,
+    /// `1.0 / width`, the factor actually used to map times to buckets
+    /// (one consistent formula everywhere, so cached `vb`s never disagree
+    /// with fresh ones).
+    inv_width: f64,
+    len: usize,
+    seq: u64,
+    now: f64,
+    /// Virtual bucket of the last popped entry: the year scan starts here.
+    /// Invariant: no pending entry has a virtual bucket below the cursor.
+    cursor: u64,
+    /// Pops since the last resize — rate-limits drift-triggered retuning
+    /// and, with `last_tune_now`, measures the pop rate the width is
+    /// tuned from.
+    pops_since_tune: usize,
+    /// Total buckets + entries examined by pop scans since the last
+    /// resize; `examined_since_tune / pops_since_tune` is the drift
+    /// signal compared against [`SCAN_TUNE_THRESHOLD`].
+    examined_since_tune: u64,
+    /// Value of `now` at the last resize, for the pop-rate measurement.
+    last_tune_now: f64,
+    /// Memoized front: `(time, seq, bucket, index, examined)` of the
+    /// `(time, seq)`-minimal pending entry, plus the scan cost that
+    /// located it (billed to the tuning stats when the entry is actually
+    /// popped). Engines running an external tick chain peek far more
+    /// often than they pop; the memo makes every repeat peek O(1)
+    /// instead of re-walking the same empty-bucket run. Invalidated by
+    /// any mutation that can move the front (pops, resizes); updated in
+    /// place by a schedule that beats it.
+    front: Option<(f64, u64, usize, usize, usize)>,
+}
+
+impl<E> CalendarQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            mask: (MIN_BUCKETS - 1) as u64,
+            width: 1.0,
+            inv_width: 1.0,
+            len: 0,
+            seq: 0,
+            now: 0.0,
+            cursor: 0,
+            pops_since_tune: 0,
+            examined_since_tune: 0,
+            last_tune_now: 0.0,
+            front: None,
+        }
+    }
+
+    /// Creates an empty queue. The capacity hint is ignored: the bucket
+    /// array self-tunes through resize doublings, and pre-sizing it would
+    /// skip the width retuning those resizes perform.
+    pub fn with_capacity(_capacity: usize) -> Self {
+        Self::new()
+    }
+
+    /// The current simulation time: the timestamp of the last popped event
+    /// or the last [`CalendarQueue::advance_to`] call, whichever is later
+    /// (zero initially). Time never runs backwards.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The virtual bucket of `time` under the current width.
+    #[inline]
+    fn vbucket(&self, time: f64) -> u64 {
+        // Saturating float→int cast: monotone even at the u64::MAX clamp,
+        // which is all the ordering argument needs.
+        (time * self.inv_width) as u64
+    }
+
+    /// Locates the `(time, seq)`-minimal entry as `(physical bucket,
+    /// index within it, buckets + entries examined)`, serving from the
+    /// front memo when it is valid and scanning (then filling the memo)
+    /// otherwise.
+    fn locate(&mut self) -> Option<(usize, usize, usize)> {
+        if let Some((_, _, bi, i, examined)) = self.front {
+            return Some((bi, i, examined));
+        }
+        let (bi, i, examined) = self.locate_scan()?;
+        let e = &self.buckets[bi][i];
+        self.front = Some((e.time, e.seq, bi, i, examined));
+        Some((bi, i, examined))
+    }
+
+    /// The scanning body of [`CalendarQueue::locate`]: walks buckets from
+    /// the cursor without consulting or mutating the memo. The examined
+    /// count lets the popping paths detect a mistuned width and trigger a
+    /// retune.
+    fn locate_scan(&self) -> Option<(usize, usize, usize)> {
+        if self.len == 0 {
+            return None;
+        }
+        // Year scan: walk virtual buckets from the cursor. The first one
+        // holding an entry contains the global minimum (see the
+        // determinism argument on the type).
+        let mut examined = 0usize;
+        for off in 0..self.buckets.len() as u64 {
+            let vb = self.cursor.wrapping_add(off);
+            let bi = (vb & self.mask) as usize;
+            let bucket = &self.buckets[bi];
+            examined += 1 + bucket.len();
+            let mut best: Option<(usize, f64, u64)> = None;
+            for (i, e) in bucket.iter().enumerate() {
+                if e.vb == vb
+                    && !best.is_some_and(|(_, bt, bs)| e.time > bt || (e.time == bt && e.seq > bs))
+                {
+                    best = Some((i, e.time, e.seq));
+                }
+            }
+            if let Some((i, _, _)) = best {
+                return Some((bi, i, examined));
+            }
+        }
+        // A whole year was empty: the pending entries are sparse relative
+        // to the bucket range (far-future outliers). Fall back to a direct
+        // scan for the global minimum — O(len), rare by construction.
+        let mut best: Option<(usize, usize, f64, u64)> = None;
+        for (bi, bucket) in self.buckets.iter().enumerate() {
+            for (i, e) in bucket.iter().enumerate() {
+                if !best.is_some_and(|(_, _, bt, bs)| e.time > bt || (e.time == bt && e.seq > bs)) {
+                    best = Some((bi, i, e.time, e.seq));
+                }
+            }
+        }
+        best.map(|(bi, i, _, _)| (bi, i, usize::MAX))
+    }
+
+    /// Timestamp of the next event, if any.
+    pub fn peek_time(&self) -> Option<f64> {
+        if let Some((t, ..)) = self.front {
+            return Some(t);
+        }
+        self.locate_scan()
+            .map(|(bi, i, _)| self.buckets[bi][i].time)
+    }
+
+    /// Schedules `event` at absolute time `time`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN/infinite or lies strictly in the past
+    /// (before [`CalendarQueue::now`]).
+    pub fn schedule(&mut self, time: f64, event: E) {
+        assert!(time.is_finite(), "schedule: event time must be finite");
+        assert!(
+            time >= self.now,
+            "schedule: event time {time} is before current time {}",
+            self.now
+        );
+        let vb = self.vbucket(time);
+        let seq = self.seq;
+        let entry = CalEntry {
+            time,
+            seq,
+            vb,
+            event,
+        };
+        self.seq += 1;
+        let bi = (vb & self.mask) as usize;
+        self.buckets[bi].push(entry);
+        self.len += 1;
+        // A strictly earlier arrival takes over the front memo (on a time
+        // tie the incumbent wins: its seq is necessarily smaller).
+        if let Some((ft, ..)) = self.front {
+            if time < ft {
+                self.front = Some((time, seq, bi, self.buckets[bi].len() - 1, 0));
+            }
+        }
+        if self.len > 2 * self.buckets.len() {
+            self.resize();
+        }
+    }
+
+    /// Schedules `event` at `delay` after the current time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay` is negative or not finite.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(
+            delay.is_finite() && delay >= 0.0,
+            "schedule_in: delay must be a non-negative finite number, got {delay}"
+        );
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Removes the located entry, committing clock and cursor.
+    fn take(&mut self, bi: usize, i: usize, examined: usize) -> (f64, E) {
+        self.front = None;
+        let entry = self.buckets[bi].swap_remove(i);
+        self.len -= 1;
+        self.now = entry.time;
+        self.cursor = entry.vb;
+        self.pops_since_tune += 1;
+        // A direct-search fallback scanned everything; bill it as such.
+        self.examined_since_tune += if examined == usize::MAX {
+            (self.len + self.buckets.len()) as u64
+        } else {
+            examined as u64
+        };
+        if self.buckets.len() > MIN_BUCKETS && self.len < self.buckets.len() / 8 {
+            self.resize();
+        } else if self.pops_since_tune > (self.len / 2).max(32) {
+            // End of a measurement window (at most once per `len/2` pops,
+            // keeping the amortized cost O(1) even on degenerate
+            // schedules where no width can help). Retune if the width no
+            // longer matches the live event population — either pop scans
+            // averaged long buckets / long empty runs over the window, or
+            // the width the window's pop rate calls for has drifted more
+            // than [`WIDTH_DRIFT`]× from the one in force (a stale width
+            // can sit just under the scan threshold yet still waste most
+            // of every scan).
+            let pop_gap = (self.now - self.last_tune_now) / self.pops_since_tune as f64;
+            let ideal = TARGET_OCCUPANCY * pop_gap;
+            let scans_long =
+                self.examined_since_tune > SCAN_TUNE_THRESHOLD * self.pops_since_tune as u64;
+            let width_stale = ideal.is_finite()
+                && ideal > 0.0
+                && (ideal > self.width * WIDTH_DRIFT || self.width > ideal * WIDTH_DRIFT);
+            if scans_long || width_stale {
+                self.resize();
+            } else {
+                // Healthy window: start the next one.
+                self.pops_since_tune = 0;
+                self.examined_since_tune = 0;
+                self.last_tune_now = self.now;
+            }
+        }
+        (entry.time, entry.event)
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(f64, E)> {
+        let (bi, i, examined) = self.locate()?;
+        Some(self.take(bi, i, examined))
+    }
+
+    /// Removes and returns the earliest event if its timestamp is at most
+    /// `limit`; otherwise leaves the queue untouched and returns `None`.
+    ///
+    /// This replaces the peek-then-pop double comparison in engine drain
+    /// loops with a single ordered lookup.
+    pub fn pop_before(&mut self, limit: f64) -> Option<(f64, E)> {
+        let (bi, i, examined) = self.locate()?;
+        if self.buckets[bi][i].time > limit {
+            return None;
+        }
+        Some(self.take(bi, i, examined))
+    }
+
+    /// Advances the clock to `time` without popping — used by engines that
+    /// interleave the queue with externally maintained event sources (the
+    /// superposed Poisson tick chains), so `schedule` keeps rejecting
+    /// genuinely past timestamps. The cursor is left alone: it may only
+    /// ever commit to popped entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN/infinite or lies strictly in the past.
+    pub fn advance_to(&mut self, time: f64) {
+        assert!(time.is_finite(), "advance_to: time must be finite");
+        assert!(
+            time >= self.now,
+            "advance_to: time {time} is before current time {}",
+            self.now
+        );
+        self.now = time;
+    }
+
+    /// Rebuilds the bucket array at `next_power_of_two(len)` buckets and
+    /// retunes the width. The primary estimator is the observed pop rate
+    /// (`TARGET_OCCUPANCY` pop gaps per bucket — see that constant for why
+    /// rate beats span on skewed populations); before any pops have been
+    /// observed (ramp-up growth from pure scheduling) it falls back to
+    /// spreading the live span at ~1 entry per bucket over half a year.
+    fn resize(&mut self) {
+        self.front = None;
+        let nbuckets = self.len.max(MIN_BUCKETS).next_power_of_two();
+        let pop_gap = (self.now - self.last_tune_now) / self.pops_since_tune as f64;
+        let mut width = if self.pops_since_tune >= 32 && pop_gap > 0.0 && pop_gap.is_finite() {
+            TARGET_OCCUPANCY * pop_gap
+        } else {
+            let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+            for bucket in &self.buckets {
+                for e in bucket {
+                    lo = lo.min(e.time);
+                    hi = hi.max(e.time);
+                }
+            }
+            let span = hi - lo;
+            if self.len >= 2 && span > 0.0 && span.is_finite() {
+                2.0 * span / self.len as f64
+            } else {
+                1.0
+            }
+        };
+        // Degenerate widths (e.g. a span of one ulp) would overflow the
+        // inverse; any positive width is *correct* (the scan falls back to
+        // the direct search), so clamp rather than special-case.
+        if !(width.is_finite() && width > 0.0 && (1.0 / width).is_finite()) {
+            width = 1.0;
+        }
+        self.width = width;
+        self.inv_width = 1.0 / width;
+        self.mask = (nbuckets - 1) as u64;
+        let old = std::mem::replace(
+            &mut self.buckets,
+            (0..nbuckets).map(|_| Vec::new()).collect(),
+        );
+        for bucket in old {
+            for mut e in bucket {
+                e.vb = self.vbucket(e.time);
+                self.buckets[(e.vb & self.mask) as usize].push(e);
+            }
+        }
+        // All pending entries sit at or after `now`, so the cursor
+        // invariant (no entry below it) is re-established directly.
+        self.cursor = self.vbucket(self.now);
+        self.pops_since_tune = 0;
+        self.examined_since_tune = 0;
+        self.last_tune_now = self.now;
+    }
+}
+
+impl<E> Default for CalendarQueue<E> {
     fn default() -> Self {
         Self::new()
     }
@@ -159,84 +653,231 @@ impl<E> Default for EventQueue<E> {
 mod tests {
     use super::*;
 
+    /// The shared contract suite, instantiated for both implementations.
+    macro_rules! queue_contract_suite {
+        ($name:ident, $Q:ident) => {
+            mod $name {
+                use super::$Q;
+
+                #[test]
+                fn pops_in_time_order() {
+                    let mut q = $Q::new();
+                    q.schedule(3.0, 3u32);
+                    q.schedule(1.0, 1u32);
+                    q.schedule(2.0, 2u32);
+                    assert_eq!(q.pop().unwrap().1, 1);
+                    assert_eq!(q.pop().unwrap().1, 2);
+                    assert_eq!(q.pop().unwrap().1, 3);
+                }
+
+                #[test]
+                fn ties_break_by_insertion_order() {
+                    let mut q = $Q::new();
+                    for i in 0..100u32 {
+                        q.schedule(1.0, i);
+                    }
+                    for i in 0..100u32 {
+                        assert_eq!(q.pop().unwrap().1, i);
+                    }
+                }
+
+                #[test]
+                fn now_advances_with_pops() {
+                    let mut q = $Q::new();
+                    q.schedule(5.0, ());
+                    q.schedule(7.0, ());
+                    assert_eq!(q.now(), 0.0);
+                    q.pop();
+                    assert_eq!(q.now(), 5.0);
+                    q.pop();
+                    assert_eq!(q.now(), 7.0);
+                }
+
+                #[test]
+                fn schedule_in_is_relative() {
+                    let mut q = $Q::new();
+                    q.schedule(2.0, "a");
+                    q.pop();
+                    q.schedule_in(1.5, "b");
+                    assert_eq!(q.pop(), Some((3.5, "b")));
+                }
+
+                #[test]
+                #[should_panic(expected = "before current time")]
+                fn scheduling_in_the_past_panics() {
+                    let mut q = $Q::new();
+                    q.schedule(2.0, ());
+                    q.pop();
+                    q.schedule(1.0, ());
+                }
+
+                #[test]
+                #[should_panic(expected = "finite")]
+                fn scheduling_nan_panics() {
+                    let mut q = $Q::new();
+                    q.schedule(f64::NAN, ());
+                }
+
+                #[test]
+                fn len_and_empty_track_contents() {
+                    let mut q = $Q::new();
+                    assert!(q.is_empty());
+                    q.schedule(1.0, ());
+                    q.schedule(2.0, ());
+                    assert_eq!(q.len(), 2);
+                    q.pop();
+                    assert_eq!(q.len(), 1);
+                    assert!(!q.is_empty());
+                    q.pop();
+                    assert!(q.is_empty());
+                }
+
+                #[test]
+                fn peek_does_not_remove() {
+                    let mut q = $Q::new();
+                    q.schedule(4.0, ());
+                    assert_eq!(q.peek_time(), Some(4.0));
+                    assert_eq!(q.len(), 1);
+                }
+
+                #[test]
+                fn pop_before_respects_the_limit() {
+                    let mut q = $Q::new();
+                    q.schedule(1.0, "a");
+                    q.schedule(2.0, "b");
+                    assert_eq!(q.pop_before(0.5), None);
+                    assert_eq!(q.len(), 2, "a miss must not disturb the queue");
+                    assert_eq!(q.pop_before(1.0), Some((1.0, "a")), "limit is inclusive");
+                    assert_eq!(q.pop_before(10.0), Some((2.0, "b")));
+                    assert_eq!(q.pop_before(10.0), None);
+                }
+
+                #[test]
+                fn pop_before_miss_keeps_order_intact() {
+                    let mut q = $Q::new();
+                    q.schedule(5.0, 5u32);
+                    q.schedule(3.0, 3u32);
+                    assert_eq!(q.pop_before(1.0), None);
+                    // An earlier event scheduled *after* the miss must still
+                    // come out first.
+                    q.schedule(2.0, 2u32);
+                    assert_eq!(q.pop(), Some((2.0, 2)));
+                    assert_eq!(q.pop(), Some((3.0, 3)));
+                    assert_eq!(q.pop(), Some((5.0, 5)));
+                }
+
+                #[test]
+                fn advance_to_moves_now_only() {
+                    let mut q = $Q::new();
+                    q.schedule(4.0, ());
+                    q.advance_to(3.0);
+                    assert_eq!(q.now(), 3.0);
+                    assert_eq!(q.len(), 1);
+                    assert_eq!(q.pop(), Some((4.0, ())));
+                }
+
+                #[test]
+                #[should_panic(expected = "before current time")]
+                fn advance_to_rejects_the_past() {
+                    let mut q = $Q::new();
+                    q.schedule(2.0, ());
+                    q.pop();
+                    q.advance_to(1.0);
+                }
+            }
+        };
+    }
+
+    queue_contract_suite!(heap, HeapQueue);
+    queue_contract_suite!(calendar, CalendarQueue);
+
     #[test]
-    fn pops_in_time_order() {
-        let mut q = EventQueue::new();
-        q.schedule(3.0, 3u32);
-        q.schedule(1.0, 1u32);
-        q.schedule(2.0, 2u32);
-        assert_eq!(q.pop().unwrap().1, 1);
-        assert_eq!(q.pop().unwrap().1, 2);
-        assert_eq!(q.pop().unwrap().1, 3);
+    fn calendar_survives_growth_and_shrink_churn() {
+        // Push far past several grow thresholds, then drain through the
+        // shrink threshold; order must hold throughout.
+        let mut q = CalendarQueue::new();
+        for i in 0..5_000u64 {
+            // Non-monotone insertion order across a wide range.
+            let t = ((i.wrapping_mul(2_654_435_761)) % 100_000) as f64 / 7.0;
+            q.schedule(t, i);
+        }
+        let mut last = (f64::NEG_INFINITY, 0u64);
+        let mut count = 0usize;
+        while let Some((t, i)) = q.pop() {
+            assert!(
+                t > last.0 || (t == last.0 && i > last.1),
+                "order violated at ({t}, {i}) after {last:?}"
+            );
+            last = (t, i);
+            count += 1;
+        }
+        assert_eq!(count, 5_000);
     }
 
     #[test]
-    fn ties_break_by_insertion_order() {
-        let mut q = EventQueue::new();
-        for i in 0..100u32 {
-            q.schedule(1.0, i);
+    fn calendar_handles_far_future_outliers() {
+        // A dense cluster near zero plus outliers many "years" away: the
+        // year scan must give up and fall back to the direct search.
+        let mut q = CalendarQueue::new();
+        q.schedule(1e9, u64::MAX);
+        for i in 0..100u64 {
+            q.schedule(i as f64 * 1e-3, i);
         }
-        for i in 0..100u32 {
+        for i in 0..100u64 {
             assert_eq!(q.pop().unwrap().1, i);
         }
+        assert_eq!(q.pop(), Some((1e9, u64::MAX)));
     }
 
     #[test]
-    fn now_advances_with_pops() {
-        let mut q = EventQueue::new();
-        q.schedule(5.0, ());
-        q.schedule(7.0, ());
-        assert_eq!(q.now(), 0.0);
-        q.pop();
-        assert_eq!(q.now(), 5.0);
-        q.pop();
-        assert_eq!(q.now(), 7.0);
+    fn calendar_keeps_tie_order_across_resizes() {
+        // 300 identical timestamps interleaved with spread ones: resizes
+        // re-bucket everything, insertion order must survive.
+        let mut q = CalendarQueue::new();
+        for i in 0..300u64 {
+            q.schedule(10.0, i);
+            q.schedule(20.0 + i as f64, 1_000 + i);
+        }
+        for i in 0..300u64 {
+            assert_eq!(q.pop(), Some((10.0, i)));
+        }
+        for i in 0..300u64 {
+            assert_eq!(q.pop(), Some((20.0 + i as f64, 1_000 + i)));
+        }
     }
 
     #[test]
-    fn schedule_in_is_relative() {
-        let mut q = EventQueue::new();
-        q.schedule(2.0, "a");
-        q.pop();
-        q.schedule_in(1.5, "b");
-        assert_eq!(q.pop(), Some((3.5, "b")));
+    fn calendar_degenerate_span_stays_correct() {
+        // All entries at one timestamp: resize's span is zero, the width
+        // falls back, and everything lands in one virtual bucket — order
+        // must still be exact.
+        let mut q = CalendarQueue::new();
+        for i in 0..200u64 {
+            q.schedule(123.456, i);
+        }
+        for i in 0..200u64 {
+            assert_eq!(q.pop(), Some((123.456, i)));
+        }
     }
 
     #[test]
-    #[should_panic(expected = "before current time")]
-    fn scheduling_in_the_past_panics() {
-        let mut q = EventQueue::new();
-        q.schedule(2.0, ());
-        q.pop();
-        q.schedule(1.0, ());
-    }
-
-    #[test]
-    #[should_panic(expected = "finite")]
-    fn scheduling_nan_panics() {
-        let mut q = EventQueue::new();
-        q.schedule(f64::NAN, ());
-    }
-
-    #[test]
-    fn len_and_empty_track_contents() {
-        let mut q = EventQueue::new();
-        assert!(q.is_empty());
-        q.schedule(1.0, ());
-        q.schedule(2.0, ());
-        assert_eq!(q.len(), 2);
-        q.pop();
-        assert_eq!(q.len(), 1);
-        assert!(!q.is_empty());
-        q.pop();
-        assert!(q.is_empty());
-    }
-
-    #[test]
-    fn peek_does_not_remove() {
-        let mut q = EventQueue::new();
-        q.schedule(4.0, ());
-        assert_eq!(q.peek_time(), Some(4.0));
-        assert_eq!(q.len(), 1);
+    fn calendar_interleaved_chains_advance() {
+        // The engines' usage pattern: each pop schedules a follow-up a
+        // little later (self-perpetuating chains).
+        let mut q = CalendarQueue::new();
+        for i in 0..32u64 {
+            q.schedule(i as f64 * 0.1, i);
+        }
+        let mut pops = 0u64;
+        let mut last = f64::NEG_INFINITY;
+        while let Some((t, id)) = q.pop() {
+            assert!(t >= last);
+            last = t;
+            pops += 1;
+            if pops < 10_000 {
+                q.schedule(t + 0.05 + (id % 7) as f64 * 0.01, id);
+            }
+        }
+        assert_eq!(pops, 10_000 + 31);
     }
 }
