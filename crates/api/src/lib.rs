@@ -56,6 +56,7 @@ mod config;
 mod protocol;
 mod report;
 mod spec;
+mod wire;
 
 pub use config::RunConfig;
 pub use protocol::{
@@ -68,3 +69,4 @@ pub use report::{
 pub use spec::{
     parse_stragglers, run_spec, ProtocolEntry, Registry, Resolved, RunSpec, SpecError, COMMON_KEYS,
 };
+pub use wire::{to_wire, WIRE_HEADER};

@@ -695,6 +695,24 @@ impl Registry {
         protocol.check(&config)?;
         Ok(Resolved { protocol, config })
     }
+
+    /// Validates a spec without running anything: full [`Registry::resolve`]
+    /// coverage (protocol name, every key, every value, protocol/config
+    /// compatibility), result discarded.
+    ///
+    /// This is the server's 400 fast path: `plurality-serve` rejects a
+    /// malformed `/run` request with the same teaching error a CLI user
+    /// would see, before the request ever occupies a queue slot or a
+    /// worker — resolution costs microseconds while a run costs
+    /// milliseconds.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpecError`] with a teaching message for the first
+    /// violated constraint.
+    pub fn validate_only(&self, spec: &RunSpec) -> Result<(), SpecError> {
+        self.resolve(spec).map(|_| ())
+    }
 }
 
 /// A resolved run spec: the protocol handle and the run configuration,

@@ -206,7 +206,11 @@ fn main() {
             if let Some(f) = r.outcome.consensus_time {
                 full_t.push(f);
             }
-            gens.push(r.phases().expect("leader telemetry").len() as f64);
+            gens.push(
+                r.phases()
+                    .expect("phases: present on every protocol=leader run spec")
+                    .len() as f64,
+            );
             if r.outcome.plurality_preserved() {
                 wins += 1;
             }

@@ -91,7 +91,9 @@ fn main() {
             let runs = run_spec_many(&format!("{protocol}?n={pop_n}&a={a}"), 0xB15, reps);
             for r in &runs {
                 time.push(r.outcome.duration);
-                inter.push(r.interactions().expect("population telemetry") as f64);
+                inter.push(r.interactions().expect(
+                    "interactions: present on every approx-majority/exact-majority run spec",
+                ) as f64);
                 if r.outcome.plurality_preserved() {
                     correct += 1;
                 }

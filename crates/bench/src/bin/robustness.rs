@@ -51,7 +51,11 @@ fn main() {
             if let Some(e) = r.outcome.epsilon_time {
                 eps_t.push(e);
             }
-            gens.push(r.phases().expect("leader telemetry").len() as f64);
+            gens.push(
+                r.phases()
+                    .expect("phases: present on every protocol=leader run spec")
+                    .len() as f64,
+            );
             if r.outcome.plurality_preserved() {
                 converged += 1;
             }
@@ -133,7 +137,11 @@ fn main() {
             if let Some(e) = r.outcome.epsilon_time {
                 eps_t.push(e);
             }
-            gens.push(r.phases().expect("leader telemetry").len() as f64);
+            gens.push(
+                r.phases()
+                    .expect("phases: present on every protocol=leader run spec")
+                    .len() as f64,
+            );
             if r.outcome.plurality_preserved() {
                 converged += 1;
             }

@@ -1,0 +1,90 @@
+//! Standalone daemon binary: `plurality-serve --addr 127.0.0.1:8080
+//! --workers 2 --cache-mb 32`. The `plurality serve` CLI subcommand
+//! wraps the same [`Server`].
+
+use plurality_serve::{ServeConfig, Server};
+use std::time::Duration;
+
+const USAGE: &str = "\
+plurality-serve: long-running RunSpec daemon
+
+USAGE:
+    plurality-serve [OPTIONS]
+
+OPTIONS:
+    --addr <HOST:PORT>     bind address            [default: 127.0.0.1:8080]
+    --workers <N>          engine worker threads   [default: 2]
+    --queue <N>            bounded queue capacity  [default: 64]
+    --cache-mb <N>         report cache budget     [default: 32]
+    --deadline-secs <N>    per-request deadline    [default: 30]
+    --help                 print this help
+
+ENDPOINTS:
+    GET  /run?spec=<percent-encoded RunSpec>[&seed=<u64>]
+    GET  /healthz | /metrics | /stats
+    POST /admin/drain      graceful shutdown
+";
+
+fn main() {
+    let mut config = ServeConfig {
+        addr: "127.0.0.1:8080".to_string(),
+        ..ServeConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value\n\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--addr" => config.addr = value("--addr"),
+            "--workers" => config.workers = parse(&value("--workers"), "--workers"),
+            "--queue" => config.queue_capacity = parse(&value("--queue"), "--queue"),
+            "--cache-mb" => {
+                config.cache_bytes = parse::<usize>(&value("--cache-mb"), "--cache-mb") << 20;
+            }
+            "--deadline-secs" => {
+                config.deadline =
+                    Duration::from_secs(parse(&value("--deadline-secs"), "--deadline-secs"));
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown flag {other:?}\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let server = match Server::start(config.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: could not bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "plurality-serve listening on http://{} ({} workers, queue {}, cache {} MiB); \
+         POST /admin/drain to stop",
+        server.addr(),
+        config.workers,
+        config.queue_capacity,
+        config.cache_bytes >> 20,
+    );
+    // The accept loop owns the process from here; it exits when a drain
+    // completes, and join() then waits for the workers to finish the
+    // queued tail.
+    server.join();
+    println!("plurality-serve: drained, exiting");
+}
+
+fn parse<T: std::str::FromStr>(value: &str, flag: &str) -> T {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("error: {flag} got {value:?}, expected a number\n\n{USAGE}");
+        std::process::exit(2);
+    })
+}

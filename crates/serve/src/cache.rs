@@ -1,0 +1,347 @@
+//! Sharded LRU `(spec, seed) → serialized Report` cache.
+//!
+//! ## Why this cache is *sound*, not heuristic
+//!
+//! Every run in the workspace is a pure function of its canonical
+//! [`plurality_api::RunSpec`] string: the facade-bitwise contract (PR 5)
+//! pins a spec to the byte-identical RNG stream of the direct engine
+//! builders, and the parallel-determinism contract (PR 2) makes the
+//! result independent of thread count. The cache key is the canonical
+//! spec string *with the seed override already applied*, so a hit can
+//! return the stored bytes of an earlier run and be **bitwise identical**
+//! to what a fresh run would have produced — there is no staleness, no
+//! approximation, and nothing to invalidate. The serve test suite
+//! asserts exactly this (`tests/cache_soundness.rs`).
+//!
+//! ## Shape
+//!
+//! The cache is split into [`SHARD_COUNT`] independently-locked shards
+//! (key-hash selected) so concurrent handlers and workers rarely
+//! contend on one mutex. Each shard is a classic intrusive-list LRU over
+//! a slab: a `HashMap` from key to slot index plus a doubly-linked
+//! recency list threaded through the slots, giving O(1) get / insert /
+//! evict. Capacity is a **byte budget** (key + value + bookkeeping
+//! overhead per entry), split evenly across shards; inserting past the
+//! budget evicts least-recently-used entries until the shard fits
+//! again.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Number of independently-locked shards. A small power of two: enough
+/// to de-contend a worker pool, few enough that the per-shard byte
+/// budget stays meaningful for small caches.
+pub const SHARD_COUNT: usize = 8;
+
+/// Bookkeeping bytes charged per entry on top of key + value lengths
+/// (slot, map entry, `Arc` header — an estimate, deliberately rounded
+/// up).
+const ENTRY_OVERHEAD: usize = 96;
+
+const NIL: usize = usize::MAX;
+
+/// Aggregate counters over all shards, for `/stats` and `/metrics`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Live entries.
+    pub entries: usize,
+    /// Charged bytes (keys + values + per-entry overhead).
+    pub bytes: usize,
+    /// Total byte budget.
+    pub capacity_bytes: usize,
+    /// Entries evicted by the LRU policy since startup.
+    pub evictions: u64,
+}
+
+struct Slot {
+    key: String,
+    value: Arc<str>,
+    prev: usize,
+    next: usize,
+}
+
+struct Shard {
+    map: HashMap<String, usize>,
+    slots: Vec<Option<Slot>>,
+    free: Vec<usize>,
+    /// Most recently used slot (`NIL` when empty).
+    head: usize,
+    /// Least recently used slot (`NIL` when empty).
+    tail: usize,
+    bytes: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            bytes: 0,
+            capacity,
+        }
+    }
+
+    fn cost(key: &str, value: &str) -> usize {
+        key.len() + value.len() + ENTRY_OVERHEAD
+    }
+
+    /// Detaches slot `i` from the recency list.
+    fn unlink(&mut self, i: usize) {
+        let (prev, next) = {
+            let slot = self.slots[i].as_ref().expect("unlink of empty slot");
+            (slot.prev, slot.next)
+        };
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].as_mut().expect("linked slot").next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].as_mut().expect("linked slot").prev = prev,
+        }
+    }
+
+    /// Attaches slot `i` at the most-recently-used end.
+    fn push_front(&mut self, i: usize) {
+        {
+            let slot = self.slots[i].as_mut().expect("push_front of empty slot");
+            slot.prev = NIL;
+            slot.next = self.head;
+        }
+        match self.head {
+            NIL => self.tail = i,
+            h => self.slots[h].as_mut().expect("linked slot").prev = i,
+        }
+        self.head = i;
+    }
+
+    fn get(&mut self, key: &str) -> Option<Arc<str>> {
+        let &i = self.map.get(key)?;
+        self.unlink(i);
+        self.push_front(i);
+        Some(Arc::clone(
+            &self.slots[i].as_ref().expect("mapped slot").value,
+        ))
+    }
+
+    /// Evicts the least-recently-used entry; returns false on an empty
+    /// shard.
+    fn evict_tail(&mut self) -> bool {
+        let i = self.tail;
+        if i == NIL {
+            return false;
+        }
+        self.unlink(i);
+        let slot = self.slots[i].take().expect("tail slot");
+        self.map.remove(&slot.key);
+        self.bytes -= Self::cost(&slot.key, &slot.value);
+        self.free.push(i);
+        true
+    }
+
+    /// Inserts (or refreshes) an entry, then evicts LRU entries until
+    /// the shard fits its budget again. Returns the number of
+    /// evictions. An entry larger than the whole shard budget is
+    /// evicted right back out — the cache never exceeds its budget.
+    fn insert(&mut self, key: String, value: Arc<str>) -> u64 {
+        if let Some(&i) = self.map.get(&key) {
+            // Refresh: replace the value, recharge bytes, bump recency.
+            let slot = self.slots[i].as_mut().expect("mapped slot");
+            self.bytes -= Self::cost(&slot.key, &slot.value);
+            self.bytes += Self::cost(&slot.key, &value);
+            slot.value = value;
+            self.unlink(i);
+            self.push_front(i);
+        } else {
+            let i = match self.free.pop() {
+                Some(i) => i,
+                None => {
+                    self.slots.push(None);
+                    self.slots.len() - 1
+                }
+            };
+            self.bytes += Self::cost(&key, &value);
+            self.map.insert(key.clone(), i);
+            self.slots[i] = Some(Slot {
+                key,
+                value,
+                prev: NIL,
+                next: NIL,
+            });
+            self.push_front(i);
+        }
+        let mut evicted = 0;
+        while self.bytes > self.capacity && self.evict_tail() {
+            evicted += 1;
+        }
+        evicted
+    }
+}
+
+/// The sharded LRU cache — see the module docs for the soundness
+/// argument and the layout.
+pub struct ReportCache {
+    shards: Vec<Mutex<Shard>>,
+    capacity_bytes: usize,
+    evictions: AtomicU64,
+}
+
+impl ReportCache {
+    /// Creates a cache bounded by `capacity_bytes` across all shards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity_bytes == 0`.
+    pub fn new(capacity_bytes: usize) -> Self {
+        assert!(capacity_bytes > 0, "ReportCache: capacity must be positive");
+        let per_shard = capacity_bytes.div_ceil(SHARD_COUNT);
+        Self {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(Shard::new(per_shard)))
+                .collect(),
+            capacity_bytes: per_shard * SHARD_COUNT,
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// FNV-1a over the key, folded onto a shard index. Stable across
+    /// runs (unlike `HashMap`'s randomized hasher) so tests can reason
+    /// about shard placement.
+    fn shard_of(&self, key: &str) -> usize {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in key.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        (hash % self.shards.len() as u64) as usize
+    }
+
+    /// Looks a key up, bumping its recency on a hit.
+    pub fn get(&self, key: &str) -> Option<Arc<str>> {
+        self.shards[self.shard_of(key)]
+            .lock()
+            .expect("cache shard poisoned")
+            .get(key)
+    }
+
+    /// Inserts (or refreshes) an entry, evicting LRU entries as needed
+    /// to stay inside the byte budget.
+    pub fn insert(&self, key: String, value: Arc<str>) {
+        let shard = self.shard_of(&key);
+        let evicted = self.shards[shard]
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, value);
+        if evicted > 0 {
+            self.evictions.fetch_add(evicted, Ordering::Relaxed);
+        }
+    }
+
+    /// Aggregate occupancy and eviction counters.
+    pub fn stats(&self) -> CacheStats {
+        let mut stats = CacheStats {
+            capacity_bytes: self.capacity_bytes,
+            evictions: self.evictions.load(Ordering::Relaxed),
+            ..CacheStats::default()
+        };
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            stats.entries += shard.map.len();
+            stats.bytes += shard.bytes;
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn arc(s: &str) -> Arc<str> {
+        Arc::from(s)
+    }
+
+    #[test]
+    fn get_returns_what_insert_stored() {
+        let cache = ReportCache::new(1 << 20);
+        assert!(cache.get("sync?seed=1").is_none());
+        cache.insert("sync?seed=1".into(), arc("body-1"));
+        assert_eq!(cache.get("sync?seed=1").as_deref(), Some("body-1"));
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn refresh_replaces_value_without_leaking_bytes() {
+        let cache = ReportCache::new(1 << 20);
+        cache.insert("k".into(), arc("short"));
+        let before = cache.stats().bytes;
+        cache.insert("k".into(), arc("a considerably longer body"));
+        assert_eq!(
+            cache.get("k").as_deref(),
+            Some("a considerably longer body")
+        );
+        let after = cache.stats().bytes;
+        assert_eq!(cache.stats().entries, 1);
+        assert_eq!(
+            after - before,
+            "a considerably longer body".len() - "short".len()
+        );
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry_first() {
+        // One shard's budget fits exactly 3 entries of this size:
+        // each costs 8 (key) + 10 (value) + ENTRY_OVERHEAD = 114 bytes.
+        let cache = ReportCache::new(SHARD_COUNT * (3 * 114 + 8));
+        // Find four keys landing in one shard so eviction is forced.
+        let shard0 = cache.shard_of("probe");
+        let mut keys = Vec::new();
+        let mut i = 0;
+        while keys.len() < 4 {
+            let k = format!("key-{i:04}");
+            if cache.shard_of(&k) == cache.shard_of("probe") {
+                keys.push(k);
+            }
+            i += 1;
+        }
+        assert_eq!(cache.shard_of(&keys[0]), shard0);
+        for k in &keys[..3] {
+            cache.insert(k.clone(), arc("0123456789"));
+        }
+        // Touch key 0 so key 1 becomes the LRU.
+        assert!(cache.get(&keys[0]).is_some());
+        cache.insert(keys[3].clone(), arc("0123456789"));
+        assert!(cache.get(&keys[1]).is_none(), "LRU entry must be evicted");
+        assert!(cache.get(&keys[0]).is_some(), "recently-used entry stays");
+        assert!(cache.get(&keys[3]).is_some(), "new entry stays");
+        assert!(cache.stats().evictions >= 1);
+    }
+
+    #[test]
+    fn oversized_entries_never_blow_the_budget() {
+        let cache = ReportCache::new(SHARD_COUNT * 64);
+        let huge = "x".repeat(4096);
+        cache.insert("huge".into(), Arc::from(huge.as_str()));
+        assert!(cache.stats().bytes <= cache.stats().capacity_bytes);
+        assert!(cache.get("huge").is_none(), "oversized entry is not kept");
+    }
+
+    #[test]
+    fn slots_are_reused_after_eviction() {
+        let cache = ReportCache::new(SHARD_COUNT * 2 * (ENTRY_OVERHEAD + 32));
+        for i in 0..100 {
+            cache.insert(format!("k{i}"), arc("0123456789"));
+        }
+        let stats = cache.stats();
+        assert!(stats.bytes <= stats.capacity_bytes);
+        // The slabs stay bounded by the byte budget, not the insert count.
+        for shard in &cache.shards {
+            assert!(shard.lock().unwrap().slots.len() <= 4);
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! # plurality-serve
+//!
+//! A long-running [`RunSpec`](plurality_api::RunSpec) daemon: a
+//! std-only HTTP/1.1 server that turns `GET /run?spec=…&seed=…` into
+//! the wire-format report of a deterministic protocol run.
+//!
+//! The three load-bearing pieces:
+//!
+//! * **Backpressure** — a bounded [`pool::JobQueue`] between connection
+//!   handlers and a fixed worker pool. A full queue answers `429 Too
+//!   Many Requests` with a `Retry-After` estimate instead of buffering;
+//!   a request whose deadline passes gets `503`. Overload degrades into
+//!   fast rejections, never unbounded latency.
+//! * **A sound report cache** — a sharded LRU [`cache::ReportCache`]
+//!   keyed by the canonical spec string. Because every run is a pure
+//!   function of its spec (the facade-bitwise and parallel-determinism
+//!   contracts), a cache hit is *bitwise identical* to a fresh run —
+//!   the cache is an optimization with no semantic footprint, and the
+//!   integration tests assert the byte equality.
+//! * **Graceful drain** — [`server::Server::drain`] refuses new work,
+//!   finishes everything queued, and lets [`server::Server::join`]
+//!   return with nothing dropped.
+//!
+//! Endpoints: `/run` (the above), `/healthz` (liveness), `/metrics`
+//! (Prometheus text), `/stats` (JSON counters), `POST /admin/drain`
+//! (graceful shutdown). See the README's "Serving" section for example
+//! requests and the exact backpressure semantics.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod http;
+pub mod pool;
+pub mod server;
+pub mod stats;
+
+pub use cache::{CacheStats, ReportCache};
+pub use client::{run_target, ClientResponse, HttpClient};
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,231 @@
+//! The bounded job queue between connection handlers and the worker
+//! pool.
+//!
+//! Connection handlers [`JobQueue::try_submit`] jobs and wait on a
+//! per-job reply channel; workers [`JobQueue::pop_blocking`] them. The
+//! queue is the backpressure point of the whole server: when it is full,
+//! `try_submit` fails *immediately* and the handler turns that into a
+//! `429 Too Many Requests` with a `Retry-After` estimate — no request
+//! ever waits in an unbounded buffer, so an overloaded server degrades
+//! into fast rejections instead of unbounded latency.
+//!
+//! Draining ([`JobQueue::drain`]) closes the queue for new submissions
+//! while letting workers finish everything already accepted:
+//! `pop_blocking` keeps handing out queued jobs and only returns `None`
+//! once the queue is both draining *and* empty, which is each worker's
+//! signal to exit.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc::SyncSender;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Instant;
+
+/// A unit of work: run the canonical spec string and reply with the
+/// serialized report.
+pub struct Job {
+    /// Canonical [`plurality_api::RunSpec`] string — seed override
+    /// already applied — doubling as the cache key.
+    pub key: String,
+    /// Where the handler waits for the result (capacity-1 channel; the
+    /// send never blocks).
+    pub reply: SyncSender<JobReply>,
+    /// When the requester stops waiting. Workers skip jobs whose
+    /// deadline already passed instead of running them for nobody.
+    pub deadline: Instant,
+}
+
+/// A worker's answer to a [`Job`].
+pub struct JobReply {
+    /// The serialized report, or an internal-error description.
+    pub result: Result<Arc<str>, String>,
+    /// Whether the body came from the report cache (either found by the
+    /// handler before submitting, or by the worker after dequeuing —
+    /// the latter happens when identical requests race).
+    pub from_cache: bool,
+}
+
+/// Why a submission was refused.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubmitError {
+    /// The queue is at capacity — the client should retry later.
+    Full {
+        /// Queue depth observed at rejection time (== capacity).
+        depth: usize,
+    },
+    /// The server is draining and accepts no new work.
+    Draining,
+}
+
+/// Bounded multi-producer multi-consumer FIFO with a drain protocol.
+pub struct JobQueue {
+    jobs: Mutex<VecDeque<Job>>,
+    not_empty: Condvar,
+    capacity: usize,
+    depth: AtomicUsize,
+    draining: AtomicBool,
+}
+
+impl JobQueue {
+    /// Creates a queue holding at most `capacity` pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` — a zero-capacity queue would reject
+    /// every request.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "JobQueue: capacity must be positive");
+        Self {
+            jobs: Mutex::new(VecDeque::with_capacity(capacity)),
+            not_empty: Condvar::new(),
+            capacity,
+            depth: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Pending jobs right now (monitoring gauge; racy by nature).
+    pub fn depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Whether [`JobQueue::drain`] has been called.
+    pub fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    /// Enqueues a job unless the queue is full or draining. Never
+    /// blocks — this is the backpressure point.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::Full`] at capacity, [`SubmitError::Draining`]
+    /// after [`JobQueue::drain`]; the job is dropped either way (its
+    /// reply channel disconnects, which the handler observes).
+    pub fn try_submit(&self, job: Job) -> Result<(), SubmitError> {
+        if self.is_draining() {
+            return Err(SubmitError::Draining);
+        }
+        let mut jobs = self.jobs.lock().expect("job queue poisoned");
+        // Re-check under the lock: a drain begun between the fast check
+        // and the lock must not lose the race.
+        if self.is_draining() {
+            return Err(SubmitError::Draining);
+        }
+        if jobs.len() >= self.capacity {
+            return Err(SubmitError::Full { depth: jobs.len() });
+        }
+        jobs.push_back(job);
+        self.depth.store(jobs.len(), Ordering::Relaxed);
+        drop(jobs);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available and returns it, or returns
+    /// `None` once the queue is draining *and* empty — the worker's
+    /// exit signal. Jobs accepted before the drain are always handed
+    /// out, never dropped.
+    pub fn pop_blocking(&self) -> Option<Job> {
+        let mut jobs = self.jobs.lock().expect("job queue poisoned");
+        loop {
+            if let Some(job) = jobs.pop_front() {
+                self.depth.store(jobs.len(), Ordering::Relaxed);
+                return Some(job);
+            }
+            if self.is_draining() {
+                return None;
+            }
+            jobs = self.not_empty.wait(jobs).expect("job queue poisoned");
+        }
+    }
+
+    /// Closes the queue for new work and wakes every blocked worker.
+    /// Already-queued jobs still run to completion (graceful drain).
+    pub fn drain(&self) {
+        self.draining.store(true, Ordering::SeqCst);
+        // Take the lock so no `pop_blocking` can miss the flag between
+        // its empty-check and its wait.
+        drop(self.jobs.lock().expect("job queue poisoned"));
+        self.not_empty.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+    use std::time::Duration;
+
+    fn job(key: &str) -> (Job, std::sync::mpsc::Receiver<JobReply>) {
+        let (tx, rx) = sync_channel(1);
+        (
+            Job {
+                key: key.to_string(),
+                reply: tx,
+                deadline: Instant::now() + Duration::from_secs(5),
+            },
+            rx,
+        )
+    }
+
+    #[test]
+    fn submissions_beyond_capacity_are_rejected_not_queued() {
+        let q = JobQueue::new(2);
+        let (a, _ra) = job("a");
+        let (b, _rb) = job("b");
+        let (c, _rc) = job("c");
+        assert!(q.try_submit(a).is_ok());
+        assert!(q.try_submit(b).is_ok());
+        assert_eq!(q.try_submit(c), Err(SubmitError::Full { depth: 2 }));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn drain_rejects_new_work_but_hands_out_queued_jobs() {
+        let q = JobQueue::new(4);
+        let (a, _ra) = job("a");
+        q.try_submit(a).unwrap();
+        q.drain();
+        let (b, _rb) = job("b");
+        assert_eq!(q.try_submit(b), Err(SubmitError::Draining));
+        // The queued job is still delivered…
+        assert_eq!(q.pop_blocking().map(|j| j.key), Some("a".to_string()));
+        // …and after it, workers are told to exit.
+        assert!(q.pop_blocking().is_none());
+    }
+
+    #[test]
+    fn pop_blocks_until_submit_and_drain_wakes_everyone() {
+        let q = Arc::new(JobQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let popper = std::thread::spawn(move || q2.pop_blocking().map(|j| j.key));
+        std::thread::sleep(Duration::from_millis(20));
+        let (a, _ra) = job("late");
+        q.try_submit(a).unwrap();
+        assert_eq!(popper.join().unwrap(), Some("late".to_string()));
+
+        let waiters: Vec<_> = (0..3)
+            .map(|_| {
+                let q = Arc::clone(&q);
+                std::thread::spawn(move || q.pop_blocking().is_none())
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(20));
+        q.drain();
+        for w in waiters {
+            assert!(w.join().unwrap(), "drained pop must return None");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_is_rejected() {
+        let _ = JobQueue::new(0);
+    }
+}

@@ -1,0 +1,425 @@
+//! The daemon: accept loop, connection handlers, and the worker pool,
+//! glued together by the [`JobQueue`] and the
+//! [`ReportCache`].
+//!
+//! ## Request flow for `GET /run`
+//!
+//! 1. **Cache probe** — the canonical spec string (seed override
+//!    applied) is looked up first; a hit returns the stored bytes with
+//!    `X-Cache: hit` without touching the queue *or* the validator
+//!    (whatever is in the cache was validated when it was inserted).
+//! 2. **Validation** — [`Registry::validate_only`] runs the full
+//!    resolution pipeline and rejects bad specs with `400` and the same
+//!    teaching message the CLI prints, before the request can occupy a
+//!    queue slot.
+//! 3. **Backpressure** — `try_submit` never blocks: a full queue means
+//!    `429 Too Many Requests` with a `Retry-After` estimated from the
+//!    observed mean service time, queue depth, and worker count.
+//! 4. **Deadline** — the handler waits on the job's reply channel with
+//!    `recv_timeout`; an expired deadline is `503`, and workers skip
+//!    jobs whose requester already gave up.
+//! 5. **Coalescing** — a worker re-probes the cache after dequeuing, so
+//!    identical requests racing through the queue run the engine once.
+//!
+//! ## Drain protocol
+//!
+//! [`Server::drain`] (also reachable as `POST /admin/drain`) closes the
+//! queue: new `/run` submissions get `503`, already-queued jobs run to
+//! completion, workers exit when the queue is empty, and the accept
+//! loop is woken by a loopback self-connection so [`Server::join`]
+//! returns without dropping accepted work.
+
+use crate::cache::ReportCache;
+use crate::http::{read_request, ReadOutcome, Request, Response};
+use crate::pool::{Job, JobQueue, JobReply, SubmitError};
+use crate::stats::ServerStats;
+use plurality_api::{Registry, RunSpec};
+use std::io::BufReader;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{sync_channel, RecvTimeoutError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tunables for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:8080` (`:0` picks a free port).
+    pub addr: String,
+    /// Worker threads running engine jobs.
+    pub workers: usize,
+    /// Bounded queue capacity between handlers and workers.
+    pub queue_capacity: usize,
+    /// Report-cache byte budget.
+    pub cache_bytes: usize,
+    /// Per-request deadline: how long a `/run` handler waits for its
+    /// reply before answering `503`.
+    pub deadline: Duration,
+    /// Assumed mean service time (ms) for the `Retry-After` estimate
+    /// until the first fresh run has been measured.
+    pub fallback_service_ms: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_capacity: 64,
+            cache_bytes: 32 << 20,
+            deadline: Duration::from_secs(30),
+            fallback_service_ms: 50,
+        }
+    }
+}
+
+struct Inner {
+    registry: &'static Registry,
+    queue: JobQueue,
+    cache: ReportCache,
+    stats: ServerStats,
+    workers: usize,
+    deadline: Duration,
+    fallback_service_ms: u64,
+    addr: SocketAddr,
+}
+
+/// A running daemon. Dropping the handle does *not* stop it — call
+/// [`Server::drain`] then [`Server::join`] for an orderly shutdown.
+pub struct Server {
+    inner: Arc<Inner>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` (the queue would never drain) or the
+    /// queue/cache capacities are zero.
+    pub fn start(config: ServeConfig) -> std::io::Result<Self> {
+        assert!(config.workers > 0, "Server: need at least one worker");
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            registry: Registry::standard(),
+            queue: JobQueue::new(config.queue_capacity),
+            cache: ReportCache::new(config.cache_bytes),
+            stats: ServerStats::default(),
+            workers: config.workers,
+            deadline: config.deadline,
+            fallback_service_ms: config.fallback_service_ms,
+            addr,
+        });
+
+        let workers = (0..config.workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("plurality-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+
+        let accept = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("plurality-accept".to_string())
+                .spawn(move || accept_loop(&listener, &inner))
+                .expect("spawn accept thread")
+        };
+
+        Ok(Self {
+            inner,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.inner.addr
+    }
+
+    /// Begins a graceful drain: new `/run` work is refused, queued jobs
+    /// finish, workers exit, the accept loop stops. Idempotent.
+    pub fn drain(&self) {
+        self.inner.queue.drain();
+        // Wake the accept loop: `incoming()` has no timeout, so poke it
+        // with a throwaway loopback connection it will drop on sight.
+        let _ = TcpStream::connect(self.inner.addr);
+    }
+
+    /// Waits for the accept loop and every worker to exit (i.e. for a
+    /// drain to complete). Detached per-connection handler threads are
+    /// not joined; they die with their connections.
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Arc<Inner>) {
+    for stream in listener.incoming() {
+        if inner.queue.is_draining() {
+            break;
+        }
+        let stream = match stream {
+            Ok(stream) => stream,
+            Err(_) => continue,
+        };
+        let inner = Arc::clone(inner);
+        let _ = std::thread::Builder::new()
+            .name("plurality-conn".to_string())
+            .spawn(move || handle_connection(stream, &inner));
+    }
+}
+
+fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
+    let Ok(write_half) = stream.try_clone() else {
+        return;
+    };
+    let mut write_half = write_half;
+    let mut reader = BufReader::new(stream);
+    loop {
+        let request = match read_request(&mut reader) {
+            Ok(ReadOutcome::Request(request)) => request,
+            Ok(ReadOutcome::Closed) | Err(_) => return,
+            Ok(ReadOutcome::Malformed(reason)) => {
+                let _ = Response::error(400, reason).write_to(&mut write_half, false);
+                return;
+            }
+        };
+        // Bodies are never read, so a request announcing one would
+        // desynchronize keep-alive framing — refuse and close.
+        if request.headers.contains_key("content-length")
+            || request.headers.contains_key("transfer-encoding")
+        {
+            let _ = Response::error(400, "request bodies are not supported")
+                .write_to(&mut write_half, false);
+            return;
+        }
+        let keep_alive = request.keep_alive();
+        let is_drain =
+            request.path == "/admin/drain" && matches!(request.method.as_str(), "GET" | "POST");
+        let response = route(&request, inner);
+        let written = response.write_to(&mut write_half, keep_alive).is_ok();
+        if is_drain {
+            // Acknowledge *before* closing the queue: once the drain
+            // starts, `join()` can return and the process may exit, so
+            // the 200 must already be in the socket buffer by then.
+            inner.queue.drain();
+            let _ = TcpStream::connect(inner.addr);
+        }
+        if !written || !keep_alive {
+            return;
+        }
+    }
+}
+
+fn route(request: &Request, inner: &Arc<Inner>) -> Response {
+    ServerStats::bump(&inner.stats.requests);
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            if inner.queue.is_draining() {
+                Response::error(503, "draining")
+            } else {
+                Response::ok("ok\n")
+            }
+        }
+        ("GET", "/metrics") => Response::ok(inner.stats.metrics_text(
+            &inner.cache.stats(),
+            inner.queue.depth(),
+            inner.queue.is_draining(),
+        )),
+        ("GET", "/stats") => Response {
+            content_type: "application/json",
+            ..Response::ok(inner.stats.stats_json(
+                &inner.cache.stats(),
+                inner.queue.depth(),
+                inner.queue.is_draining(),
+            ))
+        },
+        ("GET", "/run") => handle_run(request, inner),
+        // The drain itself happens in `handle_connection`, after this
+        // acknowledgment has been written — see the ordering note there.
+        ("GET" | "POST", "/admin/drain") => Response::ok("draining\n"),
+        (_, "/healthz" | "/metrics" | "/stats" | "/run") => Response::error(
+            405,
+            format!("{} is not supported here; use GET", request.method),
+        ),
+        (_, path) => Response::error(
+            404,
+            format!("no such endpoint {path:?}; try /run, /healthz, /metrics, /stats"),
+        ),
+    }
+}
+
+fn handle_run(request: &Request, inner: &Arc<Inner>) -> Response {
+    let Some(raw_spec) = request.query_value("spec") else {
+        ServerStats::bump(&inner.stats.rejected_bad_spec);
+        return Response::error(
+            400,
+            "missing `spec` query parameter, e.g. /run?spec=sync%3Fn%3D1000%26k%3D4",
+        );
+    };
+    let spec = match RunSpec::parse(raw_spec) {
+        Ok(spec) => spec,
+        Err(e) => {
+            ServerStats::bump(&inner.stats.rejected_bad_spec);
+            return Response::error(400, e.to_string());
+        }
+    };
+    let spec = match request.query_value("seed") {
+        None => spec,
+        Some(raw_seed) => match raw_seed.parse::<u64>() {
+            Ok(seed) => spec.with("seed", seed),
+            Err(_) => {
+                ServerStats::bump(&inner.stats.rejected_bad_spec);
+                return Response::error(
+                    400,
+                    format!("`seed` must be an unsigned integer, got {raw_seed:?}"),
+                );
+            }
+        },
+    };
+    // The canonical string — seed override applied — is the cache key,
+    // so `/run?spec=sync&seed=7` and `/run?spec=sync%3Fseed%3D7` share
+    // an entry.
+    let key = spec.to_string();
+
+    if let Some(body) = inner.cache.get(&key) {
+        ServerStats::bump(&inner.stats.cache_hits);
+        return Response::ok(body.to_string()).with_header("X-Cache", "hit");
+    }
+
+    if let Err(e) = inner.registry.validate_only(&spec) {
+        ServerStats::bump(&inner.stats.rejected_bad_spec);
+        return Response::error(400, e.to_string());
+    }
+
+    let deadline = Instant::now() + inner.deadline;
+    let (reply_tx, reply_rx) = sync_channel(1);
+    let job = Job {
+        key,
+        reply: reply_tx,
+        deadline,
+    };
+    match inner.queue.try_submit(job) {
+        Ok(()) => {}
+        Err(SubmitError::Full { depth }) => {
+            ServerStats::bump(&inner.stats.rejected_busy);
+            let retry_after = retry_after_secs(inner, depth);
+            return Response::error(429, format!("queue full ({depth} jobs pending)"))
+                .with_header("Retry-After", retry_after.to_string());
+        }
+        Err(SubmitError::Draining) => {
+            return Response::error(503, "server is draining; no new runs accepted");
+        }
+    }
+
+    match reply_rx.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
+        Ok(JobReply {
+            result: Ok(body),
+            from_cache,
+        }) => Response::ok(body.to_string())
+            .with_header("X-Cache", if from_cache { "hit" } else { "miss" }),
+        Ok(JobReply {
+            result: Err(reason),
+            ..
+        }) => {
+            ServerStats::bump(&inner.stats.internal_errors);
+            Response::error(500, reason)
+        }
+        Err(RecvTimeoutError::Timeout) => {
+            ServerStats::bump(&inner.stats.deadline_exceeded);
+            Response::error(503, "deadline exceeded before a worker finished the run").with_header(
+                "Retry-After",
+                retry_after_secs(inner, inner.queue.depth()).to_string(),
+            )
+        }
+        Err(RecvTimeoutError::Disconnected) => {
+            ServerStats::bump(&inner.stats.internal_errors);
+            Response::error(500, "worker dropped the job without replying")
+        }
+    }
+}
+
+/// `Retry-After` estimate in whole seconds: queue depth times mean
+/// service time, divided across the worker pool, clamped to [1, 30].
+fn retry_after_secs(inner: &Inner, depth: usize) -> u64 {
+    let mean_ms = inner.stats.mean_service_ms(inner.fallback_service_ms);
+    let backlog_ms = (depth as u64).saturating_mul(mean_ms) / inner.workers.max(1) as u64;
+    backlog_ms.div_ceil(1_000).clamp(1, 30)
+}
+
+fn worker_loop(inner: &Arc<Inner>) {
+    while let Some(job) = inner.queue.pop_blocking() {
+        if Instant::now() >= job.deadline {
+            // The requester already got its 503 — don't run for nobody.
+            ServerStats::bump(&inner.stats.deadline_exceeded);
+            continue;
+        }
+        // Coalesce: an identical request may have populated the cache
+        // while this job sat in the queue.
+        if let Some(body) = inner.cache.get(&job.key) {
+            ServerStats::bump(&inner.stats.cache_hits);
+            let _ = job.reply.send(JobReply {
+                result: Ok(body),
+                from_cache: true,
+            });
+            continue;
+        }
+        let started = Instant::now();
+        let key = job.key.clone();
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let spec = RunSpec::parse(&key)?;
+            let resolved = inner.registry.resolve(&spec)?;
+            Ok::<String, plurality_api::SpecError>(resolved.run().wire_text())
+        }));
+        let result = match outcome {
+            Ok(Ok(text)) => {
+                let elapsed = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
+                inner
+                    .stats
+                    .service_micros
+                    .fetch_add(elapsed, Ordering::Relaxed);
+                ServerStats::bump(&inner.stats.cache_misses);
+                let body: Arc<str> = Arc::from(text.as_str());
+                inner.cache.insert(key, Arc::clone(&body));
+                Ok(body)
+            }
+            // Can't normally happen — the spec was validated before it
+            // was queued — but a worker must never die on one job.
+            Ok(Err(e)) => Err(format!("spec failed to resolve after validation: {e}")),
+            Err(panic) => Err(format!("engine panicked: {}", panic_message(&panic))),
+        };
+        let _ = job.reply.send(JobReply {
+            result,
+            from_cache: false,
+        });
+    }
+}
+
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = panic.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = panic.downcast_ref::<String>() {
+        s
+    } else {
+        "non-string panic payload"
+    }
+}

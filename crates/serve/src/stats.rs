@@ -1,0 +1,209 @@
+//! Server-wide counters and their `/metrics` (Prometheus text) and
+//! `/stats` (JSON) renderings.
+
+use crate::cache::CacheStats;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters, all relaxed — they are monitoring data, not
+/// synchronization.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// Requests that reached routing (any endpoint, any outcome).
+    pub requests: AtomicU64,
+    /// `/run` responses served from the report cache.
+    pub cache_hits: AtomicU64,
+    /// `/run` responses that required a fresh engine run.
+    pub cache_misses: AtomicU64,
+    /// `/run` requests rejected with `400` (spec did not validate).
+    pub rejected_bad_spec: AtomicU64,
+    /// `/run` requests rejected with `429` (queue full).
+    pub rejected_busy: AtomicU64,
+    /// `/run` requests that hit their deadline and got `503`.
+    pub deadline_exceeded: AtomicU64,
+    /// `/run` requests answered `500` (worker panic or send failure).
+    pub internal_errors: AtomicU64,
+    /// Microseconds of engine time summed over completed fresh runs —
+    /// with `cache_misses`, gives the mean service time behind the
+    /// `Retry-After` estimate.
+    pub service_micros: AtomicU64,
+}
+
+impl ServerStats {
+    /// Relaxed add, for the handler hot path.
+    pub fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Mean engine service time in milliseconds over completed fresh
+    /// runs, or `fallback_ms` before the first one completes.
+    pub fn mean_service_ms(&self, fallback_ms: u64) -> u64 {
+        let runs = self.cache_misses.load(Ordering::Relaxed);
+        if runs == 0 {
+            return fallback_ms;
+        }
+        (self.service_micros.load(Ordering::Relaxed) / runs / 1_000).max(1)
+    }
+
+    /// Cache hit rate over `/run` responses served so far (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.cache_hits.load(Ordering::Relaxed) as f64;
+        let misses = self.cache_misses.load(Ordering::Relaxed) as f64;
+        if hits + misses == 0.0 {
+            0.0
+        } else {
+            hits / (hits + misses)
+        }
+    }
+
+    /// Prometheus text exposition for `/metrics`.
+    pub fn metrics_text(&self, cache: &CacheStats, queue_depth: usize, draining: bool) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut gauge = |name: &str, help: &str, value: String| {
+            out.push_str(&format!(
+                "# HELP plurality_{name} {help}\n# TYPE plurality_{name} gauge\n\
+                 plurality_{name} {value}\n"
+            ));
+        };
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        gauge(
+            "requests_total",
+            "Requests routed since startup.",
+            load(&self.requests).to_string(),
+        );
+        gauge(
+            "cache_hits_total",
+            "Run responses served from the report cache.",
+            load(&self.cache_hits).to_string(),
+        );
+        gauge(
+            "cache_misses_total",
+            "Run responses that required a fresh engine run.",
+            load(&self.cache_misses).to_string(),
+        );
+        gauge(
+            "rejected_bad_spec_total",
+            "Run requests rejected with 400.",
+            load(&self.rejected_bad_spec).to_string(),
+        );
+        gauge(
+            "rejected_busy_total",
+            "Run requests rejected with 429 (queue full).",
+            load(&self.rejected_busy).to_string(),
+        );
+        gauge(
+            "deadline_exceeded_total",
+            "Run requests answered 503 after their deadline.",
+            load(&self.deadline_exceeded).to_string(),
+        );
+        gauge(
+            "internal_errors_total",
+            "Run requests answered 500.",
+            load(&self.internal_errors).to_string(),
+        );
+        gauge(
+            "cache_entries",
+            "Live report-cache entries.",
+            cache.entries.to_string(),
+        );
+        gauge(
+            "cache_bytes",
+            "Charged report-cache bytes.",
+            cache.bytes.to_string(),
+        );
+        gauge(
+            "cache_capacity_bytes",
+            "Report-cache byte budget.",
+            cache.capacity_bytes.to_string(),
+        );
+        gauge(
+            "cache_evictions_total",
+            "Report-cache LRU evictions since startup.",
+            cache.evictions.to_string(),
+        );
+        gauge(
+            "queue_depth",
+            "Jobs waiting for a worker right now.",
+            queue_depth.to_string(),
+        );
+        gauge(
+            "draining",
+            "1 while the server is draining, else 0.",
+            u64::from(draining).to_string(),
+        );
+        out
+    }
+
+    /// JSON body for `/stats`. Hand-rolled (flat object, numeric
+    /// values) — same discipline as the benchmark snapshot writer.
+    pub fn stats_json(&self, cache: &CacheStats, queue_depth: usize, draining: bool) -> String {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            "{{\n  \"requests\": {},\n  \"cache_hits\": {},\n  \"cache_misses\": {},\n  \
+             \"hit_rate\": {:.6},\n  \"rejected_bad_spec\": {},\n  \"rejected_busy\": {},\n  \
+             \"deadline_exceeded\": {},\n  \"internal_errors\": {},\n  \"cache_entries\": {},\n  \
+             \"cache_bytes\": {},\n  \"cache_capacity_bytes\": {},\n  \"cache_evictions\": {},\n  \
+             \"queue_depth\": {},\n  \"draining\": {}\n}}\n",
+            load(&self.requests),
+            load(&self.cache_hits),
+            load(&self.cache_misses),
+            self.hit_rate(),
+            load(&self.rejected_bad_spec),
+            load(&self.rejected_busy),
+            load(&self.deadline_exceeded),
+            load(&self.internal_errors),
+            cache.entries,
+            cache.bytes,
+            cache.capacity_bytes,
+            cache.evictions,
+            queue_depth,
+            u64::from(draining),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_rate_and_mean_service_time() {
+        let stats = ServerStats::default();
+        assert_eq!(stats.hit_rate(), 0.0);
+        assert_eq!(stats.mean_service_ms(25), 25, "fallback before any run");
+        stats.cache_hits.store(3, Ordering::Relaxed);
+        stats.cache_misses.store(1, Ordering::Relaxed);
+        stats.service_micros.store(8_000, Ordering::Relaxed);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(stats.mean_service_ms(25), 8);
+    }
+
+    #[test]
+    fn metrics_text_is_prometheus_shaped() {
+        let stats = ServerStats::default();
+        stats.requests.store(7, Ordering::Relaxed);
+        let text = stats.metrics_text(&CacheStats::default(), 2, true);
+        assert!(text.contains("# TYPE plurality_requests_total gauge"));
+        assert!(text.contains("plurality_requests_total 7\n"));
+        assert!(text.contains("plurality_queue_depth 2\n"));
+        assert!(text.contains("plurality_draining 1\n"));
+        // Every non-comment line is `name value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split(' ');
+            assert!(parts.next().is_some_and(|n| n.starts_with("plurality_")));
+            assert!(parts.next().is_some_and(|v| v.parse::<f64>().is_ok()));
+            assert!(parts.next().is_none());
+        }
+    }
+
+    #[test]
+    fn stats_json_has_the_monitored_keys() {
+        let stats = ServerStats::default();
+        stats.cache_hits.store(9, Ordering::Relaxed);
+        stats.cache_misses.store(1, Ordering::Relaxed);
+        let json = stats.stats_json(&CacheStats::default(), 0, false);
+        assert!(json.contains("\"hit_rate\": 0.900000"));
+        assert!(json.contains("\"cache_hits\": 9"));
+        assert!(json.contains("\"draining\": 0"));
+        assert!(json.trim_end().ends_with('}'));
+    }
+}

@@ -1,0 +1,170 @@
+//! Cache soundness: a cached `/run` response is **byte-identical** to a
+//! fresh run of the same canonical spec — across every protocol family,
+//! across the parallel harness's thread counts, and across an eviction
+//! and re-miss. This is what makes the report cache a pure optimization
+//! rather than an approximation.
+
+use plurality_api::run_spec;
+use plurality_serve::{run_target, ClientResponse, HttpClient, ServeConfig, Server};
+use std::time::Duration;
+
+/// One representative spec per protocol family: the three paper engines
+/// (sync, leader, cluster), the mean-field urn mode, one gossip
+/// dynamic, and one population protocol. Sized to run in well under a
+/// second each.
+const FAMILY_SPECS: [&str; 6] = [
+    "sync?n=400&k=2&alpha=3.0&seed=11",
+    "urn?n=50000&k=4&alpha=2.0&seed=11",
+    "leader?n=250&k=2&alpha=3.0&seed=11&c1=9.3",
+    "cluster?n=250&k=2&alpha=3.0&seed=11&c1=12.0",
+    "pull?n=400&k=2&alpha=3.0&seed=11",
+    "approx-majority?n=400&alpha=3.0&seed=11",
+];
+
+fn start(config: ServeConfig) -> (Server, HttpClient) {
+    let server = Server::start(config).expect("bind loopback");
+    let client = HttpClient::connect(server.addr()).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .expect("socket option");
+    (server, client)
+}
+
+fn get_ok(client: &mut HttpClient, target: &str) -> ClientResponse {
+    let response = client.get(target).expect("request");
+    assert_eq!(response.status, 200, "body: {}", response.body);
+    response
+}
+
+#[test]
+fn cache_hit_is_byte_identical_to_a_fresh_run_for_every_family() {
+    let (server, mut client) = start(ServeConfig::default());
+    for spec in FAMILY_SPECS {
+        let fresh = run_spec(spec).expect("direct run").wire_text();
+        let target = run_target(spec, None);
+
+        let cold = get_ok(&mut client, &target);
+        assert_eq!(cold.cache_disposition(), Some("miss"), "{spec}");
+        assert_eq!(
+            cold.body, fresh,
+            "cold body must equal a direct run: {spec}"
+        );
+
+        let hot = get_ok(&mut client, &target);
+        assert_eq!(hot.cache_disposition(), Some("hit"), "{spec}");
+        assert_eq!(
+            hot.body.as_bytes(),
+            fresh.as_bytes(),
+            "cache hit must be bitwise identical to a fresh run: {spec}"
+        );
+    }
+    server.drain();
+    server.join();
+}
+
+/// The `seed` query parameter folds into the canonical spec string, so
+/// `/run?spec=S&seed=N` and `/run?spec=S%26seed%3DN` share one cache
+/// entry (and one engine run).
+#[test]
+fn seed_override_and_inline_seed_share_one_cache_entry() {
+    let (server, mut client) = start(ServeConfig::default());
+    let via_param = get_ok(
+        &mut client,
+        &run_target("sync?n=400&k=2&alpha=3.0", Some(97)),
+    );
+    assert_eq!(via_param.cache_disposition(), Some("miss"));
+    let inline = get_ok(
+        &mut client,
+        &run_target("sync?n=400&k=2&alpha=3.0&seed=97", None),
+    );
+    assert_eq!(
+        inline.cache_disposition(),
+        Some("hit"),
+        "canonicalization must fold the seed override into the cache key"
+    );
+    assert_eq!(via_param.body, inline.body);
+    server.drain();
+    server.join();
+}
+
+/// The env-var dance lives in ONE test function (integration tests in
+/// a binary share the process environment), and the parallel harness's
+/// determinism contract is exactly why racing readers are harmless:
+/// every thread count produces the same bytes.
+#[test]
+fn byte_identity_holds_across_parallel_harness_thread_counts() {
+    let under = |threads: &str| -> Vec<String> {
+        std::env::set_var("PLURALITY_THREADS", threads);
+        FAMILY_SPECS
+            .iter()
+            .map(|spec| run_spec(spec).expect("direct run").wire_text())
+            .collect()
+    };
+    let serial = under("1");
+    let parallel = under("4");
+    assert_eq!(
+        serial, parallel,
+        "wire text must not depend on PLURALITY_THREADS"
+    );
+
+    // And the served bytes (produced under whatever thread count the
+    // worker observes) match both.
+    let (server, mut client) = start(ServeConfig::default());
+    for (spec, expected) in FAMILY_SPECS.iter().zip(&serial) {
+        let served = get_ok(&mut client, &run_target(spec, None));
+        assert_eq!(&served.body, expected, "{spec}");
+    }
+    std::env::remove_var("PLURALITY_THREADS");
+    server.drain();
+    server.join();
+}
+
+/// Evicting an entry and re-running its spec reproduces the original
+/// bytes — the cache has no semantic footprint even under pressure.
+#[test]
+fn eviction_and_re_miss_reproduce_the_original_bytes() {
+    let spec = "sync?n=400&k=2&alpha=3.0";
+    // Size the budget around one representative body so each of the 8
+    // shards holds roughly one entry; 18 distinct seeds then guarantee
+    // same-shard collisions and real LRU evictions (pigeonhole).
+    let one_body = run_spec(&format!("{spec}&seed=1"))
+        .expect("direct run")
+        .wire_text();
+    let (server, mut client) = start(ServeConfig {
+        cache_bytes: 8 * (one_body.len() + spec.len() + 256),
+        ..ServeConfig::default()
+    });
+
+    let seeds: Vec<u64> = (1..=18).collect();
+    let first_pass: Vec<String> = seeds
+        .iter()
+        .map(|&seed| get_ok(&mut client, &run_target(spec, Some(seed))).body)
+        .collect();
+
+    let stats = get_ok(&mut client, "/stats").body;
+    let evictions: u64 = stats
+        .lines()
+        .find_map(|l| l.trim().strip_prefix("\"cache_evictions\": "))
+        .and_then(|v| v.trim_end_matches(',').parse().ok())
+        .expect("cache_evictions in /stats");
+    assert!(
+        evictions > 0,
+        "the tiny cache must have evicted; /stats:\n{stats}"
+    );
+
+    let mut re_misses = 0;
+    for (&seed, original) in seeds.iter().zip(&first_pass) {
+        let again = get_ok(&mut client, &run_target(spec, Some(seed)));
+        if again.cache_disposition() == Some("miss") {
+            re_misses += 1;
+        }
+        assert_eq!(
+            again.body.as_bytes(),
+            original.as_bytes(),
+            "seed {seed}: post-eviction re-run must reproduce the original bytes"
+        );
+    }
+    assert!(re_misses > 0, "at least one evicted entry must re-miss");
+    server.drain();
+    server.join();
+}

@@ -263,9 +263,9 @@ struct CalEntry<E> {
 /// it falls back to a direct scan of all entries. The bucket count and
 /// width are retuned lazily: the array grows when occupancy exceeds 2
 /// entries per bucket, shrinks below 1/8, and a resize also fires when
-/// the average pop scan drifts past [`SCAN_TUNE_THRESHOLD`]. Each resize
+/// the average pop scan drifts past `SCAN_TUNE_THRESHOLD`. Each resize
 /// re-derives the width from the observed pop rate
-/// ([`TARGET_OCCUPANCY`] pop gaps per bucket), so steady-state operations
+/// (`TARGET_OCCUPANCY` pop gaps per bucket), so steady-state operations
 /// touch O(1) entries without any tuning input from the caller.
 ///
 /// # Determinism

@@ -28,8 +28,10 @@ use plurality::check::{
     Limits, SearchOrder, VerdictSummary,
 };
 use plurality::dist::{ChannelPattern, Latency, WaitingTime};
+use plurality::serve::{ServeConfig, Server};
 use std::collections::HashMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
 /// Parsed `--key value` options plus the leading subcommand.
 #[derive(Debug, Clone, PartialEq)]
@@ -397,10 +399,45 @@ fn cmd_check(args: &Args) -> Result<ExitCode, String> {
     }
 }
 
+/// `plurality serve` — the long-running daemon, wrapping
+/// [`plurality::serve::Server`]. Blocks until a graceful drain
+/// (`POST /admin/drain`) completes.
+fn cmd_serve(args: &Args) -> Result<ExitCode, String> {
+    let config = ServeConfig {
+        addr: args.get_str("addr", "127.0.0.1:8080"),
+        workers: args.get_u64("workers", 2)? as usize,
+        queue_capacity: args.get_u64("queue", 64)? as usize,
+        cache_bytes: (args.get_u64("cache-mb", 32)? as usize) << 20,
+        deadline: Duration::from_secs(args.get_u64("deadline-secs", 30)?),
+        ..ServeConfig::default()
+    };
+    if config.workers == 0 {
+        return Err("--workers must be at least 1".to_string());
+    }
+    if config.queue_capacity == 0 || config.cache_bytes == 0 {
+        return Err("--queue and --cache-mb must be at least 1".to_string());
+    }
+    let server = Server::start(config.clone())
+        .map_err(|e| format!("could not bind {}: {e}", config.addr))?;
+    println!(
+        "plurality serve: listening on http://{} ({} workers, queue {}, cache {} MiB)",
+        server.addr(),
+        config.workers,
+        config.queue_capacity,
+        config.cache_bytes >> 20,
+    );
+    println!("endpoints: /run?spec=…&seed=…  /healthz  /metrics  /stats  POST /admin/drain");
+    server.join();
+    println!("plurality serve: drained, exiting");
+    Ok(ExitCode::SUCCESS)
+}
+
 const USAGE: &str = "usage:
   plurality --spec \"PROTOCOL?key=value&key=value…\"
   plurality --list                        (registered protocols and their parameters)
   plurality run --protocol PROTOCOL [--key value …]
+  plurality serve [--addr HOST:PORT] [--workers N] [--queue Q] [--cache-mb M]
+                  [--deadline-secs S]
   plurality time-unit [--latency SPEC] [--pattern single|multi] [--samples M] [--seed S]
   plurality check --protocol leader|cluster [--n N] [--k K] [--topology complete|ring]
                   [--cap G] [--sizes A,B…] [--max-states M] [--order bfs|dfs] [--trace]
@@ -456,6 +493,7 @@ fn main() -> ExitCode {
             Err(e) => Err(e),
             Ok(args) => match args.command.as_str() {
                 "run" => cmd_run(&args),
+                "serve" => cmd_serve(&args),
                 "time-unit" => cmd_time_unit(&args),
                 "check" => cmd_check(&args),
                 "help" | "--help" | "-h" => {

@@ -30,6 +30,9 @@
 //!   (`plurality-topology`)
 //! * [`scenario`] — time-scripted adversaries and dynamic environments
 //!   (`plurality-scenario`)
+//! * [`serve`] — long-running `RunSpec` daemon: HTTP server, bounded
+//!   worker pool with backpressure, and the sound report cache
+//!   (`plurality-serve`)
 //!
 //! ## Quick start
 //!
@@ -62,6 +65,7 @@ pub use plurality_core as core;
 pub use plurality_dist as dist;
 pub use plurality_par as par;
 pub use plurality_scenario as scenario;
+pub use plurality_serve as serve;
 pub use plurality_sim as sim;
 pub use plurality_stats as stats;
 pub use plurality_topology as topology;
