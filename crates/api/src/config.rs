@@ -38,6 +38,7 @@ pub struct RunConfig {
     topology: Topology,
     scenario: Scenario,
     max_duration: Option<f64>,
+    trace: bool,
 }
 
 impl RunConfig {
@@ -52,6 +53,7 @@ impl RunConfig {
             topology: Topology::Complete,
             scenario: Scenario::new(),
             max_duration: None,
+            trace: false,
         }
     }
 
@@ -127,6 +129,16 @@ impl RunConfig {
         self
     }
 
+    /// Enables structured run tracing (default: off). Tracing consumes
+    /// no process RNG, so the run outcome is byte-identical with the
+    /// knob on or off; only [`crate::Report::trace`] changes. The urn
+    /// engine (mean-field, no discrete events) ignores the knob and
+    /// always reports `None`.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
+    }
+
     /// The initial assignment.
     pub fn assignment(&self) -> &InitialAssignment {
         &self.assignment
@@ -172,6 +184,11 @@ impl RunConfig {
         self.max_duration
     }
 
+    /// Whether structured run tracing is enabled.
+    pub fn trace(&self) -> bool {
+        self.trace
+    }
+
     /// Checks the common axes against the configured population size:
     /// topology buildability and scenario validity. Protocols layer
     /// their own compatibility checks on top in
@@ -202,6 +219,7 @@ mod tests {
         assert_eq!(cfg.topology(), Topology::Complete);
         assert!(cfg.scenario().is_empty());
         assert_eq!(cfg.max_duration(), None);
+        assert!(!cfg.trace());
         assert_eq!(cfg.n(), 100);
         assert_eq!(cfg.k(), 2);
     }

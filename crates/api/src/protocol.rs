@@ -82,6 +82,7 @@ impl Protocol for SyncEngine {
             .with_record(cfg.record())
             .with_topology(cfg.topology())
             .with_scenario(cfg.scenario().clone())
+            .with_trace(cfg.trace())
             .with_mode(self.mode);
         if let Some(gamma) = self.gamma {
             c = c.with_gamma(gamma);
@@ -215,6 +216,7 @@ impl Protocol for LeaderEngine {
             .with_record(cfg.record())
             .with_topology(cfg.topology())
             .with_scenario(cfg.scenario().clone())
+            .with_trace(cfg.trace())
             .with_signal_loss(self.signal_loss);
         if let Some(latency) = self.latency {
             c = c.with_latency(latency);
@@ -281,7 +283,8 @@ impl Protocol for ClusterEngine {
             .with_epsilon(cfg.epsilon())
             .with_record(cfg.record())
             .with_topology(cfg.topology())
-            .with_scenario(cfg.scenario().clone());
+            .with_scenario(cfg.scenario().clone())
+            .with_trace(cfg.trace());
         if let Some(latency) = self.latency {
             c = c.with_latency(latency);
         }
@@ -344,7 +347,8 @@ impl Protocol for GossipEngine {
             .with_seed(cfg.seed())
             .with_epsilon(cfg.epsilon())
             .with_topology(cfg.topology())
-            .with_scenario(cfg.scenario().clone());
+            .with_scenario(cfg.scenario().clone())
+            .with_trace(cfg.trace());
         if let Some(max) = cfg.max_duration() {
             c = c.with_max_rounds(max.ceil() as u64);
         }
@@ -410,7 +414,8 @@ impl Protocol for PopulationEngine {
             None => PopulationConfig::from_assignment(self.protocol, cfg.assignment(), cfg.seed()),
         }
         .with_topology(cfg.topology())
-        .with_scenario(cfg.scenario().clone());
+        .with_scenario(cfg.scenario().clone())
+        .with_trace(cfg.trace());
         if let Some(max) = cfg.max_duration() {
             c = c.with_max_interactions((max * cfg.n() as f64).ceil() as u64);
         }
@@ -451,6 +456,54 @@ mod tests {
             assert!(
                 report.outcome.epsilon_time.is_some(),
                 "{} did not ε-converge",
+                engine.name()
+            );
+        }
+    }
+
+    #[test]
+    fn trace_knob_flows_through_every_engine_without_changing_outcomes() {
+        let cfg = RunConfig::with_bias(600, 2, 3.0).unwrap().with_seed(7);
+        let traced_cfg = cfg.clone().with_trace(true);
+        let engines: Vec<Box<dyn Protocol>> = vec![
+            Box::new(SyncEngine::default()),
+            Box::new(UrnEngine::default()),
+            Box::new(LeaderEngine {
+                steps_per_unit: Some(9.3),
+                ..Default::default()
+            }),
+            Box::new(ClusterEngine {
+                steps_per_unit: Some(12.0),
+                ..Default::default()
+            }),
+            Box::new(GossipEngine::new(Dynamics::ThreeMajority)),
+            Box::new(PopulationEngine::new(
+                PopulationProtocol::ApproximateMajority,
+            )),
+        ];
+        for engine in engines {
+            let plain = engine.run(&cfg);
+            let mut traced = engine.run(&traced_cfg);
+            assert!(
+                plain.trace.is_none(),
+                "{}: untraced run has a trace",
+                engine.name()
+            );
+            if engine.name() == "urn" {
+                // Mean-field: no discrete events to trace.
+                assert!(traced.trace.is_none());
+            } else {
+                let events = traced
+                    .trace
+                    .take()
+                    .unwrap_or_else(|| panic!("{}: traced run lost its trace", engine.name()));
+                assert!(!events.is_empty(), "{}: empty trace", engine.name());
+                assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+            }
+            assert_eq!(
+                plain,
+                traced,
+                "{}: trace knob changed the run",
                 engine.name()
             );
         }

@@ -6,6 +6,7 @@ use plurality_core::cluster::{ClusterResult, PhaseLogEntry};
 use plurality_core::leader::{GenerationPhase, LeaderResult};
 use plurality_core::sync::{SyncResult, UrnResult};
 use plurality_core::RunOutcome;
+use plurality_obs::{EngineProfile, TraceEvent};
 use plurality_sim::{EventLog, Series};
 
 /// The canonical registry name of a [`Dynamics`] variant (the name
@@ -46,6 +47,12 @@ pub struct Report {
     pub outcome: RunOutcome,
     /// Everything engine-specific.
     pub telemetry: Telemetry,
+    /// Structured trace events, sorted by time (only when
+    /// [`crate::RunConfig::with_trace`] was enabled on a tracing-capable
+    /// engine; the mean-field urn never traces). Deliberately excluded
+    /// from the wire text: two runs differing only in the trace knob
+    /// serialize identically.
+    pub trace: Option<Vec<TraceEvent>>,
 }
 
 /// Engine-specific telemetry, preserving every field of the per-engine
@@ -114,6 +121,8 @@ pub struct LeaderTelemetry {
     /// Per-node `(generation, color)` at run end (only at
     /// [`plurality_core::RecordLevel::Full`]).
     pub final_node_states: Option<Vec<(u32, u32)>>,
+    /// Deterministic profiling counters (always collected).
+    pub profile: EngineProfile,
 }
 
 /// Telemetry of a [`ClusterResult`] beyond the shared outcome.
@@ -140,6 +149,8 @@ pub struct ClusterTelemetry {
     pub ticks: u64,
     /// Fraction of nodes with the `finished` flag at the end.
     pub finished_fraction: f64,
+    /// Deterministic profiling counters (always collected).
+    pub profile: EngineProfile,
 }
 
 /// Telemetry of a [`DynamicsResult`] beyond the shared outcome.
@@ -239,6 +250,16 @@ impl Report {
         }
     }
 
+    /// Deterministic profiling counters, for the event-driven engines
+    /// (leader, cluster).
+    pub fn profile(&self) -> Option<&EngineProfile> {
+        match &self.telemetry {
+            Telemetry::Leader(t) => Some(&t.profile),
+            Telemetry::Cluster(t) => Some(&t.profile),
+            _ => None,
+        }
+    }
+
     /// Winner-fraction time series, where the engine recorded one
     /// ([`plurality_core::RecordLevel::Full`] sync / leader runs).
     pub fn winner_fraction(&self) -> Option<&Series> {
@@ -259,6 +280,7 @@ impl From<SyncResult> for Report {
             two_choices_rounds,
             newest_generation_fraction,
             winner_fraction,
+            trace,
         } = r;
         Report {
             protocol: "sync",
@@ -270,6 +292,7 @@ impl From<SyncResult> for Report {
                 newest_generation_fraction,
                 winner_fraction,
             }),
+            trace,
         }
     }
 }
@@ -285,6 +308,7 @@ impl From<UrnResult> for Report {
             protocol: "urn",
             outcome,
             telemetry: Telemetry::Urn(UrnTelemetry { rounds, g_star }),
+            trace: None,
         }
     }
 }
@@ -301,6 +325,8 @@ impl From<LeaderResult> for Report {
             propagation_promotions,
             winner_fraction,
             final_node_states,
+            trace,
+            profile,
         } = r;
         Report {
             protocol: "leader",
@@ -314,7 +340,9 @@ impl From<LeaderResult> for Report {
                 propagation_promotions,
                 winner_fraction,
                 final_node_states,
+                profile,
             }),
+            trace,
         }
     }
 }
@@ -333,6 +361,8 @@ impl From<ClusterResult> for Report {
             phase_log,
             ticks,
             finished_fraction,
+            trace,
+            profile,
         } = r;
         Report {
             protocol: "cluster",
@@ -348,7 +378,9 @@ impl From<ClusterResult> for Report {
                 phase_log,
                 ticks,
                 finished_fraction,
+                profile,
             }),
+            trace,
         }
     }
 }
@@ -360,6 +392,7 @@ impl From<DynamicsResult> for Report {
             outcome,
             rounds,
             peak_undecided,
+            trace,
         } = r;
         Report {
             protocol: dynamics_protocol_name(dynamics),
@@ -369,6 +402,7 @@ impl From<DynamicsResult> for Report {
                 rounds,
                 peak_undecided,
             }),
+            trace,
         }
     }
 }
@@ -380,6 +414,7 @@ impl From<PopulationResult> for Report {
             outcome,
             interactions,
             converged,
+            trace,
         } = r;
         Report {
             protocol: population_protocol_name(protocol),
@@ -389,6 +424,7 @@ impl From<PopulationResult> for Report {
                 interactions,
                 converged,
             }),
+            trace,
         }
     }
 }

@@ -18,6 +18,7 @@
 
 use plurality_core::{ConvergenceTracker, InitialAssignment, OpinionCounts, RunOutcome};
 use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
+use plurality_obs::{TraceEvent, TraceKind, Tracer};
 use plurality_scenario::{Effect, Environment, Scenario};
 use plurality_topology::{Topology, TOPOLOGY_STREAM};
 use rand::Rng;
@@ -88,6 +89,7 @@ pub struct DynamicsConfig {
     max_rounds: Option<u64>,
     topology: Topology,
     scenario: Scenario,
+    trace: bool,
 }
 
 impl DynamicsConfig {
@@ -105,7 +107,17 @@ impl DynamicsConfig {
             max_rounds: None,
             topology: Topology::Complete,
             scenario: Scenario::new(),
+            trace: false,
         }
+    }
+
+    /// Enables structured run tracing (default off). The tracer consumes
+    /// no process RNG: a traced run produces the byte-identical
+    /// [`DynamicsResult::outcome`] of an untraced one, plus the event
+    /// log in [`DynamicsResult::trace`].
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Attaches a time-scripted environment (default: the empty
@@ -178,6 +190,9 @@ pub struct DynamicsResult {
     /// Peak fraction of undecided nodes (always 0 except for
     /// [`Dynamics::Undecided`]).
     pub peak_undecided: f64,
+    /// Structured trace events, sorted by time (only when
+    /// [`DynamicsConfig::with_trace`] was enabled).
+    pub trace: Option<Vec<TraceEvent>>,
 }
 
 fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
@@ -217,6 +232,7 @@ fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
 
     let mut new_col = col.clone();
     let mut rounds = 0u64;
+    let mut tracer = Tracer::new(cfg.trace);
 
     // Consensus for the undecided dynamic additionally requires that no
     // node is undecided.
@@ -238,6 +254,13 @@ fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
                 for effect in e.poll(round as f64) {
                     match effect {
                         Effect::Joined(joins) => {
+                            tracer.emit(
+                                round as f64,
+                                TraceKind::ScenarioEffect {
+                                    name: "joined",
+                                    count: joins.len() as u64,
+                                },
+                            );
                             for (v, c) in joins {
                                 col[v as usize] = c;
                             }
@@ -246,11 +269,28 @@ fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
                             // Undecided nodes carry the sentinel (≥ k) and
                             // are skipped by the adversary's support count;
                             // victims always end up decided.
-                            for (v, c) in e.corruption_targets(budget, mode, &col, k as u32) {
+                            let targets = e.corruption_targets(budget, mode, &col, k as u32);
+                            tracer.emit(
+                                round as f64,
+                                TraceKind::ScenarioEffect {
+                                    name: "corrupt",
+                                    count: targets.len() as u64,
+                                },
+                            );
+                            for (v, c) in targets {
                                 col[v as usize] = c;
                             }
                         }
-                        Effect::Rewired(s) => sampler = s,
+                        Effect::Rewired(s) => {
+                            tracer.emit(
+                                round as f64,
+                                TraceKind::ScenarioEffect {
+                                    name: "rewired",
+                                    count: 1,
+                                },
+                            );
+                            sampler = s;
+                        }
                         _ => {}
                     }
                 }
@@ -347,6 +387,24 @@ fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
         }
     }
 
+    if let Some(t) = tracker.epsilon_time() {
+        tracer.emit(
+            t,
+            TraceKind::Milestone {
+                name: "epsilon-converged",
+                value: t,
+            },
+        );
+    }
+    if let Some(t) = tracker.consensus_time() {
+        tracer.emit(
+            t,
+            TraceKind::Milestone {
+                name: "consensus",
+                value: t,
+            },
+        );
+    }
     let outcome = RunOutcome {
         n: n as u64,
         k: k as u32,
@@ -363,6 +421,7 @@ fn run_dynamics(cfg: &DynamicsConfig) -> DynamicsResult {
         outcome,
         rounds,
         peak_undecided,
+        trace: tracer.finish(),
     }
 }
 
@@ -494,6 +553,39 @@ mod tests {
             .with_scenario(Scenario::new())
             .run();
         assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn tracing_off_is_bitwise_identical_to_default() {
+        let a = biased(900, 3, 2.5);
+        let default = DynamicsConfig::new(Dynamics::ThreeMajority, a.clone())
+            .with_seed(31)
+            .run();
+        let explicit = DynamicsConfig::new(Dynamics::ThreeMajority, a)
+            .with_seed(31)
+            .with_trace(false)
+            .run();
+        assert_eq!(default, explicit);
+        assert!(default.trace.is_none());
+    }
+
+    #[test]
+    fn tracing_on_changes_nothing_but_the_trace() {
+        let a = biased(900, 3, 2.5);
+        let plain = DynamicsConfig::new(Dynamics::ThreeMajority, a.clone())
+            .with_seed(32)
+            .run();
+        let traced = DynamicsConfig::new(Dynamics::ThreeMajority, a)
+            .with_seed(32)
+            .with_trace(true)
+            .run();
+        let events = traced.trace.clone().expect("trace recorded");
+        // Converging runs always carry the convergence milestones.
+        assert!(events.iter().any(|e| e.kind.label() == "consensus"));
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        let mut untraced = traced.clone();
+        untraced.trace = None;
+        assert_eq!(untraced, plain, "tracing perturbed the run");
     }
 
     #[test]

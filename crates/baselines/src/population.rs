@@ -15,6 +15,7 @@
 
 use plurality_core::{InitialAssignment, Opinion, OpinionCounts, RunOutcome};
 use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
+use plurality_obs::{TraceEvent, TraceKind, Tracer};
 use plurality_scenario::{Effect, Environment, Scenario};
 use plurality_topology::{Topology, TOPOLOGY_STREAM};
 use rand::Rng;
@@ -86,6 +87,7 @@ pub struct PopulationConfig {
     max_interactions: Option<u64>,
     topology: Topology,
     scenario: Scenario,
+    trace: bool,
 }
 
 impl PopulationConfig {
@@ -106,7 +108,16 @@ impl PopulationConfig {
             max_interactions: None,
             topology: Topology::Complete,
             scenario: Scenario::new(),
+            trace: false,
         }
+    }
+
+    /// Enables structured run tracing (default: off). Tracing consumes
+    /// no process RNG, so the run outcome is byte-identical with the
+    /// knob on or off; only [`PopulationResult::trace`] changes.
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Attaches a time-scripted environment (default: the empty
@@ -186,6 +197,10 @@ pub struct PopulationResult {
     /// Whether the run converged (all agents output the same opinion and no
     /// strong opponents remain).
     pub converged: bool,
+    /// Structured trace events, sorted by time (only when
+    /// [`PopulationConfig::with_trace`] was enabled). Times are in
+    /// *parallel time*, the protocols' native clock.
+    pub trace: Option<Vec<TraceEvent>>,
 }
 
 fn run_population(cfg: &PopulationConfig) -> PopulationResult {
@@ -198,6 +213,7 @@ fn run_population(cfg: &PopulationConfig) -> PopulationResult {
         .expect("topology must be buildable for this population size");
     // `None` for the empty scenario: the zero-cost fast path.
     let mut env: Option<Environment> = cfg.scenario.for_run(n, 2, cfg.seed);
+    let mut tracer = Tracer::new(cfg.trace);
     let mut rng = Xoshiro256PlusPlus::from_u64(cfg.seed);
     let mut states: Vec<State> = (0..n)
         .map(|i| {
@@ -269,9 +285,17 @@ fn run_population(cfg: &PopulationConfig) -> PopulationResult {
         if let Some(e) = env.as_mut() {
             let effects = e.poll(interactions as f64 / nf);
             if !effects.is_empty() {
+                let now = interactions as f64 / nf;
                 for effect in effects {
                     match effect {
                         Effect::Joined(joins) => {
+                            tracer.emit(
+                                now,
+                                TraceKind::ScenarioEffect {
+                                    name: "joined",
+                                    count: joins.len() as u64,
+                                },
+                            );
                             for (v, c) in joins {
                                 states[v as usize] = if c == 0 {
                                     State::StrongA
@@ -294,7 +318,15 @@ fn run_population(cfg: &PopulationConfig) -> PopulationResult {
                                     State::Blank => 2,
                                 })
                                 .collect();
-                            for (v, c) in e.corruption_targets(budget, mode, &colors, 2) {
+                            let targets = e.corruption_targets(budget, mode, &colors, 2);
+                            tracer.emit(
+                                now,
+                                TraceKind::ScenarioEffect {
+                                    name: "corrupt",
+                                    count: targets.len() as u64,
+                                },
+                            );
+                            for (v, c) in targets {
                                 states[v as usize] = if c == 0 {
                                     State::StrongA
                                 } else {
@@ -302,7 +334,16 @@ fn run_population(cfg: &PopulationConfig) -> PopulationResult {
                                 };
                             }
                         }
-                        Effect::Rewired(s) => sampler = s,
+                        Effect::Rewired(s) => {
+                            tracer.emit(
+                                now,
+                                TraceKind::ScenarioEffect {
+                                    name: "rewired",
+                                    count: 1,
+                                },
+                            );
+                            sampler = s;
+                        }
                         _ => {}
                     }
                 }
@@ -377,6 +418,15 @@ fn run_population(cfg: &PopulationConfig) -> PopulationResult {
     let final_counts = OpinionCounts::from_counts(vec![sa + wa, sb + wb]);
     let parallel_time = interactions as f64 / nf;
     let consensus_time = converged.then_some(parallel_time);
+    if let Some(t) = consensus_time {
+        tracer.emit(
+            t,
+            TraceKind::Milestone {
+                name: "consensus",
+                value: t,
+            },
+        );
+    }
 
     let outcome = RunOutcome {
         n: cfg.n,
@@ -394,6 +444,7 @@ fn run_population(cfg: &PopulationConfig) -> PopulationResult {
         outcome,
         interactions,
         converged,
+        trace: tracer.finish(),
     }
 }
 
@@ -571,6 +622,51 @@ mod tests {
         let r = mk();
         assert_eq!(r, mk());
         assert!(r.converged, "did not converge");
+    }
+
+    #[test]
+    fn tracing_off_is_bitwise_identical_to_default() {
+        let plain = PopulationConfig::new(PopulationProtocol::ApproximateMajority, 400, 260)
+            .with_seed(16)
+            .run();
+        let knob = PopulationConfig::new(PopulationProtocol::ApproximateMajority, 400, 260)
+            .with_seed(16)
+            .with_trace(false)
+            .run();
+        assert_eq!(plain, knob);
+        assert!(plain.trace.is_none());
+    }
+
+    #[test]
+    fn tracing_on_changes_nothing_but_the_trace() {
+        let plain = PopulationConfig::new(PopulationProtocol::ExactMajority, 300, 160)
+            .with_seed(17)
+            .with_scenario(Scenario::parse("corrupt:0.4:adaptive@2").unwrap())
+            .run();
+        let mut traced = PopulationConfig::new(PopulationProtocol::ExactMajority, 300, 160)
+            .with_seed(17)
+            .with_scenario(Scenario::parse("corrupt:0.4:adaptive@2").unwrap())
+            .with_trace(true)
+            .run();
+        let events = traced.trace.take().expect("trace requested");
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            TraceKind::ScenarioEffect {
+                name: "corrupt",
+                ..
+            }
+        )));
+        assert!(traced.converged);
+        assert!(events.iter().any(|e| matches!(
+            e.kind,
+            TraceKind::Milestone {
+                name: "consensus",
+                ..
+            }
+        )));
+        assert_eq!(plain, traced);
     }
 
     #[test]

@@ -290,6 +290,61 @@ fn experiment_metrics(metrics: &mut Vec<(String, f64)>, eff: Effort) {
     ));
 }
 
+/// Deterministic profiling counters: the engines' always-on
+/// [`plurality_obs::EngineProfile`] numbers from fixed-seed smoke runs
+/// (pure functions of the seed — they move only when the hot path
+/// itself changes shape, making regressions in event traffic visible
+/// on the trajectory), plus a fixed report-cache exercise counting
+/// shard hits and misses.
+fn profile_metrics(metrics: &mut Vec<(String, f64)>) {
+    let assignment = InitialAssignment::with_bias(2_000, 2, 3.0).expect("valid");
+    let leader = LeaderConfig::new(assignment.clone())
+        .with_seed(1)
+        .with_steps_per_unit(9.3)
+        .run();
+    metrics.push((
+        "profile/leader_events_popped".into(),
+        leader.profile.events_popped as f64,
+    ));
+    metrics.push((
+        "profile/leader_signals_thinned".into(),
+        leader.profile.signals_thinned as f64,
+    ));
+    metrics.push((
+        "profile/leader_window_crossings".into(),
+        leader.profile.window_crossings as f64,
+    ));
+    let cluster = ClusterConfig::new(assignment)
+        .with_seed(1)
+        .with_steps_per_unit(12.0)
+        .run();
+    metrics.push((
+        "profile/cluster_events_popped".into(),
+        cluster.profile.events_popped as f64,
+    ));
+    metrics.push((
+        "profile/cluster_queue_resizes".into(),
+        cluster.profile.queue_resizes as f64,
+    ));
+
+    // Fixed cache exercise: 8 inserts, 12 probes → 8 shard hits and
+    // 4 misses, spread across shards by the key hash.
+    let cache = plurality_serve::ReportCache::new(1 << 20);
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for i in 0..8 {
+        cache.insert(format!("spec-{i}"), std::sync::Arc::from("body"));
+    }
+    for i in 0..12 {
+        match cache.get(&format!("spec-{i}")) {
+            Some(_) => hits += 1,
+            None => misses += 1,
+        }
+    }
+    metrics.push(("profile/cache_shard_hits".into(), hits as f64));
+    metrics.push(("profile/cache_shard_misses".into(), misses as f64));
+}
+
 /// Extracts the metric keys of the `"results"` object of a snapshot file
 /// (one `"name": value` pair per line, as written by
 /// [`criterion::write_suite_json`]).
@@ -344,6 +399,7 @@ fn main() {
     ));
     sampler_metrics(&mut metrics, eff);
     engine_metrics(&mut metrics, eff);
+    profile_metrics(&mut metrics);
     experiment_metrics(&mut metrics, eff);
 
     for (name, value) in &metrics {

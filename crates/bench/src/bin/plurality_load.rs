@@ -36,6 +36,7 @@
 //!     --assert-p99-ms 5000
 //! ```
 
+use plurality_obs::{validate_exposition, Histogram};
 use plurality_serve::{run_target, HttpClient};
 use std::net::SocketAddr;
 use std::path::PathBuf;
@@ -64,6 +65,9 @@ OPTIONS:
     --assert-hit-rate <F>     exit non-zero if the measured cache hit rate
                               is below F
     --assert-p99-ms <MS>      exit non-zero if p99 latency is >= MS
+    --scrape-metrics          GET /metrics mid-load and exit non-zero unless
+                              it parses as Prometheus text exposition with
+                              the request-latency histogram present
     --help                    print this help
 
 Writes benchmarks/BENCH_serve.json (dir overridable via PLURALITY_BENCH_JSON).
@@ -81,12 +85,15 @@ struct Config {
     assert_no_5xx: bool,
     assert_hit_rate: Option<f64>,
     assert_p99_ms: Option<f64>,
+    scrape_metrics: bool,
 }
 
-/// Per-connection tallies, merged after the join.
+/// Per-connection tallies, merged after the join. Latencies go straight
+/// into the shared log-bucket [`Histogram`] — O(1) per sample, no
+/// per-request allocation, quantiles within one bucket width
+/// (≤ 1/16 relative error) of the exact nearest-rank value.
 #[derive(Default)]
 struct Tally {
-    latencies_us: Vec<u64>,
     hits: u64,
     status_200: u64,
     status_429: u64,
@@ -107,6 +114,7 @@ fn parse_args() -> Config {
         assert_no_5xx: false,
         assert_hit_rate: None,
         assert_p99_ms: None,
+        scrape_metrics: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -134,6 +142,7 @@ fn parse_args() -> Config {
             "--assert-p99-ms" => {
                 config.assert_p99_ms = Some(parse(&value("--assert-p99-ms"), "--assert-p99-ms"));
             }
+            "--scrape-metrics" => config.scrape_metrics = true,
             "--help" | "-h" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -170,7 +179,12 @@ fn is_hot(i: usize, f: f64) -> bool {
     step(i + 1) > step(i)
 }
 
-fn drive_connection(config: &Config, conn: usize, start_gun: &Barrier) -> Tally {
+fn drive_connection(
+    config: &Config,
+    conn: usize,
+    start_gun: &Barrier,
+    latencies: &Histogram,
+) -> Tally {
     let mut client = HttpClient::connect(config.addr).expect("connect to server");
     client
         .set_read_timeout(Some(Duration::from_secs(300)))
@@ -218,9 +232,7 @@ fn drive_connection(config: &Config, conn: usize, start_gun: &Barrier) -> Tally 
         let response = client
             .get(&run_target(&config.spec, Some(seed)))
             .expect("request");
-        tally
-            .latencies_us
-            .push(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
+        latencies.record(sent.elapsed().as_micros().min(u128::from(u64::MAX)) as u64);
         match response.status {
             200 => {
                 tally.status_200 += 1;
@@ -236,13 +248,34 @@ fn drive_connection(config: &Config, conn: usize, start_gun: &Barrier) -> Tally 
     tally
 }
 
-/// Nearest-rank percentile over sorted data.
-fn percentile_us(sorted: &[u64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
+/// Scrapes `/metrics` from its own connection while the load is in
+/// flight and checks it parses as Prometheus text exposition with the
+/// request-latency histogram present. Returns an error description on
+/// failure instead of panicking so it can feed the gate summary.
+fn scrape_metrics_midload(addr: SocketAddr) -> Result<(), String> {
+    let mut client =
+        HttpClient::connect(addr).map_err(|e| format!("metrics scrape connect: {e}"))?;
+    client
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .map_err(|e| format!("metrics scrape socket option: {e}"))?;
+    let response = client
+        .get("/metrics")
+        .map_err(|e| format!("metrics scrape request: {e}"))?;
+    if response.status != 200 {
+        return Err(format!("/metrics answered {}", response.status));
     }
-    let rank = ((sorted.len() as f64 * q).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1] as f64
+    validate_exposition(&response.body)
+        .map_err(|e| format!("/metrics is not valid exposition format: {e}"))?;
+    for needle in [
+        "# TYPE plurality_request_latency_us histogram",
+        "plurality_request_latency_us_bucket{le=\"+Inf\"}",
+        "# TYPE plurality_requests_total counter",
+    ] {
+        if !response.body.contains(needle) {
+            return Err(format!("/metrics is missing {needle:?}"));
+        }
+    }
+    Ok(())
 }
 
 fn snapshot_dir() -> PathBuf {
@@ -267,27 +300,29 @@ fn main() {
     );
 
     let start_gun = Arc::new(Barrier::new(config.connections + 1));
+    let latencies = Arc::new(Histogram::new());
     let workers: Vec<_> = (0..config.connections)
         .map(|conn| {
             let config = config.clone();
             let start_gun = Arc::clone(&start_gun);
-            std::thread::spawn(move || drive_connection(&config, conn, &start_gun))
+            let latencies = Arc::clone(&latencies);
+            std::thread::spawn(move || drive_connection(&config, conn, &start_gun, &latencies))
         })
         .collect();
     start_gun.wait();
     let measured_from = Instant::now();
+    // Scrape /metrics while the workers are mid-flight, from a
+    // dedicated connection — this is the CI exposition-format check.
+    let scrape_result = config
+        .scrape_metrics
+        .then(|| scrape_metrics_midload(config.addr));
     let tallies: Vec<Tally> = workers
         .into_iter()
         .map(|w| w.join().expect("connection thread"))
         .collect();
     let elapsed = measured_from.elapsed();
 
-    let mut latencies: Vec<u64> = tallies
-        .iter()
-        .flat_map(|t| t.latencies_us.clone())
-        .collect();
-    latencies.sort_unstable();
-    let total = latencies.len() as f64;
+    let total = latencies.count() as f64;
     let sum = |f: fn(&Tally) -> u64| tallies.iter().map(f).sum::<u64>();
     let (hits, ok) = (sum(|t| t.hits), sum(|t| t.status_200));
     let hit_rate = if ok == 0 {
@@ -297,9 +332,9 @@ fn main() {
     };
     let specs_per_sec = total / elapsed.as_secs_f64();
     let (p50, p95, p99) = (
-        percentile_us(&latencies, 0.50) / 1_000.0,
-        percentile_us(&latencies, 0.95) / 1_000.0,
-        percentile_us(&latencies, 0.99) / 1_000.0,
+        latencies.quantile(0.50) as f64 / 1_000.0,
+        latencies.quantile(0.95) as f64 / 1_000.0,
+        latencies.quantile(0.99) as f64 / 1_000.0,
     );
 
     let metrics: Vec<(String, f64)> = vec![
@@ -344,6 +379,11 @@ fn main() {
         if p99 >= bound {
             failures.push(format!("p99 {p99:.1} ms is not under the {bound} ms bound"));
         }
+    }
+    if let Some(Err(reason)) = scrape_result {
+        failures.push(format!("mid-load metrics scrape failed: {reason}"));
+    } else if config.scrape_metrics {
+        println!("mid-load /metrics scrape: valid exposition format");
     }
     if !failures.is_empty() {
         for failure in &failures {

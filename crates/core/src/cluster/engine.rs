@@ -66,6 +66,7 @@ use crate::signalflow::SignalFlow;
 use crate::sync::{generations_needed, GENERATION_CAP};
 use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
 use plurality_dist::{sample_poisson, unit_exp, ChannelPattern, Latency, WaitingTime};
+use plurality_obs::{EngineProfile, TraceEvent, TraceKind, Tracer};
 use plurality_scenario::{Effect, Environment, Scenario};
 use plurality_sim::{EventLog, EventQueue, PoissonClock};
 use plurality_topology::{PeerSampler, Topology, TOPOLOGY_STREAM};
@@ -111,6 +112,7 @@ pub struct ClusterConfig {
     alpha_hint: Option<f64>,
     topology: Topology,
     scenario: Scenario,
+    trace: bool,
 }
 
 impl ClusterConfig {
@@ -138,7 +140,17 @@ impl ClusterConfig {
             alpha_hint: None,
             topology: Topology::Complete,
             scenario: Scenario::new(),
+            trace: false,
         }
+    }
+
+    /// Enables structured run tracing (default off). The tracer consumes
+    /// no process RNG and reads no clock: a traced run produces the
+    /// byte-identical [`ClusterResult::outcome`] of an untraced one,
+    /// plus the event log in [`ClusterResult::trace`].
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Attaches a time-scripted environment (default: the empty
@@ -345,6 +357,12 @@ pub struct ClusterResult {
     pub ticks: u64,
     /// Fraction of nodes with the `finished` flag at the end.
     pub finished_fraction: f64,
+    /// Structured trace events, sorted by time (only when
+    /// [`ClusterConfig::with_trace`] was enabled).
+    pub trace: Option<Vec<TraceEvent>>,
+    /// Deterministic profiling counters (always collected; pure
+    /// arithmetic, no RNG).
+    pub profile: EngineProfile,
 }
 
 impl ClusterResult {
@@ -482,6 +500,17 @@ struct Engine<'cfg> {
     ticks: u64,
     first_switch: Option<f64>,
     last_switch: Option<f64>,
+    tracer: Tracer,
+    window_crossings: u64,
+}
+
+/// Trace label for a cluster phase (the consensus lattice's axis).
+fn phase_name(phase: ClusterPhase) -> &'static str {
+    match phase {
+        ClusterPhase::TwoChoices => "two-choices",
+        ClusterPhase::Sleeping => "sleeping",
+        ClusterPhase::Propagation => "propagation",
+    }
 }
 
 fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
@@ -586,7 +615,8 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
     // capacity covers open interactions plus in-flight member signals
     // (≈ n·E[T1]) without rehashing.
     let clock = PoissonClock::new(n as f64).expect("positive rate");
-    let queue: EventQueue<Event> = EventQueue::with_capacity(3 * n);
+    let mut queue: EventQueue<Event> = EventQueue::with_capacity(3 * n);
+    queue.set_trace(cfg.trace);
     let next_tick = clock.next_tick(0.0, &mut rng);
 
     // Displaced-Poisson 0-signal streams, one per cluster (module docs):
@@ -648,6 +678,8 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
         ticks: 0,
         first_switch: None,
         last_switch: None,
+        tracer: Tracer::new(cfg.trace),
+        window_crossings: 0,
     };
 
     let mut end_time = 0.0f64;
@@ -699,14 +731,36 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
             }
         }
     }
+    let mut thinned_ticks = 0u64;
     if engine.zero_flows.is_some() {
         // Settle the suppressed locked-node tick stream: its count over
         // the run is Poisson with the accrued intensity (module docs).
         engine.accrue_exposure(end_time);
         if engine.tick_exposure > 0.0 {
-            engine.ticks += sample_poisson(engine.tick_exposure, &mut engine.rng);
+            thinned_ticks = sample_poisson(engine.tick_exposure, &mut engine.rng);
+            engine.ticks += thinned_ticks;
         }
     }
+
+    // Queue resizes recorded while tracing become trace events; the
+    // final sort in `Tracer::finish` interleaves them on the time axis.
+    let resize_log = engine.queue.take_resize_log();
+    engine
+        .tracer
+        .extend(resize_log.into_iter().map(|r| TraceEvent {
+            time: r.at,
+            kind: TraceKind::QueueResize {
+                buckets: r.buckets,
+                width: r.width,
+            },
+        }));
+    let qprof = engine.queue.profile();
+    let profile = EngineProfile {
+        events_popped: qprof.pops,
+        signals_thinned: thinned_ticks,
+        queue_resizes: qprof.resizes,
+        window_crossings: engine.window_crossings,
+    };
 
     let participating: Vec<&Cluster> = engine
         .clusters
@@ -744,6 +798,8 @@ fn run_cluster(cfg: &ClusterConfig) -> ClusterResult {
         phase_log: engine.phase_log,
         ticks: engine.ticks,
         finished_fraction: finished_count as f64 / n as f64,
+        trace: engine.tracer.finish(),
+        profile,
     }
 }
 
@@ -778,6 +834,13 @@ impl Engine<'_> {
         for effect in env.poll(now) {
             match effect {
                 Effect::Joined(joins) => {
+                    self.tracer.emit(
+                        now,
+                        TraceKind::ScenarioEffect {
+                            name: "joined",
+                            count: joins.len() as u64,
+                        },
+                    );
                     for (v, c) in joins {
                         let vi = v as usize;
                         // Fresh node in a reused slot: protocol flags
@@ -797,12 +860,28 @@ impl Engine<'_> {
                 Effect::Corrupt { budget, mode } => {
                     let k = self.table.k() as u32;
                     let targets = env.corruption_targets(budget, mode, &self.cols, k);
+                    self.tracer.emit(
+                        now,
+                        TraceKind::ScenarioEffect {
+                            name: "corrupt",
+                            count: targets.len() as u64,
+                        },
+                    );
                     for (v, c) in targets {
                         let vi = v as usize;
                         mono |= self.adopt(now, vi, self.gens[vi], c);
                     }
                 }
-                Effect::Rewired(s) => self.sampler = s,
+                Effect::Rewired(s) => {
+                    self.tracer.emit(
+                        now,
+                        TraceKind::ScenarioEffect {
+                            name: "rewired",
+                            count: 1,
+                        },
+                    );
+                    self.sampler = s;
+                }
                 _ => {}
             }
         }
@@ -902,6 +981,14 @@ impl Engine<'_> {
             }
             ClusterTransition::Synchronized { generation, phase } => (generation, phase),
         };
+        self.tracer.emit(
+            now,
+            TraceKind::Phase {
+                name: phase_name(phase),
+                generation,
+                scope: cluster,
+            },
+        );
         if matches!(
             t,
             ClusterTransition::PropagationEnabled { .. }
@@ -999,6 +1086,9 @@ impl Engine<'_> {
     /// arrivals at the crossing time, then re-arms for whatever window
     /// the cluster's counters are in afterwards.
     fn on_zero_window(&mut self, now: f64, c: u32) {
+        self.window_crossings += 1;
+        self.tracer
+            .emit(now, TraceKind::WindowCrossing { scope: c });
         let gap = {
             let cluster = &self.clusters[c as usize];
             match cluster.mode {
@@ -1213,6 +1303,16 @@ impl Engine<'_> {
             self.first_switch = Some(now);
         }
         self.last_switch = Some(now);
+        // The cluster enters consensus in generation 1's two-choices
+        // phase; organic log_transition calls cover later phases.
+        self.tracer.emit(
+            now,
+            TraceKind::Phase {
+                name: "two-choices",
+                generation: 1,
+                scope: c,
+            },
+        );
         if !matches!(self.cfg.record, RecordLevel::Outcome) {
             self.phase_log.record(
                 now,
@@ -1297,6 +1397,9 @@ impl Engine<'_> {
             return false;
         }
         let is_birth = gen > self.table.max_generation();
+        if is_birth {
+            self.tracer.emit(now, TraceKind::Birth { generation: gen });
+        }
         if is_birth && !matches!(self.cfg.record, RecordLevel::Outcome) {
             let parent_bias = self.table.bias_in(gen - 1).unwrap_or(f64::INFINITY);
             let parent_collision = self.table.collision_in(gen - 1);
@@ -1654,6 +1757,40 @@ mod tests {
             .with_scenario(plurality_scenario::Scenario::new())
             .run();
         assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn tracing_off_is_bitwise_identical_to_default() {
+        let default = quick(900, 2, 3.0, 21).run();
+        let explicit = quick(900, 2, 3.0, 21).with_trace(false).run();
+        assert_eq!(default, explicit);
+        assert!(default.trace.is_none());
+    }
+
+    #[test]
+    fn tracing_on_changes_nothing_but_the_trace() {
+        let plain = quick(900, 2, 3.0, 22).run();
+        let traced = quick(900, 2, 3.0, 22).with_trace(true).run();
+        let events = traced.trace.clone().expect("trace recorded");
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        // Every phase_log entry has a matching phase trace event.
+        let phase_events = events
+            .iter()
+            .filter(|e| e.kind.category() == "phase")
+            .count();
+        assert!(phase_events >= traced.phase_log.entries().len());
+        let mut untraced = traced.clone();
+        untraced.trace = None;
+        assert_eq!(untraced, plain, "tracing perturbed the run");
+    }
+
+    #[test]
+    fn profile_counts_hot_path_traffic() {
+        let r = quick(900, 2, 3.0, 23).run();
+        assert!(r.profile.events_popped > 0, "no events popped");
+        assert!(r.profile.window_crossings > 0, "jump chains never crossed");
+        assert!(r.profile.signals_thinned <= r.ticks);
     }
 
     #[test]

@@ -53,6 +53,7 @@ use crate::signalflow::SignalFlow;
 use crate::sync::{generations_needed, GENERATION_CAP};
 use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
 use plurality_dist::{sample_poisson, unit_exp, ChannelPattern, Latency, WaitingTime};
+use plurality_obs::{EngineProfile, TraceEvent, TraceKind, Tracer};
 use plurality_scenario::{Effect, Environment, Scenario};
 use plurality_sim::{EventQueue, PoissonClock, Series};
 use plurality_topology::{Topology, TOPOLOGY_STREAM};
@@ -100,6 +101,7 @@ pub struct LeaderConfig {
     straggler_rate: f64,
     topology: Topology,
     scenario: Scenario,
+    trace: bool,
 }
 
 impl LeaderConfig {
@@ -124,7 +126,17 @@ impl LeaderConfig {
             straggler_rate: 1.0,
             topology: Topology::Complete,
             scenario: Scenario::new(),
+            trace: false,
         }
+    }
+
+    /// Enables structured run tracing (default off). The tracer consumes
+    /// no process RNG and reads no clock: a traced run produces the
+    /// byte-identical [`LeaderResult::outcome`] of an untraced one, plus
+    /// the event log in [`LeaderResult::trace`].
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Attaches a time-scripted environment (default: the empty
@@ -344,6 +356,12 @@ pub struct LeaderResult {
     /// cross-validate that a recorded engine run ends inside the
     /// exhaustively explored reachable set.
     pub final_node_states: Option<Vec<(u32, u32)>>,
+    /// Structured trace events, sorted by time (only when
+    /// [`LeaderConfig::with_trace`] was enabled).
+    pub trace: Option<Vec<TraceEvent>>,
+    /// Deterministic profiling counters (always collected; pure
+    /// arithmetic, no RNG).
+    pub profile: EngineProfile,
 }
 
 #[derive(Debug, Clone, Copy)]
@@ -434,6 +452,7 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
         table.max_color_support(),
     );
 
+    let mut tracer = Tracer::new(cfg.trace);
     let mut phases = Vec::with_capacity(cap as usize + 1);
     phases.push(GenerationPhase {
         generation: 1,
@@ -441,6 +460,14 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
         first_promotion_at: None,
         propagation_at: None,
     });
+    tracer.emit(
+        0.0,
+        TraceKind::Phase {
+            name: "generation-allowed",
+            generation: 1,
+            scope: 0,
+        },
+    );
     let mut births: Vec<GenerationBirth> = Vec::with_capacity(cap as usize + 1);
     let mut winner_series = matches!(cfg.record, RecordLevel::Full).then(|| {
         let mut s = Series::new("winner_fraction");
@@ -477,6 +504,7 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
     // 0-/gen-signals (≈ n·E[T1] for unit-rate ticking) — `3n` covers the
     // steady state without rehashing.
     let mut queue: EventQueue<Event> = EventQueue::with_capacity(3 * n);
+    queue.set_trace(cfg.trace);
     let fast_clock = PoissonClock::new((fast_count as f64).max(1.0)).expect("positive rate");
     let straggler_clock =
         PoissonClock::new((straggler_count as f64 * cfg.straggler_rate).max(cfg.straggler_rate))
@@ -537,6 +565,8 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
     let mut good_ticks = 0u64;
     let mut two_choices_promotions = 0u64;
     let mut propagation_promotions = 0u64;
+    let mut window_crossings = 0u64;
+    let mut thinned_ticks = 0u64;
     let mut end_time = 0.0f64;
 
     loop {
@@ -577,6 +607,13 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                 for effect in effects {
                     match effect {
                         Effect::Joined(joins) => {
+                            tracer.emit(
+                                now,
+                                TraceKind::ScenarioEffect {
+                                    name: "joined",
+                                    count: joins.len() as u64,
+                                },
+                            );
                             for (v, c) in joins {
                                 let vi = v as usize;
                                 seen_gen[vi] = 0;
@@ -594,7 +631,15 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                             }
                         }
                         Effect::Corrupt { budget, mode } => {
-                            for (v, c) in env.corruption_targets(budget, mode, &cols, k as u32) {
+                            let targets = env.corruption_targets(budget, mode, &cols, k as u32);
+                            tracer.emit(
+                                now,
+                                TraceKind::ScenarioEffect {
+                                    name: "corrupt",
+                                    count: targets.len() as u64,
+                                },
+                            );
+                            for (v, c) in targets {
                                 let vi = v as usize;
                                 if cols[vi] != c {
                                     table.transfer(gens[vi], cols[vi], gens[vi], c);
@@ -602,7 +647,16 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                                 }
                             }
                         }
-                        Effect::Rewired(s) => sampler = s,
+                        Effect::Rewired(s) => {
+                            tracer.emit(
+                                now,
+                                TraceKind::ScenarioEffect {
+                                    name: "rewired",
+                                    count: 1,
+                                },
+                            );
+                            sampler = s;
+                        }
                         _ => {}
                     }
                 }
@@ -630,10 +684,20 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                 // birth (a queued gen-signal below).
                 let flow = zero_flow.as_mut().expect("crossing implies a flow");
                 flow.disarm(now);
+                window_crossings += 1;
+                tracer.emit(now, TraceKind::WindowCrossing { scope: 0 });
                 let gap = zero_signal_threshold - leader.zero_count();
                 if let Some(LeaderTransition::PropagationEnabled { generation }) =
                     leader.on_zero_batch(gap)
                 {
+                    tracer.emit(
+                        now,
+                        TraceKind::Phase {
+                            name: "propagation-enabled",
+                            generation,
+                            scope: 0,
+                        },
+                    );
                     if let Some(p) = phases.get_mut(generation as usize - 1) {
                         debug_assert_eq!(p.generation, generation);
                         p.propagation_at.get_or_insert(now);
@@ -824,6 +888,7 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                             });
                         }
                         if is_birth {
+                            tracer.emit(now, TraceKind::Birth { generation: gen });
                             // Generations are allowed in order, so phase g
                             // sits at index g − 1.
                             if let Some(p) = phases.get_mut(gen as usize - 1) {
@@ -875,6 +940,14 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                 if let Some(transition) = leader.on_signal(signal) {
                     match transition {
                         LeaderTransition::PropagationEnabled { generation } => {
+                            tracer.emit(
+                                now,
+                                TraceKind::Phase {
+                                    name: "propagation-enabled",
+                                    generation,
+                                    scope: 0,
+                                },
+                            );
                             if let Some(p) = phases.get_mut(generation as usize - 1) {
                                 debug_assert_eq!(p.generation, generation);
                                 p.propagation_at.get_or_insert(now);
@@ -890,6 +963,14 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
                             }
                         }
                         LeaderTransition::GenerationAllowed { generation } => {
+                            tracer.emit(
+                                now,
+                                TraceKind::Phase {
+                                    name: "generation-allowed",
+                                    generation,
+                                    scope: 0,
+                                },
+                            );
                             phases.push(GenerationPhase {
                                 generation,
                                 allowed_at: now,
@@ -929,9 +1010,27 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
         // no RNG, matching the empty event loop above.
         tick_exposure += (n - unlocked.len()) as f64 * (end_time - exposure_from);
         if tick_exposure > 0.0 {
-            ticks += sample_poisson(tick_exposure, &mut rng);
+            thinned_ticks = sample_poisson(tick_exposure, &mut rng);
+            ticks += thinned_ticks;
         }
     }
+
+    // Queue resizes recorded while tracing become trace events; the
+    // final sort in `Tracer::finish` interleaves them on the time axis.
+    tracer.extend(queue.take_resize_log().into_iter().map(|r| TraceEvent {
+        time: r.at,
+        kind: TraceKind::QueueResize {
+            buckets: r.buckets,
+            width: r.width,
+        },
+    }));
+    let qprof = queue.profile();
+    let profile = EngineProfile {
+        events_popped: qprof.pops,
+        signals_thinned: thinned_ticks,
+        queue_resizes: qprof.resizes,
+        window_crossings,
+    };
 
     let outcome = RunOutcome {
         n: n as u64,
@@ -956,6 +1055,8 @@ fn run_leader(cfg: &LeaderConfig) -> LeaderResult {
         propagation_promotions,
         winner_fraction: winner_series,
         final_node_states,
+        trace: tracer.finish(),
+        profile,
     }
 }
 
@@ -1165,6 +1266,49 @@ mod tests {
             .with_scenario(plurality_scenario::Scenario::new())
             .run();
         assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn tracing_off_is_bitwise_identical_to_default() {
+        let default = quick_config(900, 2, 3.0, 71).run();
+        let explicit = quick_config(900, 2, 3.0, 71).with_trace(false).run();
+        assert_eq!(default, explicit);
+        assert!(default.trace.is_none());
+    }
+
+    #[test]
+    fn tracing_on_changes_nothing_but_the_trace() {
+        let plain = quick_config(900, 2, 3.0, 72).run();
+        let traced = quick_config(900, 2, 3.0, 72).with_trace(true).run();
+        let events = traced.trace.clone().expect("trace recorded");
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        assert!(matches!(
+            events[0].kind,
+            TraceKind::Phase {
+                name: "generation-allowed",
+                generation: 1,
+                ..
+            }
+        ));
+        // One generation-allowed phase event per recorded phase.
+        let allowed = events
+            .iter()
+            .filter(|e| e.kind.label() == "generation-allowed")
+            .count();
+        assert_eq!(allowed, traced.phases.len());
+        let mut untraced = traced.clone();
+        untraced.trace = None;
+        assert_eq!(untraced, plain, "tracing perturbed the run");
+    }
+
+    #[test]
+    fn profile_counts_hot_path_traffic() {
+        let r = quick_config(900, 2, 3.0, 73).run();
+        assert!(r.profile.events_popped > 0, "no events popped");
+        assert!(r.profile.window_crossings > 0, "jump chain never crossed");
+        // Thinned ticks were settled in bulk and included in `ticks`.
+        assert!(r.profile.signals_thinned <= r.ticks);
     }
 
     #[test]

@@ -12,6 +12,7 @@ use crate::opinion::InitialAssignment;
 use crate::outcome::{ConvergenceTracker, GenerationBirth, RecordLevel, RunOutcome};
 use crate::sync::schedule::{generations_needed, lifecycle_length, Schedule, GENERATION_CAP};
 use plurality_dist::rng::{derive_seed, Xoshiro256PlusPlus};
+use plurality_obs::{TraceEvent, TraceKind, Tracer};
 use plurality_scenario::{Effect, Environment, Scenario};
 use plurality_sim::Series;
 use plurality_topology::{Topology, TOPOLOGY_STREAM};
@@ -59,6 +60,7 @@ pub struct SyncConfig {
     max_generations: Option<u32>,
     topology: Topology,
     scenario: Scenario,
+    trace: bool,
 }
 
 impl SyncConfig {
@@ -77,7 +79,17 @@ impl SyncConfig {
             max_generations: None,
             topology: Topology::Complete,
             scenario: Scenario::new(),
+            trace: false,
         }
+    }
+
+    /// Enables structured run tracing (default off). The tracer consumes
+    /// no process RNG: a traced run produces the byte-identical
+    /// [`SyncResult::outcome`] of an untraced one, plus the event log in
+    /// [`SyncResult::trace`].
+    pub fn with_trace(mut self, trace: bool) -> Self {
+        self.trace = trace;
+        self
     }
 
     /// Attaches a time-scripted environment (default: the empty
@@ -226,6 +238,9 @@ pub struct SyncResult {
     /// Per-round fraction of nodes holding the initial plurality opinion
     /// (only at [`RecordLevel::Full`]).
     pub winner_fraction: Option<Series>,
+    /// Structured trace events, sorted by time (only when
+    /// [`SyncConfig::with_trace`] was enabled).
+    pub trace: Option<Vec<TraceEvent>>,
 }
 
 /// One node's update rule (Algorithm 1), as a pure function.
@@ -337,6 +352,7 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
     let mut new_col = col.clone();
     let mut new_gen = gen.clone();
     let mut rounds_run = 0u64;
+    let mut tracer = Tracer::new(cfg.trace);
 
     if !table.is_monochromatic() {
         for round in 1..=max_rounds {
@@ -345,6 +361,13 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
                 for effect in env.poll(round as f64) {
                     match effect {
                         Effect::Joined(joins) => {
+                            tracer.emit(
+                                round as f64,
+                                TraceKind::ScenarioEffect {
+                                    name: "joined",
+                                    count: joins.len() as u64,
+                                },
+                            );
                             for (v, c) in joins {
                                 let vi = v as usize;
                                 if (gen[vi], col[vi]) != (0, c) {
@@ -355,7 +378,15 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
                             }
                         }
                         Effect::Corrupt { budget, mode } => {
-                            for (v, c) in env.corruption_targets(budget, mode, &col, k as u32) {
+                            let targets = env.corruption_targets(budget, mode, &col, k as u32);
+                            tracer.emit(
+                                round as f64,
+                                TraceKind::ScenarioEffect {
+                                    name: "corrupt",
+                                    count: targets.len() as u64,
+                                },
+                            );
+                            for (v, c) in targets {
                                 let vi = v as usize;
                                 if col[vi] != c {
                                     table.transfer(gen[vi], col[vi], gen[vi], c);
@@ -363,7 +394,16 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
                                 }
                             }
                         }
-                        Effect::Rewired(s) => sampler = s,
+                        Effect::Rewired(s) => {
+                            tracer.emit(
+                                round as f64,
+                                TraceKind::ScenarioEffect {
+                                    name: "rewired",
+                                    count: 1,
+                                },
+                            );
+                            sampler = s;
+                        }
                         _ => {}
                     }
                 }
@@ -375,6 +415,13 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
             };
             if two_choices {
                 two_choices_rounds.push(round);
+                tracer.emit(
+                    round as f64,
+                    TraceKind::Milestone {
+                        name: "two-choices-round",
+                        value: round as f64,
+                    },
+                );
             }
 
             // Snapshot of the would-be parent generation, just before the round.
@@ -418,6 +465,14 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
             std::mem::swap(&mut gen, &mut new_gen);
             std::mem::swap(&mut col, &mut new_col);
 
+            if table.max_generation() > parent_gen {
+                tracer.emit(
+                    round as f64,
+                    TraceKind::Birth {
+                        generation: table.max_generation(),
+                    },
+                );
+            }
             if table.max_generation() > parent_gen && !matches!(cfg.record, RecordLevel::Outcome) {
                 let g = table.max_generation();
                 births.push(GenerationBirth {
@@ -450,6 +505,24 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
         }
     }
 
+    if let Some(t) = tracker.epsilon_time() {
+        tracer.emit(
+            t,
+            TraceKind::Milestone {
+                name: "epsilon-converged",
+                value: t,
+            },
+        );
+    }
+    if let Some(t) = tracker.consensus_time() {
+        tracer.emit(
+            t,
+            TraceKind::Milestone {
+                name: "consensus",
+                value: t,
+            },
+        );
+    }
     let outcome = RunOutcome {
         n: n as u64,
         k: k as u32,
@@ -468,6 +541,7 @@ fn run_sync(cfg: &SyncConfig) -> SyncResult {
         two_choices_rounds,
         newest_generation_fraction: newest_frac,
         winner_fraction: winner_frac,
+        trace: tracer.finish(),
     }
 }
 
@@ -660,6 +734,46 @@ mod tests {
             .with_scenario(Scenario::new())
             .run();
         assert_eq!(default, explicit);
+    }
+
+    #[test]
+    fn tracing_off_is_bitwise_identical_to_default() {
+        let assignment = InitialAssignment::with_bias(1_500, 3, 2.5).unwrap();
+        let default = SyncConfig::new(assignment.clone()).with_seed(57).run();
+        let explicit = SyncConfig::new(assignment)
+            .with_seed(57)
+            .with_trace(false)
+            .run();
+        assert_eq!(default, explicit);
+        assert!(default.trace.is_none());
+    }
+
+    #[test]
+    fn tracing_on_changes_nothing_but_the_trace() {
+        let assignment = InitialAssignment::with_bias(1_500, 3, 2.5).unwrap();
+        let plain = SyncConfig::new(assignment.clone()).with_seed(58).run();
+        let traced = SyncConfig::new(assignment)
+            .with_seed(58)
+            .with_trace(true)
+            .run();
+        let events = traced.trace.clone().expect("trace recorded");
+        assert!(!events.is_empty());
+        assert!(events.windows(2).all(|w| w[0].time <= w[1].time));
+        // One birth event per recorded generation, one milestone per
+        // executed two-choices round.
+        let births = events
+            .iter()
+            .filter(|e| e.kind.category() == "birth")
+            .count();
+        assert_eq!(births, traced.outcome.generations.len());
+        let tc = events
+            .iter()
+            .filter(|e| e.kind.label() == "two-choices-round")
+            .count();
+        assert_eq!(tc, traced.two_choices_rounds.len());
+        let mut untraced = traced.clone();
+        untraced.trace = None;
+        assert_eq!(untraced, plain, "tracing perturbed the run");
     }
 
     #[test]

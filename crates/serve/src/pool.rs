@@ -33,6 +33,9 @@ pub struct Job {
     /// When the requester stops waiting. Workers skip jobs whose
     /// deadline already passed instead of running them for nobody.
     pub deadline: Instant,
+    /// When the handler submitted the job — the worker records the
+    /// dequeue delay into the queue-wait histogram.
+    pub submitted: Instant,
 }
 
 /// A worker's answer to a [`Job`].
@@ -169,6 +172,7 @@ mod tests {
                 key: key.to_string(),
                 reply: tx,
                 deadline: Instant::now() + Duration::from_secs(5),
+                submitted: Instant::now(),
             },
             rx,
         )

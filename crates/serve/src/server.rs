@@ -32,12 +32,11 @@
 use crate::cache::ReportCache;
 use crate::http::{read_request, ReadOutcome, Request, Response};
 use crate::pool::{Job, JobQueue, JobReply, SubmitError};
-use crate::stats::ServerStats;
+use crate::stats::{duration_us, ServerStats};
 use plurality_api::{Registry, RunSpec};
 use std::io::BufReader;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::Ordering;
 use std::sync::mpsc::{sync_channel, RecvTimeoutError};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -215,7 +214,12 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
         let keep_alive = request.keep_alive();
         let is_drain =
             request.path == "/admin/drain" && matches!(request.method.as_str(), "GET" | "POST");
+        let started = Instant::now();
         let response = route(&request, inner);
+        inner
+            .stats
+            .request_latency_us
+            .record(duration_us(started.elapsed()));
         let written = response.write_to(&mut write_half, keep_alive).is_ok();
         if is_drain {
             // Acknowledge *before* closing the queue: once the drain
@@ -231,7 +235,7 @@ fn handle_connection(stream: TcpStream, inner: &Arc<Inner>) {
 }
 
 fn route(request: &Request, inner: &Arc<Inner>) -> Response {
-    ServerStats::bump(&inner.stats.requests);
+    inner.stats.requests.inc();
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => {
             if inner.queue.is_draining() {
@@ -270,7 +274,7 @@ fn route(request: &Request, inner: &Arc<Inner>) -> Response {
 
 fn handle_run(request: &Request, inner: &Arc<Inner>) -> Response {
     let Some(raw_spec) = request.query_value("spec") else {
-        ServerStats::bump(&inner.stats.rejected_bad_spec);
+        inner.stats.rejected_bad_spec.inc();
         return Response::error(
             400,
             "missing `spec` query parameter, e.g. /run?spec=sync%3Fn%3D1000%26k%3D4",
@@ -279,7 +283,7 @@ fn handle_run(request: &Request, inner: &Arc<Inner>) -> Response {
     let spec = match RunSpec::parse(raw_spec) {
         Ok(spec) => spec,
         Err(e) => {
-            ServerStats::bump(&inner.stats.rejected_bad_spec);
+            inner.stats.rejected_bad_spec.inc();
             return Response::error(400, e.to_string());
         }
     };
@@ -288,7 +292,7 @@ fn handle_run(request: &Request, inner: &Arc<Inner>) -> Response {
         Some(raw_seed) => match raw_seed.parse::<u64>() {
             Ok(seed) => spec.with("seed", seed),
             Err(_) => {
-                ServerStats::bump(&inner.stats.rejected_bad_spec);
+                inner.stats.rejected_bad_spec.inc();
                 return Response::error(
                     400,
                     format!("`seed` must be an unsigned integer, got {raw_seed:?}"),
@@ -302,12 +306,12 @@ fn handle_run(request: &Request, inner: &Arc<Inner>) -> Response {
     let key = spec.to_string();
 
     if let Some(body) = inner.cache.get(&key) {
-        ServerStats::bump(&inner.stats.cache_hits);
+        inner.stats.cache_hits.inc();
         return Response::ok(body.to_string()).with_header("X-Cache", "hit");
     }
 
     if let Err(e) = inner.registry.validate_only(&spec) {
-        ServerStats::bump(&inner.stats.rejected_bad_spec);
+        inner.stats.rejected_bad_spec.inc();
         return Response::error(400, e.to_string());
     }
 
@@ -317,11 +321,12 @@ fn handle_run(request: &Request, inner: &Arc<Inner>) -> Response {
         key,
         reply: reply_tx,
         deadline,
+        submitted: Instant::now(),
     };
     match inner.queue.try_submit(job) {
         Ok(()) => {}
         Err(SubmitError::Full { depth }) => {
-            ServerStats::bump(&inner.stats.rejected_busy);
+            inner.stats.rejected_busy.inc();
             let retry_after = retry_after_secs(inner, depth);
             return Response::error(429, format!("queue full ({depth} jobs pending)"))
                 .with_header("Retry-After", retry_after.to_string());
@@ -341,18 +346,18 @@ fn handle_run(request: &Request, inner: &Arc<Inner>) -> Response {
             result: Err(reason),
             ..
         }) => {
-            ServerStats::bump(&inner.stats.internal_errors);
+            inner.stats.internal_errors.inc();
             Response::error(500, reason)
         }
         Err(RecvTimeoutError::Timeout) => {
-            ServerStats::bump(&inner.stats.deadline_exceeded);
+            inner.stats.deadline_exceeded.inc();
             Response::error(503, "deadline exceeded before a worker finished the run").with_header(
                 "Retry-After",
                 retry_after_secs(inner, inner.queue.depth()).to_string(),
             )
         }
         Err(RecvTimeoutError::Disconnected) => {
-            ServerStats::bump(&inner.stats.internal_errors);
+            inner.stats.internal_errors.inc();
             Response::error(500, "worker dropped the job without replying")
         }
     }
@@ -368,15 +373,19 @@ fn retry_after_secs(inner: &Inner, depth: usize) -> u64 {
 
 fn worker_loop(inner: &Arc<Inner>) {
     while let Some(job) = inner.queue.pop_blocking() {
+        inner
+            .stats
+            .queue_wait_us
+            .record(duration_us(job.submitted.elapsed()));
         if Instant::now() >= job.deadline {
             // The requester already got its 503 — don't run for nobody.
-            ServerStats::bump(&inner.stats.deadline_exceeded);
+            inner.stats.deadline_exceeded.inc();
             continue;
         }
         // Coalesce: an identical request may have populated the cache
         // while this job sat in the queue.
         if let Some(body) = inner.cache.get(&job.key) {
-            ServerStats::bump(&inner.stats.cache_hits);
+            inner.stats.cache_hits.inc();
             let _ = job.reply.send(JobReply {
                 result: Ok(body),
                 from_cache: true,
@@ -392,12 +401,11 @@ fn worker_loop(inner: &Arc<Inner>) {
         }));
         let result = match outcome {
             Ok(Ok(text)) => {
-                let elapsed = started.elapsed().as_micros().min(u128::from(u64::MAX)) as u64;
                 inner
                     .stats
-                    .service_micros
-                    .fetch_add(elapsed, Ordering::Relaxed);
-                ServerStats::bump(&inner.stats.cache_misses);
+                    .service_time_us
+                    .record(duration_us(started.elapsed()));
+                inner.stats.cache_misses.inc();
                 let body: Arc<str> = Arc::from(text.as_str());
                 inner.cache.insert(key, Arc::clone(&body));
                 Ok(body)

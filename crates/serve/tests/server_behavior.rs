@@ -40,7 +40,7 @@ fn routing_covers_health_metrics_stats_and_the_error_paths() {
     assert_eq!(metrics.status, 200);
     assert!(metrics
         .body
-        .contains("# TYPE plurality_requests_total gauge"));
+        .contains("# TYPE plurality_requests_total counter"));
     assert!(metrics.body.contains("plurality_cache_misses_total 1\n"));
 
     let stats = get(&mut client, "/stats");

@@ -48,4 +48,4 @@ pub mod queue;
 
 pub use clock::PoissonClock;
 pub use metrics::{EventLog, Series};
-pub use queue::{CalendarQueue, EventQueue, HeapQueue};
+pub use queue::{CalendarQueue, EventQueue, HeapQueue, QueueProfile, ResizeRecord};

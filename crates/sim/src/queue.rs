@@ -22,6 +22,35 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+/// Always-on operation counters both queue implementations keep —
+/// plain integer increments on paths that already mutate the queue, so
+/// they cost nothing measurable and consume no RNG. Engines surface
+/// them through their profiling hooks so `perf_snapshot` can localize a
+/// regression (more pops? resize churn?) instead of only seeing wall
+/// time move.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueProfile {
+    /// Events scheduled.
+    pub pushes: u64,
+    /// Events popped.
+    pub pops: u64,
+    /// Bucket-array resizes (always 0 for [`HeapQueue`]).
+    pub resizes: u64,
+}
+
+/// One calendar-queue resize, timestamped with the simulated clock —
+/// recorded only when tracing is opted in via
+/// [`CalendarQueue::set_trace`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResizeRecord {
+    /// Simulated time (`now`) when the resize fired.
+    pub at: f64,
+    /// New bucket count.
+    pub buckets: u64,
+    /// New bucket width.
+    pub width: f64,
+}
+
 /// The event queue used by the engines: [`CalendarQueue`] by default,
 /// [`HeapQueue`] when the `legacy-heap` cargo feature is enabled. Both
 /// types expose the same API and the same `(time, seq)` pop order, so the
@@ -91,6 +120,7 @@ pub struct HeapQueue<E> {
     heap: BinaryHeap<QueueEntry<E>>,
     seq: u64,
     now: f64,
+    profile: QueueProfile,
 }
 
 impl<E> HeapQueue<E> {
@@ -100,6 +130,7 @@ impl<E> HeapQueue<E> {
             heap: BinaryHeap::new(),
             seq: 0,
             now: 0.0,
+            profile: QueueProfile::default(),
         }
     }
 
@@ -109,7 +140,23 @@ impl<E> HeapQueue<E> {
             heap: BinaryHeap::with_capacity(capacity),
             seq: 0,
             now: 0.0,
+            profile: QueueProfile::default(),
         }
+    }
+
+    /// Operation counters since construction (resizes are always 0 for
+    /// the heap).
+    pub fn profile(&self) -> QueueProfile {
+        self.profile
+    }
+
+    /// Opt-in resize tracing: a no-op for the heap (it never resizes),
+    /// kept so the [`EventQueue`] alias exposes one API.
+    pub fn set_trace(&mut self, _enabled: bool) {}
+
+    /// Drains the recorded resize log: always empty for the heap.
+    pub fn take_resize_log(&mut self) -> Vec<ResizeRecord> {
+        Vec::new()
     }
 
     /// The current simulation time: the timestamp of the last popped event
@@ -153,6 +200,7 @@ impl<E> HeapQueue<E> {
             event,
         };
         self.seq += 1;
+        self.profile.pushes += 1;
         self.heap.push(entry);
     }
 
@@ -174,6 +222,7 @@ impl<E> HeapQueue<E> {
     pub fn pop(&mut self) -> Option<(f64, E)> {
         let entry = self.heap.pop()?;
         self.now = entry.time;
+        self.profile.pops += 1;
         Some((entry.time, entry.event))
     }
 
@@ -335,6 +384,12 @@ pub struct CalendarQueue<E> {
     /// any mutation that can move the front (pops, resizes); updated in
     /// place by a schedule that beats it.
     front: Option<(f64, u64, usize, usize, usize)>,
+    /// Always-on operation counters (pushes / pops / resizes).
+    profile: QueueProfile,
+    /// Opt-in resize log (`Some` iff tracing is enabled); timestamps are
+    /// the simulated clock, so the log is a pure function of the
+    /// schedule and consumes no RNG.
+    resize_log: Option<Vec<ResizeRecord>>,
 }
 
 impl<E> CalendarQueue<E> {
@@ -353,7 +408,37 @@ impl<E> CalendarQueue<E> {
             examined_since_tune: 0,
             last_tune_now: 0.0,
             front: None,
+            profile: QueueProfile::default(),
+            resize_log: None,
         }
+    }
+
+    /// Operation counters since construction.
+    pub fn profile(&self) -> QueueProfile {
+        self.profile
+    }
+
+    /// Opt-in resize tracing: when enabled, every subsequent resize is
+    /// recorded as a [`ResizeRecord`] retrievable via
+    /// [`CalendarQueue::take_resize_log`]. Off by default; toggling
+    /// never affects scheduling, popping, or tuning decisions.
+    pub fn set_trace(&mut self, enabled: bool) {
+        if enabled {
+            if self.resize_log.is_none() {
+                self.resize_log = Some(Vec::new());
+            }
+        } else {
+            self.resize_log = None;
+        }
+    }
+
+    /// Drains the recorded resize log (empty unless tracing was enabled
+    /// via [`CalendarQueue::set_trace`]).
+    pub fn take_resize_log(&mut self) -> Vec<ResizeRecord> {
+        self.resize_log
+            .as_mut()
+            .map(std::mem::take)
+            .unwrap_or_default()
     }
 
     /// Creates an empty queue. The capacity hint is ignored: the bucket
@@ -476,6 +561,7 @@ impl<E> CalendarQueue<E> {
             event,
         };
         self.seq += 1;
+        self.profile.pushes += 1;
         let bi = (vb & self.mask) as usize;
         self.buckets[bi].push(entry);
         self.len += 1;
@@ -511,6 +597,7 @@ impl<E> CalendarQueue<E> {
         self.len -= 1;
         self.now = entry.time;
         self.cursor = entry.vb;
+        self.profile.pops += 1;
         self.pops_since_tune += 1;
         // A direct-search fallback scanned everything; bill it as such.
         self.examined_since_tune += if examined == usize::MAX {
@@ -640,6 +727,14 @@ impl<E> CalendarQueue<E> {
         self.pops_since_tune = 0;
         self.examined_since_tune = 0;
         self.last_tune_now = self.now;
+        self.profile.resizes += 1;
+        if let Some(log) = self.resize_log.as_mut() {
+            log.push(ResizeRecord {
+                at: self.now,
+                buckets: nbuckets as u64,
+                width,
+            });
+        }
     }
 }
 

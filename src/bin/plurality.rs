@@ -28,6 +28,7 @@ use plurality::check::{
     Limits, SearchOrder, VerdictSummary,
 };
 use plurality::dist::{ChannelPattern, Latency, WaitingTime};
+use plurality::obs::{export, TraceFormat};
 use plurality::serve::{ServeConfig, Server};
 use std::collections::HashMap;
 use std::process::ExitCode;
@@ -147,11 +148,76 @@ fn resolve_spec(spec: &RunSpec) -> Result<Resolved, String> {
         .map_err(|e: SpecError| e.message().to_string())
 }
 
-fn cmd_spec(raw: &str) -> Result<ExitCode, String> {
-    let spec = RunSpec::parse(raw).map_err(|e| e.message().to_string())?;
-    let resolved = resolve_spec(&spec)?;
-    print_report(&resolved.run());
+/// `--trace-out FILE` (+ optional `--trace-format jsonl|chrome`) on the
+/// `run` subcommand: an output option, not a spec parameter — it rides
+/// along with `--spec` and never reaches the registry.
+#[derive(Debug)]
+struct TraceOut {
+    path: String,
+    format: TraceFormat,
+}
+
+impl TraceOut {
+    fn format_name(&self) -> &'static str {
+        match self.format {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Chrome => "chrome",
+        }
+    }
+}
+
+/// Extracts the trace output flags from a `run` invocation.
+/// `--trace-format` without `--trace-out` is a mistake (where would the
+/// trace go?), not a request for a default destination.
+fn parse_trace_out(args: &Args) -> Result<Option<TraceOut>, String> {
+    let path = args.options.get("trace-out");
+    let format = args.options.get("trace-format");
+    match (path, format) {
+        (None, None) => Ok(None),
+        (None, Some(_)) => Err("--trace-format needs --trace-out FILE".to_string()),
+        (Some(path), format) => {
+            if path.is_empty() {
+                return Err("flag --trace-out has an empty value".to_string());
+            }
+            Ok(Some(TraceOut {
+                path: path.clone(),
+                format: format.map_or(Ok(TraceFormat::Jsonl), |f| f.parse())?,
+            }))
+        }
+    }
+}
+
+/// Runs a resolved spec, prints the unified report, and — when
+/// `--trace-out` asked for it — flips the trace knob and writes the
+/// structured event stream to disk. Tracing consumes no process RNG, so
+/// the printed report is byte-identical with or without it.
+fn run_and_report(mut resolved: Resolved, trace_out: Option<TraceOut>) -> Result<ExitCode, String> {
+    if trace_out.is_some() {
+        resolved.config = resolved.config.with_trace(true);
+    }
+    let report = resolved.run();
+    print_report(&report);
+    if let Some(out) = trace_out {
+        // The urn engine (mean-field, no discrete events) reports no
+        // trace; an empty-but-well-formed file beats a missing one.
+        let events = report.trace.as_deref().unwrap_or_default();
+        let file = std::fs::File::create(&out.path)
+            .map_err(|e| format!("--trace-out {}: {e}", out.path))?;
+        export(events, out.format, std::io::BufWriter::new(file))
+            .map_err(|e| format!("--trace-out {}: {e}", out.path))?;
+        println!(
+            "trace:               {} events -> {} ({})",
+            events.len(),
+            out.path,
+            out.format_name()
+        );
+    }
     Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_spec(raw: &str, trace_out: Option<TraceOut>) -> Result<ExitCode, String> {
+    let spec = RunSpec::parse(raw).map_err(|e| e.message().to_string())?;
+    run_and_report(resolve_spec(&spec)?, trace_out)
 }
 
 fn cmd_list() -> Result<ExitCode, String> {
@@ -174,16 +240,26 @@ fn cmd_list() -> Result<ExitCode, String> {
     Ok(ExitCode::SUCCESS)
 }
 
+/// Flags of `run` that shape its *output* rather than the run itself;
+/// they ride along with `--spec` and never become spec parameters.
+const RUN_OUTPUT_FLAGS: [&str; 2] = ["trace-out", "trace-format"];
+
 fn cmd_run(args: &Args) -> Result<ExitCode, String> {
+    let trace_out = parse_trace_out(args)?;
     if let Some(raw) = args.options.get("spec") {
-        if args.options.len() > 1 {
+        let extra = args
+            .options
+            .keys()
+            .any(|k| k != "spec" && !RUN_OUTPUT_FLAGS.contains(&k.as_str()));
+        if extra {
             return Err(
                 "--spec is self-contained; pass parameters inside the spec string \
-                 instead of as extra flags"
+                 instead of as extra flags (only the output options --trace-out and \
+                 --trace-format ride along)"
                     .to_string(),
             );
         }
-        return cmd_spec(raw);
+        return cmd_spec(raw, trace_out);
     }
     let protocol = args.get_str("protocol", "sync");
     // Reject unknown protocols before any flag-compatibility diagnosis,
@@ -230,7 +306,10 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
     let mut keys: Vec<&String> = args.options.keys().collect();
     keys.sort(); // deterministic parameter order in errors and Display
     for key in keys {
-        if key == "protocol" || (key == "loss" && drop_zero_loss) {
+        if key == "protocol"
+            || RUN_OUTPUT_FLAGS.contains(&key.as_str())
+            || (key == "loss" && drop_zero_loss)
+        {
             continue;
         }
         let value = &args.options[key];
@@ -250,9 +329,7 @@ fn cmd_run(args: &Args) -> Result<ExitCode, String> {
         }
         spec = spec.with(key, value);
     }
-    let resolved = resolve_spec(&spec)?;
-    print_report(&resolved.run());
-    Ok(ExitCode::SUCCESS)
+    run_and_report(resolve_spec(&spec)?, trace_out)
 }
 
 fn cmd_time_unit(args: &Args) -> Result<ExitCode, String> {
@@ -436,6 +513,8 @@ const USAGE: &str = "usage:
   plurality --spec \"PROTOCOL?key=value&key=value…\"
   plurality --list                        (registered protocols and their parameters)
   plurality run --protocol PROTOCOL [--key value …]
+                [--trace-out FILE [--trace-format jsonl|chrome]]
+  plurality run --spec \"…\" [--trace-out FILE [--trace-format jsonl|chrome]]
   plurality serve [--addr HOST:PORT] [--workers N] [--queue Q] [--cache-mb M]
                   [--deadline-secs S]
   plurality time-unit [--latency SPEC] [--pattern single|multi] [--samples M] [--seed S]
@@ -448,6 +527,12 @@ const USAGE: &str = "usage:
 the safety properties of the leader / cluster state machines; --trace
 prints minimal counterexample or witness schedules. Exit status is
 nonzero on any violation, truncation, or --expect-* mismatch.
+
+`run --trace-out FILE` writes the structured run trace (phase
+transitions, generation births, window crossings, scenario effects) as
+JSONL, or as Chrome trace-event JSON with --trace-format chrome (load
+it in chrome://tracing or Perfetto). Tracing never perturbs the run:
+the RNG stream is byte-identical with the knob on or off.
 
 `run` flags and `--spec` parameters are the same grammar. Common keys:
   n, k, alpha, epsilon, seed, record, topology, scenario, max
@@ -485,7 +570,7 @@ fn main() -> ExitCode {
     // a whole run a single string, so no subcommand is needed.
     let result = match raw.first().map(String::as_str) {
         Some("--spec") => match raw.get(1) {
-            Some(spec) if raw.len() == 2 => cmd_spec(spec),
+            Some(spec) if raw.len() == 2 => cmd_spec(spec, None),
             _ => Err("--spec takes exactly one argument (the spec string)".to_string()),
         },
         Some("--list") | Some("list") => cmd_list(),
@@ -557,6 +642,45 @@ mod tests {
         assert!(args.options.contains_key("trace"));
         // Other flags still require explicit values.
         assert!(parse_args(&expand_boolean_flags(&raw(&["check", "--n"]))).is_err());
+    }
+
+    #[test]
+    fn trace_out_flags_parse_with_a_jsonl_default() {
+        let args = parse_args(&raw(&["run", "--spec", "sync", "--trace-out", "t.jsonl"])).unwrap();
+        let out = parse_trace_out(&args).unwrap().unwrap();
+        assert_eq!(
+            (out.path.as_str(), out.format),
+            ("t.jsonl", TraceFormat::Jsonl)
+        );
+
+        let args = parse_args(&raw(&[
+            "run",
+            "--trace-out",
+            "t.json",
+            "--trace-format",
+            "chrome",
+        ]))
+        .unwrap();
+        let out = parse_trace_out(&args).unwrap().unwrap();
+        assert_eq!(out.format, TraceFormat::Chrome);
+
+        // No trace flags → no trace.
+        let args = parse_args(&raw(&["run", "--protocol", "sync"])).unwrap();
+        assert!(parse_trace_out(&args).unwrap().is_none());
+    }
+
+    #[test]
+    fn trace_format_alone_and_bad_values_are_rejected() {
+        let args = parse_args(&raw(&["run", "--trace-format", "chrome"])).unwrap();
+        assert!(parse_trace_out(&args)
+            .unwrap_err()
+            .contains("--trace-out FILE"));
+
+        let args = parse_args(&raw(&["run", "--trace-out", "t", "--trace-format", "xml"])).unwrap();
+        assert!(parse_trace_out(&args).unwrap_err().contains("xml"));
+
+        let args = parse_args(&raw(&["run", "--trace-out", ""])).unwrap();
+        assert!(parse_trace_out(&args).unwrap_err().contains("empty"));
     }
 
     #[test]

@@ -24,6 +24,9 @@
 //! * [`sim`] — discrete-event engine (`plurality-sim`)
 //! * [`core`] — the paper's protocols (`plurality-core`)
 //! * [`baselines`] — comparison dynamics (`plurality-baselines`)
+//! * [`obs`] — zero-dependency observability: metrics registry,
+//!   log-bucket histograms, and deterministic run tracing
+//!   (`plurality-obs`)
 //! * [`stats`] — statistics and reporting (`plurality-stats`)
 //! * [`par`] — deterministic parallel execution (`plurality-par`)
 //! * [`topology`] — communication graphs and peer samplers
@@ -63,6 +66,7 @@ pub use plurality_baselines as baselines;
 pub use plurality_check as check;
 pub use plurality_core as core;
 pub use plurality_dist as dist;
+pub use plurality_obs as obs;
 pub use plurality_par as par;
 pub use plurality_scenario as scenario;
 pub use plurality_serve as serve;

@@ -1,5 +1,6 @@
 //! Integration tests for the `plurality` CLI binary.
 
+use std::path::PathBuf;
 use std::process::Command;
 
 fn plurality(args: &[&str]) -> std::process::Output {
@@ -7,6 +8,19 @@ fn plurality(args: &[&str]) -> std::process::Output {
         .args(args)
         .output()
         .expect("binary runs")
+}
+
+fn plurality_env(args: &[&str], envs: &[(&str, &str)]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_plurality"))
+        .args(args)
+        .envs(envs.iter().copied())
+        .output()
+        .expect("binary runs")
+}
+
+/// A per-test scratch path that multiple test binaries can't collide on.
+fn scratch(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("plurality-cli-{}-{name}", std::process::id()))
 }
 
 #[test]
@@ -288,6 +302,151 @@ fn spec_and_flags_produce_identical_output() {
     let by_spec = plurality(&["--spec", "sync?n=800&k=2&alpha=3.0&seed=1"]);
     assert!(by_flags.status.success() && by_spec.status.success());
     assert_eq!(by_flags.stdout, by_spec.stdout);
+}
+
+/// Minimal structural validation of the Chrome trace-event format:
+/// a `traceEvents` array of objects each carrying the keys
+/// `chrome://tracing` / Perfetto require for instant events.
+fn assert_chrome_trace_schema(text: &str) {
+    assert!(text.starts_with("{\"traceEvents\":["), "envelope: {text}");
+    assert!(text.trim_end().ends_with("]}"), "envelope: {text}");
+    let events: Vec<&str> = text
+        .lines()
+        .filter(|l| l.trim_start().starts_with('{') && l.contains("\"ph\""))
+        .collect();
+    assert!(!events.is_empty(), "a leader run must emit events: {text}");
+    for ev in events {
+        for key in [
+            "\"name\":",
+            "\"cat\":",
+            "\"ph\":\"i\"",
+            "\"pid\":",
+            "\"tid\":",
+            "\"args\":",
+        ] {
+            assert!(ev.contains(key), "event missing {key}: {ev}");
+        }
+        // `ts` must be an integer (microseconds), not a float.
+        let ts = ev
+            .split("\"ts\":")
+            .nth(1)
+            .and_then(|rest| rest.split(',').next())
+            .expect("ts field");
+        assert!(
+            ts.parse::<u64>().is_ok(),
+            "ts `{ts}` is not an integer: {ev}"
+        );
+    }
+}
+
+#[test]
+fn trace_out_chrome_writes_a_loadable_trace_file() {
+    let path = scratch("chrome.json");
+    let out = plurality(&[
+        "run",
+        "--spec",
+        "leader?n=256&k=2&seed=1&c1=9.3",
+        "--trace-out",
+        path.to_str().unwrap(),
+        "--trace-format",
+        "chrome",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("trace:"), "{stdout}");
+    let text = std::fs::read_to_string(&path).expect("trace file written");
+    assert_chrome_trace_schema(&text);
+    std::fs::remove_file(&path).ok();
+}
+
+#[test]
+fn trace_out_jsonl_is_identical_across_thread_counts() {
+    // The trace is part of the deterministic run contract: the same
+    // seeded spec must produce byte-identical JSONL no matter how many
+    // worker threads the process is allowed.
+    let spec = "leader?n=256&k=2&seed=1&c1=9.3";
+    let mut bodies = Vec::new();
+    for threads in ["1", "4"] {
+        let path = scratch(&format!("jsonl-t{threads}"));
+        let out = plurality_env(
+            &["run", "--spec", spec, "--trace-out", path.to_str().unwrap()],
+            &[("PLURALITY_THREADS", threads)],
+        );
+        assert!(
+            out.status.success(),
+            "stderr: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        bodies.push(std::fs::read(&path).expect("trace file written"));
+        std::fs::remove_file(&path).ok();
+    }
+    assert!(!bodies[0].is_empty(), "leader trace must not be empty");
+    assert_eq!(
+        bodies[0], bodies[1],
+        "trace bytes differ across PLURALITY_THREADS"
+    );
+    // Every line is a JSON object with the stable field set.
+    let text = String::from_utf8(bodies[0].clone()).unwrap();
+    for line in text.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(
+            line.contains("\"t\":") && line.contains("\"event\":"),
+            "{line}"
+        );
+    }
+}
+
+#[test]
+fn trace_flags_ride_along_with_spec_but_parameters_do_not() {
+    // Output options are exempt from the self-contained rule…
+    let path = scratch("ridealong.jsonl");
+    let out = plurality(&[
+        "run",
+        "--spec",
+        "sync?n=400&k=2&alpha=3.0&seed=1",
+        "--trace-out",
+        path.to_str().unwrap(),
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&path).ok();
+    // …but run parameters still are not.
+    let out = plurality(&["run", "--spec", "sync?n=400", "--seed", "2"]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("self-contained"), "stderr: {stderr}");
+
+    // --trace-format without a destination is a teaching error.
+    let out = plurality(&["run", "--spec", "sync?n=400", "--trace-format", "chrome"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--trace-out"));
+}
+
+#[test]
+fn tracing_does_not_change_the_printed_report() {
+    let spec = "cluster?n=400&k=2&alpha=3.0&seed=9&c1=12.0";
+    let plain = plurality(&["run", "--spec", spec]);
+    let path = scratch("report-invariance.jsonl");
+    let traced = plurality(&["run", "--spec", spec, "--trace-out", path.to_str().unwrap()]);
+    assert!(plain.status.success() && traced.status.success());
+    std::fs::remove_file(&path).ok();
+    let plain = String::from_utf8_lossy(&plain.stdout);
+    let traced = String::from_utf8_lossy(&traced.stdout);
+    // The traced run prints one extra `trace:` line; everything else is
+    // byte-identical.
+    let traced_without: Vec<&str> = traced
+        .lines()
+        .filter(|l| !l.starts_with("trace:"))
+        .collect();
+    assert_eq!(plain.lines().collect::<Vec<_>>(), traced_without);
+    assert!(traced.lines().any(|l| l.starts_with("trace:")), "{traced}");
 }
 
 #[test]
