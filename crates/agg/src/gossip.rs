@@ -1,0 +1,493 @@
+//! Mean-field backends for the synchronous gossip baselines: 3-majority
+//! and undecided-state dynamics on the clique.
+//!
+//! Both dynamics are *anonymous*: a node's next state depends only on its
+//! own cell and on iid uniform samples of the current configuration. On
+//! the complete graph the cells are therefore exchangeable pools, and
+//! one synchronous round is an exact multinomial scatter of each pool
+//! over its outcome distribution:
+//!
+//! * **3-majority** — the next color never depends on the node's *own*
+//!   color (it is a pure function of the three samples), so the whole
+//!   population is a single pool: one `Multinomial(n; p)` per round with
+//!   the closed-form outcome law
+//!   `p_j = f_j²(3 − 2 f_j) + f_j((1 − f_j)² − (m₂ − f_j²))`,
+//!   `m₂ = Σᵢ fᵢ²` (first term: at least two samples show `j`; second:
+//!   all three distinct with `j` among them, uniform tie-break). A unit
+//!   test checks this against brute-force enumeration of all `k³`
+//!   ordered sample triples.
+//! * **undecided-state** — per-cell splits: an undecided node adopts its
+//!   single sample verbatim (colors and undecided alike); a decided node
+//!   keeps its color when the sample agrees or is undecided, else turns
+//!   undecided — a single conditioned binomial per color cell.
+//!
+//! The per-node engine (`plurality_baselines::Dynamics`) samples uniform
+//! *neighbors* (excluding self); the mean-field law samples the whole
+//! population. The difference is `O(1/n)` per draw and vanishes in the
+//! cross-validation tolerance even at `n` in the hundreds.
+
+use plurality_core::{ConvergenceTracker, OpinionCounts, RunOutcome};
+use plurality_dist::rng::Xoshiro256PlusPlus;
+use plurality_dist::{multinomial_split, sample_multinomial, InvalidParameterError};
+
+use crate::biased_counts;
+
+/// Index of the undecided pool in [`UndecidedMfResult`] cell vectors —
+/// always the last entry, after the `k` color cells.
+pub const UNDECIDED_CELL: usize = usize::MAX;
+
+/// Default round cap shared with the per-node dynamics:
+/// `200·log₂ n + 200`.
+fn default_round_cap(n: u64) -> u64 {
+    (200.0 * (n as f64).log2()).ceil() as u64 + 200
+}
+
+/// Configuration for a mean-field 3-majority run (facade spec name
+/// `"majority3-mf"`).
+///
+/// # Examples
+///
+/// ```
+/// use plurality_agg::Majority3MfConfig;
+/// let r = Majority3MfConfig::new(1_000_000_000, 5, 3.0).unwrap().with_seed(1).run();
+/// assert!(r.outcome.plurality_preserved());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Majority3MfConfig {
+    counts: Vec<u64>,
+    epsilon: f64,
+    seed: u64,
+    max_rounds: Option<u64>,
+}
+
+impl Majority3MfConfig {
+    /// Creates a configuration with the canonical biased start: opinion 0
+    /// leads by the multiplicative factor `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] for invalid `(n, k, alpha)`.
+    pub fn new(n: u64, k: u32, alpha: f64) -> Result<Self, InvalidParameterError> {
+        Ok(Self::from_counts(biased_counts(n, k, alpha)?))
+    }
+
+    /// Creates a configuration from explicit per-opinion counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        Self {
+            counts,
+            epsilon: 0.05,
+            seed: 0,
+            max_rounds: None,
+        }
+    }
+
+    /// Sets ε for ε-convergence reporting (default 0.05).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ [0, 1]`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must lie in [0, 1]");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of rounds (default `200·log₂ n + 200`).
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Runs the mean-field 3-majority dynamic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total population is below 2.
+    pub fn run(&self) -> Majority3MfResult {
+        let k = self.counts.len();
+        let n: u64 = self.counts.iter().sum();
+        assert!(n >= 2, "mean-field run needs at least 2 nodes");
+        let nf = n as f64;
+        let mut rng = Xoshiro256PlusPlus::from_u64(self.seed);
+
+        let mut counts = OpinionCounts::from_counts(self.counts.clone());
+        let initial_winner = counts.winner().expect("non-empty population");
+        let initial_bias = counts.bias().unwrap_or(f64::INFINITY);
+        let max_rounds = self.max_rounds.unwrap_or_else(|| default_round_cap(n));
+
+        let mut tracker = ConvergenceTracker::new(n, initial_winner, self.epsilon);
+        let observe = |c: &OpinionCounts, tracker: &mut ConvergenceTracker, t: f64| {
+            let max = c.as_slice().iter().copied().max().unwrap_or(0);
+            tracker.observe(t, c.support(initial_winner), max);
+        };
+        observe(&counts, &mut tracker, 0.0);
+
+        let mut rounds = 0u64;
+        if !counts.is_monochromatic() {
+            let mut probs = vec![0.0f64; k];
+            for round in 1..=max_rounds {
+                rounds = round;
+                let m2: f64 = counts
+                    .as_slice()
+                    .iter()
+                    .map(|&c| {
+                        let f = c as f64 / nf;
+                        f * f
+                    })
+                    .sum();
+                for (p, &c) in probs.iter_mut().zip(counts.as_slice()) {
+                    let f = c as f64 / nf;
+                    let two_agree = f * f * (3.0 - 2.0 * f);
+                    let all_distinct = f * ((1.0 - f) * (1.0 - f) - (m2 - f * f));
+                    *p = (two_agree + all_distinct).max(0.0);
+                }
+                counts = OpinionCounts::from_counts(sample_multinomial(n, &probs, &mut rng));
+                observe(&counts, &mut tracker, round as f64);
+                if counts.is_monochromatic() {
+                    break;
+                }
+            }
+        }
+
+        let outcome = RunOutcome {
+            n,
+            k: k as u32,
+            initial_winner,
+            initial_bias,
+            final_counts: counts,
+            epsilon_time: tracker.epsilon_time(),
+            consensus_time: tracker.consensus_time(),
+            duration: rounds as f64,
+            generations: Vec::new(),
+        };
+        Majority3MfResult { outcome, rounds }
+    }
+}
+
+/// Result of a mean-field 3-majority run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Majority3MfResult {
+    /// Common outcome report.
+    pub outcome: RunOutcome,
+    /// Rounds simulated.
+    pub rounds: u64,
+}
+
+/// Configuration for a mean-field undecided-state run (facade spec name
+/// `"undecided-mf"`).
+///
+/// # Examples
+///
+/// ```
+/// use plurality_agg::UndecidedMfConfig;
+/// let r = UndecidedMfConfig::new(1_000_000_000, 2, 3.0).unwrap().with_seed(1).run();
+/// assert!(r.outcome.plurality_preserved());
+/// assert!(r.peak_undecided > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct UndecidedMfConfig {
+    counts: Vec<u64>,
+    epsilon: f64,
+    seed: u64,
+    max_rounds: Option<u64>,
+}
+
+impl UndecidedMfConfig {
+    /// Creates a configuration with the canonical biased start (all nodes
+    /// decided; opinion 0 leads by `alpha`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] for invalid `(n, k, alpha)`.
+    pub fn new(n: u64, k: u32, alpha: f64) -> Result<Self, InvalidParameterError> {
+        Ok(Self::from_counts(biased_counts(n, k, alpha)?))
+    }
+
+    /// Creates a configuration from explicit per-opinion counts (no node
+    /// starts undecided).
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        Self {
+            counts,
+            epsilon: 0.05,
+            seed: 0,
+            max_rounds: None,
+        }
+    }
+
+    /// Sets ε for ε-convergence reporting (default 0.05).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ [0, 1]`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        assert!((0.0..=1.0).contains(&epsilon), "epsilon must lie in [0, 1]");
+        self.epsilon = epsilon;
+        self
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Caps the number of rounds (default `200·log₂ n + 200`).
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.max_rounds = Some(max_rounds);
+        self
+    }
+
+    /// Runs the mean-field undecided-state dynamic.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total population is below 2.
+    pub fn run(&self) -> UndecidedMfResult {
+        let k = self.counts.len();
+        let n: u64 = self.counts.iter().sum();
+        assert!(n >= 2, "mean-field run needs at least 2 nodes");
+        let nf = n as f64;
+        let mut rng = Xoshiro256PlusPlus::from_u64(self.seed);
+
+        let mut counts: Vec<u64> = self.counts.clone();
+        let mut undecided: u64 = 0;
+        let initial = OpinionCounts::from_counts(counts.clone());
+        let initial_winner = initial.winner().expect("non-empty population");
+        let initial_bias = initial.bias().unwrap_or(f64::INFINITY);
+        let max_rounds = self.max_rounds.unwrap_or_else(|| default_round_cap(n));
+
+        let mut tracker = ConvergenceTracker::new(n, initial_winner, self.epsilon);
+        let winner_idx = initial_winner.index() as usize;
+        // Consensus additionally requires that no node is undecided, so
+        // the max-support channel reports 0 while any pool member is —
+        // mirroring the per-node dynamics engine.
+        let observe = |c: &[u64], u: u64, tracker: &mut ConvergenceTracker, t: f64| {
+            let max = c.iter().copied().max().unwrap_or(0);
+            tracker.observe(t, c[winner_idx], if u == 0 { max } else { 0 });
+        };
+        observe(&counts, undecided, &mut tracker, 0.0);
+
+        let mono = |c: &[u64], u: u64| u == 0 && c.iter().filter(|&&x| x > 0).count() <= 1;
+        let mut peak_undecided = 0.0f64;
+        let mut rounds = 0u64;
+
+        if !mono(&counts, undecided) {
+            // Scatter layout: k color cells then the undecided cell.
+            let mut probs = vec![0.0f64; k + 1];
+            let mut next = vec![0u64; k + 1];
+            for round in 1..=max_rounds {
+                rounds = round;
+                next.iter_mut().for_each(|c| *c = 0);
+                let fu = undecided as f64 / nf;
+                // Undecided pool: adopt the single sample verbatim.
+                if undecided > 0 {
+                    for (p, &c) in probs.iter_mut().zip(counts.iter()) {
+                        *p = c as f64 / nf;
+                    }
+                    probs[k] = fu;
+                    let scattered = sample_multinomial(undecided, &probs, &mut rng);
+                    for (t, s) in next.iter_mut().zip(scattered) {
+                        *t += s;
+                    }
+                }
+                // Decided pools: stay on agreement or an undecided
+                // sample, else turn undecided — one conditioned binomial
+                // per color cell.
+                for c in 0..k {
+                    let m = counts[c];
+                    if m == 0 {
+                        continue;
+                    }
+                    let fc = counts[c] as f64 / nf;
+                    let disagree = (1.0 - fc - fu).clamp(0.0, 1.0);
+                    let stayed = multinomial_split(m, &[(k, disagree)], &mut next, &mut rng);
+                    next[c] += stayed;
+                }
+                counts.copy_from_slice(&next[..k]);
+                undecided = next[k];
+                peak_undecided = peak_undecided.max(undecided as f64 / nf);
+                observe(&counts, undecided, &mut tracker, round as f64);
+                if mono(&counts, undecided) {
+                    break;
+                }
+            }
+        }
+
+        let outcome = RunOutcome {
+            n,
+            k: k as u32,
+            initial_winner,
+            initial_bias,
+            final_counts: OpinionCounts::from_counts(counts),
+            epsilon_time: tracker.epsilon_time(),
+            consensus_time: tracker.consensus_time(),
+            duration: rounds as f64,
+            generations: Vec::new(),
+        };
+        UndecidedMfResult {
+            outcome,
+            rounds,
+            peak_undecided,
+        }
+    }
+}
+
+/// Result of a mean-field undecided-state run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UndecidedMfResult {
+    /// Common outcome report (undecided nodes are excluded from
+    /// `final_counts`, like the per-node engine).
+    pub outcome: RunOutcome,
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// Peak fraction of simultaneously undecided nodes.
+    pub peak_undecided: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_core::Opinion;
+
+    /// Brute-force 3-majority outcome law: enumerate all k³ ordered
+    /// sample triples with their probabilities.
+    fn brute_force_majority3_probs(fracs: &[f64]) -> Vec<f64> {
+        let k = fracs.len();
+        let mut probs = vec![0.0f64; k];
+        for a in 0..k {
+            for b in 0..k {
+                for c in 0..k {
+                    let p = fracs[a] * fracs[b] * fracs[c];
+                    if a == b || a == c {
+                        probs[a] += p;
+                    } else if b == c {
+                        probs[b] += p;
+                    } else {
+                        // All distinct: uniform tie-break among the three.
+                        probs[a] += p / 3.0;
+                        probs[b] += p / 3.0;
+                        probs[c] += p / 3.0;
+                    }
+                }
+            }
+        }
+        probs
+    }
+
+    #[test]
+    fn closed_form_majority3_law_matches_enumeration() {
+        for fracs in [
+            vec![0.5, 0.3, 0.2],
+            vec![0.25, 0.25, 0.25, 0.25],
+            vec![0.7, 0.1, 0.1, 0.05, 0.05],
+            vec![1.0, 0.0],
+        ] {
+            let brute = brute_force_majority3_probs(&fracs);
+            let m2: f64 = fracs.iter().map(|f| f * f).sum();
+            for (j, &f) in fracs.iter().enumerate() {
+                let closed = f * f * (3.0 - 2.0 * f) + f * ((1.0 - f) * (1.0 - f) - (m2 - f * f));
+                assert!(
+                    (closed - brute[j]).abs() < 1e-12,
+                    "fracs {fracs:?}, color {j}: closed {closed} vs brute {}",
+                    brute[j]
+                );
+            }
+            assert!((brute.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn majority3_converges_and_preserves_plurality() {
+        let r = Majority3MfConfig::new(1_000_000, 5, 3.0)
+            .unwrap()
+            .with_seed(1)
+            .run();
+        assert!(r.outcome.consensus_time.is_some(), "did not converge");
+        assert!(r.outcome.plurality_preserved());
+        assert_eq!(r.outcome.winner(), Some(Opinion::new(0)));
+        assert_eq!(r.outcome.final_counts.n(), 1_000_000);
+    }
+
+    #[test]
+    fn majority3_handles_billion_nodes() {
+        let r = Majority3MfConfig::new(1_000_000_000, 8, 2.0)
+            .unwrap()
+            .with_seed(2)
+            .run();
+        assert!(r.outcome.plurality_preserved());
+        assert!(r.rounds < 200, "rounds {}", r.rounds);
+    }
+
+    #[test]
+    fn majority3_deterministic_per_seed() {
+        let a = Majority3MfConfig::new(50_000, 3, 2.0)
+            .unwrap()
+            .with_seed(7)
+            .run();
+        let b = Majority3MfConfig::new(50_000, 3, 2.0)
+            .unwrap()
+            .with_seed(7)
+            .run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn undecided_converges_with_a_transient_undecided_wave() {
+        let r = UndecidedMfConfig::new(1_000_000, 2, 3.0)
+            .unwrap()
+            .with_seed(1)
+            .run();
+        assert!(r.outcome.consensus_time.is_some(), "did not converge");
+        assert!(r.outcome.plurality_preserved());
+        assert!(
+            r.peak_undecided > 0.0 && r.peak_undecided < 1.0,
+            "peak {}",
+            r.peak_undecided
+        );
+        // Converged: nobody left undecided, so the counts cover n.
+        assert_eq!(r.outcome.final_counts.n(), 1_000_000);
+    }
+
+    #[test]
+    fn undecided_handles_billion_nodes() {
+        let r = UndecidedMfConfig::new(1_000_000_000, 2, 3.0)
+            .unwrap()
+            .with_seed(3)
+            .run();
+        assert!(r.outcome.plurality_preserved());
+        assert!(r.rounds < 300, "rounds {}", r.rounds);
+    }
+
+    #[test]
+    fn undecided_deterministic_per_seed() {
+        let a = UndecidedMfConfig::new(40_000, 3, 2.0)
+            .unwrap()
+            .with_seed(5)
+            .run();
+        let b = UndecidedMfConfig::new(40_000, 3, 2.0)
+            .unwrap()
+            .with_seed(5)
+            .run();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn monochromatic_start_is_instant() {
+        let m = Majority3MfConfig::from_counts(vec![700, 0])
+            .with_seed(4)
+            .run();
+        assert_eq!(m.rounds, 0);
+        assert_eq!(m.outcome.consensus_time, Some(0.0));
+        let u = UndecidedMfConfig::from_counts(vec![700, 0])
+            .with_seed(4)
+            .run();
+        assert_eq!(u.rounds, 0);
+        assert_eq!(u.outcome.consensus_time, Some(0.0));
+    }
+}

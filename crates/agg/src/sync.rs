@@ -1,0 +1,185 @@
+//! Mean-field backend for the synchronous generation protocol
+//! (Algorithm 1).
+//!
+//! The count-pool law for Algorithm 1 already exists in the workspace:
+//! urn mode ([`plurality_core::sync::UrnConfig`]) advances per-
+//! `(generation, color)` cells by exact multinomial splits over each
+//! cell's outcome distribution. This backend is the aggregate layer's
+//! front door onto that law — same exact process law, same seed-to-
+//! result mapping — re-exposed with the aggregate result shape
+//! (`steps` / `pool_splits` accounting) that the `sync-mf` facade
+//! protocol reports. Keeping one implementation of the law (rather than
+//! a second copy here) is what makes the "bitwise or law-preserving"
+//! guarantee in DESIGN.md checkable: both spec names drive the identical
+//! sampler call sequence.
+
+use plurality_core::sync::{UrnConfig, UrnResult};
+use plurality_core::RunOutcome;
+use plurality_dist::InvalidParameterError;
+
+/// Configuration for a mean-field synchronous run (facade spec name
+/// `"sync-mf"`).
+///
+/// # Examples
+///
+/// ```
+/// use plurality_agg::SyncMfConfig;
+/// // One hundred million nodes in milliseconds.
+/// let r = SyncMfConfig::new(100_000_000, 8, 1.5).unwrap().with_seed(2).run();
+/// assert!(r.outcome.plurality_preserved());
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncMfConfig {
+    inner: UrnConfig,
+    k: u32,
+}
+
+impl SyncMfConfig {
+    /// Creates a configuration with the paper's canonical biased start:
+    /// opinion 0 leads by the multiplicative factor `alpha`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`InvalidParameterError`] for invalid `(n, k, alpha)`
+    /// combinations.
+    pub fn new(n: u64, k: u32, alpha: f64) -> Result<Self, InvalidParameterError> {
+        Ok(Self {
+            inner: UrnConfig::new(n, k, alpha)?,
+            k,
+        })
+    }
+
+    /// Creates a configuration from explicit per-opinion counts.
+    pub fn from_counts(counts: Vec<u64>) -> Self {
+        let k = counts.len() as u32;
+        Self {
+            inner: UrnConfig::from_counts(counts),
+            k,
+        }
+    }
+
+    /// Sets the generation-density threshold `γ ∈ (0, 1)` (default 1/2).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma ∉ (0, 1)`.
+    pub fn with_gamma(mut self, gamma: f64) -> Self {
+        self.inner = self.inner.with_gamma(gamma);
+        self
+    }
+
+    /// Sets ε for ε-convergence reporting (default 0.05).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epsilon ∉ [0, 1]`.
+    pub fn with_epsilon(mut self, epsilon: f64) -> Self {
+        self.inner = self.inner.with_epsilon(epsilon);
+        self
+    }
+
+    /// Sets the RNG seed (default 0).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.inner = self.inner.with_seed(seed);
+        self
+    }
+
+    /// Caps the number of rounds.
+    pub fn with_max_rounds(mut self, max_rounds: u64) -> Self {
+        self.inner = self.inner.with_max_rounds(max_rounds);
+        self
+    }
+
+    /// Overrides the `α₀` used for the schedule.
+    pub fn with_alpha_hint(mut self, alpha: f64) -> Self {
+        self.inner = self.inner.with_alpha_hint(alpha);
+        self
+    }
+
+    /// Runs the mean-field synchronous process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total population is below 2.
+    pub fn run(&self) -> SyncMfResult {
+        let UrnResult {
+            outcome,
+            rounds,
+            g_star,
+        } = self.inner.run();
+        // One multinomial split per live (generation, color) cell per
+        // round; generation rows grow along the schedule, so the exact
+        // split count is data-dependent — report the upper envelope the
+        // engine actually allocated for.
+        let pool_splits = rounds * u64::from(g_star + 1) * u64::from(self.k);
+        SyncMfResult {
+            outcome,
+            rounds,
+            g_star,
+            pool_splits,
+        }
+    }
+}
+
+/// Result of a mean-field synchronous run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncMfResult {
+    /// Common outcome report (generation-birth telemetry included).
+    pub outcome: RunOutcome,
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// The `G*` used by the schedule.
+    pub g_star: u32,
+    /// Upper envelope of multinomial pool splits performed
+    /// (`rounds · (G* + 1) · k`).
+    pub pool_splits: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_core::sync::UrnConfig;
+
+    #[test]
+    fn matches_urn_mode_exactly() {
+        // Same law, same seed → identical outcome: the sync-mf backend
+        // is the aggregate exposure of the urn law, not a reimplementation.
+        let mf = SyncMfConfig::new(1_000_000, 4, 2.0)
+            .unwrap()
+            .with_seed(9)
+            .run();
+        let urn = UrnConfig::new(1_000_000, 4, 2.0)
+            .unwrap()
+            .with_seed(9)
+            .run();
+        assert_eq!(mf.outcome, urn.outcome);
+        assert_eq!(mf.rounds, urn.rounds);
+        assert_eq!(mf.g_star, urn.g_star);
+    }
+
+    #[test]
+    fn handles_hundred_million_nodes_fast() {
+        let start = std::time::Instant::now();
+        let r = SyncMfConfig::new(100_000_000, 8, 1.5)
+            .unwrap()
+            .with_seed(2)
+            .run();
+        assert_eq!(r.outcome.final_counts.n(), 100_000_000);
+        assert!(r.outcome.plurality_preserved());
+        // The acceptance bar is "under a second"; leave slack for CI.
+        assert!(start.elapsed().as_secs() < 10, "took {:?}", start.elapsed());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = SyncMfConfig::new(60_000, 3, 2.0)
+            .unwrap()
+            .with_seed(7)
+            .run();
+        let b = SyncMfConfig::new(60_000, 3, 2.0)
+            .unwrap()
+            .with_seed(7)
+            .run();
+        assert_eq!(a, b);
+    }
+}

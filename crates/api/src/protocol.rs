@@ -1,4 +1,6 @@
-//! The [`Protocol`] trait and its six engine implementations.
+//! The [`Protocol`] trait and its engine implementations — the six
+//! per-node engines plus the five mean-field aggregate (`*-mf`)
+//! backends from `plurality-agg`.
 //!
 //! Each implementation is a plain-data handle carrying only the
 //! genuinely protocol-specific parameters; everything every protocol
@@ -10,6 +12,9 @@
 
 use crate::config::RunConfig;
 use crate::report::Report;
+use plurality_agg::{
+    LeaderMfConfig, Majority3MfConfig, PopulationMfConfig, SyncMfConfig, UndecidedMfConfig,
+};
 use plurality_baselines::{Dynamics, DynamicsConfig, PopulationConfig, PopulationProtocol};
 use plurality_core::cluster::ClusterConfig;
 use plurality_core::leader::LeaderConfig;
@@ -423,6 +428,232 @@ impl Protocol for PopulationEngine {
     }
 }
 
+/// Shared mean-field exemption for the aggregate (`*-mf`) engines: the
+/// count-pool reductions require every node to sample uniformly from
+/// the whole population, so neither topologies nor per-node scenario
+/// events can apply. `per_node` names the agent-based protocol the
+/// teaching error points at.
+fn check_mean_field(
+    name: &str,
+    per_node: &str,
+    cfg: &RunConfig,
+) -> Result<(), InvalidParameterError> {
+    cfg.validate()?;
+    if cfg.topology() != Topology::Complete {
+        return Err(InvalidParameterError::new(format!(
+            "`{name}` advances anonymous count pools and is definitionally \
+             mean-field (= complete graph); run the per-node `{per_node}` \
+             with topology {} instead",
+            cfg.topology().spec()
+        )));
+    }
+    if !cfg.scenario().is_empty() {
+        return Err(InvalidParameterError::new(format!(
+            "`{name}` advances anonymous count pools, so per-node scenario \
+             events do not apply; run the per-node `{per_node}` with the \
+             scenario instead"
+        )));
+    }
+    Ok(())
+}
+
+/// The mean-field synchronous generation protocol — see
+/// [`SyncMfConfig`]. Delegates to the exact urn reduction, so it shares
+/// the urn's law (and RNG stream) while scaling to `n ≈ 10⁹`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SyncMfEngine {
+    /// Generation-density threshold `γ` (engine default 1/2).
+    pub gamma: Option<f64>,
+    /// Overrides the `α₀` used for the schedule.
+    pub alpha_hint: Option<f64>,
+}
+
+impl Protocol for SyncMfEngine {
+    fn name(&self) -> &'static str {
+        "sync-mf"
+    }
+
+    fn check(&self, cfg: &RunConfig) -> Result<(), InvalidParameterError> {
+        check_mean_field("sync-mf", "sync", cfg)
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        self.check(cfg)
+            .expect("sync-mf run config must pass SyncMfEngine::check");
+        let mut c = SyncMfConfig::from_counts(assignment_counts(cfg.assignment(), cfg.seed()))
+            .with_seed(cfg.seed())
+            .with_epsilon(cfg.epsilon());
+        if let Some(gamma) = self.gamma {
+            c = c.with_gamma(gamma);
+        }
+        if let Some(alpha) = self.alpha_hint {
+            c = c.with_alpha_hint(alpha);
+        }
+        if let Some(max) = cfg.max_duration() {
+            c = c.with_max_rounds(max.ceil() as u64);
+        }
+        c.run().into()
+    }
+}
+
+/// The mean-field single-leader protocol — see [`LeaderMfConfig`]. A
+/// tau-leaped jump chain over `(generation, color, freshness)` pools
+/// sharing the per-node engine's thresholds and state machine.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LeaderMfEngine {
+    /// Tau-leap sub-step length in time units, in `(0, 1]` (engine
+    /// default 1/8).
+    pub dt: Option<f64>,
+    /// Overrides the bias `α₀` used for the generation cap.
+    pub alpha_hint: Option<f64>,
+}
+
+impl Protocol for LeaderMfEngine {
+    fn name(&self) -> &'static str {
+        "leader-mf"
+    }
+
+    fn check(&self, cfg: &RunConfig) -> Result<(), InvalidParameterError> {
+        check_mean_field("leader-mf", "leader", cfg)?;
+        if let Some(dt) = self.dt {
+            if !(dt > 0.0 && dt <= 1.0) {
+                return Err(InvalidParameterError::new(format!(
+                    "leader-mf sub-step dt must lie in (0, 1], got {dt}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        self.check(cfg)
+            .expect("leader-mf run config must pass LeaderMfEngine::check");
+        let mut c = LeaderMfConfig::from_counts(assignment_counts(cfg.assignment(), cfg.seed()))
+            .with_seed(cfg.seed())
+            .with_epsilon(cfg.epsilon());
+        if let Some(dt) = self.dt {
+            c = c.with_dt(dt);
+        }
+        if let Some(alpha) = self.alpha_hint {
+            c = c.with_alpha_hint(alpha);
+        }
+        if let Some(max) = cfg.max_duration() {
+            c = c.with_max_time(max);
+        }
+        c.run().into()
+    }
+}
+
+/// The mean-field 3-majority dynamic — see [`Majority3MfConfig`]. One
+/// closed-form multinomial draw per round over the ordered-triple law.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Majority3MfEngine;
+
+impl Protocol for Majority3MfEngine {
+    fn name(&self) -> &'static str {
+        "majority3-mf"
+    }
+
+    fn check(&self, cfg: &RunConfig) -> Result<(), InvalidParameterError> {
+        check_mean_field("majority3-mf", "3-majority", cfg)
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        self.check(cfg)
+            .expect("majority3-mf run config must pass Majority3MfEngine::check");
+        let mut c = Majority3MfConfig::from_counts(assignment_counts(cfg.assignment(), cfg.seed()))
+            .with_seed(cfg.seed())
+            .with_epsilon(cfg.epsilon());
+        if let Some(max) = cfg.max_duration() {
+            c = c.with_max_rounds(max.ceil() as u64);
+        }
+        c.run().into()
+    }
+}
+
+/// The mean-field undecided-state dynamic — see [`UndecidedMfConfig`].
+/// Scatters the undecided pool and each color pool with one conditioned
+/// multinomial per round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct UndecidedMfEngine;
+
+impl Protocol for UndecidedMfEngine {
+    fn name(&self) -> &'static str {
+        "undecided-mf"
+    }
+
+    fn check(&self, cfg: &RunConfig) -> Result<(), InvalidParameterError> {
+        check_mean_field("undecided-mf", "undecided", cfg)
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        self.check(cfg)
+            .expect("undecided-mf run config must pass UndecidedMfEngine::check");
+        let mut c = UndecidedMfConfig::from_counts(assignment_counts(cfg.assignment(), cfg.seed()))
+            .with_seed(cfg.seed())
+            .with_epsilon(cfg.epsilon());
+        if let Some(max) = cfg.max_duration() {
+            c = c.with_max_rounds(max.ceil() as u64);
+        }
+        c.run().into()
+    }
+}
+
+/// The mean-field approximate-majority population protocol — see
+/// [`PopulationMfConfig`]. A negative-binomial jump chain over the four
+/// effective ordered-pair types; like the per-node [`PopulationEngine`]
+/// it is binary, and [`RunConfig::max_duration`] is in parallel time.
+///
+/// The 4-state exact-majority protocol has no aggregate backend: its
+/// `Θ(n²)`-interaction endgame defeats pool batching (see the
+/// `plurality-agg` population module docs). Use the per-node
+/// `exact-majority` spec.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PopulationMfEngine {
+    /// Explicit initial support of opinion A (index 0). `None` derives
+    /// the split from the [`RunConfig`] assignment counts.
+    pub initial_a: Option<u64>,
+}
+
+impl Protocol for PopulationMfEngine {
+    fn name(&self) -> &'static str {
+        "population-mf"
+    }
+
+    fn check(&self, cfg: &RunConfig) -> Result<(), InvalidParameterError> {
+        check_mean_field("population-mf", "approx-majority", cfg)?;
+        if self.initial_a.is_none() && cfg.k() != 2 {
+            return Err(InvalidParameterError::new(format!(
+                "population protocols are binary: k must be 2, got {} \
+                 (or pass the explicit A-count parameter `a`)",
+                cfg.k()
+            )));
+        }
+        if let Some(a) = self.initial_a {
+            if a > cfg.n() {
+                return Err(InvalidParameterError::new(format!(
+                    "initial A-count {a} exceeds the population size {}",
+                    cfg.n()
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    fn run(&self, cfg: &RunConfig) -> Report {
+        self.check(cfg)
+            .expect("population-mf run config must pass PopulationMfEngine::check");
+        let initial_a = self
+            .initial_a
+            .unwrap_or_else(|| assignment_counts(cfg.assignment(), cfg.seed())[0]);
+        let mut c = PopulationMfConfig::new(cfg.n(), initial_a).with_seed(cfg.seed());
+        if let Some(max) = cfg.max_duration() {
+            c = c.with_max_interactions((max * cfg.n() as f64).ceil() as u64);
+        }
+        c.run().into()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -447,6 +678,11 @@ mod tests {
             Box::new(PopulationEngine::new(
                 PopulationProtocol::ApproximateMajority,
             )),
+            Box::new(SyncMfEngine::default()),
+            Box::new(LeaderMfEngine::default()),
+            Box::new(Majority3MfEngine),
+            Box::new(UndecidedMfEngine),
+            Box::new(PopulationMfEngine::default()),
         ];
         for engine in engines {
             engine.check(&cfg).expect("config compatible");
@@ -523,6 +759,86 @@ mod tests {
             .unwrap()
             .with_scenario(Scenario::new().crash(0.2, 5.0));
         assert!(urn.check(&cfg).is_err());
+    }
+
+    #[test]
+    fn mean_field_engines_reject_topology_and_scenario_with_teaching_errors() {
+        let engines: Vec<(Box<dyn Protocol>, &str)> = vec![
+            (Box::new(SyncMfEngine::default()), "sync"),
+            (Box::new(LeaderMfEngine::default()), "leader"),
+            (Box::new(Majority3MfEngine), "3-majority"),
+            (Box::new(UndecidedMfEngine), "undecided"),
+            (Box::new(PopulationMfEngine::default()), "approx-majority"),
+        ];
+        for (engine, per_node) in engines {
+            let cfg = RunConfig::with_bias(1_000, 2, 2.0)
+                .unwrap()
+                .with_topology(Topology::Ring);
+            let err = engine.check(&cfg).unwrap_err();
+            assert!(err.to_string().contains("mean-field"), "{err}");
+            assert!(err.to_string().contains(engine.name()), "{err}");
+            assert!(err.to_string().contains(per_node), "{err}");
+
+            let cfg = RunConfig::with_bias(1_000, 2, 2.0)
+                .unwrap()
+                .with_scenario(Scenario::new().crash(0.2, 5.0));
+            let err = engine.check(&cfg).unwrap_err();
+            assert!(err.to_string().contains("scenario"), "{err}");
+            assert!(err.to_string().contains(per_node), "{err}");
+        }
+    }
+
+    #[test]
+    fn sync_mf_teaching_error_is_pinned() {
+        let cfg = RunConfig::with_bias(1_000, 2, 2.0)
+            .unwrap()
+            .with_topology(Topology::Ring);
+        let err = SyncMfEngine::default().check(&cfg).unwrap_err();
+        assert_eq!(
+            err.to_string(),
+            "invalid distribution parameter: `sync-mf` advances anonymous count \
+             pools and is definitionally mean-field (= complete graph); run the \
+             per-node `sync` with topology ring instead"
+        );
+    }
+
+    #[test]
+    fn leader_mf_rejects_out_of_range_dt() {
+        let cfg = RunConfig::with_bias(1_000, 2, 2.0).unwrap();
+        let engine = LeaderMfEngine {
+            dt: Some(1.5),
+            ..Default::default()
+        };
+        let err = engine.check(&cfg).unwrap_err();
+        assert!(err.to_string().contains("(0, 1]"), "{err}");
+    }
+
+    #[test]
+    fn sync_mf_facade_matches_urn_outcome() {
+        // sync-mf delegates to the exact urn reduction, so the facade
+        // runs agree bitwise at the same seed.
+        let cfg = RunConfig::with_bias(50_000, 3, 2.0).unwrap().with_seed(7);
+        let urn = UrnEngine::default().run(&cfg);
+        let mf = SyncMfEngine::default().run(&cfg);
+        assert_eq!(mf.outcome, urn.outcome);
+        assert_eq!(mf.rounds(), urn.rounds());
+        assert_eq!(mf.g_star(), urn.g_star());
+    }
+
+    #[test]
+    fn population_mf_rejects_non_binary_assignments() {
+        let engine = PopulationMfEngine::default();
+        let cfg = RunConfig::with_bias(300, 3, 2.0).unwrap();
+        let err = engine.check(&cfg).unwrap_err();
+        assert!(err.to_string().contains("binary"), "{err}");
+        // An explicit A-count sidesteps the k = 2 requirement.
+        let with_a = PopulationMfEngine {
+            initial_a: Some(200),
+        };
+        assert!(with_a.check(&cfg).is_ok());
+        let report = with_a.run(&cfg);
+        assert_eq!(report.protocol, "population-mf");
+        assert_eq!(report.outcome.n, 300);
     }
 
     #[test]

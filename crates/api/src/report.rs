@@ -1,6 +1,9 @@
 //! The unified run report: one common [`RunOutcome`] plus a typed
 //! [`Telemetry`] enum preserving every engine-specific field.
 
+use plurality_agg::{
+    LeaderMfResult, Majority3MfResult, PopulationMfResult, SyncMfResult, UndecidedMfResult,
+};
 use plurality_baselines::{Dynamics, DynamicsResult, PopulationProtocol, PopulationResult};
 use plurality_core::cluster::{ClusterResult, PhaseLogEntry};
 use plurality_core::leader::{GenerationPhase, LeaderResult};
@@ -71,6 +74,15 @@ pub enum Telemetry {
     Gossip(GossipTelemetry),
     /// A two-opinion population protocol.
     Population(PopulationTelemetry),
+    /// The mean-field synchronous generation protocol (`sync-mf`).
+    SyncMf(SyncMfTelemetry),
+    /// The mean-field single-leader protocol (`leader-mf`).
+    LeaderMf(LeaderMfTelemetry),
+    /// A mean-field gossip dynamic (`majority3-mf`, `undecided-mf`).
+    GossipMf(GossipMfTelemetry),
+    /// The mean-field approximate-majority population protocol
+    /// (`population-mf`).
+    PopulationMf(PopulationMfTelemetry),
 }
 
 /// Telemetry of a [`SyncResult`] beyond the shared outcome.
@@ -177,34 +189,88 @@ pub struct PopulationTelemetry {
     pub converged: bool,
 }
 
+/// Telemetry of a [`SyncMfResult`] beyond the shared outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SyncMfTelemetry {
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// The `G*` used by the schedule.
+    pub g_star: u32,
+    /// Upper envelope of multinomial pool splits performed.
+    pub pool_splits: u64,
+}
+
+/// Telemetry of a [`LeaderMfResult`] beyond the shared outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LeaderMfTelemetry {
+    /// Tau-leap sub-steps executed (the cost measure replacing ticks).
+    pub sub_steps: u64,
+    /// The `c₁` time-unit estimate shared with the per-node engine.
+    pub steps_per_unit: f64,
+    /// The leader's final allowed generation.
+    pub leader_generation: u32,
+    /// Whether the leader ended terminal.
+    pub leader_terminal: bool,
+}
+
+/// Telemetry of a mean-field gossip dynamic ([`Majority3MfResult`] or
+/// [`UndecidedMfResult`]) beyond the shared outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GossipMfTelemetry {
+    /// Which dynamic's mean-field law ran.
+    pub dynamics: Dynamics,
+    /// Rounds simulated.
+    pub rounds: u64,
+    /// Peak fraction of undecided nodes (always 0 except for
+    /// [`Dynamics::Undecided`]).
+    pub peak_undecided: f64,
+}
+
+/// Telemetry of a [`PopulationMfResult`] beyond the shared outcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PopulationMfTelemetry {
+    /// Total interactions accounted for, skipped steps included.
+    pub interactions: u64,
+    /// State-changing interactions actually sampled.
+    pub effective_interactions: u64,
+    /// Jump-chain batches executed.
+    pub batches: u64,
+    /// Whether the run converged.
+    pub converged: bool,
+}
+
 impl Report {
     /// Rounds simulated, for the round-based engines (sync, urn, gossip
-    /// dynamics).
+    /// dynamics, and their mean-field counterparts).
     pub fn rounds(&self) -> Option<u64> {
         match &self.telemetry {
             Telemetry::Sync(t) => Some(t.rounds),
             Telemetry::Urn(t) => Some(t.rounds),
             Telemetry::Gossip(t) => Some(t.rounds),
+            Telemetry::SyncMf(t) => Some(t.rounds),
+            Telemetry::GossipMf(t) => Some(t.rounds),
             _ => None,
         }
     }
 
     /// The generation target `G*`, for the schedule-driven engines
-    /// (sync, urn).
+    /// (sync, urn, sync-mf).
     pub fn g_star(&self) -> Option<u32> {
         match &self.telemetry {
             Telemetry::Sync(t) => Some(t.g_star),
             Telemetry::Urn(t) => Some(t.g_star),
+            Telemetry::SyncMf(t) => Some(t.g_star),
             _ => None,
         }
     }
 
     /// The time-unit length `C1` in steps, for the event-driven engines
-    /// (leader, cluster).
+    /// (leader, cluster, leader-mf).
     pub fn steps_per_unit(&self) -> Option<f64> {
         match &self.telemetry {
             Telemetry::Leader(t) => Some(t.steps_per_unit),
             Telemetry::Cluster(t) => Some(t.steps_per_unit),
+            Telemetry::LeaderMf(t) => Some(t.steps_per_unit),
             _ => None,
         }
     }
@@ -238,6 +304,7 @@ impl Report {
     pub fn interactions(&self) -> Option<u64> {
         match &self.telemetry {
             Telemetry::Population(t) => Some(t.interactions),
+            Telemetry::PopulationMf(t) => Some(t.interactions),
             _ => None,
         }
     }
@@ -246,6 +313,7 @@ impl Report {
     pub fn peak_undecided(&self) -> Option<f64> {
         match &self.telemetry {
             Telemetry::Gossip(t) => Some(t.peak_undecided),
+            Telemetry::GossipMf(t) => Some(t.peak_undecided),
             _ => None,
         }
     }
@@ -403,6 +471,109 @@ impl From<DynamicsResult> for Report {
                 peak_undecided,
             }),
             trace,
+        }
+    }
+}
+
+impl From<SyncMfResult> for Report {
+    fn from(r: SyncMfResult) -> Self {
+        let SyncMfResult {
+            outcome,
+            rounds,
+            g_star,
+            pool_splits,
+        } = r;
+        Report {
+            protocol: "sync-mf",
+            outcome,
+            telemetry: Telemetry::SyncMf(SyncMfTelemetry {
+                rounds,
+                g_star,
+                pool_splits,
+            }),
+            trace: None,
+        }
+    }
+}
+
+impl From<LeaderMfResult> for Report {
+    fn from(r: LeaderMfResult) -> Self {
+        let LeaderMfResult {
+            outcome,
+            sub_steps,
+            steps_per_unit,
+            leader_generation,
+            leader_terminal,
+        } = r;
+        Report {
+            protocol: "leader-mf",
+            outcome,
+            telemetry: Telemetry::LeaderMf(LeaderMfTelemetry {
+                sub_steps,
+                steps_per_unit,
+                leader_generation,
+                leader_terminal,
+            }),
+            trace: None,
+        }
+    }
+}
+
+impl From<Majority3MfResult> for Report {
+    fn from(r: Majority3MfResult) -> Self {
+        let Majority3MfResult { outcome, rounds } = r;
+        Report {
+            protocol: "majority3-mf",
+            outcome,
+            telemetry: Telemetry::GossipMf(GossipMfTelemetry {
+                dynamics: Dynamics::ThreeMajority,
+                rounds,
+                peak_undecided: 0.0,
+            }),
+            trace: None,
+        }
+    }
+}
+
+impl From<UndecidedMfResult> for Report {
+    fn from(r: UndecidedMfResult) -> Self {
+        let UndecidedMfResult {
+            outcome,
+            rounds,
+            peak_undecided,
+        } = r;
+        Report {
+            protocol: "undecided-mf",
+            outcome,
+            telemetry: Telemetry::GossipMf(GossipMfTelemetry {
+                dynamics: Dynamics::Undecided,
+                rounds,
+                peak_undecided,
+            }),
+            trace: None,
+        }
+    }
+}
+
+impl From<PopulationMfResult> for Report {
+    fn from(r: PopulationMfResult) -> Self {
+        let PopulationMfResult {
+            outcome,
+            interactions,
+            effective_interactions,
+            batches,
+            converged,
+        } = r;
+        Report {
+            protocol: "population-mf",
+            outcome,
+            telemetry: Telemetry::PopulationMf(PopulationMfTelemetry {
+                interactions,
+                effective_interactions,
+                batches,
+                converged,
+            }),
+            trace: None,
         }
     }
 }

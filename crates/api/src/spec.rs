@@ -21,7 +21,8 @@
 
 use crate::config::RunConfig;
 use crate::protocol::{
-    ClusterEngine, GossipEngine, LeaderEngine, PopulationEngine, Protocol, SyncEngine, UrnEngine,
+    ClusterEngine, GossipEngine, LeaderEngine, LeaderMfEngine, Majority3MfEngine, PopulationEngine,
+    PopulationMfEngine, Protocol, SyncEngine, SyncMfEngine, UndecidedMfEngine, UrnEngine,
 };
 use crate::report::Report;
 use plurality_baselines::{Dynamics, PopulationProtocol};
@@ -235,6 +236,31 @@ impl KeyValues<'_> {
         self.parse(key, "an integer")
     }
 
+    /// Like [`KeyValues::get_u64`] but also accepting scientific
+    /// notation (`1e8`, `2.5e6`) for the large counts the aggregate
+    /// engines take, as long as the value denotes an exact non-negative
+    /// integer below `2^53` (where `f64` is still exact).
+    fn get_count(&self, key: &str) -> Result<Option<u64>, SpecError> {
+        let Some(raw) = self.0.get(key) else {
+            return Ok(None);
+        };
+        if let Ok(v) = raw.parse::<u64>() {
+            return Ok(Some(v));
+        }
+        let err = || {
+            SpecError::new(format!(
+                "parameter `{key}`: `{raw}` is not an integer (scientific \
+                 notation like 1e8 is accepted when it denotes an exact \
+                 non-negative integer)"
+            ))
+        };
+        let x: f64 = raw.parse().map_err(|_| err())?;
+        if !(x.is_finite() && x >= 0.0 && x.fract() == 0.0 && x <= 9.007_199_254_740_992e15) {
+            return Err(err());
+        }
+        Ok(Some(x as u64))
+    }
+
     fn get_u32(&self, key: &str) -> Result<Option<u32>, SpecError> {
         self.parse(key, "an integer")
     }
@@ -294,7 +320,10 @@ impl ProtocolEntry {
 /// The common parameter keys every protocol accepts, with help strings
 /// (`--list` prints them; unknown-key errors cite them).
 pub const COMMON_KEYS: [(&str, &str); 9] = [
-    ("n", "population size (default 10000)"),
+    (
+        "n",
+        "population size (default 10000; scientific notation like 1e8 accepted)",
+    ),
     (
         "k",
         "number of opinions (default 4; 2 for population protocols)",
@@ -456,7 +485,7 @@ fn build_population(
     fn build(protocol: PopulationProtocol, kv: &KeyValues) -> Result<Box<dyn Protocol>, SpecError> {
         Ok(Box::new(PopulationEngine {
             protocol,
-            initial_a: kv.get_u64("a")?,
+            initial_a: kv.get_count("a")?,
         }))
     }
     match protocol {
@@ -465,6 +494,42 @@ fn build_population(
         }
         PopulationProtocol::ExactMajority => |kv| build(PopulationProtocol::ExactMajority, kv),
     }
+}
+
+fn build_sync_mf(kv: &KeyValues) -> Result<Box<dyn Protocol>, SpecError> {
+    let gamma = match kv.get_f64("gamma")? {
+        Some(g) if !(g > 0.0 && g < 1.0) => {
+            return Err(SpecError::new(format!(
+                "parameter `gamma` must lie in (0, 1), got {g}"
+            )))
+        }
+        other => other,
+    };
+    Ok(Box::new(SyncMfEngine {
+        gamma,
+        ..Default::default()
+    }))
+}
+
+fn build_leader_mf(kv: &KeyValues) -> Result<Box<dyn Protocol>, SpecError> {
+    let dt = match kv.get_f64("dt")? {
+        Some(dt) if !(dt > 0.0 && dt <= 1.0) => {
+            return Err(SpecError::new(format!(
+                "parameter `dt` must lie in (0, 1], got {dt}"
+            )))
+        }
+        other => other,
+    };
+    Ok(Box::new(LeaderMfEngine {
+        dt,
+        ..Default::default()
+    }))
+}
+
+fn build_population_mf(kv: &KeyValues) -> Result<Box<dyn Protocol>, SpecError> {
+    Ok(Box::new(PopulationMfEngine {
+        initial_a: kv.get_count("a")?,
+    }))
 }
 
 const GAMMA_HELP: &str = "generation-density threshold γ in (0, 1) (default 0.5)";
@@ -478,9 +543,11 @@ pub struct Registry {
 }
 
 impl Registry {
-    /// The standard registry covering all six engines (ten protocol
-    /// names: the four gossip dynamics and the two population protocols
-    /// are separate entries of their shared engines).
+    /// The standard registry covering every engine — fifteen protocol
+    /// names: the six per-node engines (the four gossip dynamics and
+    /// the two population protocols are separate entries of their
+    /// shared engines) plus the five mean-field aggregate (`*-mf`)
+    /// backends from `plurality-agg`.
     pub fn standard() -> &'static Registry {
         static REGISTRY: OnceLock<Registry> = OnceLock::new();
         REGISTRY.get_or_init(|| Registry {
@@ -578,6 +645,46 @@ impl Registry {
                     default_k: 2,
                     build: build_population(PopulationProtocol::ExactMajority),
                 },
+                ProtocolEntry {
+                    name: "sync-mf",
+                    aliases: &[],
+                    summary: "mean-field aggregate sync engine (exact urn law, n up to ~1e9)",
+                    keys: &[("gamma", GAMMA_HELP)],
+                    default_k: 4,
+                    build: build_sync_mf,
+                },
+                ProtocolEntry {
+                    name: "leader-mf",
+                    aliases: &[],
+                    summary: "mean-field aggregate single-leader engine (tau-leaped pools, n up to ~1e9)",
+                    keys: &[("dt", "tau-leap sub-step in time units, in (0, 1] (default 0.125)")],
+                    default_k: 4,
+                    build: build_leader_mf,
+                },
+                ProtocolEntry {
+                    name: "majority3-mf",
+                    aliases: &["3-majority-mf"],
+                    summary: "mean-field aggregate 3-majority dynamic (closed-form round law)",
+                    keys: &[],
+                    default_k: 4,
+                    build: |_| Ok(Box::new(Majority3MfEngine)),
+                },
+                ProtocolEntry {
+                    name: "undecided-mf",
+                    aliases: &["undecided-state-mf"],
+                    summary: "mean-field aggregate undecided-state dynamic",
+                    keys: &[],
+                    default_k: 4,
+                    build: |_| Ok(Box::new(UndecidedMfEngine)),
+                },
+                ProtocolEntry {
+                    name: "population-mf",
+                    aliases: &["approx-majority-mf"],
+                    summary: "mean-field aggregate approximate-majority jump chain (n up to ~1e9)",
+                    keys: &[("a", "initial support of opinion A (default: from n, k=2, alpha)")],
+                    default_k: 2,
+                    build: build_population_mf,
+                },
             ],
         })
     }
@@ -645,7 +752,7 @@ impl Registry {
         }
 
         let kv = KeyValues(spec);
-        let n = kv.get_u64("n")?.unwrap_or(10_000);
+        let n = kv.get_count("n")?.unwrap_or(10_000);
         let k = kv.get_u32("k")?.unwrap_or(entry.default_k);
         let alpha = kv.get_f64("alpha")?.unwrap_or(2.0);
         let mut config = RunConfig::with_bias(n, k, alpha)?;
@@ -844,6 +951,8 @@ mod tests {
             ("sync?epsilon=2", "`epsilon`"),
             ("sync?max=-1", "`max`"),
             ("cluster?leader-prob=0", "`leader-prob`"),
+            ("leader-mf?dt=2", "`dt`"),
+            ("sync-mf?gamma=0", "`gamma`"),
         ];
         for (spec, needle) in cases {
             let err = Registry::standard()
@@ -880,6 +989,57 @@ mod tests {
             let report = run_spec(&spec).unwrap_or_else(|e| panic!("{spec}: {e}"));
             assert_eq!(report.protocol, entry.name());
             assert_eq!(report.outcome.n, 600);
+        }
+    }
+
+    #[test]
+    fn scientific_notation_counts_parse_for_every_entry() {
+        let report = run_spec("sync-mf?n=1e6&k=8&seed=1").unwrap();
+        assert_eq!(report.protocol, "sync-mf");
+        assert_eq!(report.outcome.n, 1_000_000);
+        assert!(report.outcome.plurality_preserved());
+        // The notation is shared with the per-node entries.
+        let report = run_spec("urn?n=1e4&seed=1").unwrap();
+        assert_eq!(report.outcome.n, 10_000);
+    }
+
+    #[test]
+    fn non_integer_counts_are_rejected() {
+        for spec in [
+            "sync?n=1.5",
+            "sync-mf?n=-1e3",
+            "sync-mf?n=1e300",
+            "sync-mf?n=many",
+            "population-mf?a=2.5e0",
+        ] {
+            let err = Registry::standard()
+                .resolve(&RunSpec::parse(spec).unwrap())
+                .unwrap_err();
+            assert!(
+                err.message().contains("`n`") || err.message().contains("`a`"),
+                "{spec}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn mean_field_specs_reject_topology_with_a_teaching_error() {
+        let err = Registry::standard()
+            .resolve(&RunSpec::parse("leader-mf?topology=ring").unwrap())
+            .unwrap_err();
+        assert!(err.message().contains("mean-field"), "{err}");
+        assert!(err.message().contains("`leader`"), "{err}");
+    }
+
+    #[test]
+    fn mean_field_aliases_resolve() {
+        for (alias, canonical) in [
+            ("3-majority-mf", "majority3-mf"),
+            ("undecided-state-mf", "undecided-mf"),
+            ("approx-majority-mf", "population-mf"),
+        ] {
+            let entry = Registry::standard().find(alias).expect(alias);
+            assert_eq!(entry.name(), canonical);
         }
     }
 

@@ -30,9 +30,10 @@
 //! and `protocol`), the shared [`RunOutcome`] fields, and one
 //! telemetry block per engine family whose keys are prefixed with the
 //! [`Telemetry`] variant name (`sync.` / `urn.` / `leader.` /
-//! `cluster.` / `gossip.` / `population.`). Within a block, key order is
-//! fixed; every field of the in-memory report is rendered, so nothing is
-//! lost on the wire.
+//! `cluster.` / `gossip.` / `population.`, plus `sync-mf.` /
+//! `leader-mf.` / `gossip-mf.` / `population-mf.` for the mean-field
+//! aggregate engines). Within a block, key order is fixed; every field
+//! of the in-memory report is rendered, so nothing is lost on the wire.
 //!
 //! ## Stability and determinism
 //!
@@ -248,6 +249,56 @@ fn telemetry_block(out: &mut String, telemetry: &Telemetry) {
                 if t.converged { "1" } else { "0" },
             );
         }
+        Telemetry::SyncMf(t) => {
+            line(out, "telemetry", "sync-mf");
+            line(out, "sync-mf.rounds", t.rounds.to_string());
+            line(out, "sync-mf.g_star", t.g_star.to_string());
+            line(out, "sync-mf.pool_splits", t.pool_splits.to_string());
+        }
+        Telemetry::LeaderMf(t) => {
+            line(out, "telemetry", "leader-mf");
+            line(out, "leader-mf.sub_steps", t.sub_steps.to_string());
+            line(out, "leader-mf.steps_per_unit", float(t.steps_per_unit));
+            line(
+                out,
+                "leader-mf.leader_generation",
+                t.leader_generation.to_string(),
+            );
+            line(
+                out,
+                "leader-mf.leader_terminal",
+                if t.leader_terminal { "1" } else { "0" },
+            );
+        }
+        Telemetry::GossipMf(t) => {
+            line(out, "telemetry", "gossip-mf");
+            line(
+                out,
+                "gossip-mf.dynamics",
+                dynamics_protocol_name(t.dynamics),
+            );
+            line(out, "gossip-mf.rounds", t.rounds.to_string());
+            line(out, "gossip-mf.peak_undecided", float(t.peak_undecided));
+        }
+        Telemetry::PopulationMf(t) => {
+            line(out, "telemetry", "population-mf");
+            line(
+                out,
+                "population-mf.interactions",
+                t.interactions.to_string(),
+            );
+            line(
+                out,
+                "population-mf.effective_interactions",
+                t.effective_interactions.to_string(),
+            );
+            line(out, "population-mf.batches", t.batches.to_string());
+            line(
+                out,
+                "population-mf.converged",
+                if t.converged { "1" } else { "0" },
+            );
+        }
     }
 }
 
@@ -358,6 +409,23 @@ mod tests {
             (
                 "approx-majority?n=400&alpha=3.0&seed=1",
                 "telemetry=population",
+            ),
+            ("sync-mf?n=1e6&k=4&alpha=2.0&seed=1", "telemetry=sync-mf"),
+            (
+                "leader-mf?n=100000&k=2&alpha=3.0&seed=1",
+                "telemetry=leader-mf",
+            ),
+            (
+                "majority3-mf?n=1e6&k=4&alpha=2.0&seed=1",
+                "telemetry=gossip-mf",
+            ),
+            (
+                "undecided-mf?n=1e6&k=4&alpha=2.0&seed=1",
+                "telemetry=gossip-mf",
+            ),
+            (
+                "population-mf?n=1e6&alpha=3.0&seed=1",
+                "telemetry=population-mf",
             ),
         ] {
             let report = run_spec(spec).unwrap();

@@ -1,7 +1,8 @@
 //! Table-driven coverage of the flat [`Report`] accessors: each one must
 //! be `Some` exactly for the telemetry variants it documents, across all
-//! six variants, so a new engine (or a refactor of [`Telemetry`]) cannot
-//! silently widen or narrow an accessor.
+//! ten variants (six per-node plus the four mean-field aggregates), so a
+//! new engine (or a refactor of [`Telemetry`]) cannot silently widen or
+//! narrow an accessor.
 
 use plurality_api::{run_spec, Report, Telemetry};
 
@@ -41,6 +42,10 @@ fn variant_name(report: &Report) -> &'static str {
         Telemetry::Cluster(_) => "Cluster",
         Telemetry::Gossip(_) => "Gossip",
         Telemetry::Population(_) => "Population",
+        Telemetry::SyncMf(_) => "SyncMf",
+        Telemetry::LeaderMf(_) => "LeaderMf",
+        Telemetry::GossipMf(_) => "GossipMf",
+        Telemetry::PopulationMf(_) => "PopulationMf",
     }
 }
 
@@ -50,7 +55,7 @@ fn every_accessor_matches_its_documented_variants() {
     // at `record=full` so their winner-fraction series exists — the
     // matrix marks the *capability*; the record-level dependence is
     // checked separately below.
-    let table: [(&str, &str, Row); 6] = [
+    let table: [(&str, &str, Row); 10] = [
         (
             "sync?n=400&k=2&alpha=2&seed=1&record=full",
             "Sync",
@@ -129,6 +134,66 @@ fn every_accessor_matches_its_documented_variants() {
         (
             "approx-majority?n=400&k=2&alpha=2&seed=1&max=4000000",
             "Population",
+            Row {
+                rounds: false,
+                g_star: false,
+                steps_per_unit: false,
+                ticks: false,
+                phases: false,
+                cluster_count: false,
+                interactions: true,
+                peak_undecided: false,
+                winner_fraction: false,
+            },
+        ),
+        (
+            "sync-mf?n=1e6&k=4&alpha=2&seed=1",
+            "SyncMf",
+            Row {
+                rounds: true,
+                g_star: true,
+                steps_per_unit: false,
+                ticks: false,
+                phases: false,
+                cluster_count: false,
+                interactions: false,
+                peak_undecided: false,
+                winner_fraction: false,
+            },
+        ),
+        (
+            "leader-mf?n=100000&k=2&alpha=3&seed=1",
+            "LeaderMf",
+            Row {
+                rounds: false,
+                g_star: false,
+                steps_per_unit: true,
+                ticks: false,
+                phases: false,
+                cluster_count: false,
+                interactions: false,
+                peak_undecided: false,
+                winner_fraction: false,
+            },
+        ),
+        (
+            "undecided-mf?n=1e6&k=4&alpha=2&seed=1",
+            "GossipMf",
+            Row {
+                rounds: true,
+                g_star: false,
+                steps_per_unit: false,
+                ticks: false,
+                phases: false,
+                cluster_count: false,
+                interactions: false,
+                peak_undecided: true,
+                winner_fraction: false,
+            },
+        ),
+        (
+            "population-mf?n=1e6&alpha=3&seed=1",
+            "PopulationMf",
             Row {
                 rounds: false,
                 g_star: false,

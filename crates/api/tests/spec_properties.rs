@@ -164,7 +164,8 @@ fn rejection_error_messages_are_stable() {
             "paxos",
             "invalid run spec: unknown protocol `paxos` (registered: sync, urn, leader, \
              cluster, pull, two-choices, 3-majority, undecided, approx-majority, \
-             exact-majority)",
+             exact-majority, sync-mf, leader-mf, majority3-mf, undecided-mf, \
+             population-mf)",
         ),
         (
             "sync?loss=0.2",
@@ -179,7 +180,9 @@ fn rejection_error_messages_are_stable() {
         ),
         (
             "sync?n=many",
-            "invalid run spec: parameter `n`: `many` is not an integer",
+            "invalid run spec: parameter `n`: `many` is not an integer (scientific \
+             notation like 1e8 is accepted when it denotes an exact non-negative \
+             integer)",
         ),
         (
             "sync?mode=psychic",

@@ -20,6 +20,7 @@
 //! process exits non-zero if the baseline contains a metric the fresh
 //! snapshot no longer produces (a silently dropped benchmark).
 
+use plurality_agg::{LeaderMfConfig, SyncMfConfig};
 use plurality_core::cluster::ClusterConfig;
 use plurality_core::leader::LeaderConfig;
 use plurality_core::sync::{SyncConfig, UrnConfig};
@@ -239,6 +240,28 @@ fn engine_metrics(metrics: &mut Vec<(String, f64)>, eff: Effort) {
                 .with_seed(2)
                 .run();
             std::hint::black_box(r.rounds);
+        }),
+    ));
+    // Mean-field aggregate keys: cost is rounds × k pools, independent
+    // of n, so these hold the 10⁸-node wall-clock on the trajectory.
+    metrics.push((
+        "engine/sync_mf_n1e8_k8_ms".into(),
+        median_ms(eff.engine_runs, || {
+            let r = SyncMfConfig::new(100_000_000, 8, 1.5)
+                .expect("valid")
+                .with_seed(2)
+                .run();
+            std::hint::black_box(r.rounds);
+        }),
+    ));
+    metrics.push((
+        "engine/leader_mf_n1e8_ms".into(),
+        median_ms(eff.engine_runs, || {
+            let r = LeaderMfConfig::new(100_000_000, 4, 3.0)
+                .expect("valid")
+                .with_seed(2)
+                .run();
+            std::hint::black_box(r.sub_steps);
         }),
     ));
 }

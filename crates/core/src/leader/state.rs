@@ -202,6 +202,41 @@ impl LeaderState {
         }
         None
     }
+
+    /// Equivalent to `count` successive `on_signal(Signal::Generation(i))`
+    /// calls, in O(1). At most one transition can result: if the batch
+    /// crosses the gen-size threshold the generation is born immediately
+    /// and the remaining signals of the batch — now addressed to the
+    /// *previous* generation — are stale and ignored, exactly as they
+    /// would be one at a time. The aggregate (`-mf`) leader engine counts
+    /// whole pools of promotions per step through this path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` exceeds the currently allowed generation.
+    pub fn on_generation_batch(&mut self, i: u32, count: u64) -> Option<LeaderTransition> {
+        assert!(
+            i <= self.generation,
+            "gen-signal {i} exceeds allowed generation {}",
+            self.generation
+        );
+        if i != self.generation || count == 0 {
+            return None;
+        }
+        self.gen_size += count;
+        if self.gen_size >= self.params.gen_size_threshold
+            && self.generation < self.params.generation_cap
+        {
+            self.generation += 1;
+            self.zero_count = 0;
+            self.gen_size = 0;
+            self.propagation = false;
+            return Some(LeaderTransition::GenerationAllowed {
+                generation: self.generation,
+            });
+        }
+        None
+    }
 }
 
 #[cfg(test)]
@@ -354,6 +389,38 @@ mod tests {
             Some(LeaderTransition::PropagationEnabled { generation: 2 })
         );
         assert_eq!(batched.zero_count(), 5);
+    }
+
+    #[test]
+    fn generation_batch_matches_iterated_signals() {
+        let mut batched = LeaderState::new(params());
+        let mut iterated = LeaderState::new(params());
+        // Crossing the threshold mid-batch births the generation and
+        // silently drops the now-stale tail of the batch.
+        let b = batched.on_generation_batch(1, 7);
+        let mut i = None;
+        for _ in 0..7 {
+            // Iterated signals beyond the birth address the old
+            // generation and are ignored.
+            i = iterated.on_signal(Signal::Generation(1)).or(i);
+        }
+        assert_eq!(b, i);
+        assert_eq!(batched, iterated);
+        assert_eq!(batched.generation(), 2);
+        assert_eq!(batched.gen_size(), 0);
+        // Stale batches are no-ops.
+        assert_eq!(batched.on_generation_batch(1, 100), None);
+        assert_eq!(batched.gen_size(), 0);
+        // Sub-threshold batches accumulate.
+        assert_eq!(batched.on_generation_batch(2, 2), None);
+        assert_eq!(batched.gen_size(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds allowed generation")]
+    fn future_generation_batch_panics() {
+        let mut leader = LeaderState::new(params());
+        leader.on_generation_batch(3, 1);
     }
 
     #[test]

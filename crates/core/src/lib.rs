@@ -37,7 +37,7 @@ mod genstate;
 pub mod leader;
 mod opinion;
 mod outcome;
-mod signalflow;
+pub mod signalflow;
 pub mod sync;
 
 pub use genstate::GenerationTable;

@@ -50,7 +50,7 @@ const INVERT_RTOL: f64 = 1e-12;
 /// rate and, when a counting window is armed, the solved time of the next
 /// threshold crossing.
 #[derive(Debug, Clone, PartialEq)]
-pub(crate) struct SignalFlow {
+pub struct SignalFlow {
     /// Latency rate `ν` of the `Exp(ν)` travel law.
     nu: f64,
     /// Current effective send rate (ticking mass × delivery probability).

@@ -8,8 +8,9 @@
 //! current configuration, the next counts of each cell are an exact
 //! multinomial split of the cell's occupants over their common outcome
 //! distribution. Sampling those multinomials (via exact sequential
-//! binomials, [`plurality_dist::sample_binomial`]) reproduces the process
-//! law *exactly* while costing `O((G·k)²)` per round — independent of `n`.
+//! conditioned binomials, [`plurality_dist::multinomial_split`])
+//! reproduces the process law *exactly* while costing `O((G·k)²)` per
+//! round — independent of `n`.
 //!
 //! This makes runs with `n = 10⁹` take milliseconds, which experiment E5
 //! uses to check the bias-squaring chain deep into the asymptotic regime.
@@ -27,7 +28,7 @@ use crate::opinion::OpinionCounts;
 use crate::outcome::{ConvergenceTracker, GenerationBirth, RunOutcome};
 use crate::sync::schedule::{generations_needed, Schedule, GENERATION_CAP};
 use plurality_dist::rng::Xoshiro256PlusPlus;
-use plurality_dist::{sample_binomial, InvalidParameterError};
+use plurality_dist::{multinomial_split, InvalidParameterError};
 
 /// Configuration for an urn-mode synchronous run. Also runnable
 /// through the unified facade (`plurality-api`'s `UrnEngine`, spec name
@@ -302,23 +303,11 @@ fn run_urn(cfg: &UrnConfig) -> UrnResult {
                     if m == 0 {
                         continue;
                     }
-                    let mut remaining = m;
-                    let mut rest_prob = 1.0f64;
-                    for &(t, p) in targets {
-                        if remaining == 0 {
-                            break;
-                        }
-                        let q = (p / rest_prob).clamp(0.0, 1.0);
-                        let moved = sample_binomial(remaining, q, &mut rng);
-                        new_counts[t] += moved;
-                        remaining -= moved;
-                        rest_prob -= p;
-                        if rest_prob <= 0.0 {
-                            break;
-                        }
-                    }
-                    // Whoever is left stays in place.
-                    new_counts[cell(g, c, k)] += remaining;
+                    // Exact multinomial scatter (shared sampler consumes
+                    // the byte-identical binomial stream the hand-rolled
+                    // loop used to); whoever is left stays in place.
+                    let stayed = multinomial_split(m, targets, &mut new_counts, &mut rng);
+                    new_counts[cell(g, c, k)] += stayed;
                 }
             }
 

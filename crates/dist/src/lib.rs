@@ -15,6 +15,9 @@
 //! * [`sample_binomial`] / [`sample_poisson`] — exact O(1) counting-law
 //!   samplers (BTPE and transformed rejection), the workhorses of the
 //!   urn-mode engine that simulates billion-node populations.
+//! * [`multinomial_split`] / [`sample_multinomial`] — exact multinomial
+//!   splits via conditioned sequential binomials, shared by every
+//!   mean-field engine (urn mode and the `plurality-agg` backends).
 //! * [`Latency`], [`ChannelPattern`], [`WaitingTime`] — the edge-latency
 //!   laws with positive aging and the composite channel waiting times
 //!   behind the paper's time unit `C1 = F⁻¹(0.9)` (Figure 1, Remark 14).
@@ -42,6 +45,7 @@ mod alias;
 mod continuous;
 mod discrete;
 mod latency;
+mod multinomial;
 pub mod quantile;
 pub mod rng;
 pub mod special;
@@ -50,6 +54,7 @@ pub use alias::AliasTable;
 pub use continuous::{unit_exp, Exponential, Gamma, Weibull};
 pub use discrete::{sample_binomial, sample_poisson};
 pub use latency::{ChannelPattern, Latency, WaitingTime};
+pub use multinomial::{multinomial_split, sample_multinomial};
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,334 @@
+//! Two-sample goodness-of-fit tests.
+//!
+//! These back the aggregate-vs-per-node cross-validation suite in
+//! `plurality-agg`: the mean-field engines must agree with the per-node
+//! engines *in distribution*, which is asserted with a two-sample
+//! Kolmogorov–Smirnov test on continuous observables (rounds or time to
+//! consensus) and a chi-square homogeneity test on categorical ones
+//! (winner identity, final-support marginals).
+
+use plurality_dist::special::ln_gamma;
+
+/// Result of a two-sample Kolmogorov–Smirnov test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsTest {
+    /// The KS statistic `D = sup_x |F₁(x) − F₂(x)|`.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (Kolmogorov distribution with the
+    /// Stephens small-sample correction).
+    pub p_value: f64,
+}
+
+/// Two-sample Kolmogorov–Smirnov test: are `a` and `b` drawn from the
+/// same continuous distribution?
+///
+/// Ties are handled exactly (the ECDF difference is evaluated after all
+/// equal observations advance), so the test is usable on the integer
+/// round counts the engines report — with the usual caveat that heavy
+/// discreteness makes the asymptotic p-value conservative.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_stats::ks_test;
+/// let same = ks_test(&[1.0, 2.0, 3.0, 4.0], &[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(same.statistic, 0.0);
+/// assert!(same.p_value > 0.999);
+/// ```
+pub fn ks_test(a: &[f64], b: &[f64]) -> KsTest {
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "ks_test: both samples must be non-empty"
+    );
+    assert!(
+        a.iter().chain(b).all(|x| !x.is_nan()),
+        "ks_test: NaN observation"
+    );
+    let mut a: Vec<f64> = a.to_vec();
+    let mut b: Vec<f64> = b.to_vec();
+    a.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    b.sort_by(|x, y| x.partial_cmp(y).expect("no NaN"));
+    let (na, nb) = (a.len(), b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < na || j < nb {
+        // Next jump point of either ECDF; advance through all tied
+        // observations before comparing, so ties are exact.
+        let x = match (a.get(i), b.get(j)) {
+            (Some(&xa), Some(&xb)) => xa.min(xb),
+            (Some(&xa), None) => xa,
+            (None, Some(&xb)) => xb,
+            (None, None) => unreachable!(),
+        };
+        while i < na && a[i] <= x {
+            i += 1;
+        }
+        while j < nb && b[j] <= x {
+            j += 1;
+        }
+        let diff = (i as f64 / na as f64 - j as f64 / nb as f64).abs();
+        if diff > d {
+            d = diff;
+        }
+    }
+    let ne = (na as f64 * nb as f64) / (na as f64 + nb as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    KsTest {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+    }
+}
+
+/// Survival function of the Kolmogorov distribution,
+/// `Q(λ) = 2 Σ_{j≥1} (−1)^{j−1} e^{−2 j² λ²}`, clamped to `[0, 1]`.
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0f64;
+    let mut sign = 1.0f64;
+    for j in 1..=100u32 {
+        let term = (-2.0 * (j as f64) * (j as f64) * lambda * lambda).exp();
+        sum += sign * term;
+        if term < 1e-16 * sum.abs() || term < 1e-300 {
+            break;
+        }
+        sign = -sign;
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+/// Result of a chi-square homogeneity test on two count vectors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChiSquareTest {
+    /// The chi-square statistic.
+    pub statistic: f64,
+    /// Degrees of freedom (non-empty categories minus one).
+    pub df: usize,
+    /// Upper-tail p-value `Q(df/2, statistic/2)`.
+    pub p_value: f64,
+}
+
+/// Chi-square test of homogeneity: were the two count vectors (same
+/// categories, one bin per category) drawn from the same categorical
+/// distribution?
+///
+/// Categories empty in *both* samples are dropped (they carry no
+/// information and would break the expected-count denominators); the
+/// degrees of freedom shrink accordingly.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths, either total is zero,
+/// or fewer than two categories are non-empty.
+///
+/// # Examples
+///
+/// ```
+/// use plurality_stats::chi_square_homogeneity;
+/// let same = chi_square_homogeneity(&[50, 30, 20], &[50, 30, 20]);
+/// assert_eq!(same.statistic, 0.0);
+/// assert_eq!(same.df, 2);
+/// assert!(same.p_value > 0.999);
+/// ```
+pub fn chi_square_homogeneity(a: &[u64], b: &[u64]) -> ChiSquareTest {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "chi_square_homogeneity: category counts must align"
+    );
+    let ta: u64 = a.iter().sum();
+    let tb: u64 = b.iter().sum();
+    assert!(
+        ta > 0 && tb > 0,
+        "chi_square_homogeneity: both samples must be non-empty"
+    );
+    let total = (ta + tb) as f64;
+    let mut statistic = 0.0f64;
+    let mut used = 0usize;
+    for (&ca, &cb) in a.iter().zip(b) {
+        let pooled = ca + cb;
+        if pooled == 0 {
+            continue;
+        }
+        used += 1;
+        let frac = pooled as f64 / total;
+        for (obs, t) in [(ca, ta), (cb, tb)] {
+            let expected = t as f64 * frac;
+            let delta = obs as f64 - expected;
+            statistic += delta * delta / expected;
+        }
+    }
+    assert!(
+        used >= 2,
+        "chi_square_homogeneity: need at least two non-empty categories"
+    );
+    let df = used - 1;
+    ChiSquareTest {
+        statistic,
+        df,
+        p_value: gamma_q(df as f64 / 2.0, statistic / 2.0),
+    }
+}
+
+/// Regularized upper incomplete gamma function `Q(a, x)` (series for
+/// `x < a + 1`, Lentz continued fraction otherwise).
+fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0 && x >= 0.0, "gamma_q: need a > 0, x >= 0");
+    if x == 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_cf(a, x)
+    }
+}
+
+/// `P(a, x)` by its power series.
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..500 {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * 1e-15 {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+/// `Q(a, x)` by the Lentz modified continued fraction.
+fn gamma_q_cf(a: f64, x: f64) -> f64 {
+    const TINY: f64 = 1e-300;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / TINY;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..500 {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = b + an / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < 1e-15 {
+            break;
+        }
+    }
+    h * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use plurality_dist::special::normal_cdf;
+
+    #[test]
+    fn ks_statistic_matches_hand_computation() {
+        // ECDF of [1,2,3] vs [1.5]: after x = 1.5 the difference is
+        // |1/3 − 1| = 2/3, the supremum.
+        let t = ks_test(&[1.0, 2.0, 3.0], &[1.5]);
+        assert!((t.statistic - 2.0 / 3.0).abs() < 1e-12, "{}", t.statistic);
+    }
+
+    #[test]
+    fn ks_handles_ties_exactly() {
+        // All mass tied at one point in both samples: D = 0.
+        let t = ks_test(&[2.0, 2.0, 2.0], &[2.0, 2.0]);
+        assert_eq!(t.statistic, 0.0);
+        // a jumps to 1 at x=1, b stays 0 until x=2: D = 1.
+        let t = ks_test(&[1.0, 1.0], &[2.0, 2.0]);
+        assert_eq!(t.statistic, 1.0);
+    }
+
+    #[test]
+    fn kolmogorov_sf_matches_known_values() {
+        // Q(1.0) ≈ 0.26999967; Q(0.5) ≈ 0.9639; Q(2.0) ≈ 6.7e-4.
+        assert!((kolmogorov_sf(1.0) - 0.270_000).abs() < 1e-4);
+        assert!((kolmogorov_sf(0.5) - 0.9639).abs() < 1e-3);
+        assert!((kolmogorov_sf(2.0) - 6.7e-4).abs() < 1e-4);
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(10.0) < 1e-80);
+    }
+
+    #[test]
+    fn ks_separates_disjoint_samples() {
+        let a: Vec<f64> = (0..200).map(|i| i as f64 / 200.0).collect();
+        let b: Vec<f64> = (0..200).map(|i| 10.0 + i as f64 / 200.0).collect();
+        let t = ks_test(&a, &b);
+        assert_eq!(t.statistic, 1.0);
+        assert!(t.p_value < 1e-12);
+    }
+
+    #[test]
+    fn ks_accepts_identical_distributions() {
+        // Two interleaved halves of the same uniform grid.
+        let a: Vec<f64> = (0..400).step_by(2).map(|i| i as f64).collect();
+        let b: Vec<f64> = (1..400).step_by(2).map(|i| i as f64).collect();
+        let t = ks_test(&a, &b);
+        assert!(t.p_value > 0.5, "p = {}", t.p_value);
+    }
+
+    #[test]
+    fn chi_square_df1_matches_the_normal_tail() {
+        // For df = 1, P(χ² > s) = 2 (1 − Φ(√s)).
+        let t = chi_square_homogeneity(&[60, 40], &[45, 55]);
+        assert_eq!(t.df, 1);
+        // Tolerance bounded by the accuracy of `normal_cdf`'s
+        // approximation, not of `gamma_q` (exact to ~1e-15 here).
+        let expected = 2.0 * (1.0 - normal_cdf(t.statistic.sqrt()));
+        assert!((t.p_value - expected).abs() < 1e-6, "{t:?}");
+    }
+
+    #[test]
+    fn chi_square_df2_matches_the_exponential_tail() {
+        // For df = 2, P(χ² > s) = e^{−s/2}.
+        let t = chi_square_homogeneity(&[50, 30, 20], &[40, 35, 25]);
+        assert_eq!(t.df, 2);
+        assert!(
+            (t.p_value - (-t.statistic / 2.0).exp()).abs() < 1e-9,
+            "{t:?}"
+        );
+    }
+
+    #[test]
+    fn chi_square_drops_jointly_empty_categories() {
+        let with_empty = chi_square_homogeneity(&[50, 0, 50], &[40, 0, 60]);
+        let without = chi_square_homogeneity(&[50, 50], &[40, 60]);
+        assert_eq!(with_empty.df, without.df);
+        assert!((with_empty.statistic - without.statistic).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chi_square_separates_disjoint_supports() {
+        let t = chi_square_homogeneity(&[200, 0], &[0, 200]);
+        assert!(t.p_value < 1e-12, "{t:?}");
+    }
+
+    #[test]
+    fn gamma_q_boundary_values() {
+        assert_eq!(gamma_q(1.0, 0.0), 1.0);
+        // Q(1, x) = e^{−x}.
+        for x in [0.5, 1.0, 3.0, 10.0] {
+            assert!((gamma_q(1.0, x) - (-x).exp()).abs() < 1e-12, "{x}");
+        }
+        // Q(2.5, x) is monotone decreasing.
+        assert!(gamma_q(2.5, 1.0) > gamma_q(2.5, 2.0));
+        assert!(gamma_q(2.5, 2.0) > gamma_q(2.5, 8.0));
+    }
+}

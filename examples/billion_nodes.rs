@@ -1,0 +1,64 @@
+//! Mean-field demo: every aggregate backend at n = 10⁹.
+//!
+//! Per-node engines top out around 10⁶–10⁷ agents; the `-mf` backends
+//! advance whole count pools per step, so their cost scales with
+//! rounds × k, not with n — a billion-node run of each of the five
+//! protocols finishes in well under a second. This example drives all
+//! of them through the spec facade, exactly as the CLI would
+//! (`plurality --spec "sync-mf?n=1e9&k=8"`).
+//!
+//! ```sh
+//! cargo run --release --example billion_nodes
+//! ```
+
+use plurality::api::run_spec;
+
+fn main() {
+    let n: u64 = 1_000_000_000;
+    println!("mean-field aggregate engines at n = 10⁹\n");
+
+    let specs = [
+        format!("sync-mf?n={n}&k=8&alpha=1.5&seed=7"),
+        format!("leader-mf?n={n}&k=4&alpha=3.0&seed=7"),
+        format!("majority3-mf?n={n}&k=8&alpha=1.5&seed=7"),
+        format!("undecided-mf?n={n}&k=8&alpha=1.5&seed=7"),
+        format!("population-mf?n={n}&alpha=3.0&seed=7"),
+    ];
+
+    for spec in &specs {
+        let start = std::time::Instant::now();
+        let report = run_spec(spec).expect("valid spec");
+        let elapsed = start.elapsed();
+        let winner = report
+            .outcome
+            .winner()
+            .map_or_else(|| "—".into(), |w| w.to_string());
+
+        // Each family reports time in its own native unit.
+        let progress = if let Some(rounds) = report.rounds() {
+            format!("{rounds} rounds")
+        } else if let Some(t) = report.outcome.consensus_time {
+            format!("consensus at t = {t:.2}")
+        } else if let Some(i) = report.interactions() {
+            format!(
+                "{:.1} n·log n interactions",
+                i as f64 / (n as f64 * (n as f64).ln())
+            )
+        } else {
+            "finished".into()
+        };
+        println!(
+            "{:<14} {:>24}   winner {:<4} wall-clock {:>9.1?}",
+            report.protocol, progress, winner, elapsed
+        );
+        assert!(
+            report.outcome.plurality_preserved(),
+            "{spec}: initial plurality lost"
+        );
+    }
+
+    println!(
+        "\nfive protocols × 10⁹ nodes, each in a fraction of a second —\n\
+         the count-pool reduction makes the paper's asymptotic regime directly runnable."
+    );
+}

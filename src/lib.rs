@@ -15,6 +15,8 @@
 //!
 //! This crate re-exports the member crates under stable names:
 //!
+//! * [`agg`] — mean-field aggregate engines: count-pool backends that
+//!   push runs from `n ≈ 10⁴` to `n ≈ 10⁹` (`plurality-agg`)
 //! * [`api`] — the unified protocol facade: `Protocol` trait,
 //!   `RunConfig`, `Report`, and the `RunSpec` grammar
 //!   (`plurality-api`)
@@ -61,6 +63,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use plurality_agg as agg;
 pub use plurality_api as api;
 pub use plurality_baselines as baselines;
 pub use plurality_check as check;
